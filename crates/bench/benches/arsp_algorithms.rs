@@ -1,0 +1,56 @@
+//! Micro-benchmark: the ARSP algorithms on a fixed synthetic workload — the
+//! Criterion counterpart of the Fig. 5 sweep binaries, kept small enough to
+//! run in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arsp_core::{arsp_bnb, arsp_dual, arsp_kdtt, arsp_kdtt_plus, arsp_loop, arsp_qdtt_plus};
+use arsp_data::{Distribution, SyntheticConfig};
+use arsp_geometry::constraints::WeightRatio;
+use arsp_geometry::ConstraintSet;
+
+fn bench_arsp_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arsp_algorithms");
+    group.sample_size(10);
+
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        let dataset = SyntheticConfig {
+            num_objects: 400,
+            max_instances: 6,
+            dim: 3,
+            region_length: 0.2,
+            phi: 0.0,
+            distribution: dist,
+            seed: 7,
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let name = dist.short_name();
+
+        group.bench_with_input(BenchmarkId::new("LOOP", name), &dataset, |b, d| {
+            b.iter(|| arsp_loop(black_box(d), &constraints).result_size())
+        });
+        group.bench_with_input(BenchmarkId::new("KDTT", name), &dataset, |b, d| {
+            b.iter(|| arsp_kdtt(black_box(d), &constraints).result_size())
+        });
+        group.bench_with_input(BenchmarkId::new("KDTT+", name), &dataset, |b, d| {
+            b.iter(|| arsp_kdtt_plus(black_box(d), &constraints).result_size())
+        });
+        group.bench_with_input(BenchmarkId::new("QDTT+", name), &dataset, |b, d| {
+            b.iter(|| arsp_qdtt_plus(black_box(d), &constraints).result_size())
+        });
+        group.bench_with_input(BenchmarkId::new("B&B", name), &dataset, |b, d| {
+            b.iter(|| arsp_bnb(black_box(d), &constraints).result_size())
+        });
+        let ratio = WeightRatio::uniform(3, 0.5, 2.0);
+        group.bench_with_input(BenchmarkId::new("DUAL", name), &dataset, |b, d| {
+            b.iter(|| arsp_dual(black_box(d), &ratio).result_size())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_arsp_algorithms);
+criterion_main!(benches);

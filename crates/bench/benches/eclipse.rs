@@ -1,0 +1,41 @@
+//! Micro-benchmark: eclipse query processing (Fig. 8 in miniature) — QUAD
+//! baseline vs DUAL-S.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arsp_core::eclipse::{eclipse_dual_s, eclipse_quad};
+use arsp_data::CertainDataset;
+use arsp_geometry::constraints::WeightRatio;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_catalog(n: usize, dim: usize, seed: u64) -> CertainDataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut d = CertainDataset::new(dim);
+    for _ in 0..n {
+        d.push_point((0..dim).map(|_| rng.gen_range(0.0..1.0)).collect());
+    }
+    d
+}
+
+fn bench_eclipse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eclipse");
+    group.sample_size(10);
+
+    for d in [3usize, 4, 5] {
+        let catalog = random_catalog(1 << 13, d, d as u64);
+        let ratio = WeightRatio::uniform(d, 0.36, 2.75);
+        group.bench_with_input(BenchmarkId::new("QUAD", d), &catalog, |b, data| {
+            b.iter(|| eclipse_quad(black_box(data), &ratio).len())
+        });
+        group.bench_with_input(BenchmarkId::new("DUAL-S", d), &catalog, |b, data| {
+            b.iter(|| eclipse_dual_s(black_box(data), &ratio).len())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_eclipse);
+criterion_main!(benches);

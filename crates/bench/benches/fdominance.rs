@@ -1,0 +1,76 @@
+//! Micro-benchmark: F-dominance test variants.
+//!
+//! Compares the vertex-based test of Theorem 2 (cost `O(d·d')`), the `O(d)`
+//! weight-ratio test of Theorem 5 and the LP-based reference — the design
+//! choice that makes §IV's algorithms possible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arsp_geometry::constraints::WeightRatio;
+use arsp_geometry::fdom::{FDominance, LinearFDominance, LpFDominance, WeightRatioFDominance};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_pairs(dim: usize, n: usize, seed: u64) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_fdominance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdominance");
+    group.sample_size(30);
+
+    for dim in [2usize, 4, 6, 8] {
+        let ratio = WeightRatio::uniform(dim, 0.5, 2.0);
+        let vertex_test = LinearFDominance::from_constraints(&ratio.to_constraint_set());
+        let ratio_test = WeightRatioFDominance::new(ratio.clone());
+        let pairs = random_pairs(dim, 256, dim as u64);
+
+        group.bench_with_input(BenchmarkId::new("vertex_based", dim), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for (t, s) in pairs {
+                    count += usize::from(vertex_test.f_dominates(black_box(t), black_box(s)));
+                }
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("weight_ratio_o_d", dim), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for (t, s) in pairs {
+                    count += usize::from(ratio_test.f_dominates(black_box(t), black_box(s)));
+                }
+                count
+            })
+        });
+    }
+
+    // The LP reference is orders of magnitude slower; bench it once at d = 4
+    // with fewer pairs just to document the gap.
+    let ratio = WeightRatio::uniform(4, 0.5, 2.0);
+    let lp_test = LpFDominance::new(ratio.to_constraint_set());
+    let pairs = random_pairs(4, 16, 99);
+    group.bench_function("lp_reference_d4", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for (t, s) in &pairs {
+                count += usize::from(lp_test.f_dominates(black_box(t), black_box(s)));
+            }
+            count
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fdominance);
+criterion_main!(benches);

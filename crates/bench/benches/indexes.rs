@@ -1,0 +1,96 @@
+//! Micro-benchmark: the index substrate — aggregated R-tree insertion +
+//! window queries (the inner loop of Algorithm 2) and kd-tree construction +
+//! region queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arsp_index::region::WindowTo;
+use arsp_index::{AggregateRTree, KdTree, PointEntry, RTree};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_entries(n: usize, dim: usize, seed: u64) -> Vec<PointEntry> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            PointEntry::new(
+                id,
+                id % 64,
+                rng.gen_range(0.01..1.0),
+                (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexes");
+    group.sample_size(20);
+
+    for n in [1_000usize, 10_000] {
+        let entries = random_entries(n, 4, 3);
+
+        group.bench_with_input(BenchmarkId::new("rtree_bulk_load", n), &entries, |b, e| {
+            b.iter(|| RTree::bulk_load(black_box(e.clone())).len())
+        });
+
+        group.bench_with_input(BenchmarkId::new("kdtree_build", n), &entries, |b, e| {
+            b.iter(|| KdTree::build(black_box(e.clone())).len())
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_rtree_insert", n),
+            &entries,
+            |b, e| {
+                b.iter(|| {
+                    let mut tree = AggregateRTree::new(4);
+                    for entry in e {
+                        tree.insert(&entry.coords, entry.weight);
+                    }
+                    tree.len()
+                })
+            },
+        );
+
+        // Window query throughput against a pre-built aggregated R-tree.
+        let mut agg = AggregateRTree::new(4);
+        for e in &entries {
+            agg.insert(&e.coords, e.weight);
+        }
+        let queries = random_entries(256, 4, 17);
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_rtree_window_sum", n),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for q in qs {
+                        total += agg.window_sum(black_box(&q.coords));
+                    }
+                    total
+                })
+            },
+        );
+
+        let kdtree = KdTree::build_with_leaf_size(entries.clone(), 4);
+        group.bench_with_input(
+            BenchmarkId::new("kdtree_window_sum", n),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for q in qs {
+                        total += kdtree.sum_weights_in(&WindowTo::new(black_box(&q.coords)));
+                    }
+                    total
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

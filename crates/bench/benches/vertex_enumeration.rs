@@ -1,0 +1,36 @@
+//! Micro-benchmark: preference-region vertex enumeration (the `O(c²)`
+//! preprocessing step shared by every ARSP algorithm) under WR and IM
+//! constraints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arsp_data::im_constraints;
+use arsp_geometry::polytope::preference_region_vertices;
+use arsp_geometry::ConstraintSet;
+
+fn bench_vertex_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_enumeration");
+    group.sample_size(20);
+
+    for d in [3usize, 4, 6, 8] {
+        let wr = ConstraintSet::weak_ranking(d, d - 1);
+        group.bench_with_input(BenchmarkId::new("weak_ranking", d), &wr, |b, cs| {
+            b.iter(|| preference_region_vertices(black_box(cs)).len())
+        });
+    }
+
+    for c_count in [2usize, 4, 6] {
+        let im = im_constraints(4, c_count, 7);
+        group.bench_with_input(
+            BenchmarkId::new("interactive_d4", c_count),
+            &im,
+            |b, cs| b.iter(|| preference_region_vertices(black_box(cs)).len()),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_enumeration);
+criterion_main!(benches);

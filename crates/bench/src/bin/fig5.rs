@@ -1,0 +1,311 @@
+//! Fig. 5 — running time of ENUM / LOOP / KDTT / KDTT+ / QDTT+ / B&B and the
+//! size of ARSP on synthetic datasets, sweeping m, cnt, d, l, ϕ and c under
+//! WR constraints, plus the IM-constraint panels (r)–(t).
+//!
+//! Usage:
+//!   cargo run --release -p arsp-bench --bin fig5 [-- --panel <m|cnt|d|l|phi|c|im|all>]
+//!
+//! Scale and time limits follow `ARSP_BENCH_SCALE` / `ARSP_BENCH_TIME_LIMIT`
+//! (see EXPERIMENTS.md).
+
+use arsp_bench::{
+    check_consistent_sizes, print_header, print_row, run_figure_algorithms, scale_factor,
+    SweepRunner,
+};
+use arsp_data::{im_constraints, Distribution, SyntheticConfig};
+use arsp_geometry::ConstraintSet;
+
+/// The paper's default synthetic parameters (before scaling).
+const FULL_M: usize = 16_000;
+const FULL_CNT: usize = 400;
+const DEFAULT_D: usize = 4;
+const DEFAULT_L: f64 = 0.2;
+
+struct Workload {
+    m: usize,
+    cnt: usize,
+    d: usize,
+    l: f64,
+    phi: f64,
+    dist: Distribution,
+    seed: u64,
+}
+
+impl Workload {
+    fn new(scale: usize, dist: Distribution) -> Self {
+        Self {
+            m: (FULL_M / scale).max(16),
+            cnt: (FULL_CNT / scale).max(2),
+            d: DEFAULT_D,
+            l: DEFAULT_L,
+            phi: 0.0,
+            dist,
+            seed: 42,
+        }
+    }
+
+    fn generate(&self) -> arsp_data::UncertainDataset {
+        SyntheticConfig {
+            num_objects: self.m,
+            max_instances: self.cnt,
+            dim: self.d,
+            region_length: self.l,
+            phi: self.phi,
+            distribution: self.dist,
+            seed: self.seed,
+        }
+        .generate()
+    }
+}
+
+const DISTRIBUTIONS: [Distribution; 3] = [
+    Distribution::Independent,
+    Distribution::AntiCorrelated,
+    Distribution::Correlated,
+];
+
+fn header() {
+    print_header(
+        "value",
+        &["ENUM", "LOOP", "KDTT", "KDTT+", "QDTT+", "B&B"],
+    );
+}
+
+fn sweep<F>(panel: &str, dist: Distribution, values: &[(&str, F)])
+where
+    F: Fn(&mut Workload) -> ConstraintSet,
+{
+    let scale = scale_factor();
+    println!("\n--- Fig. 5 panel: vary {panel}, {} (scale 1/{scale}) ---", dist.short_name());
+    header();
+    let mut runner = SweepRunner::default();
+    for (label, configure) in values {
+        let mut w = Workload::new(scale, dist);
+        let constraints = configure(&mut w);
+        let dataset = w.generate();
+        // ENUM is exponential: reported as INF beyond toy scale, as in the
+        // paper.
+        let enum_m = runner.mark_infeasible("ENUM");
+        let mut ms = vec![enum_m];
+        ms.extend(run_figure_algorithms(&mut runner, &dataset, &constraints, true));
+        check_consistent_sizes(&ms[1..]);
+        print_row(label, &ms);
+    }
+}
+
+fn wr(d: usize) -> ConstraintSet {
+    ConstraintSet::weak_ranking(d, d - 1)
+}
+
+fn panel_m() {
+    let scale = scale_factor();
+    for dist in DISTRIBUTIONS {
+        let values: Vec<(String, usize)> = [2_000usize, 4_000, 8_000, 16_000, 32_000, 64_000]
+            .iter()
+            .map(|&m| (format!("m={}K", m / 1000), (m / scale).max(16)))
+            .collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, m)| {
+                let m = *m;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.m = m;
+                    wr(w.d)
+                })
+            })
+            .collect();
+        sweep("m (panels a-c)", dist, &setters);
+    }
+}
+
+fn panel_cnt() {
+    let scale = scale_factor();
+    for dist in DISTRIBUTIONS {
+        let values: Vec<(String, usize)> = [100usize, 200, 300, 400, 500, 600]
+            .iter()
+            .map(|&cnt| (format!("cnt={cnt}"), (cnt / scale).max(2)))
+            .collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, cnt)| {
+                let cnt = *cnt;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.cnt = cnt;
+                    wr(w.d)
+                })
+            })
+            .collect();
+        sweep("cnt (panels d-f)", dist, &setters);
+    }
+}
+
+fn panel_d() {
+    for dist in DISTRIBUTIONS {
+        let values: Vec<(String, usize)> = (2..=8).map(|d| (format!("d={d}"), d)).collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, d)| {
+                let d = *d;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.d = d;
+                    wr(d)
+                })
+            })
+            .collect();
+        sweep("d (panels g-i)", dist, &setters);
+    }
+}
+
+fn panel_l() {
+    for dist in DISTRIBUTIONS {
+        let values: Vec<(String, f64)> = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+            .iter()
+            .map(|&l| (format!("l={l}"), l))
+            .collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, l)| {
+                let l = *l;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.l = l;
+                    wr(w.d)
+                })
+            })
+            .collect();
+        sweep("l (panels j-l)", dist, &setters);
+    }
+}
+
+fn panel_phi() {
+    for dist in DISTRIBUTIONS {
+        let values: Vec<(String, f64)> = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8]
+            .iter()
+            .map(|&phi| (format!("phi={}%", (phi * 100.0) as usize), phi))
+            .collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, phi)| {
+                let phi = *phi;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.phi = phi;
+                    wr(w.d)
+                })
+            })
+            .collect();
+        sweep("phi (panels m-o)", dist, &setters);
+    }
+}
+
+fn panel_c() {
+    // Panels (p)-(q): d = 6, WR with c = 1..5, IND and ANTI.
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        let values: Vec<(String, usize)> = (1..=5).map(|c| (format!("c={c}"), c)).collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, c)| {
+                let c = *c;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.d = 6;
+                    ConstraintSet::weak_ranking(6, c)
+                })
+            })
+            .collect();
+        sweep("c, WR, d=6 (panels p-q)", dist, &setters);
+    }
+}
+
+fn panel_im() {
+    let scale = scale_factor();
+    // Panel (r): IM constraints, vary m, IND, d = 4, c = 3.
+    {
+        let values: Vec<(String, usize)> = [2_000usize, 4_000, 8_000, 16_000, 32_000, 64_000]
+            .iter()
+            .map(|&m| (format!("m={}K", m / 1000), (m / scale).max(16)))
+            .collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, m)| {
+                let m = *m;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.m = m;
+                    im_constraints(w.d, 3, 7)
+                })
+            })
+            .collect();
+        sweep("m, IM (panel r)", Distribution::Independent, &setters);
+    }
+    // Panel (s): IM, vary d.
+    {
+        let values: Vec<(String, usize)> = (2..=8).map(|d| (format!("d={d}"), d)).collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, d)| {
+                let d = *d;
+                (label.as_str(), move |w: &mut Workload| {
+                    w.d = d;
+                    im_constraints(d, 3, 7)
+                })
+            })
+            .collect();
+        sweep("d, IM (panel s)", Distribution::Independent, &setters);
+    }
+    // Panel (t): IM, vary c, d = 4.
+    {
+        let values: Vec<(String, usize)> = (2..=7).map(|c| (format!("c={c}"), c)).collect();
+        let setters: Vec<(&str, _)> = values
+            .iter()
+            .map(|(label, c)| {
+                let c = *c;
+                (label.as_str(), move |w: &mut Workload| {
+                    let cs = im_constraints(w.d, c, 7);
+                    println!(
+                        "    (IM c={c}: preference region has {} vertices)",
+                        arsp_geometry::polytope::preference_region_vertices(&cs).len()
+                    );
+                    cs
+                })
+            })
+            .collect();
+        sweep("c, IM (panel t)", Distribution::Independent, &setters);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+
+    println!("Fig. 5 reproduction — synthetic datasets, WR/IM constraints");
+    println!(
+        "scale = 1/{}, time limit = {}s (set ARSP_BENCH_SCALE / ARSP_BENCH_TIME_LIMIT to change)",
+        scale_factor(),
+        arsp_bench::time_limit_secs()
+    );
+
+    match panel {
+        "m" => panel_m(),
+        "cnt" => panel_cnt(),
+        "d" => panel_d(),
+        "l" => panel_l(),
+        "phi" => panel_phi(),
+        "c" => panel_c(),
+        "im" => panel_im(),
+        "all" => {
+            panel_m();
+            panel_cnt();
+            panel_d();
+            panel_l();
+            panel_phi();
+            panel_c();
+            panel_im();
+        }
+        other => {
+            eprintln!("unknown panel '{other}'; use m|cnt|d|l|phi|c|im|all");
+            std::process::exit(1);
+        }
+    }
+}

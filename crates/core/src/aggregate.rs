@@ -1,0 +1,114 @@
+//! The aggregated rskyline (§V-B).
+//!
+//! The paper's effectiveness study compares ARSP against the "traditional"
+//! alternative: collapse every uncertain object to its average instance and
+//! run an ordinary rskyline query on the resulting certain dataset. Objects
+//! in that *aggregated rskyline* are marked with a `*` in Table I.
+
+use arsp_data::{CertainDataset, UncertainDataset};
+use arsp_geometry::fdom::{FDominance, LinearFDominance};
+use arsp_geometry::ConstraintSet;
+
+/// The rskyline of a certain dataset: ids of points not F-dominated by any
+/// other point.
+pub fn rskyline_of_certain(data: &CertainDataset, fdom: &LinearFDominance) -> Vec<usize> {
+    let mut result = Vec::new();
+    'outer: for i in 0..data.len() {
+        for j in 0..data.len() {
+            if i != j && fdom.f_dominates(data.point(j), data.point(i)) {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    result
+}
+
+/// The aggregated rskyline of an uncertain dataset: object ids whose
+/// probability-weighted mean instance is not F-dominated by any other
+/// object's mean.
+pub fn aggregated_rskyline(dataset: &UncertainDataset, constraints: &ConstraintSet) -> Vec<usize> {
+    let fdom = LinearFDominance::from_constraints(constraints);
+    let means = dataset.aggregate_by_mean();
+    rskyline_of_certain(&means, &fdom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::kdtt::arsp_kdtt_plus;
+    use arsp_data::{real, SyntheticConfig, UncertainDataset};
+
+    #[test]
+    fn simple_aggregated_rskyline() {
+        let mut d = UncertainDataset::new(2);
+        // Object 0 averages to (1, 1): dominated by nothing.
+        d.push_object(vec![(vec![0.0, 2.0], 0.5), (vec![2.0, 0.0], 0.5)]);
+        // Object 1 averages to (3, 3): F-dominated by object 0's mean.
+        d.push_object(vec![(vec![3.0, 3.0], 1.0)]);
+        // Object 2 averages to (0.5, 4.0): incomparable to object 0 under the
+        // full simplex, but F-dominated under a weak ranking with c = 1
+        // (vertices (1,0) and (1/2,1/2)): 1 ≤ 0.5 fails, so NOT dominated.
+        d.push_object(vec![(vec![0.5, 4.0], 1.0)]);
+
+        let full = aggregated_rskyline(&d, &ConstraintSet::new(2));
+        assert_eq!(full, vec![0, 2]);
+        let wr = aggregated_rskyline(&d, &ConstraintSet::weak_ranking(2, 1));
+        assert_eq!(wr, vec![0, 2]);
+    }
+
+    #[test]
+    fn aggregated_result_ignores_distribution_information() {
+        // Two objects with identical means but very different spreads are
+        // treated identically by the aggregated rskyline, while ARSP tells
+        // them apart — the paper's core motivation for the problem.
+        let mut d = UncertainDataset::new(2);
+        d.push_object(vec![(vec![0.5, 0.5], 1.0)]);
+        d.push_object(vec![(vec![0.1, 0.1], 0.5), (vec![0.9, 0.9], 0.5)]);
+        let constraints = ConstraintSet::weak_ranking(2, 1);
+        let agg = aggregated_rskyline(&d, &constraints);
+        // Equal means: each F-dominates the other (ties), so neither survives;
+        // the aggregated view cannot distinguish them at all.
+        assert!(agg.is_empty());
+        let arsp = arsp_kdtt_plus(&d, &constraints);
+        let probs = arsp.object_probs(&d);
+        // ARSP distinguishes them: the concentrated object is beaten whenever
+        // the spread object lands on (0.1, 0.1), the spread object keeps the
+        // half of its mass that lands there.
+        assert!((probs[0] - 0.5).abs() < 1e-9);
+        assert!((probs[1] - 0.5).abs() < 1e-9);
+        assert!(arsp.instance_prob(1) > arsp.instance_prob(2));
+    }
+
+    #[test]
+    fn high_rskyline_probability_objects_overlap_aggregated_rskyline() {
+        // On NBA-like data the top rskyline-probability objects and the
+        // aggregated rskyline overlap substantially but not perfectly
+        // (Table I shows both * and non-* entries).
+        let d = real::nba_like(60, 15, 3, 2024);
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let agg = aggregated_rskyline(&d, &constraints);
+        let arsp = arsp_kdtt_plus(&d, &constraints);
+        let top: Vec<usize> = arsp
+            .top_k_objects(&d, agg.len().max(5))
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let overlap = top.iter().filter(|id| agg.contains(id)).count();
+        assert!(overlap >= 1, "top = {top:?}, agg = {agg:?}");
+    }
+
+    #[test]
+    fn synthetic_sanity() {
+        let d = SyntheticConfig::small(25, 4, 3, 5).generate();
+        let agg = aggregated_rskyline(&d, &ConstraintSet::weak_ranking(3, 2));
+        assert!(!agg.is_empty());
+        assert!(agg.len() <= d.num_objects());
+        // Ids are valid and sorted ascending.
+        for w in agg.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    use arsp_geometry::ConstraintSet;
+}

@@ -1,0 +1,316 @@
+//! B&B — the branch-and-bound algorithm (Algorithm 2, §III-C).
+//!
+//! Instead of mapping the whole dataset into score space up front (as
+//! KDTT/QDTT do), B&B traverses an R-tree over the *original* space in
+//! best-first order of the score under one preference-region vertex, maps
+//! instances lazily, and for every instance queries one aggregated R-tree per
+//! other object for the dominating probability mass
+//! `σ[j] = Σ_{s∈T_j, SV(s) ⪯ SV(t)} p(s)`.
+//!
+//! Two properties make this correct and output-sensitive:
+//!
+//! * best-first order by `S_ω(·)` guarantees every possible F-dominator of an
+//!   instance has already been processed (and inserted into its object's
+//!   aggregated R-tree) when the instance is popped,
+//! * the pruning set `P` of per-object score-space maximum corners
+//!   (Theorems 3 and 4) discards whole subtrees all of whose instances have
+//!   zero rskyline probability, and instances with zero probability are never
+//!   inserted into the aggregated R-trees.
+//!
+//! Expected time `O(m·n·log n)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::result::ArspResult;
+use arsp_data::UncertainDataset;
+use arsp_geometry::fdom::LinearFDominance;
+use arsp_geometry::point::{dominates, score};
+use arsp_geometry::ConstraintSet;
+use arsp_index::{AggregateRTree, NodeContent, PointEntry, RTree};
+
+/// Tolerance for deciding that an object's accumulated probability has
+/// reached one (mirrors the saturation tolerance of kd-ASP\*).
+const ONE_EPS: f64 = 1e-9;
+
+/// Computes ARSP with the branch-and-bound algorithm.
+pub fn arsp_bnb(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
+    let fdom = LinearFDominance::from_constraints(constraints);
+    arsp_bnb_with_fdom(dataset, &fdom)
+}
+
+/// B&B with a pre-built F-dominance test; `use_pruning_set = false` disables
+/// the Theorem-4 pruning set (used by the ablation benchmark).
+pub fn arsp_bnb_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
+    arsp_bnb_impl(dataset, fdom, true)
+}
+
+/// B&B without the pruning set `P` — every instance pays its window queries.
+/// Exposed for the ablation study of the design choice called out in
+/// DESIGN.md; not part of the paper's evaluated configurations.
+pub fn arsp_bnb_without_pruning(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+) -> ArspResult {
+    arsp_bnb_impl(dataset, fdom, false)
+}
+
+fn arsp_bnb_impl(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+    use_pruning_set: bool,
+) -> ArspResult {
+    let n = dataset.num_instances();
+    let m = dataset.num_objects();
+    let mut result = ArspResult::zeros(n);
+    if n == 0 {
+        return result;
+    }
+    let d_prime = fdom.num_vertices();
+    let omega = &fdom.vertices()[0];
+
+    // R-tree over the original-space instances (the index the paper assumes
+    // is maintained on I).
+    let entries: Vec<PointEntry> = dataset
+        .instances()
+        .iter()
+        .map(|inst| PointEntry::new(inst.id, inst.object, inst.prob, inst.coords.clone()))
+        .collect();
+    let rtree = RTree::bulk_load(entries);
+
+    // One aggregated R-tree per object, holding the score-space images of the
+    // instances processed so far that have non-zero rskyline probability.
+    let mut agg: Vec<AggregateRTree> = (0..m).map(|_| AggregateRTree::new(d_prime)).collect();
+
+    // Pruning set P (score-space points) and the per-object running maximum
+    // corner / accumulated probability feeding it.
+    let mut pruning: Vec<Vec<f64>> = Vec::new();
+    let mut max_corner: Vec<Option<Vec<f64>>> = vec![None; m];
+    let mut acc_prob: Vec<f64> = vec![0.0; m];
+
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+    if let Some(root) = rtree.root() {
+        let key = score(rtree.node(root).mbr().min().coords(), omega);
+        heap.push(HeapItem {
+            key,
+            kind: ItemKind::Node(root),
+        });
+    }
+
+    let is_pruned = |pruning: &[Vec<f64>], sv: &[f64]| -> bool {
+        pruning.iter().any(|p| dominates(p, sv))
+    };
+
+    while let Some(item) = heap.pop() {
+        match item.kind {
+            ItemKind::Node(node_id) => {
+                let node = rtree.node(node_id);
+                if use_pruning_set {
+                    let sv_min = fdom.map_to_score_space(node.mbr().min().coords());
+                    if is_pruned(&pruning, &sv_min) {
+                        continue;
+                    }
+                }
+                match node.content() {
+                    NodeContent::Internal(children) => {
+                        for &child in children {
+                            let key = score(rtree.node(child).mbr().min().coords(), omega);
+                            heap.push(HeapItem {
+                                key,
+                                kind: ItemKind::Node(child),
+                            });
+                        }
+                    }
+                    NodeContent::Leaf(entry_idx) => {
+                        for &ei in entry_idx {
+                            let entry = &rtree.entries()[ei];
+                            let key = score(&entry.coords, omega);
+                            heap.push(HeapItem {
+                                key,
+                                kind: ItemKind::Instance(entry.id),
+                            });
+                        }
+                    }
+                }
+            }
+            ItemKind::Instance(instance_id) => {
+                let inst = dataset.instance(instance_id);
+                let sv = fdom.map_to_score_space(&inst.coords);
+                if use_pruning_set && is_pruned(&pruning, &sv) {
+                    // Zero rskyline probability: never inserted into the
+                    // aggregated R-trees, never contributes to P.
+                    continue;
+                }
+                let mut prob = inst.prob;
+                for (j, tree) in agg.iter().enumerate() {
+                    if j == inst.object || tree.is_empty() {
+                        continue;
+                    }
+                    let sigma = tree.window_sum(&sv);
+                    prob *= 1.0 - sigma;
+                    if prob <= 0.0 {
+                        prob = 0.0;
+                        break;
+                    }
+                }
+                if prob > 0.0 {
+                    result.set(instance_id, prob);
+                    agg[inst.object].insert(&sv, inst.prob);
+                    acc_prob[inst.object] += inst.prob;
+                    match &mut max_corner[inst.object] {
+                        Some(corner) => {
+                            for (c, &s) in corner.iter_mut().zip(&sv) {
+                                if s > *c {
+                                    *c = s;
+                                }
+                            }
+                        }
+                        None => max_corner[inst.object] = Some(sv.clone()),
+                    }
+                    if use_pruning_set && acc_prob[inst.object] >= 1.0 - ONE_EPS {
+                        if let Some(corner) = &max_corner[inst.object] {
+                            pruning.push(corner.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Min-heap item ordered by ascending score key.
+struct HeapItem {
+    key: f64,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Node(arsp_index::NodeId),
+    Instance(usize),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse the comparison for best-first
+        // (smallest score first) behaviour.
+        other.key.total_cmp(&self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::enumerate::arsp_enum;
+    use crate::algorithms::kdtt::arsp_kdtt_plus;
+    use crate::algorithms::loop_scan::arsp_loop;
+    use arsp_data::{paper_running_example, SyntheticConfig, UncertainDataset};
+    use arsp_geometry::constraints::WeightRatio;
+
+    #[test]
+    fn reproduces_example_1() {
+        let d = paper_running_example();
+        let constraints = WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set();
+        let result = arsp_bnb(&d, &constraints);
+        assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+        assert!(result.instance_prob(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_enum_on_small_synthetic_data() {
+        for seed in 0..4u64 {
+            let d = SyntheticConfig {
+                num_objects: 7,
+                max_instances: 3,
+                dim: 3,
+                region_length: 0.4,
+                phi: 0.25,
+                seed,
+                ..SyntheticConfig::default()
+            }
+            .generate();
+            let constraints = ConstraintSet::weak_ranking(3, 2);
+            let truth = arsp_enum(&d, &constraints);
+            let got = arsp_bnb(&d, &constraints);
+            assert!(
+                truth.approx_eq(&got, 1e-9),
+                "seed {seed}: diff {}",
+                truth.max_abs_diff(&got)
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_other_algorithms_on_medium_data() {
+        let d = SyntheticConfig {
+            num_objects: 80,
+            max_instances: 5,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.1,
+            seed: 31,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let reference = arsp_loop(&d, &constraints);
+        let bnb = arsp_bnb(&d, &constraints);
+        let kdtt = arsp_kdtt_plus(&d, &constraints);
+        assert!(reference.approx_eq(&bnb, 1e-8), "{}", reference.max_abs_diff(&bnb));
+        assert!(reference.approx_eq(&kdtt, 1e-8));
+    }
+
+    #[test]
+    fn pruning_ablation_gives_identical_results() {
+        let d = SyntheticConfig {
+            num_objects: 50,
+            max_instances: 4,
+            dim: 3,
+            seed: 8,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let fdom = LinearFDominance::from_constraints(&constraints);
+        let with = arsp_bnb_with_fdom(&d, &fdom);
+        let without = arsp_bnb_without_pruning(&d, &fdom);
+        assert!(with.approx_eq(&without, 1e-9));
+    }
+
+    #[test]
+    fn all_partial_objects_degenerate_case() {
+        // ϕ = 1 (every object partial, like IIP): the pruning set stays empty
+        // and B&B must still be correct.
+        let mut d = UncertainDataset::new(2);
+        d.push_object(vec![(vec![0.1, 0.2], 0.8)]);
+        d.push_object(vec![(vec![0.2, 0.1], 0.7)]);
+        d.push_object(vec![(vec![0.5, 0.5], 0.6)]);
+        d.push_object(vec![(vec![0.05, 0.05], 0.6)]);
+        let constraints = ConstraintSet::weak_ranking(2, 1);
+        let truth = arsp_enum(&d, &constraints);
+        let got = arsp_bnb(&d, &constraints);
+        assert!(truth.approx_eq(&got, 1e-9));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = UncertainDataset::new(3);
+        let result = arsp_bnb(&d, &ConstraintSet::new(3));
+        assert!(result.is_empty());
+    }
+}

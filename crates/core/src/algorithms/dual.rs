@@ -1,0 +1,335 @@
+//! DUAL — ARSP under weight ratio constraints (§IV).
+//!
+//! For weight ratio constraints `R = Π_{i<d} [l_i, h_i]` the F-dominance test
+//! collapses to the `O(d)` expression of Theorem 5, and the set of instances
+//! that F-dominate a given instance `t` is a *downward-closed* region of the
+//! original data space. Two algorithms are provided:
+//!
+//! * [`arsp_dual`] — the index-based algorithm: one aggregated R-tree per
+//!   object answers "how much of object `j`'s mass F-dominates `t`?" for every
+//!   instance. This is the practical substitute for the paper's half-space
+//!   reporting / point-location machinery (Theorem 6), which the paper itself
+//!   describes as "theoretical in nature"; the queries answered are identical
+//!   (per-object dominating mass under weight-ratio constraints), only the
+//!   data structure differs. See DESIGN.md.
+//! * [`DualMs2d`] — the specialised d = 2 algorithm the paper actually
+//!   evaluates (Fig. 7): per-instance preprocessing sorts all other instances
+//!   by their angle around the instance, after which a weight-ratio query is
+//!   a single (shared, thanks to the shift strategy) angular range query.
+//!   Preprocessing is quadratic — the trade-off Fig. 7(b) illustrates — while
+//!   each query costs `O(log n)` plus a term for objects with several
+//!   instances.
+
+use crate::result::ArspResult;
+use arsp_data::UncertainDataset;
+use arsp_geometry::constraints::WeightRatio;
+use arsp_geometry::fdom::WeightRatioFDominance;
+use arsp_index::angular::dominance_wedge;
+use arsp_index::region::FDominatorsOf;
+use arsp_index::AggregateRTree;
+
+/// Computes ARSP under weight ratio constraints with per-object aggregated
+/// R-trees (the general-dimension DUAL algorithm).
+pub fn arsp_dual(dataset: &UncertainDataset, ratio: &WeightRatio) -> ArspResult {
+    assert_eq!(dataset.dim(), ratio.dim(), "dimension mismatch");
+    let fdom = WeightRatioFDominance::new(ratio.clone());
+    let m = dataset.num_objects();
+    let mut result = ArspResult::zeros(dataset.num_instances());
+
+    // Index every object's instances (original space, probability weights).
+    let mut agg: Vec<AggregateRTree> = (0..m)
+        .map(|_| AggregateRTree::new(dataset.dim()))
+        .collect();
+    for inst in dataset.instances() {
+        agg[inst.object].insert(&inst.coords, inst.prob);
+    }
+
+    for inst in dataset.instances() {
+        let region = FDominatorsOf::new(&fdom, &inst.coords);
+        let mut prob = inst.prob;
+        for (j, tree) in agg.iter().enumerate() {
+            if j == inst.object {
+                continue;
+            }
+            let sigma = tree.sum_weights_in(&region);
+            prob *= 1.0 - sigma;
+            if prob <= 0.0 {
+                prob = 0.0;
+                break;
+            }
+        }
+        result.set(inst.id, prob);
+    }
+    result
+}
+
+/// Probabilities this close to one are treated as certain (`ln(1−p)` would
+/// otherwise be `−∞`).
+const FULL_EPS: f64 = 1e-12;
+
+/// Per-reference-instance angular structure of [`DualMs2d`].
+struct RefStructure {
+    /// Angles (sorted ascending) of instances belonging to *single-instance*
+    /// other objects.
+    angles: Vec<f64>,
+    /// Prefix sums of `ln(1 − p)` aligned with `angles`; instances with
+    /// `p ≈ 1` contribute zero here and are counted in `full_prefix` instead.
+    log_prefix: Vec<f64>,
+    /// Prefix counts of instances with `p ≈ 1`.
+    full_prefix: Vec<u32>,
+    /// Instances of multi-instance other objects: (object, angle, prob).
+    multi: Vec<(usize, f64, f64)>,
+    /// Instances of other objects with exactly the same coordinates as the
+    /// reference instance (they F-dominate it under any constraints).
+    coincident: Vec<(usize, f64)>,
+}
+
+/// The specialised d = 2 DUAL-MS algorithm: quadratic preprocessing, fast
+/// per-query evaluation for any weight ratio range `[l, h]`.
+pub struct DualMs2d {
+    num_objects: usize,
+    /// `(object, prob)` per instance id.
+    instances: Vec<(usize, f64)>,
+    refs: Vec<RefStructure>,
+}
+
+impl DualMs2d {
+    /// Builds the per-instance angular structures. `O(n² log n)` time and
+    /// `O(n²)` space — the preprocessing cost reported in Fig. 7(b).
+    ///
+    /// # Panics
+    /// Panics unless the dataset is two-dimensional.
+    pub fn preprocess(dataset: &UncertainDataset) -> Self {
+        assert_eq!(dataset.dim(), 2, "DualMs2d is the d = 2 specialisation");
+        let single_instance: Vec<bool> = dataset
+            .objects()
+            .iter()
+            .map(|o| o.num_instances() == 1)
+            .collect();
+
+        let mut refs = Vec::with_capacity(dataset.num_instances());
+        for t in dataset.instances() {
+            let mut items: Vec<(f64, f64)> = Vec::new(); // (angle, prob) for single-instance objects
+            let mut multi = Vec::new();
+            let mut coincident = Vec::new();
+            for s in dataset.instances() {
+                if s.object == t.object {
+                    continue;
+                }
+                let dx = s.coords[0] - t.coords[0];
+                let dy = s.coords[1] - t.coords[1];
+                if dx == 0.0 && dy == 0.0 {
+                    coincident.push((s.object, s.prob));
+                    continue;
+                }
+                let angle = arsp_index::angular::normalize_angle(dy.atan2(dx));
+                if single_instance[s.object] {
+                    items.push((angle, s.prob));
+                } else {
+                    multi.push((s.object, angle, s.prob));
+                }
+            }
+            items.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut angles = Vec::with_capacity(items.len());
+            let mut log_prefix = Vec::with_capacity(items.len() + 1);
+            let mut full_prefix = Vec::with_capacity(items.len() + 1);
+            log_prefix.push(0.0);
+            full_prefix.push(0);
+            let (mut log_acc, mut full_acc) = (0.0, 0u32);
+            for (angle, p) in items {
+                angles.push(angle);
+                if p >= 1.0 - FULL_EPS {
+                    full_acc += 1;
+                } else {
+                    log_acc += (1.0 - p).ln();
+                }
+                log_prefix.push(log_acc);
+                full_prefix.push(full_acc);
+            }
+            refs.push(RefStructure {
+                angles,
+                log_prefix,
+                full_prefix,
+                multi,
+                coincident,
+            });
+        }
+
+        Self {
+            num_objects: dataset.num_objects(),
+            instances: dataset
+                .instances()
+                .iter()
+                .map(|i| (i.object, i.prob))
+                .collect(),
+            refs,
+        }
+    }
+
+    /// Number of angular entries stored across all reference structures —
+    /// the memory footprint the paper calls out as the drawback of DUAL-MS.
+    pub fn stored_entries(&self) -> usize {
+        self.refs
+            .iter()
+            .map(|r| r.angles.len() + r.multi.len() + r.coincident.len())
+            .sum()
+    }
+
+    /// Evaluates ARSP for the weight ratio range `[l, h]`
+    /// (`l ≤ ω[0]/ω[1] ≤ h`).
+    pub fn query(&self, l: f64, h: f64) -> ArspResult {
+        assert!(l >= 0.0 && l <= h, "invalid ratio range");
+        let (lo, hi) = dominance_wedge(l, h);
+        let mut result = ArspResult::zeros(self.instances.len());
+        // Scratch per-object accumulator reused across instances.
+        let mut sigma = vec![0.0f64; self.num_objects];
+        let mut touched: Vec<usize> = Vec::new();
+
+        for (id, &(_object, prob)) in self.instances.iter().enumerate() {
+            let r = &self.refs[id];
+            // Contribution of single-instance objects via the prefix sums.
+            let start = r.angles.partition_point(|&a| a < lo - 1e-12);
+            let end = r.angles.partition_point(|&a| a <= hi + 1e-12);
+            let fulls = r.full_prefix[end] - r.full_prefix[start];
+            let base = if fulls > 0 {
+                0.0
+            } else {
+                (r.log_prefix[end] - r.log_prefix[start]).exp()
+            };
+
+            // Contribution of multi-instance and coincident objects, exact
+            // per-object accumulation.
+            touched.clear();
+            for &(obj, angle, p) in &r.multi {
+                if angle >= lo - 1e-12 && angle <= hi + 1e-12 {
+                    if sigma[obj] == 0.0 {
+                        touched.push(obj);
+                    }
+                    sigma[obj] += p;
+                }
+            }
+            for &(obj, p) in &r.coincident {
+                if sigma[obj] == 0.0 {
+                    touched.push(obj);
+                }
+                sigma[obj] += p;
+            }
+            let mut correction = 1.0;
+            for &obj in &touched {
+                correction *= (1.0 - sigma[obj]).max(0.0);
+                sigma[obj] = 0.0;
+            }
+
+            result.set(id, prob * base * correction);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::enumerate::arsp_enum;
+    use crate::algorithms::kdtt::arsp_kdtt_plus;
+    use crate::algorithms::loop_scan::arsp_loop;
+    use arsp_data::{paper_running_example, real, SyntheticConfig};
+
+    #[test]
+    fn dual_reproduces_example_1() {
+        let d = paper_running_example();
+        let ratio = WeightRatio::uniform(2, 0.5, 2.0);
+        let result = arsp_dual(&d, &ratio);
+        assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+        assert!(result.instance_prob(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_ms_reproduces_example_1() {
+        let d = paper_running_example();
+        let prep = DualMs2d::preprocess(&d);
+        let result = prep.query(0.5, 2.0);
+        assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+        assert!(result.instance_prob(1).abs() < 1e-12);
+        assert!(prep.stored_entries() > 0);
+    }
+
+    #[test]
+    fn dual_agrees_with_enum_small() {
+        for seed in 0..3u64 {
+            let d = SyntheticConfig {
+                num_objects: 7,
+                max_instances: 3,
+                dim: 3,
+                region_length: 0.4,
+                phi: 0.3,
+                seed,
+                ..SyntheticConfig::default()
+            }
+            .generate();
+            let ratio = WeightRatio::uniform(3, 0.5, 2.0);
+            let truth = arsp_enum(&d, &ratio.to_constraint_set());
+            let got = arsp_dual(&d, &ratio);
+            assert!(truth.approx_eq(&got, 1e-9), "seed {seed}: {}", truth.max_abs_diff(&got));
+        }
+    }
+
+    #[test]
+    fn dual_agrees_with_kdtt_on_medium_data() {
+        let d = SyntheticConfig {
+            num_objects: 60,
+            max_instances: 5,
+            dim: 4,
+            region_length: 0.3,
+            seed: 77,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let ratio = WeightRatio::uniform(4, 0.25, 3.0);
+        let reference = arsp_kdtt_plus(&d, &ratio.to_constraint_set());
+        let got = arsp_dual(&d, &ratio);
+        assert!(reference.approx_eq(&got, 1e-8), "{}", reference.max_abs_diff(&got));
+    }
+
+    #[test]
+    fn dual_ms_agrees_with_loop_on_2d_multi_instance_data() {
+        let d = SyntheticConfig {
+            num_objects: 30,
+            max_instances: 4,
+            dim: 2,
+            region_length: 0.3,
+            phi: 0.2,
+            seed: 4,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let prep = DualMs2d::preprocess(&d);
+        for (l, h) in [(0.5, 2.0), (1.0, 1.0), (0.2, 4.5), (0.84, 1.19)] {
+            let ratio = WeightRatio::uniform(2, l, h);
+            let reference = arsp_loop(&d, &ratio.to_constraint_set());
+            let got = prep.query(l, h);
+            assert!(
+                reference.approx_eq(&got, 1e-8),
+                "range [{l}, {h}]: {}",
+                reference.max_abs_diff(&got)
+            );
+        }
+    }
+
+    #[test]
+    fn dual_ms_on_iip_like_data() {
+        // IIP: every object has a single instance with p < 1 — the fast path.
+        let d = real::iip_like(120, 5);
+        let prep = DualMs2d::preprocess(&d);
+        let ratio = WeightRatio::uniform(2, 0.5, 2.0);
+        let reference = arsp_loop(&d, &ratio.to_constraint_set());
+        let got = prep.query(0.5, 2.0);
+        assert!(reference.approx_eq(&got, 1e-8), "{}", reference.max_abs_diff(&got));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dual_ms_rejects_higher_dimensions() {
+        let d = SyntheticConfig::small(5, 2, 3, 1).generate();
+        let _ = DualMs2d::preprocess(&d);
+    }
+}

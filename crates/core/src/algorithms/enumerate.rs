@@ -1,0 +1,106 @@
+//! ENUM — the possible-world enumeration baseline (§III-A).
+//!
+//! Directly evaluates definition (2): enumerate every possible world `D ⊑ D`,
+//! compute its restricted skyline, and add `Pr(D)` to the rskyline
+//! probability of every member. Exponential in the number of objects, so the
+//! paper (and this reproduction) only ever runs it on toy inputs and as the
+//! ground-truth oracle for the other algorithms.
+
+use crate::result::ArspResult;
+use arsp_data::{enumerate_possible_worlds, UncertainDataset};
+use arsp_geometry::fdom::{FDominance, LinearFDominance};
+use arsp_geometry::ConstraintSet;
+
+/// Default cap on the number of possible worlds ENUM will enumerate before
+/// panicking; protects against accidentally running the baseline on real
+/// workloads.
+pub const DEFAULT_MAX_WORLDS: usize = 2_000_000;
+
+/// Computes ARSP by enumerating possible worlds.
+pub fn arsp_enum(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    arsp_enum_with_limit(dataset, constraints, DEFAULT_MAX_WORLDS)
+}
+
+/// [`arsp_enum`] with an explicit possible-world cap.
+pub fn arsp_enum_with_limit(
+    dataset: &UncertainDataset,
+    constraints: &ConstraintSet,
+    max_worlds: usize,
+) -> ArspResult {
+    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
+    let fdom = LinearFDominance::from_constraints(constraints);
+    let worlds = enumerate_possible_worlds(dataset, max_worlds);
+    let mut result = ArspResult::zeros(dataset.num_instances());
+
+    for world in &worlds {
+        let present: Vec<usize> = world.present_instances().collect();
+        // The restricted skyline of this world: instances not F-dominated by
+        // any other present instance (present instances always belong to
+        // distinct objects, so the `s ≠ t` condition is just id inequality).
+        'member: for &t in &present {
+            let tc = &dataset.instance(t).coords;
+            for &s in &present {
+                if s != t && fdom.f_dominates(&dataset.instance(s).coords, tc) {
+                    continue 'member;
+                }
+            }
+            result.add(t, world.prob);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arsp_data::paper_running_example;
+    use arsp_geometry::constraints::WeightRatio;
+
+    #[test]
+    fn reproduces_example_1_of_the_paper() {
+        // F = {ω1 x1 + ω2 x2 | 0.5 ω2 ≤ ω1 ≤ 2 ω2}; the fixture is built so
+        // that Pr_rsky(t1,1) = 2/9, Pr_rsky(t1,2) = 0, Pr_rsky(T1) = 2/9.
+        let d = paper_running_example();
+        let constraints = WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set();
+        let result = arsp_enum(&d, &constraints);
+        assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+        assert!(result.instance_prob(1).abs() < 1e-12);
+        let objects = result.object_probs(&d);
+        assert!((objects[0] - 2.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_single_objects_keep_unit_probability() {
+        // Two mutually incomparable certain objects: both are always in the
+        // rskyline.
+        let mut d = UncertainDataset::new(2);
+        d.push_object(vec![(vec![0.0, 1.0], 1.0)]);
+        d.push_object(vec![(vec![1.0, 0.0], 1.0)]);
+        let result = arsp_enum(&d, &ConstraintSet::new(2));
+        assert_eq!(result.probs(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn partial_objects_add_absence_worlds() {
+        // Object 0 dominates object 1 but only exists with probability 0.4:
+        // object 1 survives in the remaining 0.6.
+        let mut d = UncertainDataset::new(1);
+        d.push_object(vec![(vec![0.0], 0.4)]);
+        d.push_object(vec![(vec![1.0], 1.0)]);
+        let result = arsp_enum(&d, &ConstraintSet::new(1));
+        assert!((result.instance_prob(0) - 0.4).abs() < 1e-12);
+        assert!((result.instance_prob(1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn world_limit_is_enforced() {
+        let mut d = UncertainDataset::new(1);
+        for i in 0..25 {
+            d.push_object(vec![(vec![i as f64], 0.5), (vec![i as f64 + 0.1], 0.5)]);
+        }
+        let _ = arsp_enum_with_limit(&d, &ConstraintSet::new(1), 1000);
+    }
+
+    use arsp_data::UncertainDataset;
+}

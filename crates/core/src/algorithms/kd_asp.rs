@@ -1,0 +1,676 @@
+//! The kd-ASP / kd-ASP\* machinery (Algorithm 1 of the paper).
+//!
+//! Given a set of points in (score) space, each belonging to an uncertain
+//! object and carrying an existence probability, these routines compute the
+//! *skyline probability* of every point:
+//!
+//! ```text
+//! Pr_sky(t) = p(t) · Π_{j ≠ i} (1 − Σ_{s ∈ T_j, s ⪯ t} p(s))
+//! ```
+//!
+//! Three traversal strategies are provided, matching the algorithm variants
+//! the paper evaluates:
+//!
+//! * [`kd_asp_fused`] — **KDTT+**: the kd partitioning is created *during*
+//!   the traversal, so subtrees whose instances all have zero probability are
+//!   never even constructed,
+//! * [`kd_asp_prebuilt`] — **KDTT**: the kd-tree is fully built first and then
+//!   traversed pre-order (the original formulation of Afshani et al. that the
+//!   paper optimises),
+//! * [`quad_asp_fused`] — **QDTT+**: the fused traversal with quadtree-style
+//!   splitting of every dimension at once.
+//!
+//! The shared state is exactly the quadruple of Algorithm 1: the candidate
+//! set `C`, the per-object dominating mass `σ`, the running product
+//! `β = Π_{σ[j] ≠ 1} (1 − σ[j])` and the saturation counter
+//! `χ = |{j | σ[j] = 1}|`.
+//!
+//! One refinement over the paper's pseudocode: a candidate is only folded
+//! into `σ` once it lies *outside* the current node's point set. Points
+//! inside the node keep riding along in the candidate set and are folded in
+//! deeper down (at the latest at the leaf of the instance they dominate).
+//! Without this, an instance sitting exactly at a node's minimum corner would
+//! saturate its own object and incorrectly prune the node that contains it;
+//! with it, `σ[j] = 1` at a node genuinely implies that object `j` lies
+//! entirely outside the node and dominates everything in it, so the pruning
+//! is exact.
+
+use crate::scorespace::ScorePoint;
+use arsp_geometry::point::dominates;
+use arsp_index::kdtree::KdNodeContent;
+use arsp_index::{KdTree, PointEntry};
+
+/// Tolerance for deciding that an object's dominating mass has reached one.
+/// Probabilities are sums of `1/n_i` terms, so anything closer to one than
+/// this is a genuine saturation, not rounding noise.
+const ONE_EPS: f64 = 1e-9;
+
+#[inline]
+fn is_one(x: f64) -> bool {
+    x >= 1.0 - ONE_EPS
+}
+
+/// The mutable traversal state (σ, β, χ) of Algorithm 1, plus the
+/// "point is inside the current node" marks used by the candidate pass.
+struct SkyState {
+    sigma: Vec<f64>,
+    beta: f64,
+    chi: usize,
+    in_node: Vec<bool>,
+}
+
+impl SkyState {
+    fn new(num_objects: usize, num_points: usize) -> Self {
+        Self {
+            sigma: vec![0.0; num_objects],
+            beta: 1.0,
+            chi: 0,
+            in_node: vec![false; num_points],
+        }
+    }
+
+    /// Registers that probability mass `p` of object `obj` dominates the
+    /// current node's minimum corner (lines 12–16 of Algorithm 1).
+    fn add(&mut self, obj: usize, p: f64) {
+        let old = self.sigma[obj];
+        let new = old + p;
+        self.sigma[obj] = new;
+        if is_one(new) && !is_one(old) {
+            self.chi += 1;
+            self.beta /= 1.0 - old;
+        } else if !is_one(new) {
+            self.beta *= (1.0 - new) / (1.0 - old);
+        }
+        // `old` already saturated: σ can only grow by zero-mass rounding and
+        // neither β nor χ change.
+    }
+
+    /// Undoes a previous [`SkyState::add`] (line 27 of Algorithm 1).
+    fn remove(&mut self, obj: usize, p: f64) {
+        let cur = self.sigma[obj];
+        let restored = cur - p;
+        self.sigma[obj] = restored;
+        if is_one(cur) && !is_one(restored) {
+            self.chi -= 1;
+            self.beta *= 1.0 - restored;
+        } else if !is_one(cur) {
+            self.beta *= (1.0 - restored) / (1.0 - cur);
+        }
+    }
+
+    /// Skyline probability of a single point forming a leaf: `σ` holds the
+    /// dominating mass of every object from *outside* the leaf, so object
+    /// `object`'s factor is simply divided back out of `β`.
+    fn leaf_probability(&self, object: usize, prob: f64) -> f64 {
+        if self.chi == 0 {
+            self.beta * prob / (1.0 - self.sigma[object])
+        } else if self.chi == 1 && is_one(self.sigma[object]) {
+            // Defensive: can only be reached through floating-point
+            // saturation of the point's own object; its factor is excluded
+            // from equation (3) anyway.
+            self.beta * prob
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Computes the coordinate-wise min and max corners of a set of points.
+fn corners(points: &[ScorePoint], order: &[u32]) -> (Vec<f64>, Vec<f64>) {
+    let mut min = points[order[0] as usize].coords.clone();
+    let mut max = min.clone();
+    for &idx in &order[1..] {
+        for (k, &c) in points[idx as usize].coords.iter().enumerate() {
+            if c < min[k] {
+                min[k] = c;
+            }
+            if c > max[k] {
+                max[k] = c;
+            }
+        }
+    }
+    (min, max)
+}
+
+/// Result of the candidate pass at one node: how much was added to the state
+/// (for undo) and the surviving candidate list for the children.
+struct NodePass {
+    added: Vec<(usize, f64)>,
+    next_candidates: Vec<u32>,
+}
+
+/// Processes the parent candidate list against the node `[pmin, pmax]`
+/// (lines 9–18 of Algorithm 1). Points inside the node (`state.in_node`)
+/// are never folded into `σ`; they stay candidates for the children.
+fn candidate_pass(
+    points: &[ScorePoint],
+    candidates: &[u32],
+    pmin: &[f64],
+    pmax: &[f64],
+    state: &mut SkyState,
+) -> NodePass {
+    let mut added = Vec::new();
+    let mut next_candidates = Vec::new();
+    for &c in candidates {
+        let sp = &points[c as usize];
+        if !state.in_node[c as usize] && dominates(&sp.coords, pmin) {
+            state.add(sp.object, sp.prob);
+            added.push((sp.object, sp.prob));
+        } else if dominates(&sp.coords, pmax) {
+            next_candidates.push(c);
+        }
+    }
+    NodePass {
+        added,
+        next_candidates,
+    }
+}
+
+fn undo(state: &mut SkyState, added: &[(usize, f64)]) {
+    for &(obj, p) in added.iter().rev() {
+        state.remove(obj, p);
+    }
+}
+
+/// Emits the probability of every point of a node whose points all share the
+/// same coordinates (a degenerate node that cannot be split further). Points
+/// of the node mutually dominate each other, so on top of the outside mass in
+/// `σ` each point is also dominated by the node-internal mass of every other
+/// object present in the node.
+fn emit_coincident_node(
+    points: &[ScorePoint],
+    order: &[u32],
+    state: &SkyState,
+    out: &mut [f64],
+) {
+    // Per-object probability mass inside the node (the node holds at most a
+    // handful of coinciding points, so a small vector is fine).
+    let mut node_mass: Vec<(usize, f64)> = Vec::new();
+    for &idx in order {
+        let sp = &points[idx as usize];
+        match node_mass.iter_mut().find(|(obj, _)| *obj == sp.object) {
+            Some((_, mass)) => *mass += sp.prob,
+            None => node_mass.push((sp.object, sp.prob)),
+        }
+    }
+    for &idx in order {
+        let sp = &points[idx as usize];
+        let mut prob = state.leaf_probability(sp.object, sp.prob);
+        if prob > 0.0 {
+            for &(obj, mass) in &node_mass {
+                if obj == sp.object {
+                    continue;
+                }
+                let outside = state.sigma[obj];
+                let denom = 1.0 - outside;
+                if denom <= 0.0 {
+                    prob = 0.0;
+                    break;
+                }
+                // Replace the factor (1 − outside) already present in `prob`
+                // by the full factor (1 − outside − inside mass).
+                prob *= ((1.0 - outside - mass) / denom).max(0.0);
+            }
+        }
+        out[sp.id] = prob.max(0.0);
+    }
+}
+
+/// **KDTT+**: fused construction + traversal (the paper's optimised variant).
+///
+/// `num_instances` is the size of the output vector (probabilities are placed
+/// at each point's original instance id).
+pub fn kd_asp_fused(points: &[ScorePoint], num_objects: usize, num_instances: usize) -> Vec<f64> {
+    run_fused(points, num_objects, num_instances, SplitKind::Kd)
+}
+
+/// **QDTT+**: fused traversal with quadtree splitting.
+pub fn quad_asp_fused(points: &[ScorePoint], num_objects: usize, num_instances: usize) -> Vec<f64> {
+    run_fused(points, num_objects, num_instances, SplitKind::Quad)
+}
+
+fn run_fused(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+    split: SplitKind,
+) -> Vec<f64> {
+    let mut out = vec![0.0; num_instances];
+    if points.is_empty() {
+        return out;
+    }
+    let mut order: Vec<u32> = (0..points.len() as u32).collect();
+    let candidates: Vec<u32> = order.clone();
+    let mut state = SkyState::new(num_objects, points.len());
+    fused_rec(points, &mut order, &candidates, 0, &mut state, &mut out, split);
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SplitKind {
+    Kd,
+    Quad,
+}
+
+fn fused_rec(
+    points: &[ScorePoint],
+    order: &mut [u32],
+    candidates: &[u32],
+    depth: usize,
+    state: &mut SkyState,
+    out: &mut [f64],
+    split: SplitKind,
+) {
+    let (pmin, pmax) = corners(points, order);
+
+    // Mark the node's own points so the candidate pass leaves them alone.
+    for &idx in order.iter() {
+        state.in_node[idx as usize] = true;
+    }
+    let pass = candidate_pass(points, candidates, &pmin, &pmax, state);
+    for &idx in order.iter() {
+        state.in_node[idx as usize] = false;
+    }
+
+    if order.len() == 1 {
+        let sp = &points[order[0] as usize];
+        out[sp.id] = state.leaf_probability(sp.object, sp.prob);
+    } else if pmin == pmax {
+        // All points of the node coincide; it cannot be split further.
+        emit_coincident_node(points, order, state, out);
+    } else if state.chi == 0 {
+        match split {
+            SplitKind::Kd => {
+                let dim = points[order[0] as usize].coords.len();
+                let axis = depth % dim;
+                let mid = order.len() / 2;
+                order.select_nth_unstable_by(mid, |&a, &b| {
+                    points[a as usize].coords[axis]
+                        .partial_cmp(&points[b as usize].coords[axis])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let (left, right) = order.split_at_mut(mid);
+                fused_rec(points, left, &pass.next_candidates, depth + 1, state, out, split);
+                fused_rec(points, right, &pass.next_candidates, depth + 1, state, out, split);
+            }
+            SplitKind::Quad => {
+                let dim = points[order[0] as usize].coords.len();
+                let center: Vec<f64> = (0..dim).map(|k| 0.5 * (pmin[k] + pmax[k])).collect();
+                // Group points by quadrant bitmask relative to the centre.
+                // Only non-empty quadrants materialise, so high-dimensional
+                // score spaces do not explode the fan-out beyond |P|.
+                let mut groups: std::collections::BTreeMap<u64, Vec<u32>> =
+                    std::collections::BTreeMap::new();
+                for &idx in order.iter() {
+                    let mut mask: u64 = 0;
+                    for (k, &c) in points[idx as usize].coords.iter().enumerate() {
+                        if k < 64 && c > center[k] {
+                            mask |= 1 << k;
+                        }
+                    }
+                    groups.entry(mask).or_default().push(idx);
+                }
+                if groups.len() == 1 {
+                    // Dimensions beyond 64 were ignored in the mask and all
+                    // points landed in one group: fall back to a kd split to
+                    // guarantee progress.
+                    let axis = depth % dim;
+                    let mid = order.len() / 2;
+                    order.select_nth_unstable_by(mid, |&a, &b| {
+                        points[a as usize].coords[axis]
+                            .partial_cmp(&points[b as usize].coords[axis])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    let (left, right) = order.split_at_mut(mid);
+                    fused_rec(points, left, &pass.next_candidates, depth + 1, state, out, split);
+                    fused_rec(points, right, &pass.next_candidates, depth + 1, state, out, split);
+                } else {
+                    // Visit quadrants in ascending mask order: lower quadrants
+                    // first, mirroring the kd variant's left-to-right order.
+                    for (_, mut group) in groups {
+                        fused_rec(
+                            points,
+                            &mut group,
+                            &pass.next_candidates,
+                            depth + 1,
+                            state,
+                            out,
+                            split,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // χ ≥ 1 with |P| > 1: every point of the node is dominated by the entire
+    // mass of some object lying outside the node — the subtree has zero
+    // skyline probability everywhere and is pruned (never constructed).
+
+    undo(state, &pass.added);
+}
+
+/// **KDTT**: build the complete kd-tree first, then traverse it pre-order.
+///
+/// Functionally identical to [`kd_asp_fused`]; the difference is that the
+/// space partitioning is fully materialised up front (so pruned subtrees have
+/// still paid their construction cost), which is exactly the overhead the
+/// paper's KDTT+ optimisation removes.
+pub fn kd_asp_prebuilt(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0; num_instances];
+    if points.is_empty() {
+        return out;
+    }
+    // Build the full kd-tree over the (score-space) points. Entry ids are the
+    // positions in `points` so that leaf entries map back to score points.
+    let entries: Vec<PointEntry> = points
+        .iter()
+        .enumerate()
+        .map(|(pos, sp)| PointEntry::new(pos, sp.object, sp.prob, sp.coords.clone()))
+        .collect();
+    let tree = KdTree::build(entries);
+    let root = tree.root().expect("non-empty tree");
+
+    let all: Vec<u32> = (0..points.len() as u32).collect();
+    let mut state = SkyState::new(num_objects, points.len());
+    let mut scratch = Vec::new();
+    prebuilt_rec(points, &tree, root, &all, &mut state, &mut out, &mut scratch);
+    out
+}
+
+/// Collects the positions (entry ids) of every point under a kd-tree node.
+fn collect_positions(tree: &KdTree, node: usize, out: &mut Vec<u32>) {
+    match tree.node(node).content() {
+        KdNodeContent::Leaf(entry_idx) => {
+            out.extend(entry_idx.iter().map(|&ei| tree.entries()[ei].id as u32));
+        }
+        KdNodeContent::Internal { left, right, .. } => {
+            collect_positions(tree, *left, out);
+            collect_positions(tree, *right, out);
+        }
+    }
+}
+
+fn prebuilt_rec(
+    points: &[ScorePoint],
+    tree: &KdTree,
+    node: usize,
+    candidates: &[u32],
+    state: &mut SkyState,
+    out: &mut [f64],
+    scratch: &mut Vec<u32>,
+) {
+    let n = tree.node(node);
+    let pmin = n.mbr().min().coords().to_vec();
+    let pmax = n.mbr().max().coords().to_vec();
+
+    scratch.clear();
+    collect_positions(tree, node, scratch);
+    let members = std::mem::take(scratch);
+    for &idx in &members {
+        state.in_node[idx as usize] = true;
+    }
+    let pass = candidate_pass(points, candidates, &pmin, &pmax, state);
+    for &idx in &members {
+        state.in_node[idx as usize] = false;
+    }
+
+    match n.content() {
+        KdNodeContent::Leaf(_) => {
+            if members.len() == 1 {
+                let sp = &points[members[0] as usize];
+                out[sp.id] = state.leaf_probability(sp.object, sp.prob);
+            } else {
+                emit_coincident_node(points, &members, state, out);
+            }
+        }
+        KdNodeContent::Internal { left, right, .. } => {
+            if pmin == pmax {
+                emit_coincident_node(points, &members, state, out);
+            } else if state.chi == 0 {
+                let mut reusable = members;
+                reusable.clear();
+                *scratch = reusable;
+                prebuilt_rec(points, tree, *left, &pass.next_candidates, state, out, scratch);
+                prebuilt_rec(points, tree, *right, &pass.next_candidates, state, out, scratch);
+            }
+            // χ ≥ 1: prune the traversal (the tree itself was already built).
+        }
+    }
+
+    undo(state, &pass.added);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(id: usize, object: usize, prob: f64, coords: Vec<f64>) -> ScorePoint {
+        ScorePoint {
+            id,
+            object,
+            prob,
+            coords,
+        }
+    }
+
+    /// Brute-force skyline probabilities straight from equation (3).
+    fn brute(points: &[ScorePoint], num_objects: usize, num_instances: usize) -> Vec<f64> {
+        let mut out = vec![0.0; num_instances];
+        for t in points {
+            let mut sigma = vec![0.0; num_objects];
+            for s in points {
+                if s.object != t.object && dominates(&s.coords, &t.coords) {
+                    sigma[s.object] += s.prob;
+                }
+            }
+            let mut p = t.prob;
+            for (j, &sj) in sigma.iter().enumerate() {
+                if j != t.object {
+                    p *= 1.0 - sj;
+                }
+            }
+            out[t.id] = p.max(0.0);
+        }
+        out
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "instance {i}: {x} vs {y}");
+        }
+    }
+
+    fn all_variants(points: &[ScorePoint], num_objects: usize, num_instances: usize) -> [Vec<f64>; 3] {
+        [
+            kd_asp_fused(points, num_objects, num_instances),
+            quad_asp_fused(points, num_objects, num_instances),
+            kd_asp_prebuilt(points, num_objects, num_instances),
+        ]
+    }
+
+    #[test]
+    fn single_object_keeps_its_probability() {
+        let pts = vec![
+            point(0, 0, 0.4, vec![0.1, 0.9]),
+            point(1, 0, 0.6, vec![0.9, 0.1]),
+        ];
+        for got in all_variants(&pts, 1, 2) {
+            // Instances of the same object never affect each other.
+            assert_close(&got, &[0.4, 0.6]);
+        }
+    }
+
+    #[test]
+    fn dominated_instance_loses_mass() {
+        let pts = vec![
+            point(0, 0, 1.0, vec![0.1, 0.1]),
+            point(1, 1, 1.0, vec![0.5, 0.5]),
+        ];
+        for got in all_variants(&pts, 2, 2) {
+            assert_close(&got, &[1.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn partial_domination() {
+        // Object 0 dominates instance 2 with only half of its mass.
+        let pts = vec![
+            point(0, 0, 0.5, vec![0.1, 0.1]),
+            point(1, 0, 0.5, vec![0.9, 0.9]),
+            point(2, 1, 1.0, vec![0.5, 0.5]),
+        ];
+        let want = brute(&pts, 2, 3);
+        assert!((want[2] - 0.5).abs() < 1e-12);
+        for got in all_variants(&pts, 2, 3) {
+            assert_close(&got, &want);
+        }
+    }
+
+    #[test]
+    fn own_object_mass_never_hurts() {
+        // Both instances of object 0 dominate everything; object 0's own
+        // later instance keeps its probability, object 1's instance drops to
+        // zero.
+        let pts = vec![
+            point(0, 0, 0.5, vec![0.1, 0.1]),
+            point(1, 0, 0.5, vec![0.2, 0.2]),
+            point(2, 1, 1.0, vec![0.3, 0.3]),
+        ];
+        let want = brute(&pts, 2, 3);
+        assert!((want[1] - 0.5).abs() < 1e-12);
+        assert!((want[2] - 0.0).abs() < 1e-12);
+        for got in all_variants(&pts, 2, 3) {
+            assert_close(&got, &want);
+        }
+    }
+
+    #[test]
+    fn chain_of_certain_points() {
+        // A totally ordered chain of certain objects: only the first survives.
+        let pts: Vec<ScorePoint> = (0..6)
+            .map(|i| point(i, i, 1.0, vec![i as f64, i as f64]))
+            .collect();
+        let want = brute(&pts, 6, 6);
+        assert_close(&want, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        for got in all_variants(&pts, 6, 6) {
+            assert_close(&got, &want);
+        }
+    }
+
+    #[test]
+    fn coincident_points_dominate_each_other() {
+        let pts = vec![
+            point(0, 0, 1.0, vec![0.5, 0.5]),
+            point(1, 1, 1.0, vec![0.5, 0.5]),
+            point(2, 2, 1.0, vec![0.5, 0.5]),
+        ];
+        let want = brute(&pts, 3, 3);
+        assert_close(&want, &[0.0, 0.0, 0.0]);
+        for got in all_variants(&pts, 3, 3) {
+            assert_close(&got, &want);
+        }
+    }
+
+    #[test]
+    fn coincident_points_with_partial_mass() {
+        // Two objects with half their mass at the same location, half
+        // elsewhere: the coincident node must combine inside and outside mass
+        // exactly.
+        let pts = vec![
+            point(0, 0, 0.5, vec![0.5, 0.5]),
+            point(1, 0, 0.5, vec![2.0, 2.0]),
+            point(2, 1, 0.5, vec![0.5, 0.5]),
+            point(3, 1, 0.5, vec![3.0, 3.0]),
+            point(4, 2, 1.0, vec![0.5, 0.5]),
+        ];
+        let want = brute(&pts, 3, 5);
+        for got in all_variants(&pts, 3, 5) {
+            assert_close(&got, &want);
+        }
+    }
+
+    #[test]
+    fn point_at_node_min_corner_is_not_self_pruned() {
+        // Regression test for the subtle issue the module documentation
+        // describes: a certain instance at the global minimum corner must
+        // keep probability one and must not prune its siblings' computation.
+        let pts = vec![
+            point(0, 0, 1.0, vec![0.0, 0.0]),
+            point(1, 1, 1.0, vec![1.0, 2.0]),
+            point(2, 2, 1.0, vec![2.0, 1.0]),
+        ];
+        let want = brute(&pts, 3, 3);
+        assert_close(&want, &[1.0, 0.0, 0.0]);
+        for got in all_variants(&pts, 3, 3) {
+            assert_close(&got, &want);
+        }
+    }
+
+    #[test]
+    fn random_points_match_brute_force_all_variants() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for dim in [1usize, 2, 3, 4] {
+            for _ in 0..5 {
+                let num_objects = rng.gen_range(2..8);
+                let mut pts = Vec::new();
+                let mut id = 0;
+                for obj in 0..num_objects {
+                    let k = rng.gen_range(1..5);
+                    let p = 1.0 / k as f64;
+                    for _ in 0..k {
+                        let coords = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                        pts.push(point(id, obj, p, coords));
+                        id += 1;
+                    }
+                }
+                let want = brute(&pts, num_objects, id);
+                for got in all_variants(&pts, num_objects, id) {
+                    assert_close(&got, &want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_low_cardinality_coordinates() {
+        // Grid-valued coordinates force many ties on split axes and many
+        // coincident points — the degenerate paths must stay exact.
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..5 {
+            let num_objects = 6;
+            let mut pts = Vec::new();
+            let mut id = 0;
+            for obj in 0..num_objects {
+                let k = rng.gen_range(1..4);
+                let p = 1.0 / k as f64;
+                for _ in 0..k {
+                    let coords = (0..2)
+                        .map(|_| rng.gen_range(0..3) as f64 * 0.5)
+                        .collect();
+                    pts.push(point(id, obj, p, coords));
+                    id += 1;
+                }
+            }
+            let want = brute(&pts, num_objects, id);
+            for got in all_variants(&pts, num_objects, id) {
+                assert_close(&got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(kd_asp_fused(&[], 0, 0).is_empty());
+        assert!(quad_asp_fused(&[], 0, 0).is_empty());
+        assert!(kd_asp_prebuilt(&[], 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! KDTT / KDTT+ / QDTT+ — Algorithm 1 of the paper.
+//!
+//! All three variants share the same three steps:
+//!
+//! 1. enumerate the vertices `V` of the preference region (Theorem 2),
+//! 2. map the uncertain dataset into the `d' = |V|`-dimensional score space
+//!    (`SV(t)`), turning ARSP into the all-skyline-probabilities problem,
+//! 3. run the kd-ASP\* traversal of [`super::kd_asp`] over the mapped points.
+//!
+//! The variants differ only in how the space partitioning is produced:
+//! prebuilt kd-tree (KDTT), fused kd partitioning (KDTT+), or fused quadtree
+//! partitioning (QDTT+).  Overall complexity `O(c² + d'·d·n + n^{2−1/d'})`.
+
+use super::kd_asp;
+use crate::result::ArspResult;
+use crate::scorespace::map_to_score_space;
+use arsp_data::UncertainDataset;
+use arsp_geometry::fdom::LinearFDominance;
+use arsp_geometry::ConstraintSet;
+
+/// KDTT: Algorithm 1 over a fully prebuilt kd-tree.
+pub fn arsp_kdtt(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    run(dataset, constraints, Variant::Prebuilt)
+}
+
+/// KDTT+: Algorithm 1 with construction fused into the traversal.
+pub fn arsp_kdtt_plus(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    run(dataset, constraints, Variant::FusedKd)
+}
+
+/// QDTT+: Algorithm 1 with fused quadtree-style splitting.
+pub fn arsp_qdtt_plus(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    run(dataset, constraints, Variant::FusedQuad)
+}
+
+/// KDTT+ with a pre-built F-dominance test (lets benchmarks exclude vertex
+/// enumeration, which is a shared one-off cost).
+pub fn arsp_kdtt_plus_with_fdom(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+) -> ArspResult {
+    run_with_fdom(dataset, fdom, Variant::FusedKd)
+}
+
+/// QDTT+ with a pre-built F-dominance test.
+pub fn arsp_qdtt_plus_with_fdom(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+) -> ArspResult {
+    run_with_fdom(dataset, fdom, Variant::FusedQuad)
+}
+
+/// KDTT with a pre-built F-dominance test.
+pub fn arsp_kdtt_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
+    run_with_fdom(dataset, fdom, Variant::Prebuilt)
+}
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Prebuilt,
+    FusedKd,
+    FusedQuad,
+}
+
+fn run(dataset: &UncertainDataset, constraints: &ConstraintSet, variant: Variant) -> ArspResult {
+    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
+    let fdom = LinearFDominance::from_constraints(constraints);
+    run_with_fdom(dataset, &fdom, variant)
+}
+
+fn run_with_fdom(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+    variant: Variant,
+) -> ArspResult {
+    let points = map_to_score_space(dataset, fdom);
+    let probs = match variant {
+        Variant::Prebuilt => {
+            kd_asp::kd_asp_prebuilt(&points, dataset.num_objects(), dataset.num_instances())
+        }
+        Variant::FusedKd => {
+            kd_asp::kd_asp_fused(&points, dataset.num_objects(), dataset.num_instances())
+        }
+        Variant::FusedQuad => {
+            kd_asp::quad_asp_fused(&points, dataset.num_objects(), dataset.num_instances())
+        }
+    };
+    ArspResult::from_probs(probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::enumerate::arsp_enum;
+    use crate::algorithms::loop_scan::arsp_loop;
+    use arsp_data::{im_constraints, paper_running_example, SyntheticConfig};
+    use arsp_geometry::constraints::WeightRatio;
+
+    #[test]
+    fn all_variants_reproduce_example_1() {
+        let d = paper_running_example();
+        let constraints = WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set();
+        for result in [
+            arsp_kdtt(&d, &constraints),
+            arsp_kdtt_plus(&d, &constraints),
+            arsp_qdtt_plus(&d, &constraints),
+        ] {
+            assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+            assert!(result.instance_prob(1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_enum_on_small_synthetic_data() {
+        for (seed, dim, c) in [(1u64, 2usize, 1usize), (2, 3, 2), (3, 4, 3)] {
+            let d = SyntheticConfig {
+                num_objects: 6,
+                max_instances: 3,
+                dim,
+                region_length: 0.5,
+                phi: 0.2,
+                seed,
+                ..SyntheticConfig::default()
+            }
+            .generate();
+            let constraints = arsp_geometry::ConstraintSet::weak_ranking(dim, c);
+            let truth = arsp_enum(&d, &constraints);
+            for (name, got) in [
+                ("KDTT", arsp_kdtt(&d, &constraints)),
+                ("KDTT+", arsp_kdtt_plus(&d, &constraints)),
+                ("QDTT+", arsp_qdtt_plus(&d, &constraints)),
+            ] {
+                assert!(
+                    truth.approx_eq(&got, 1e-9),
+                    "{name} disagrees with ENUM (seed {seed}): {}",
+                    truth.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variants_agree_with_loop_on_medium_synthetic_data() {
+        // Larger than ENUM can handle; LOOP is the reference here.
+        let d = SyntheticConfig {
+            num_objects: 60,
+            max_instances: 6,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.1,
+            seed: 9,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = arsp_geometry::ConstraintSet::weak_ranking(3, 2);
+        let reference = arsp_loop(&d, &constraints);
+        for got in [
+            arsp_kdtt(&d, &constraints),
+            arsp_kdtt_plus(&d, &constraints),
+            arsp_qdtt_plus(&d, &constraints),
+        ] {
+            assert!(reference.approx_eq(&got, 1e-8), "{}", reference.max_abs_diff(&got));
+        }
+    }
+
+    #[test]
+    fn works_under_im_constraints() {
+        let d = SyntheticConfig {
+            num_objects: 40,
+            max_instances: 4,
+            dim: 4,
+            seed: 12,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = im_constraints(4, 3, 5);
+        let reference = arsp_loop(&d, &constraints);
+        let got = arsp_kdtt_plus(&d, &constraints);
+        assert!(reference.approx_eq(&got, 1e-8));
+        let got = arsp_qdtt_plus(&d, &constraints);
+        assert!(reference.approx_eq(&got, 1e-8));
+    }
+
+    #[test]
+    fn result_size_counts_nonzero_instances() {
+        let d = paper_running_example();
+        let constraints = WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set();
+        let result = arsp_kdtt_plus(&d, &constraints);
+        // t1,2 is the only zero-probability instance in the fixture?  At the
+        // very least the size is between 1 and n−1 because t1,1 is non-zero
+        // and t1,2 is zero.
+        let size = result.result_size();
+        assert!(size >= 1 && size < d.num_instances());
+        assert_eq!(size, result.probs().iter().filter(|&&p| p > 1e-12).count());
+    }
+}

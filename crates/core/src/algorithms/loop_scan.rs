@@ -1,0 +1,171 @@
+//! LOOP — the sorted pairwise-scan baseline (§III-A).
+//!
+//! Evaluates equation (3) directly: sort the instances by their score under
+//! one vertex of the preference region (which guarantees that an instance can
+//! only be F-dominated by instances at or before its own position), then for
+//! every instance accumulate the dominating probability mass of every other
+//! object with the vertex-based F-dominance test of Theorem 2.
+//! Complexity `O(c² + d·d'·n²)`.
+
+use crate::result::ArspResult;
+use arsp_data::UncertainDataset;
+use arsp_geometry::fdom::{FDominance, LinearFDominance};
+use arsp_geometry::ConstraintSet;
+
+/// Computes ARSP with the LOOP baseline.
+pub fn arsp_loop(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
+    let fdom = LinearFDominance::from_constraints(constraints);
+    arsp_loop_with_fdom(dataset, &fdom)
+}
+
+/// LOOP with a pre-built F-dominance test (used by benchmarks to exclude the
+/// one-off vertex enumeration from the measured time).
+pub fn arsp_loop_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
+    let n = dataset.num_instances();
+    let m = dataset.num_objects();
+    let mut result = ArspResult::zeros(n);
+    if n == 0 {
+        return result;
+    }
+
+    // Sort instance ids by their score under the first vertex; anything that
+    // F-dominates an instance must have a score ≤ the instance's score under
+    // every vertex, in particular this one.
+    let omega = &fdom.vertices()[0];
+    let mut order: Vec<usize> = (0..n).collect();
+    let keys: Vec<f64> = dataset
+        .instances()
+        .iter()
+        .map(|inst| arsp_geometry::point::score(&inst.coords, omega))
+        .collect();
+    order.sort_unstable_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Per-object accumulated dominating mass, reset between instances via the
+    // `touched` list to keep each iteration O(#dominators) rather than O(m).
+    let mut sigma = vec![0.0f64; m];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for (pos, &t_id) in order.iter().enumerate() {
+        let t = dataset.instance(t_id);
+        touched.clear();
+
+        // Scan every instance whose sort key does not exceed t's; with strict
+        // inequality later instances cannot F-dominate t, and instances with
+        // an equal key are included to stay exact under score ties.
+        for &s_id in &order[..pos] {
+            let s = dataset.instance(s_id);
+            if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
+                if sigma[s.object] == 0.0 {
+                    touched.push(s.object);
+                }
+                sigma[s.object] += s.prob;
+            }
+        }
+        for &s_id in &order[pos + 1..] {
+            if keys[s_id] > keys[t_id] {
+                break;
+            }
+            let s = dataset.instance(s_id);
+            if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
+                if sigma[s.object] == 0.0 {
+                    touched.push(s.object);
+                }
+                sigma[s.object] += s.prob;
+            }
+        }
+
+        let mut prob = t.prob;
+        for &obj in &touched {
+            prob *= 1.0 - sigma[obj];
+            sigma[obj] = 0.0;
+        }
+        result.set(t_id, prob.max(0.0));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::enumerate::arsp_enum;
+    use arsp_data::{paper_running_example, SyntheticConfig, UncertainDataset};
+    use arsp_geometry::constraints::WeightRatio;
+
+    #[test]
+    fn reproduces_example_1() {
+        let d = paper_running_example();
+        let constraints = WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set();
+        let result = arsp_loop(&d, &constraints);
+        assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+        assert!(result.instance_prob(1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_enum_on_paper_example() {
+        let d = paper_running_example();
+        for constraints in [
+            WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set(),
+            ConstraintSet::new(2),
+            ConstraintSet::weak_ranking(2, 1),
+        ] {
+            let a = arsp_enum(&d, &constraints);
+            let b = arsp_loop(&d, &constraints);
+            assert!(a.approx_eq(&b, 1e-9), "diff = {}", a.max_abs_diff(&b));
+        }
+    }
+
+    #[test]
+    fn agrees_with_enum_on_small_synthetic_data() {
+        for seed in 0..4 {
+            let d = SyntheticConfig {
+                num_objects: 7,
+                max_instances: 3,
+                dim: 3,
+                region_length: 0.4,
+                phi: 0.3,
+                ..SyntheticConfig::default()
+            }
+            .generate_with_seed_offset(seed);
+            let constraints = ConstraintSet::weak_ranking(3, 2);
+            let a = arsp_enum(&d, &constraints);
+            let b = arsp_loop(&d, &constraints);
+            assert!(a.approx_eq(&b, 1e-9), "seed {seed}: diff {}", a.max_abs_diff(&b));
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = UncertainDataset::new(2);
+        let result = arsp_loop(&d, &ConstraintSet::new(2));
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn duplicate_coordinates_across_objects() {
+        // Two certain objects at the same point F-dominate each other, so
+        // both rskyline probabilities are zero; a third object elsewhere is
+        // unaffected.
+        let mut d = UncertainDataset::new(2);
+        d.push_object(vec![(vec![0.5, 0.5], 1.0)]);
+        d.push_object(vec![(vec![0.5, 0.5], 1.0)]);
+        d.push_object(vec![(vec![0.4, 0.9], 1.0)]);
+        let constraints = ConstraintSet::weak_ranking(2, 1);
+        let a = arsp_enum(&d, &constraints);
+        let b = arsp_loop(&d, &constraints);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert_eq!(b.instance_prob(0), 0.0);
+        assert_eq!(b.instance_prob(1), 0.0);
+    }
+
+    /// Helper so synthetic tests can vary the seed tersely.
+    trait WithSeed {
+        fn generate_with_seed_offset(self, offset: u64) -> UncertainDataset;
+    }
+    impl WithSeed for SyntheticConfig {
+        fn generate_with_seed_offset(mut self, offset: u64) -> UncertainDataset {
+            self.seed = self.seed.wrapping_add(offset);
+            self.generate()
+        }
+    }
+}

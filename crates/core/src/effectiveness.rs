@@ -1,0 +1,232 @@
+//! Helpers for the effectiveness study (§V-B: Tables I and II, Fig. 4).
+//!
+//! These functions turn an uncertain dataset plus the results of the
+//! probability computations into the artefacts the paper reports: top-k
+//! rankings annotated with aggregated-rskyline membership, and per-object
+//! per-vertex score summaries (the boxplots of Fig. 4).
+
+use crate::aggregate::aggregated_rskyline;
+use crate::asp::skyline_probabilities;
+use crate::result::ArspResult;
+use arsp_data::UncertainDataset;
+use arsp_geometry::point::score;
+use arsp_geometry::ConstraintSet;
+
+/// One row of a Table-I/Table-II style ranking.
+#[derive(Clone, Debug)]
+pub struct RankedObject {
+    /// Rank (1-based).
+    pub rank: usize,
+    /// Object id.
+    pub object: usize,
+    /// Object label, when the dataset provides one.
+    pub label: Option<String>,
+    /// The object's (r)skyline probability.
+    pub probability: f64,
+    /// Whether the object belongs to the aggregated rskyline (the `*` marker
+    /// of Table I).
+    pub in_aggregated_rskyline: bool,
+}
+
+/// Builds the Table-I style ranking: objects ordered by rskyline probability,
+/// annotated with aggregated-rskyline membership.
+pub fn rskyline_ranking(
+    dataset: &UncertainDataset,
+    arsp: &ArspResult,
+    constraints: &ConstraintSet,
+    k: usize,
+) -> Vec<RankedObject> {
+    let aggregated = aggregated_rskyline(dataset, constraints);
+    build_ranking(dataset, arsp, &aggregated, k)
+}
+
+/// Builds the Table-II style ranking: objects ordered by plain skyline
+/// probability (aggregated-rskyline membership is still reported for
+/// comparison).
+pub fn skyline_ranking(
+    dataset: &UncertainDataset,
+    constraints: &ConstraintSet,
+    k: usize,
+) -> Vec<RankedObject> {
+    let asp = skyline_probabilities(dataset);
+    let aggregated = aggregated_rskyline(dataset, constraints);
+    build_ranking(dataset, &asp, &aggregated, k)
+}
+
+fn build_ranking(
+    dataset: &UncertainDataset,
+    result: &ArspResult,
+    aggregated: &[usize],
+    k: usize,
+) -> Vec<RankedObject> {
+    result
+        .top_k_objects(dataset, k)
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (object, probability))| RankedObject {
+            rank: idx + 1,
+            object,
+            label: dataset.object(object).label.clone(),
+            probability,
+            in_aggregated_rskyline: aggregated.contains(&object),
+        })
+        .collect()
+}
+
+/// Five-number summary of one object's scores under one preference-region
+/// vertex — the content of one box of the Fig. 4 boxplots.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreSummary {
+    /// Minimum score.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum score.
+    pub max: f64,
+    /// Probability-weighted mean score (the red dotted line of Fig. 4).
+    pub mean: f64,
+}
+
+/// Computes the per-vertex score summaries of one object's instances.
+pub fn score_summaries(
+    dataset: &UncertainDataset,
+    object: usize,
+    vertices: &[Vec<f64>],
+) -> Vec<ScoreSummary> {
+    vertices
+        .iter()
+        .map(|omega| {
+            let mut scores: Vec<f64> = dataset
+                .object_instances(object)
+                .map(|inst| score(&inst.coords, omega))
+                .collect();
+            scores.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let mass: f64 = dataset.object_instances(object).map(|i| i.prob).sum();
+            let mean: f64 = dataset
+                .object_instances(object)
+                .map(|inst| inst.prob * score(&inst.coords, omega))
+                .sum::<f64>()
+                / mass;
+            ScoreSummary {
+                min: scores[0],
+                q1: quantile(&scores, 0.25),
+                median: quantile(&scores, 0.5),
+                q3: quantile(&scores, 0.75),
+                max: *scores.last().expect("objects are non-empty"),
+                mean,
+            }
+        })
+        .collect()
+}
+
+/// Linear-interpolation quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Spearman-style rank displacement between two rankings (sum of absolute
+/// rank differences for objects present in both, counting missing objects at
+/// rank `len + 1`). Used by tests and benchmarks to quantify how different
+/// the rskyline and skyline rankings are (the paper's Trae Young example).
+pub fn rank_displacement(a: &[RankedObject], b: &[RankedObject]) -> usize {
+    let pos = |ranking: &[RankedObject], object: usize| {
+        ranking
+            .iter()
+            .position(|r| r.object == object)
+            .unwrap_or(ranking.len())
+    };
+    let mut total = 0;
+    for r in a {
+        total += pos(b, r.object).abs_diff(r.rank - 1);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::kdtt::arsp_kdtt_plus;
+    use arsp_data::real;
+    use arsp_geometry::polytope::preference_region_vertices;
+
+    fn nba_setup() -> (UncertainDataset, ConstraintSet) {
+        (
+            real::nba_like(40, 12, 3, 7),
+            ConstraintSet::weak_ranking(3, 2),
+        )
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_annotated() {
+        let (d, constraints) = nba_setup();
+        let arsp = arsp_kdtt_plus(&d, &constraints);
+        let ranking = rskyline_ranking(&d, &arsp, &constraints, 14);
+        assert_eq!(ranking.len(), 14);
+        for (i, row) in ranking.iter().enumerate() {
+            assert_eq!(row.rank, i + 1);
+            assert!(row.label.is_some());
+        }
+        for w in ranking.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+        // At least one ranked object should be in the aggregated rskyline
+        // (consistent performers rank high on both views).
+        assert!(ranking.iter().any(|r| r.in_aggregated_rskyline));
+    }
+
+    #[test]
+    fn skyline_ranking_dominates_rskyline_ranking_probabilities() {
+        let (d, constraints) = nba_setup();
+        let arsp = arsp_kdtt_plus(&d, &constraints);
+        let table1 = rskyline_ranking(&d, &arsp, &constraints, 10);
+        let table2 = skyline_ranking(&d, &constraints, 10);
+        // Skyline probabilities upper-bound rskyline probabilities, so the
+        // top skyline probability is at least the top rskyline probability.
+        assert!(table2[0].probability >= table1[0].probability - 1e-9);
+        // The two rankings are generally different.
+        let _ = rank_displacement(&table1, &table2);
+    }
+
+    #[test]
+    fn score_summary_ordering() {
+        let (d, constraints) = nba_setup();
+        let vertices = preference_region_vertices(&constraints);
+        for object in 0..d.num_objects().min(10) {
+            for s in score_summaries(&d, object, &vertices) {
+                assert!(s.min <= s.q1 + 1e-12);
+                assert!(s.q1 <= s.median + 1e-12);
+                assert!(s.median <= s.q3 + 1e-12);
+                assert!(s.q3 <= s.max + 1e-12);
+                assert!(s.mean >= s.min - 1e-12 && s.mean <= s.max + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&v, 0.5), 2.5);
+        assert_eq!(quantile(&[7.0], 0.75), 7.0);
+    }
+
+    #[test]
+    fn rank_displacement_zero_for_identical_rankings() {
+        let (d, constraints) = nba_setup();
+        let arsp = arsp_kdtt_plus(&d, &constraints);
+        let ranking = rskyline_ranking(&d, &arsp, &constraints, 8);
+        assert_eq!(rank_displacement(&ranking, &ranking), 0);
+    }
+}

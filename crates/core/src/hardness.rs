@@ -1,0 +1,171 @@
+//! The Orthogonal-Vectors hardness reduction (Theorem 1).
+//!
+//! The paper proves that ARSP has no truly subquadratic algorithm unless the
+//! Orthogonal Vectors conjecture fails, via a fine-grained reduction: given
+//! vector sets `A, B ⊆ {0,1}^d`,
+//!
+//! * every `b ∈ B` becomes a certain single-instance object,
+//! * the set `A` becomes one uncertain object `T_A` whose instances are
+//!   `ξ(a)` with `ξ(a)[i] = 3/2` if `a[i] = 0` and `1/2` if `a[i] = 1`,
+//!   each with probability `1/|A|`,
+//! * `F` consists of the `d` coordinate projections — i.e. the preference
+//!   region is the whole simplex and F-dominance is plain dominance.
+//!
+//! Then some pair `(a, b)` is orthogonal **iff** some instance of `T_A` has
+//! zero rskyline probability. This module builds the reduction and provides
+//! the brute-force OV oracle so tests can verify the equivalence — turning
+//! the paper's complexity argument into an executable artefact.
+
+use crate::result::ArspResult;
+use arsp_data::UncertainDataset;
+use arsp_geometry::ConstraintSet;
+
+/// A binary vector of an OV instance.
+pub type BitVector = Vec<bool>;
+
+/// The uncertain dataset and constraint set produced by the Theorem-1
+/// reduction, plus bookkeeping to map instances back to vectors of `A`.
+pub struct OvReduction {
+    /// The reduced uncertain dataset.
+    pub dataset: UncertainDataset,
+    /// The constraint set (the whole simplex: `F = {f_i(t) = t[i]}`).
+    pub constraints: ConstraintSet,
+    /// Object id of `T_A` (the last object).
+    pub ta_object: usize,
+    /// For each vector of `A`, the global instance id of `ξ(a)`.
+    pub a_instance_ids: Vec<usize>,
+}
+
+/// Builds the reduction from an OV instance.
+///
+/// # Panics
+/// Panics if `a_vectors` or `b_vectors` is empty or the vectors have
+/// inconsistent dimensionality.
+pub fn reduce_orthogonal_vectors(a_vectors: &[BitVector], b_vectors: &[BitVector]) -> OvReduction {
+    assert!(!a_vectors.is_empty() && !b_vectors.is_empty());
+    let dim = a_vectors[0].len();
+    assert!(dim >= 1);
+    assert!(a_vectors.iter().all(|v| v.len() == dim));
+    assert!(b_vectors.iter().all(|v| v.len() == dim));
+
+    let mut dataset = UncertainDataset::new(dim);
+    // One certain object per b ∈ B.
+    for b in b_vectors {
+        let coords: Vec<f64> = b.iter().map(|&bit| if bit { 1.0 } else { 0.0 }).collect();
+        dataset.push_object(vec![(coords, 1.0)]);
+    }
+    // One uncertain object T_A holding ξ(a) for every a ∈ A.
+    let p = 1.0 / a_vectors.len() as f64;
+    let instances: Vec<(Vec<f64>, f64)> = a_vectors
+        .iter()
+        .map(|a| {
+            let coords = a
+                .iter()
+                .map(|&bit| if bit { 0.5 } else { 1.5 })
+                .collect::<Vec<f64>>();
+            (coords, p)
+        })
+        .collect();
+    let ta_object = dataset.push_object(instances);
+    let a_instance_ids = dataset.object(ta_object).instance_ids.clone();
+
+    OvReduction {
+        dataset,
+        constraints: ConstraintSet::new(dim),
+        ta_object,
+        a_instance_ids,
+    }
+}
+
+impl OvReduction {
+    /// Decides the OV instance from an ARSP result of the reduced dataset:
+    /// an orthogonal pair exists iff some `ξ(a)` has zero rskyline
+    /// probability.
+    pub fn has_orthogonal_pair(&self, arsp: &ArspResult) -> bool {
+        self.a_instance_ids
+            .iter()
+            .any(|&id| arsp.instance_prob(id) <= 1e-12)
+    }
+}
+
+/// Brute-force orthogonal-vectors oracle used to validate the reduction.
+pub fn brute_force_has_orthogonal_pair(a_vectors: &[BitVector], b_vectors: &[BitVector]) -> bool {
+    a_vectors.iter().any(|a| {
+        b_vectors
+            .iter()
+            .any(|b| a.iter().zip(b).all(|(&x, &y)| !(x && y)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::kdtt::arsp_kdtt_plus;
+    use crate::algorithms::loop_scan::arsp_loop;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_vectors(n: usize, d: usize, density: f64, rng: &mut impl Rng) -> Vec<BitVector> {
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_bool(density)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn reduction_matches_brute_force_oracle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut seen_positive = false;
+        let mut seen_negative = false;
+        for _ in 0..30 {
+            let d = rng.gen_range(2..6);
+            let a = random_vectors(rng.gen_range(1..8), d, 0.6, &mut rng);
+            let b = random_vectors(rng.gen_range(1..8), d, 0.6, &mut rng);
+            let expected = brute_force_has_orthogonal_pair(&a, &b);
+            let reduction = reduce_orthogonal_vectors(&a, &b);
+            let arsp = arsp_kdtt_plus(&reduction.dataset, &reduction.constraints);
+            assert_eq!(reduction.has_orthogonal_pair(&arsp), expected);
+            // LOOP agrees too, so the check does not hinge on one algorithm.
+            let arsp2 = arsp_loop(&reduction.dataset, &reduction.constraints);
+            assert_eq!(reduction.has_orthogonal_pair(&arsp2), expected);
+            seen_positive |= expected;
+            seen_negative |= !expected;
+        }
+        assert!(seen_positive && seen_negative, "test data covered both outcomes");
+    }
+
+    #[test]
+    fn explicit_orthogonal_pair() {
+        // a = (1,0), b = (0,1) are orthogonal.
+        let a = vec![vec![true, false]];
+        let b = vec![vec![false, true]];
+        assert!(brute_force_has_orthogonal_pair(&a, &b));
+        let reduction = reduce_orthogonal_vectors(&a, &b);
+        let arsp = arsp_kdtt_plus(&reduction.dataset, &reduction.constraints);
+        assert!(reduction.has_orthogonal_pair(&arsp));
+    }
+
+    #[test]
+    fn explicit_non_orthogonal_instance() {
+        // Every pair shares a one in the first coordinate.
+        let a = vec![vec![true, false], vec![true, true]];
+        let b = vec![vec![true, false]];
+        assert!(!brute_force_has_orthogonal_pair(&a, &b));
+        let reduction = reduce_orthogonal_vectors(&a, &b);
+        let arsp = arsp_kdtt_plus(&reduction.dataset, &reduction.constraints);
+        assert!(!reduction.has_orthogonal_pair(&arsp));
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let a = vec![vec![true, false, true]; 4];
+        let b = vec![vec![false, true, false]; 3];
+        let r = reduce_orthogonal_vectors(&a, &b);
+        assert_eq!(r.dataset.num_objects(), 4);
+        assert_eq!(r.dataset.num_instances(), 3 + 4);
+        assert_eq!(r.ta_object, 3);
+        assert_eq!(r.a_instance_ids.len(), 4);
+        // ξ maps ones to 1/2 and zeros to 3/2.
+        let inst = r.dataset.instance(r.a_instance_ids[0]);
+        assert_eq!(inst.coords, vec![0.5, 1.5, 0.5]);
+    }
+}

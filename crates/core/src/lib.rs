@@ -1,0 +1,79 @@
+//! # arsp-core — All Restricted Skyline Probabilities
+//!
+//! This crate implements the algorithmic contribution of
+//! *"Computing All Restricted Skyline Probabilities on Uncertain Datasets"*
+//! (ICDE 2024): computing, for every instance of an uncertain dataset, the
+//! probability that it belongs to the restricted skyline of a random possible
+//! world.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use arsp_core::prelude::*;
+//!
+//! // The paper's running example: 4 uncertain objects, 10 instances.
+//! let dataset = arsp_data::paper_running_example();
+//!
+//! // F = {ω1·x1 + ω2·x2 | 0.5 ≤ ω1/ω2 ≤ 2}, as in Example 1.
+//! let ratio = WeightRatio::uniform(2, 0.5, 2.0);
+//! let constraints = ratio.to_constraint_set();
+//!
+//! // Any of the algorithms computes the same result.
+//! let result = arsp_kdtt_plus(&dataset, &constraints);
+//! assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+//!
+//! // Under weight ratio constraints the DUAL algorithm applies too.
+//! let dual = arsp_dual(&dataset, &ratio);
+//! assert!(result.approx_eq(&dual, 1e-9));
+//! ```
+//!
+//! ## What is provided
+//!
+//! * ARSP algorithms for general linear constraints:
+//!   [`arsp_enum`], [`arsp_loop`], [`arsp_kdtt`], [`arsp_kdtt_plus`],
+//!   [`arsp_qdtt_plus`], [`arsp_bnb`] (see [`algorithms`] for the mapping to
+//!   the paper's names),
+//! * ARSP algorithms for weight ratio constraints: [`arsp_dual`] and the
+//!   d = 2 specialisation [`DualMs2d`],
+//! * the all-skyline-probabilities special case [`skyline_probabilities`],
+//! * the aggregated rskyline and effectiveness helpers used by the paper's
+//!   §V-B study ([`aggregate`], [`effectiveness`]),
+//! * eclipse queries on certain datasets ([`eclipse`]),
+//! * the Orthogonal-Vectors hardness reduction ([`hardness`]).
+
+pub mod aggregate;
+pub mod algorithms;
+pub mod asp;
+pub mod eclipse;
+pub mod effectiveness;
+pub mod hardness;
+pub mod result;
+pub mod scorespace;
+
+pub use algorithms::bnb::{arsp_bnb, arsp_bnb_with_fdom, arsp_bnb_without_pruning};
+pub use algorithms::dual::{arsp_dual, DualMs2d};
+pub use algorithms::enumerate::{arsp_enum, arsp_enum_with_limit};
+pub use algorithms::kdtt::{
+    arsp_kdtt, arsp_kdtt_plus, arsp_kdtt_plus_with_fdom, arsp_kdtt_with_fdom, arsp_qdtt_plus,
+    arsp_qdtt_plus_with_fdom,
+};
+pub use algorithms::loop_scan::{arsp_loop, arsp_loop_with_fdom};
+pub use algorithms::ArspAlgorithm;
+pub use asp::skyline_probabilities;
+pub use result::ArspResult;
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::aggregate::aggregated_rskyline;
+    pub use crate::algorithms::ArspAlgorithm;
+    pub use crate::asp::skyline_probabilities;
+    pub use crate::eclipse::{eclipse_dual_s, eclipse_quad};
+    pub use crate::effectiveness::{rskyline_ranking, skyline_ranking};
+    pub use crate::result::ArspResult;
+    pub use crate::{
+        arsp_bnb, arsp_dual, arsp_enum, arsp_kdtt, arsp_kdtt_plus, arsp_loop, arsp_qdtt_plus,
+        DualMs2d,
+    };
+    pub use arsp_data::{SyntheticConfig, UncertainDataset};
+    pub use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
+}

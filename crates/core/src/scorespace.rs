@@ -1,0 +1,107 @@
+//! The score-space mapping of §III-B.
+//!
+//! Theorem 2 states that under linear scoring functions with preference
+//! region vertices `V = {ω_1, …, ω_{d'}}`, `t ≺_F s` iff `SV(t) ⪯ SV(s)`
+//! where `SV(t) = (S_{ω_1}(t), …, S_{ω_{d'}}(t))`. Mapping the uncertain
+//! dataset into this `d'`-dimensional score space turns the ARSP problem into
+//! the all-skyline-probabilities (ASP) problem, which the KDTT/QDTT/B&B
+//! algorithms then solve.
+
+use arsp_data::UncertainDataset;
+use arsp_geometry::fdom::LinearFDominance;
+
+/// An instance after (optional) mapping into score space: everything the
+/// kd-ASP\* machinery needs to know about it.
+#[derive(Clone, Debug)]
+pub struct ScorePoint {
+    /// Global instance id in the original dataset.
+    pub id: usize,
+    /// Owning uncertain object.
+    pub object: usize,
+    /// Existence probability `p(t)`.
+    pub prob: f64,
+    /// Coordinates — `SV(t)` for ARSP, the original coordinates for ASP.
+    pub coords: Vec<f64>,
+}
+
+/// Maps every instance of the dataset into score space (the construction of
+/// the dataset `D'` in §III-B). The probabilities and object structure are
+/// preserved; only the coordinates change.
+pub fn map_to_score_space(dataset: &UncertainDataset, fdom: &LinearFDominance) -> Vec<ScorePoint> {
+    dataset
+        .instances()
+        .iter()
+        .map(|inst| ScorePoint {
+            id: inst.id,
+            object: inst.object,
+            prob: inst.prob,
+            coords: fdom.map_to_score_space(&inst.coords),
+        })
+        .collect()
+}
+
+/// The identity mapping: instances keep their original coordinates. Running
+/// kd-ASP\* on these points computes plain skyline probabilities (the ASP
+/// problem — the special case where `F` contains all monotone functions).
+pub fn identity_points(dataset: &UncertainDataset) -> Vec<ScorePoint> {
+    dataset
+        .instances()
+        .iter()
+        .map(|inst| ScorePoint {
+            id: inst.id,
+            object: inst.object,
+            prob: inst.prob,
+            coords: inst.coords.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arsp_data::paper_running_example;
+    use arsp_geometry::constraints::WeightRatio;
+    use arsp_geometry::fdom::FDominance;
+    use arsp_geometry::point::dominates;
+
+    #[test]
+    fn mapping_preserves_structure() {
+        let d = paper_running_example();
+        let fdom = LinearFDominance::from_constraints(
+            &WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set(),
+        );
+        let mapped = map_to_score_space(&d, &fdom);
+        assert_eq!(mapped.len(), d.num_instances());
+        for (sp, inst) in mapped.iter().zip(d.instances()) {
+            assert_eq!(sp.id, inst.id);
+            assert_eq!(sp.object, inst.object);
+            assert_eq!(sp.prob, inst.prob);
+            assert_eq!(sp.coords.len(), fdom.num_vertices());
+        }
+    }
+
+    #[test]
+    fn theorem_2_equivalence_on_example() {
+        let d = paper_running_example();
+        let fdom = LinearFDominance::from_constraints(
+            &WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set(),
+        );
+        let mapped = map_to_score_space(&d, &fdom);
+        for a in d.instances() {
+            for b in d.instances() {
+                let direct = fdom.f_dominates(&a.coords, &b.coords);
+                let in_score_space = dominates(&mapped[a.id].coords, &mapped[b.id].coords);
+                assert_eq!(direct, in_score_space, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_points_keep_coordinates() {
+        let d = paper_running_example();
+        let pts = identity_points(&d);
+        for (sp, inst) in pts.iter().zip(d.instances()) {
+            assert_eq!(sp.coords, inst.coords);
+        }
+    }
+}

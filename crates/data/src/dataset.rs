@@ -1,0 +1,462 @@
+//! The uncertain data model of §II-B.
+//!
+//! An uncertain dataset `D = {T_1, …, T_m}` consists of `m` uncertain
+//! objects; each object `T_i` is a discrete probability distribution over a
+//! set of instances in `R^d` with `Σ_{t∈T_i} p(t) ≤ 1` (the remaining mass is
+//! the probability that the object does not materialise at all). Objects are
+//! mutually independent.
+
+use arsp_geometry::Point;
+
+/// A single instance of an uncertain object: a point plus its existence
+/// probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instance {
+    /// Globally unique instance identifier (dense, `0..n`).
+    pub id: usize,
+    /// Index of the owning uncertain object (dense, `0..m`).
+    pub object: usize,
+    /// Coordinates in `R^d` (lower is better).
+    pub coords: Vec<f64>,
+    /// Existence probability `p(t) ∈ (0, 1]`.
+    pub prob: f64,
+}
+
+impl Instance {
+    /// Dimensionality of the instance.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The instance as a geometric point.
+    pub fn point(&self) -> Point {
+        Point::from(self.coords.as_slice())
+    }
+}
+
+/// Metadata of one uncertain object: which instances belong to it and its
+/// total existence probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UncertainObject {
+    /// Index of the object (dense, `0..m`).
+    pub id: usize,
+    /// Optional human-readable label (player name, car model, …).
+    pub label: Option<String>,
+    /// Global instance ids belonging to this object.
+    pub instance_ids: Vec<usize>,
+    /// Sum of the existence probabilities of the object's instances.
+    pub total_prob: f64,
+}
+
+impl UncertainObject {
+    /// Number of instances of this object.
+    pub fn num_instances(&self) -> usize {
+        self.instance_ids.len()
+    }
+
+    /// Probability that the object does not materialise in a possible world.
+    pub fn absence_prob(&self) -> f64 {
+        (1.0 - self.total_prob).max(0.0)
+    }
+}
+
+/// An uncertain dataset: a flat instance table plus per-object metadata.
+#[derive(Clone, Debug, Default)]
+pub struct UncertainDataset {
+    dim: usize,
+    instances: Vec<Instance>,
+    objects: Vec<UncertainObject>,
+}
+
+impl UncertainDataset {
+    /// Creates an empty dataset of the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1, "datasets must have at least one dimension");
+        Self {
+            dim,
+            instances: Vec::new(),
+            objects: Vec::new(),
+        }
+    }
+
+    /// Adds an uncertain object given its instances as `(coords, prob)` pairs
+    /// and returns the object id.
+    ///
+    /// # Panics
+    /// Panics if an instance has the wrong dimensionality, a non-positive or
+    /// greater-than-one probability, or if the total probability of the
+    /// object exceeds one (beyond a small tolerance).
+    pub fn push_object(&mut self, instances: Vec<(Vec<f64>, f64)>) -> usize {
+        self.push_labeled_object(None, instances)
+    }
+
+    /// Adds an uncertain object with a human-readable label.
+    pub fn push_labeled_object(
+        &mut self,
+        label: Option<String>,
+        instances: Vec<(Vec<f64>, f64)>,
+    ) -> usize {
+        assert!(!instances.is_empty(), "objects must have at least one instance");
+        let object_id = self.objects.len();
+        let mut instance_ids = Vec::with_capacity(instances.len());
+        let mut total = 0.0;
+        for (coords, prob) in instances {
+            assert_eq!(coords.len(), self.dim, "instance dimensionality mismatch");
+            assert!(
+                prob > 0.0 && prob <= 1.0 + 1e-12,
+                "instance probabilities must lie in (0, 1]"
+            );
+            total += prob;
+            let id = self.instances.len();
+            instance_ids.push(id);
+            self.instances.push(Instance {
+                id,
+                object: object_id,
+                coords,
+                prob,
+            });
+        }
+        assert!(
+            total <= 1.0 + 1e-9,
+            "total probability of an object must not exceed 1 (got {total})"
+        );
+        self.objects.push(UncertainObject {
+            id: object_id,
+            label,
+            instance_ids,
+            total_prob: total.min(1.0),
+        });
+        object_id
+    }
+
+    /// Dataset dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of uncertain objects `m`.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of instances `n = |I|`.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// All instances in id order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// One instance by global id.
+    pub fn instance(&self, id: usize) -> &Instance {
+        &self.instances[id]
+    }
+
+    /// All objects in id order.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// One object by id.
+    pub fn object(&self, id: usize) -> &UncertainObject {
+        &self.objects[id]
+    }
+
+    /// Iterates over the instances of one object.
+    pub fn object_instances(&self, object: usize) -> impl Iterator<Item = &Instance> + '_ {
+        self.objects[object]
+            .instance_ids
+            .iter()
+            .map(move |&id| &self.instances[id])
+    }
+
+    /// Number of objects whose total probability is strictly below one
+    /// (the `ϕ·m` objects of the synthetic generator).
+    pub fn num_partial_objects(&self) -> usize {
+        self.objects
+            .iter()
+            .filter(|o| o.total_prob < 1.0 - 1e-12)
+            .count()
+    }
+
+    /// The per-object average dataset (each object collapsed to the
+    /// probability-weighted mean of its instances, normalised by its total
+    /// probability). This is the "aggregated dataset" the paper compares
+    /// against in the effectiveness study (§V-B).
+    pub fn aggregate_by_mean(&self) -> CertainDataset {
+        let mut agg = CertainDataset::new(self.dim);
+        for obj in &self.objects {
+            let mut mean = vec![0.0; self.dim];
+            let mut mass = 0.0;
+            for &iid in &obj.instance_ids {
+                let inst = &self.instances[iid];
+                for (m, c) in mean.iter_mut().zip(&inst.coords) {
+                    *m += c * inst.prob;
+                }
+                mass += inst.prob;
+            }
+            for m in mean.iter_mut() {
+                *m /= mass;
+            }
+            agg.push_labeled_point(obj.label.clone(), mean);
+        }
+        agg
+    }
+
+    /// Basic structural validation; returns a description of the first
+    /// violation found, if any. Intended for test assertions and for
+    /// validating externally constructed datasets.
+    pub fn validate(&self) -> Result<(), String> {
+        for inst in &self.instances {
+            if inst.coords.len() != self.dim {
+                return Err(format!("instance {} has wrong dimensionality", inst.id));
+            }
+            if !(inst.prob > 0.0 && inst.prob <= 1.0 + 1e-12) {
+                return Err(format!("instance {} has invalid probability", inst.id));
+            }
+            if inst.coords.iter().any(|c| !c.is_finite()) {
+                return Err(format!("instance {} has non-finite coordinates", inst.id));
+            }
+        }
+        for obj in &self.objects {
+            let total: f64 = obj
+                .instance_ids
+                .iter()
+                .map(|&id| self.instances[id].prob)
+                .sum();
+            if total > 1.0 + 1e-6 {
+                return Err(format!("object {} has total probability {total}", obj.id));
+            }
+            for &id in &obj.instance_ids {
+                if self.instances[id].object != obj.id {
+                    return Err(format!("instance {id} is mis-assigned"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A certain (deterministic) dataset: labelled points in `R^d`.
+///
+/// Used by the eclipse-query experiments (Fig. 8) and as the target of the
+/// aggregated-rskyline comparison.
+#[derive(Clone, Debug, Default)]
+pub struct CertainDataset {
+    dim: usize,
+    points: Vec<Vec<f64>>,
+    labels: Vec<Option<String>>,
+}
+
+impl CertainDataset {
+    /// Creates an empty certain dataset.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Self {
+            dim,
+            points: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Adds a point and returns its id.
+    pub fn push_point(&mut self, coords: Vec<f64>) -> usize {
+        self.push_labeled_point(None, coords)
+    }
+
+    /// Adds a labelled point and returns its id.
+    pub fn push_labeled_point(&mut self, label: Option<String>, coords: Vec<f64>) -> usize {
+        assert_eq!(coords.len(), self.dim);
+        self.points.push(coords);
+        self.labels.push(label);
+        self.points.len() - 1
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Coordinates of one point.
+    pub fn point(&self, id: usize) -> &[f64] {
+        &self.points[id]
+    }
+
+    /// Label of one point, if any.
+    pub fn label(&self, id: usize) -> Option<&str> {
+        self.labels[id].as_deref()
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The skyline of the dataset (ids of points not coordinate-wise
+    /// dominated by any *distinct* point). Ties: among coordinate-identical
+    /// points the one with the smallest id is kept.
+    pub fn skyline(&self) -> Vec<usize> {
+        let mut result = Vec::new();
+        'outer: for (i, p) in self.points.iter().enumerate() {
+            for (j, q) in self.points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dominated = arsp_geometry::point::dominates(q, p);
+                let equal = q == p;
+                if dominated && (!equal || j < i) {
+                    continue 'outer;
+                }
+            }
+            result.push(i);
+        }
+        result
+    }
+}
+
+/// The running example of the paper (Fig. 1 / Example 1): 4 objects and 10
+/// instances in 2 dimensions.
+///
+/// The paper does not list the exact coordinates of Fig. 1; this fixture is
+/// constructed so that, under `F = {ω1·x1 + ω2·x2 | 0.5·ω2 ≤ ω1 ≤ 2·ω2}`
+/// (the constraint set of Example 1), the quantities the paper states hold
+/// exactly:
+///
+/// * `Pr_rsky(t1,1) = 2/9` — exactly one instance of `T2` and one instance of
+///   `T3` F-dominate `t1,1`, and no instance of `T4` does,
+/// * `Pr_rsky(t1,2) = 0` — every instance of `T2` F-dominates `t1,2` and
+///   `Σ_{t∈T2} p(t) = 1`,
+/// * hence `Pr_rsky(T1) = 2/9`.
+///
+/// The fixture is exported so that unit tests, integration tests and the
+/// quickstart example can all exercise the same tiny dataset.
+pub fn paper_running_example() -> UncertainDataset {
+    let mut d = UncertainDataset::new(2);
+    // T1: two instances, p = 1/2 each.
+    d.push_object(vec![(vec![2.0, 9.0], 0.5), (vec![12.0, 14.0], 0.5)]);
+    // T2: three instances, p = 1/3 each.
+    d.push_object(vec![
+        (vec![3.0, 4.0], 1.0 / 3.0),
+        (vec![8.0, 3.0], 1.0 / 3.0),
+        (vec![9.0, 12.0], 1.0 / 3.0),
+    ]);
+    // T3: three instances, p = 1/3 each.
+    d.push_object(vec![
+        (vec![1.0, 8.0], 1.0 / 3.0),
+        (vec![4.0, 14.0], 1.0 / 3.0),
+        (vec![11.0, 8.0], 1.0 / 3.0),
+    ]);
+    // T4: two instances, p = 1/2 each.
+    d.push_object(vec![(vec![7.0, 15.0], 0.5), (vec![13.0, 6.0], 0.5)]);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn paper_example() -> UncertainDataset {
+        paper_running_example()
+    }
+
+    #[test]
+    fn build_and_accessors() {
+        let d = paper_example();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_objects(), 4);
+        assert_eq!(d.num_instances(), 10);
+        assert_eq!(d.object(1).num_instances(), 3);
+        assert!((d.object(1).total_prob - 1.0).abs() < 1e-9);
+        assert_eq!(d.object(1).absence_prob(), 0.0);
+        assert_eq!(d.instance(2).object, 1);
+        assert_eq!(d.object_instances(3).count(), 2);
+        assert_eq!(d.num_partial_objects(), 0);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn instance_ids_are_dense_and_consistent() {
+        let d = paper_example();
+        for (i, inst) in d.instances().iter().enumerate() {
+            assert_eq!(inst.id, i);
+            assert!(d.object(inst.object).instance_ids.contains(&i));
+        }
+    }
+
+    #[test]
+    fn partial_objects_counted() {
+        let mut d = UncertainDataset::new(2);
+        d.push_object(vec![(vec![0.0, 0.0], 0.4)]);
+        d.push_object(vec![(vec![1.0, 1.0], 1.0)]);
+        assert_eq!(d.num_partial_objects(), 1);
+        assert!((d.object(0).absence_prob() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_overweight_objects() {
+        let mut d = UncertainDataset::new(1);
+        d.push_object(vec![(vec![0.0], 0.7), (vec![1.0], 0.7)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_probability() {
+        let mut d = UncertainDataset::new(1);
+        d.push_object(vec![(vec![0.0], 0.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_dimension() {
+        let mut d = UncertainDataset::new(2);
+        d.push_object(vec![(vec![0.0], 1.0)]);
+    }
+
+    #[test]
+    fn aggregate_by_mean() {
+        let mut d = UncertainDataset::new(2);
+        d.push_labeled_object(
+            Some("a".into()),
+            vec![(vec![0.0, 2.0], 0.5), (vec![2.0, 0.0], 0.5)],
+        );
+        d.push_object(vec![(vec![4.0, 4.0], 0.8)]);
+        let agg = d.aggregate_by_mean();
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg.point(0), &[1.0, 1.0]);
+        assert_eq!(agg.point(1), &[4.0, 4.0]);
+        assert_eq!(agg.label(0), Some("a"));
+        assert_eq!(agg.label(1), None);
+    }
+
+    #[test]
+    fn skyline_of_certain_dataset() {
+        let mut c = CertainDataset::new(2);
+        c.push_point(vec![1.0, 5.0]);
+        c.push_point(vec![2.0, 2.0]);
+        c.push_point(vec![5.0, 1.0]);
+        c.push_point(vec![3.0, 3.0]); // dominated by (2,2)
+        c.push_point(vec![2.0, 2.0]); // duplicate of id 1 -> only id 1 kept
+        let sky = c.skyline();
+        assert_eq!(sky, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_certain_dataset() {
+        let c = CertainDataset::new(3);
+        assert!(c.is_empty());
+        assert!(c.skyline().is_empty());
+    }
+}

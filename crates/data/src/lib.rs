@@ -1,0 +1,28 @@
+//! Uncertain dataset model and workload generators for the ARSP reproduction.
+//!
+//! * [`dataset`] — the uncertain data model of §II-B: objects, instances,
+//!   existence probabilities, plus the certain-dataset type used by the
+//!   eclipse experiments and the aggregated-rskyline comparison.
+//! * [`possible_world`] — possible-world enumeration (equation 1), used by
+//!   the ENUM baseline and as the ground-truth oracle in tests.
+//! * [`synthetic`] — the synthetic generator of §V-A: IND / ANTI / CORR
+//!   object centres, per-object hyper-rectangles of edge length `~N(l/2, l/8)`,
+//!   instance counts uniform in `[1, cnt]`, and the `ϕ` fraction of objects
+//!   with total probability below one.
+//! * [`real`] — simulated stand-ins for the IIP, CAR and NBA datasets (see
+//!   DESIGN.md for the substitution rationale).
+//! * [`constraints_gen`] — the WR and IM constraint generators of §V-A and
+//!   helpers for weight-ratio ranges.
+
+pub mod constraints_gen;
+pub mod dataset;
+pub mod possible_world;
+pub mod real;
+pub mod synthetic;
+
+pub use constraints_gen::{im_constraints, weak_ranking_constraints};
+pub use dataset::{
+    paper_running_example, CertainDataset, Instance, UncertainDataset, UncertainObject,
+};
+pub use possible_world::{enumerate_possible_worlds, PossibleWorld};
+pub use synthetic::{Distribution, SyntheticConfig};

@@ -1,0 +1,141 @@
+//! Possible-world semantics (equation 1 of the paper).
+//!
+//! An uncertain dataset induces a probability distribution over *possible
+//! worlds*: each object independently materialises as one of its instances
+//! (with the instance's probability) or not at all (with the remaining
+//! probability mass). The number of possible worlds is
+//! `Π_i (n_i + [Σp < 1])`, exponential in `m`, so enumeration is only usable
+//! for the ENUM baseline on toy inputs and as the ground-truth oracle in
+//! tests — exactly how the paper uses it.
+
+use crate::dataset::UncertainDataset;
+
+/// One possible world: for each object either the global id of the chosen
+/// instance or `None` when the object is absent, together with the world's
+/// probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PossibleWorld {
+    /// Per-object choice (indexed by object id).
+    pub choice: Vec<Option<usize>>,
+    /// Probability of observing this world (equation 1).
+    pub prob: f64,
+}
+
+impl PossibleWorld {
+    /// Global instance ids present in this world.
+    pub fn present_instances(&self) -> impl Iterator<Item = usize> + '_ {
+        self.choice.iter().filter_map(|c| *c)
+    }
+}
+
+/// Enumerates every possible world with non-zero probability.
+///
+/// Worlds whose probability would be zero (an object with `Σp = 1` being
+/// absent) are skipped. The probabilities of the returned worlds sum to one
+/// up to floating-point error.
+///
+/// # Panics
+/// Panics if the enumeration would produce more than `max_worlds` worlds —
+/// a guard against accidentally calling this on a non-toy dataset.
+pub fn enumerate_possible_worlds(
+    dataset: &UncertainDataset,
+    max_worlds: usize,
+) -> Vec<PossibleWorld> {
+    // Pre-compute the per-object alternatives: (instance id or absent, prob).
+    let mut alternatives: Vec<Vec<(Option<usize>, f64)>> = Vec::new();
+    let mut world_count: usize = 1;
+    for obj in dataset.objects() {
+        let mut alts: Vec<(Option<usize>, f64)> = obj
+            .instance_ids
+            .iter()
+            .map(|&id| (Some(id), dataset.instance(id).prob))
+            .collect();
+        let absence = obj.absence_prob();
+        if absence > 1e-12 {
+            alts.push((None, absence));
+        }
+        world_count = world_count.saturating_mul(alts.len());
+        assert!(
+            world_count <= max_worlds,
+            "possible-world enumeration would exceed {max_worlds} worlds"
+        );
+        alternatives.push(alts);
+    }
+
+    let mut worlds = Vec::with_capacity(world_count);
+    let mut choice = vec![None; alternatives.len()];
+    enumerate_rec(&alternatives, 0, 1.0, &mut choice, &mut worlds);
+    worlds
+}
+
+fn enumerate_rec(
+    alternatives: &[Vec<(Option<usize>, f64)>],
+    depth: usize,
+    prob: f64,
+    choice: &mut Vec<Option<usize>>,
+    out: &mut Vec<PossibleWorld>,
+) {
+    if depth == alternatives.len() {
+        out.push(PossibleWorld {
+            choice: choice.clone(),
+            prob,
+        });
+        return;
+    }
+    for &(alt, p) in &alternatives[depth] {
+        choice[depth] = alt;
+        enumerate_rec(alternatives, depth + 1, prob * p, choice, out);
+    }
+    choice[depth] = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::paper_running_example;
+    use crate::dataset::UncertainDataset;
+
+    #[test]
+    fn paper_example_world_count_and_mass() {
+        let d = paper_running_example();
+        // All objects have Σp = 1, so the world count is 2 × 3 × 3 × 2 = 36.
+        let worlds = enumerate_possible_worlds(&d, 100);
+        assert_eq!(worlds.len(), 36);
+        let mass: f64 = worlds.iter().map(|w| w.prob).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+        // The world of Example 1 (first instance of every object) has
+        // probability 1/36.
+        let target: Vec<Option<usize>> = d
+            .objects()
+            .iter()
+            .map(|o| Some(o.instance_ids[0]))
+            .collect();
+        let w = worlds.iter().find(|w| w.choice == target).unwrap();
+        assert!((w.prob - 1.0 / 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_objects_enumerate_correctly() {
+        let mut d = UncertainDataset::new(1);
+        d.push_object(vec![(vec![0.0], 0.25), (vec![1.0], 0.25)]);
+        d.push_object(vec![(vec![2.0], 1.0)]);
+        let worlds = enumerate_possible_worlds(&d, 10);
+        // Object 0 has 3 alternatives (two instances + absent), object 1 has 1.
+        assert_eq!(worlds.len(), 3);
+        let mass: f64 = worlds.iter().map(|w| w.prob).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+        let absent = worlds.iter().find(|w| w.choice[0].is_none()).unwrap();
+        assert!((absent.prob - 0.5).abs() < 1e-12);
+        assert_eq!(absent.present_instances().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn world_limit_enforced() {
+        let mut d = UncertainDataset::new(1);
+        for i in 0..20 {
+            d.push_object(vec![(vec![i as f64], 0.5), (vec![i as f64 + 0.5], 0.5)]);
+        }
+        let _ = enumerate_possible_worlds(&d, 1000);
+    }
+}

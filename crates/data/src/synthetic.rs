@@ -1,0 +1,291 @@
+//! Synthetic uncertain-dataset generator (§V-A of the paper).
+//!
+//! For `m` uncertain objects the generator:
+//!
+//! 1. draws object centres `c_i ∈ [0,1]^d` following an independent (IND),
+//!    anti-correlated (ANTI) or correlated (CORR) distribution,
+//! 2. builds a hyper-rectangle `R_i` centred at `c_i` whose edge length
+//!    follows a normal distribution on `[0, l]` with mean `l/2` and standard
+//!    deviation `l/8`,
+//! 3. draws the instance count `n_i` uniformly from `[1, cnt]` and places the
+//!    instances uniformly inside `R_i`, each with probability `1/n_i`,
+//! 4. finally makes the first `ϕ·m` objects *partial* (`Σp < 1`) by removing
+//!    one instance (the paper's procedure); objects that only have a single
+//!    instance instead have that instance's probability halved so that the
+//!    object still exists but is partial.
+//!
+//! The default parameter values are the paper's defaults
+//! (`m = 16K, cnt = 400, d = 4, l = 0.2, ϕ = 0`); benchmarks scale `m` and
+//! `cnt` down as described in EXPERIMENTS.md.
+
+use crate::dataset::UncertainDataset;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Distribution of the object centres.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Independent: uniform in `[0,1]^d`.
+    Independent,
+    /// Correlated: centres concentrate around the main diagonal.
+    Correlated,
+    /// Anti-correlated: centres concentrate around the hyperplane
+    /// `Σ_i x_i = d/2`.
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// Short uppercase name used in benchmark output (IND / CORR / ANTI).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Distribution::Independent => "IND",
+            Distribution::Correlated => "CORR",
+            Distribution::AntiCorrelated => "ANTI",
+        }
+    }
+}
+
+/// Parameters of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of uncertain objects `m`.
+    pub num_objects: usize,
+    /// Maximum instance count per object (`cnt`); the actual count is uniform
+    /// in `[1, cnt]`.
+    pub max_instances: usize,
+    /// Dimensionality `d`.
+    pub dim: usize,
+    /// Maximum edge length `l` of the per-object hyper-rectangles.
+    pub region_length: f64,
+    /// Fraction `ϕ ∈ [0, 1]` of objects with total probability below one.
+    pub phi: f64,
+    /// Centre distribution.
+    pub distribution: Distribution,
+    /// RNG seed; the generator is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_objects: 16_000,
+            max_instances: 400,
+            dim: 4,
+            region_length: 0.2,
+            phi: 0.0,
+            distribution: Distribution::Independent,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A small configuration convenient for tests: `m` objects, at most `cnt`
+    /// instances each, dimension `d`, paper defaults otherwise.
+    pub fn small(num_objects: usize, max_instances: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            num_objects,
+            max_instances,
+            dim,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> UncertainDataset {
+        assert!(self.num_objects >= 1);
+        assert!(self.max_instances >= 1);
+        assert!(self.dim >= 1);
+        assert!((0.0..=1.0).contains(&self.phi));
+        assert!(self.region_length >= 0.0);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut dataset = UncertainDataset::new(self.dim);
+        let partial_objects = (self.phi * self.num_objects as f64).round() as usize;
+
+        for obj_idx in 0..self.num_objects {
+            let center = self.sample_center(&mut rng);
+            // Edge length ~ N(l/2, l/8) clamped to [0, l].
+            let edge = sample_normal(&mut rng, self.region_length / 2.0, self.region_length / 8.0)
+                .clamp(0.0, self.region_length);
+            let count = rng.gen_range(1..=self.max_instances);
+            let prob = 1.0 / count as f64;
+            let mut instances: Vec<(Vec<f64>, f64)> = (0..count)
+                .map(|_| {
+                    let coords = center
+                        .iter()
+                        .map(|&c| {
+                            let lo = (c - edge / 2.0).max(0.0);
+                            let hi = (c + edge / 2.0).min(1.0);
+                            if hi > lo {
+                                rng.gen_range(lo..hi)
+                            } else {
+                                lo
+                            }
+                        })
+                        .collect();
+                    (coords, prob)
+                })
+                .collect();
+
+            if obj_idx < partial_objects {
+                if instances.len() > 1 {
+                    instances.pop();
+                } else {
+                    // Single-instance objects cannot lose their only instance;
+                    // halve the probability instead so the object is partial.
+                    instances[0].1 /= 2.0;
+                }
+            }
+            dataset.push_object(instances);
+        }
+        dataset
+    }
+
+    fn sample_center(&self, rng: &mut impl Rng) -> Vec<f64> {
+        match self.distribution {
+            Distribution::Independent => (0..self.dim).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            Distribution::Correlated => {
+                // A common base value plus small independent jitter keeps the
+                // centres near the main diagonal.
+                let base: f64 = rng.gen_range(0.0..1.0);
+                (0..self.dim)
+                    .map(|_| (base + sample_normal(rng, 0.0, 0.08)).clamp(0.0, 1.0))
+                    .collect()
+            }
+            Distribution::AntiCorrelated => {
+                // Draw a uniform point, then project it towards the hyperplane
+                // Σ x_i = d/2 with a little jitter: good values in one
+                // dimension come with bad values in the others.
+                let raw: Vec<f64> = (0..self.dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let shift = (self.dim as f64 / 2.0 - raw.iter().sum::<f64>()) / self.dim as f64;
+                raw.iter()
+                    .map(|&x| (x + shift + sample_normal(rng, 0.0, 0.03)).clamp(0.0, 1.0))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Box–Muller normal sample (the `rand` crate alone does not ship a normal
+/// distribution and pulling in `rand_distr` for one function is not worth an
+/// extra dependency).
+pub(crate) fn sample_normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticConfig::small(20, 5, 3, 7);
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.num_instances(), b.num_instances());
+        for (x, y) in a.instances().iter().zip(b.instances()) {
+            assert_eq!(x.coords, y.coords);
+            assert_eq!(x.prob, y.prob);
+        }
+    }
+
+    #[test]
+    fn respects_basic_shape_parameters() {
+        let cfg = SyntheticConfig {
+            num_objects: 50,
+            max_instances: 8,
+            dim: 5,
+            region_length: 0.1,
+            phi: 0.0,
+            distribution: Distribution::Independent,
+            seed: 1,
+        };
+        let d = cfg.generate();
+        assert_eq!(d.num_objects(), 50);
+        assert_eq!(d.dim(), 5);
+        assert!(d.validate().is_ok());
+        for obj in d.objects() {
+            assert!(obj.num_instances() >= 1 && obj.num_instances() <= 8);
+            assert!((obj.total_prob - 1.0).abs() < 1e-9);
+            // All instances of an object lie in a box of edge ≤ l (plus the
+            // [0,1] clamp, which can only shrink it).
+            let coords: Vec<&[f64]> = d
+                .object_instances(obj.id)
+                .map(|i| i.coords.as_slice())
+                .collect();
+            for dim in 0..5 {
+                let lo = coords.iter().map(|c| c[dim]).fold(f64::INFINITY, f64::min);
+                let hi = coords.iter().map(|c| c[dim]).fold(f64::NEG_INFINITY, f64::max);
+                assert!(hi - lo <= 0.1 + 1e-9);
+                assert!(lo >= 0.0 && hi <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn phi_controls_partial_objects() {
+        let cfg = SyntheticConfig {
+            num_objects: 40,
+            max_instances: 6,
+            phi: 0.25,
+            dim: 2,
+            ..SyntheticConfig::default()
+        };
+        let d = cfg.generate();
+        assert_eq!(d.num_partial_objects(), 10);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn expected_instance_count_tracks_cnt() {
+        // Expected instances per object ≈ cnt/2; with 200 objects and
+        // cnt = 20 the total should be around 2000 ± a wide margin.
+        let cfg = SyntheticConfig::small(200, 20, 2, 3);
+        let d = cfg.generate();
+        let avg = d.num_instances() as f64 / d.num_objects() as f64;
+        assert!(avg > 7.0 && avg < 14.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn correlated_centres_hug_the_diagonal() {
+        let gen = |dist| {
+            SyntheticConfig {
+                num_objects: 400,
+                max_instances: 1,
+                dim: 2,
+                region_length: 0.0,
+                phi: 0.0,
+                distribution: dist,
+                seed: 5,
+            }
+            .generate()
+        };
+        let spread = |d: &UncertainDataset| {
+            d.instances()
+                .iter()
+                .map(|i| (i.coords[0] - i.coords[1]).abs())
+                .sum::<f64>()
+                / d.num_instances() as f64
+        };
+        let corr = spread(&gen(Distribution::Correlated));
+        let ind = spread(&gen(Distribution::Independent));
+        let anti = spread(&gen(Distribution::AntiCorrelated));
+        assert!(corr < ind, "corr {corr} vs ind {ind}");
+        assert!(anti > corr, "anti {anti} vs corr {corr}");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 2.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean = {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std = {}", var.sqrt());
+    }
+}

@@ -1,0 +1,340 @@
+//! The preference region `Ω = {ω ∈ S^{d−1} | A·ω ≤ b}`.
+//!
+//! The paper restricts the scoring functions to linear functions
+//! `S_ω(t) = Σ_i ω[i]·t[i]` whose weight vector lies on the unit
+//! `(d−1)`-simplex and additionally satisfies user-supplied linear
+//! constraints. Two concrete constraint families are used throughout the
+//! evaluation:
+//!
+//! * **WR (weak ranking)** — `ω[i] ≥ ω[i+1]` for `1 ≤ i ≤ c`,
+//! * **weight ratio constraints** — `l_i ≤ ω[i]/ω[d] ≤ h_i` for `i < d`
+//!   (§IV; the "eclipse" preference of Liu et al.).
+//!
+//! This module holds the constraint representations; vertex enumeration lives
+//! in [`crate::polytope`] and the dominance tests in [`crate::fdom`].
+
+use crate::lp::{LinearProgram, LpOutcome};
+use crate::EPS;
+
+/// A single linear constraint `a·ω ≤ b` over the weight space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearConstraint {
+    /// Coefficients `a` (length `d`).
+    pub coeffs: Vec<f64>,
+    /// Right-hand side `b`.
+    pub rhs: f64,
+}
+
+impl LinearConstraint {
+    /// Creates a constraint `coeffs · ω ≤ rhs`.
+    pub fn new(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self { coeffs, rhs }
+    }
+
+    /// Evaluates `a·ω − b`; non-positive values satisfy the constraint.
+    pub fn slack(&self, omega: &[f64]) -> f64 {
+        debug_assert_eq!(self.coeffs.len(), omega.len());
+        self.coeffs
+            .iter()
+            .zip(omega)
+            .map(|(a, w)| a * w)
+            .sum::<f64>()
+            - self.rhs
+    }
+
+    /// Returns `true` when `ω` satisfies the constraint up to [`EPS`].
+    pub fn satisfied_by(&self, omega: &[f64]) -> bool {
+        self.slack(omega) <= EPS
+    }
+}
+
+/// Weight ratio constraints `R = Π_{i<d} [l_i, h_i]` with respect to the
+/// reference dimension `d` (the last dimension), i.e.
+/// `l_i ≤ ω[i]/ω[d] ≤ h_i` and `ω[d] > 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightRatio {
+    ranges: Vec<(f64, f64)>,
+}
+
+impl WeightRatio {
+    /// Creates weight ratio constraints from per-dimension ranges
+    /// (`d − 1` entries, one for every non-reference dimension).
+    ///
+    /// # Panics
+    /// Panics if any range is empty or has a negative lower bound.
+    pub fn new(ranges: Vec<(f64, f64)>) -> Self {
+        for &(l, h) in &ranges {
+            assert!(l >= 0.0, "weight ratio lower bound must be non-negative");
+            assert!(l <= h, "weight ratio range must be non-empty");
+        }
+        Self { ranges }
+    }
+
+    /// Creates the same range `[l, h]` for every non-reference dimension of a
+    /// `d`-dimensional dataset.
+    pub fn uniform(dim: usize, l: f64, h: f64) -> Self {
+        assert!(dim >= 2, "weight ratio constraints need at least 2 dimensions");
+        Self::new(vec![(l, h); dim - 1])
+    }
+
+    /// Dataset dimensionality `d` (number of ranges + 1).
+    pub fn dim(&self) -> usize {
+        self.ranges.len() + 1
+    }
+
+    /// The per-dimension ranges `[l_i, h_i]`.
+    pub fn ranges(&self) -> &[(f64, f64)] {
+        &self.ranges
+    }
+
+    /// The `k`-th vertex of the ratio hyper-rectangle in lexicographic order
+    /// (the `k-vertex` of §IV-B): bit `i` of `k` selects `h_i` over `l_i`.
+    ///
+    /// # Panics
+    /// Panics if `k ≥ 2^{d−1}`.
+    pub fn vertex(&self, k: usize) -> Vec<f64> {
+        assert!(k < 1 << self.ranges.len());
+        self.ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(l, h))| if (k >> i) & 1 == 1 { h } else { l })
+            .collect()
+    }
+
+    /// Number of vertices of the ratio hyper-rectangle, `2^{d−1}`.
+    pub fn num_vertices(&self) -> usize {
+        1 << self.ranges.len()
+    }
+
+    /// Expresses the weight ratio constraints as linear constraints on the
+    /// simplex: `ω[i] − h_i·ω[d] ≤ 0` and `l_i·ω[d] − ω[i] ≤ 0`.
+    ///
+    /// Together with the simplex this describes exactly the preference region
+    /// of §IV (the open condition `ω[d] > 0` is implied whenever some
+    /// `h_i < ∞`, which is always the case here).
+    pub fn to_constraint_set(&self) -> ConstraintSet {
+        let d = self.dim();
+        let mut cs = ConstraintSet::new(d);
+        for (i, &(l, h)) in self.ranges.iter().enumerate() {
+            let mut upper = vec![0.0; d];
+            upper[i] = 1.0;
+            upper[d - 1] = -h;
+            cs.push(LinearConstraint::new(upper, 0.0));
+            let mut lower = vec![0.0; d];
+            lower[i] = -1.0;
+            lower[d - 1] = l;
+            cs.push(LinearConstraint::new(lower, 0.0));
+        }
+        cs
+    }
+}
+
+/// A set of linear constraints on the weight simplex: the preference region
+/// `Ω = {ω | ω ≥ 0, Σω = 1, A·ω ≤ b}`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConstraintSet {
+    dim: usize,
+    constraints: Vec<LinearConstraint>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set over `dim` weights (the preference
+    /// region is then the whole simplex).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        Self {
+            dim,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Weak-ranking (WR) constraints: `ω[i] ≥ ω[i+1]` for `0 ≤ i < c`.
+    ///
+    /// This is the default constraint generator of the paper's evaluation
+    /// (`c = d − 1` unless stated otherwise). With `c = d − 1` the preference
+    /// region has exactly `d` vertices
+    /// `(1,0,…), (1/2,1/2,0,…), …, (1/d,…,1/d)`.
+    pub fn weak_ranking(dim: usize, c: usize) -> Self {
+        assert!(c < dim, "weak ranking needs c < d constraints");
+        let mut cs = Self::new(dim);
+        for i in 0..c {
+            // ω[i+1] − ω[i] ≤ 0
+            let mut coeffs = vec![0.0; dim];
+            coeffs[i] = -1.0;
+            coeffs[i + 1] = 1.0;
+            cs.push(LinearConstraint::new(coeffs, 0.0));
+        }
+        cs
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, c: LinearConstraint) {
+        assert_eq!(c.coeffs.len(), self.dim);
+        self.constraints.push(c);
+    }
+
+    /// Dimensionality `d` of the weight space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The user-supplied constraints (excluding simplex membership).
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// Number of user-supplied constraints `c`.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` when no user constraint has been added.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Membership test: `ω ∈ Ω` (simplex + constraints) up to [`EPS`].
+    pub fn contains(&self, omega: &[f64]) -> bool {
+        if omega.len() != self.dim {
+            return false;
+        }
+        if omega.iter().any(|&w| w < -EPS) {
+            return false;
+        }
+        if (omega.iter().sum::<f64>() - 1.0).abs() > 1e-6 {
+            return false;
+        }
+        self.constraints.iter().all(|c| c.satisfied_by(omega))
+    }
+
+    /// Returns `true` when the preference region is non-empty.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible_point().is_some()
+    }
+
+    /// Finds some point of the preference region via the LP solver, or `None`
+    /// when the region is empty.
+    pub fn feasible_point(&self) -> Option<Vec<f64>> {
+        let mut lp = LinearProgram::new(self.dim).minimize(vec![0.0; self.dim]);
+        lp = lp.with_eq(vec![1.0; self.dim], 1.0);
+        for c in &self.constraints {
+            lp = lp.with_leq(c.coeffs.clone(), c.rhs);
+        }
+        match lp.solve() {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Minimises a linear objective `c·ω` over the preference region.
+    ///
+    /// Used by the LP-based reference F-dominance test (problem (4) of the
+    /// paper) and by tests.
+    pub fn minimize_over_region(&self, objective: &[f64]) -> LpOutcome {
+        assert_eq!(objective.len(), self.dim);
+        let mut lp = LinearProgram::new(self.dim).minimize(objective.to_vec());
+        lp = lp.with_eq(vec![1.0; self.dim], 1.0);
+        for c in &self.constraints {
+            lp = lp.with_leq(c.coeffs.clone(), c.rhs);
+        }
+        lp.solve()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_constraint_slack_and_satisfaction() {
+        let c = LinearConstraint::new(vec![1.0, -1.0], 0.0);
+        assert!(c.satisfied_by(&[0.3, 0.7]));
+        assert!(!c.satisfied_by(&[0.7, 0.3]));
+        assert!((c.slack(&[0.7, 0.3]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_ranking_membership() {
+        let cs = ConstraintSet::weak_ranking(3, 2);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.contains(&[0.5, 0.3, 0.2]));
+        assert!(cs.contains(&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]));
+        assert!(!cs.contains(&[0.2, 0.3, 0.5]));
+        // Not on the simplex.
+        assert!(!cs.contains(&[0.5, 0.3, 0.3]));
+        // Wrong dimensionality.
+        assert!(!cs.contains(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn empty_constraint_set_is_simplex() {
+        let cs = ConstraintSet::new(2);
+        assert!(cs.is_empty());
+        assert!(cs.contains(&[0.25, 0.75]));
+        assert!(!cs.contains(&[-0.25, 1.25]));
+        assert!(cs.is_feasible());
+    }
+
+    #[test]
+    fn infeasible_region_detected() {
+        // ω[0] ≤ -1 cannot hold on the simplex.
+        let mut cs = ConstraintSet::new(2);
+        cs.push(LinearConstraint::new(vec![1.0, 0.0], -1.0));
+        assert!(!cs.is_feasible());
+        assert!(cs.feasible_point().is_none());
+    }
+
+    #[test]
+    fn feasible_point_satisfies_constraints() {
+        let cs = ConstraintSet::weak_ranking(4, 3);
+        let p = cs.feasible_point().expect("region is non-empty");
+        assert!(cs.contains(&p));
+    }
+
+    #[test]
+    fn minimize_over_region_matches_vertex() {
+        // minimise ω[2] over WR(3, 2): optimum 0 at e.g. (1,0,0).
+        let cs = ConstraintSet::weak_ranking(3, 2);
+        let out = cs.minimize_over_region(&[0.0, 0.0, 1.0]);
+        assert!(out.objective().unwrap().abs() < 1e-9);
+        // maximise ω[2]  == minimise −ω[2]: optimum −1/3 at the barycentre.
+        let out = cs.minimize_over_region(&[0.0, 0.0, -1.0]);
+        assert!((out.objective().unwrap() + 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_ratio_vertices_and_dim() {
+        let wr = WeightRatio::new(vec![(0.5, 2.0), (0.25, 4.0)]);
+        assert_eq!(wr.dim(), 3);
+        assert_eq!(wr.num_vertices(), 4);
+        assert_eq!(wr.vertex(0), vec![0.5, 0.25]);
+        assert_eq!(wr.vertex(1), vec![2.0, 0.25]);
+        assert_eq!(wr.vertex(2), vec![0.5, 4.0]);
+        assert_eq!(wr.vertex(3), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn weight_ratio_uniform() {
+        let wr = WeightRatio::uniform(3, 0.5, 2.0);
+        assert_eq!(wr.ranges(), &[(0.5, 2.0), (0.5, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weight_ratio_rejects_empty_range() {
+        let _ = WeightRatio::new(vec![(2.0, 0.5)]);
+    }
+
+    #[test]
+    fn weight_ratio_to_constraints_membership() {
+        // d = 2, ratio in [0.5, 2]: ω = (x, 1−x) with 0.5 ≤ x/(1−x) ≤ 2,
+        // i.e. x ∈ [1/3, 2/3].
+        let wr = WeightRatio::uniform(2, 0.5, 2.0);
+        let cs = wr.to_constraint_set();
+        assert!(cs.contains(&[0.5, 0.5]));
+        assert!(cs.contains(&[1.0 / 3.0, 2.0 / 3.0]));
+        assert!(cs.contains(&[2.0 / 3.0, 1.0 / 3.0]));
+        assert!(!cs.contains(&[0.9, 0.1]));
+        assert!(!cs.contains(&[0.1, 0.9]));
+    }
+}

@@ -1,0 +1,184 @@
+//! Hyperplanes, half-space side tests and the point/hyperplane duality of
+//! §IV-A.
+//!
+//! A hyperplane is stored in the explicit form
+//! `x[d] = Σ_{i<d} coeffs[i]·x[i] + offset` (the last coordinate expressed as
+//! an affine function of the others), which is exactly the form in which the
+//! paper writes both the region hyperplanes `h_{t,k}` (equation 6) and the
+//! dual hyperplanes `p*`.
+
+use crate::EPS;
+
+/// Side of a point relative to a hyperplane, comparing the point's last
+/// coordinate against the hyperplane value at the point's first `d−1`
+/// coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HalfSpaceSide {
+    /// The point's last coordinate is larger (the point lies above).
+    Above,
+    /// The point lies on the hyperplane (within [`EPS`]).
+    On,
+    /// The point's last coordinate is smaller (the point lies below).
+    Below,
+}
+
+impl HalfSpaceSide {
+    /// `true` for `Below` or `On` — the closed lower half-space used by the
+    /// half-space reporting reduction ("lying below or on").
+    pub fn is_below_or_on(self) -> bool {
+        matches!(self, HalfSpaceSide::Below | HalfSpaceSide::On)
+    }
+
+    /// `true` for `Above` or `On` — the closed upper half-space used by the
+    /// dual query ("lying above or through").
+    pub fn is_above_or_on(self) -> bool {
+        matches!(self, HalfSpaceSide::Above | HalfSpaceSide::On)
+    }
+}
+
+/// A non-vertical hyperplane `x[d] = Σ_{i<d} coeffs[i]·x[i] + offset` in `R^d`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hyperplane {
+    coeffs: Vec<f64>,
+    offset: f64,
+}
+
+impl Hyperplane {
+    /// Creates the hyperplane `x[d] = coeffs·x[1..d] + offset` where `coeffs`
+    /// has length `d − 1`.
+    pub fn new(coeffs: Vec<f64>, offset: f64) -> Self {
+        Self { coeffs, offset }
+    }
+
+    /// Dimensionality `d` of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len() + 1
+    }
+
+    /// Slope coefficients (length `d − 1`).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Value of the hyperplane at the first `d − 1` coordinates of a point.
+    pub fn value_at(&self, coords: &[f64]) -> f64 {
+        debug_assert!(coords.len() + 1 >= self.dim());
+        self.coeffs
+            .iter()
+            .zip(coords)
+            .map(|(a, x)| a * x)
+            .sum::<f64>()
+            + self.offset
+    }
+
+    /// Classifies a `d`-dimensional point against the hyperplane.
+    pub fn side(&self, point: &[f64]) -> HalfSpaceSide {
+        debug_assert_eq!(point.len(), self.dim());
+        let expected = self.value_at(&point[..self.dim() - 1]);
+        let actual = point[self.dim() - 1];
+        if (actual - expected).abs() <= EPS {
+            HalfSpaceSide::On
+        } else if actual > expected {
+            HalfSpaceSide::Above
+        } else {
+            HalfSpaceSide::Below
+        }
+    }
+
+    /// Returns `true` when the point lies below or on the hyperplane.
+    pub fn below_or_on(&self, point: &[f64]) -> bool {
+        self.side(point).is_below_or_on()
+    }
+
+    /// The duality transform of §IV-A applied to a *point*
+    /// `p = (p[1], …, p[d])`, producing the hyperplane
+    /// `p* : x[d] = p[1]·x[1] + … + p[d−1]·x[d−1] − p[d]`.
+    pub fn dual_of_point(point: &[f64]) -> Hyperplane {
+        let d = point.len();
+        assert!(d >= 2, "duality needs at least two dimensions");
+        Hyperplane::new(point[..d - 1].to_vec(), -point[d - 1])
+    }
+
+    /// The duality transform applied to this *hyperplane*
+    /// `h : x[d] = α[1]·x[1] + … + α[d−1]·x[d−1] − α[d]`, producing the point
+    /// `h* = (α[1], …, α[d])`.
+    pub fn dual_point(&self) -> Vec<f64> {
+        let mut p = self.coeffs.clone();
+        p.push(-self.offset);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn value_and_side() {
+        // x2 = -0.5*x1 + 16.5  (the hyperplane h_{t23,0} of the paper's Example 3).
+        let h = Hyperplane::new(vec![-0.5], 16.5);
+        assert_eq!(h.dim(), 2);
+        assert_eq!(h.value_at(&[9.0]), 12.0);
+        // t3,1 = (6, 12): below or on?  value_at(6) = 13.5 > 12 → below.
+        assert_eq!(h.side(&[6.0, 12.0]), HalfSpaceSide::Below);
+        assert!(h.below_or_on(&[6.0, 12.0]));
+        // A point above.
+        assert_eq!(h.side(&[6.0, 20.0]), HalfSpaceSide::Above);
+        // A point exactly on the hyperplane.
+        assert_eq!(h.side(&[9.0, 12.0]), HalfSpaceSide::On);
+        assert!(h.side(&[9.0, 12.0]).is_above_or_on());
+    }
+
+    #[test]
+    fn paper_example_3_region_one() {
+        // h_{t23,1}: x2 = -2*x1 + 30; t3,3 = (11, 8) lies on it.
+        let h = Hyperplane::new(vec![-2.0], 30.0);
+        assert_eq!(h.side(&[11.0, 8.0]), HalfSpaceSide::On);
+    }
+
+    #[test]
+    fn duality_round_trip() {
+        let p = vec![1.5, -2.0, 3.0];
+        let h = Hyperplane::dual_of_point(&p);
+        assert_eq!(h.coeffs(), &[1.5, -2.0]);
+        assert_eq!(h.offset(), -3.0);
+        assert_eq!(h.dual_point(), p);
+    }
+
+    #[test]
+    fn side_enum_helpers() {
+        assert!(HalfSpaceSide::Below.is_below_or_on());
+        assert!(HalfSpaceSide::On.is_below_or_on());
+        assert!(!HalfSpaceSide::Above.is_below_or_on());
+        assert!(HalfSpaceSide::Above.is_above_or_on());
+        assert!(!HalfSpaceSide::Below.is_above_or_on());
+    }
+
+    proptest! {
+        /// The defining property of the duality: p lies above (below, on) h
+        /// iff h* lies above (below, on) p*.
+        #[test]
+        fn duality_preserves_sides(
+            p in proptest::collection::vec(-10.0f64..10.0, 3),
+            coeffs in proptest::collection::vec(-5.0f64..5.0, 2),
+            offset in -10.0f64..10.0,
+        ) {
+            let h = Hyperplane::new(coeffs, offset);
+            let p_dual = Hyperplane::dual_of_point(&p);
+            let h_dual = h.dual_point();
+            let side_primal = h.side(&p);
+            let side_dual = p_dual.side(&h_dual);
+            // Allow the On/≈ boundary to disagree only when both are within a
+            // small neighbourhood of the hyperplane.
+            if side_primal != HalfSpaceSide::On && side_dual != HalfSpaceSide::On {
+                prop_assert_eq!(side_primal, side_dual);
+            }
+        }
+    }
+}

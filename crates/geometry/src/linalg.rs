@@ -1,0 +1,224 @@
+//! Small dense linear algebra.
+//!
+//! Vertex enumeration of the preference region solves many tiny `d × d`
+//! linear systems (one per candidate subset of tight constraints), so all we
+//! need is Gaussian elimination with partial pivoting on row-major matrices.
+
+use crate::EPS;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix-vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves the square linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// Returns `None` when the system is (numerically) singular, i.e. some pivot
+/// has absolute value below [`EPS`]. This is exactly the behaviour vertex
+/// enumeration needs: a singular subset of constraints does not define a
+/// unique vertex and must be skipped.
+pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "solve_linear_system requires a square matrix");
+    assert_eq!(a.rows(), b.len(), "dimension mismatch between matrix and rhs");
+    let n = a.rows();
+    // Augmented working copy.
+    let mut work: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut row = a.row(r).to_vec();
+            row.push(b[r]);
+            row
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivoting: find the row with the largest absolute value in
+        // this column at or below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                work[i][col]
+                    .abs()
+                    .partial_cmp(&work[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if work[pivot_row][col].abs() < EPS {
+            return None;
+        }
+        work.swap(col, pivot_row);
+        let pivot = work[col][col];
+        let (pivot_rows, lower_rows) = work.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for row in lower_rows.iter_mut() {
+            let factor = row[col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for (dst, src) in row[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                *dst -= factor * src;
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = work[row][n];
+        for col in (row + 1)..n {
+            sum -= work[row][col] * x[col];
+        }
+        x[row] = sum / work[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_slice;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = Matrix::identity(3);
+        let x = solve_linear_system(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(approx_eq_slice(&x, &[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn simple_2x2() {
+        // 2x + y = 5, x - y = 1  => x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve_linear_system(&a, &[5.0, 1.0]).unwrap();
+        assert!(approx_eq_slice(&x, &[2.0, 1.0]));
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve_linear_system(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve_linear_system(&a, &[3.0, 4.0]).unwrap();
+        assert!(approx_eq_slice(&x, &[4.0, 3.0]));
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    proptest! {
+        /// For random well-conditioned systems constructed as A·x = b with a
+        /// known x, the solver recovers x.
+        #[test]
+        fn recovers_known_solution(
+            diag in proptest::collection::vec(1.0f64..5.0, 4),
+            off in proptest::collection::vec(-0.2f64..0.2, 16),
+            x in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            // Diagonally dominant matrix => invertible and well conditioned.
+            let mut a = Matrix::zeros(4, 4);
+            for r in 0..4 {
+                for c in 0..4 {
+                    a[(r, c)] = if r == c { diag[r] } else { off[r * 4 + c] };
+                }
+            }
+            let b = a.mul_vec(&x);
+            let solved = solve_linear_system(&a, &b).unwrap();
+            for (got, want) in solved.iter().zip(&x) {
+                prop_assert!((got - want).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! A small dense two-phase simplex solver.
+//!
+//! The ARSP algorithms only need linear programs of tiny size:
+//!
+//! * the LP-based *reference* F-dominance test minimises
+//!   `Σ_i (s[i] − t[i])·ω[i]` over the preference region (problem (4) of the
+//!   paper) with `d ≤ 8` variables and a handful of constraints,
+//! * the preference-region machinery needs feasibility checks and an interior
+//!   point for the IM constraint generator.
+//!
+//! The solver therefore favours clarity and robustness (Bland's rule, explicit
+//! two-phase handling of equality constraints) over performance; the
+//! production F-dominance tests used inside the algorithms are the
+//! vertex-based test of Theorem 2 and the `O(d)` weight-ratio test of
+//! Theorem 5, not this LP.
+
+use crate::EPS;
+
+/// Outcome of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found: objective value and primal solution.
+    Optimal { objective: f64, x: Vec<f64> },
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Convenience accessor: the optimal objective value, if any.
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            LpOutcome::Optimal { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the optimal solution, if any.
+    pub fn solution(&self) -> Option<&[f64]> {
+        match self {
+            LpOutcome::Optimal { x, .. } => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the LP was solved to optimality.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, LpOutcome::Optimal { .. })
+    }
+}
+
+/// A linear program in the form
+///
+/// ```text
+/// minimise   c·x
+/// subject to A_ub · x ≤ b_ub
+///            A_eq · x = b_eq
+///            x ≥ 0
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients `c` (length = number of variables).
+    pub objective: Vec<f64>,
+    /// Inequality rows (`A_ub`, `b_ub`).
+    pub leq: Vec<(Vec<f64>, f64)>,
+    /// Equality rows (`A_eq`, `b_eq`).
+    pub eq: Vec<(Vec<f64>, f64)>,
+}
+
+impl LinearProgram {
+    /// Creates an empty LP over `n` non-negative variables with a zero
+    /// objective.
+    pub fn new(n: usize) -> Self {
+        Self {
+            objective: vec![0.0; n],
+            leq: Vec::new(),
+            eq: Vec::new(),
+        }
+    }
+
+    /// Sets the objective coefficients.
+    pub fn minimize(mut self, c: Vec<f64>) -> Self {
+        assert_eq!(c.len(), self.objective.len());
+        self.objective = c;
+        self
+    }
+
+    /// Adds an inequality `a·x ≤ b`.
+    pub fn with_leq(mut self, a: Vec<f64>, b: f64) -> Self {
+        assert_eq!(a.len(), self.objective.len());
+        self.leq.push((a, b));
+        self
+    }
+
+    /// Adds an equality `a·x = b`.
+    pub fn with_eq(mut self, a: Vec<f64>, b: f64) -> Self {
+        assert_eq!(a.len(), self.objective.len());
+        self.eq.push((a, b));
+        self
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Solves the LP with the two-phase simplex method.
+    pub fn solve(&self) -> LpOutcome {
+        Simplex::new(self).solve()
+    }
+}
+
+/// Internal dense tableau simplex.
+struct Simplex {
+    /// Tableau rows: one per constraint, each of length `num_cols + 1`
+    /// (the last entry is the right-hand side).
+    rows: Vec<Vec<f64>>,
+    /// Index of the basic variable for each row.
+    basis: Vec<usize>,
+    /// Number of structural (original) variables.
+    n: usize,
+    /// Number of structural + slack variables (artificials come after).
+    n_with_slack: usize,
+    /// Total number of columns (structural + slack + artificial).
+    num_cols: usize,
+    /// Original objective, padded to `num_cols`.
+    objective: Vec<f64>,
+}
+
+impl Simplex {
+    fn new(lp: &LinearProgram) -> Self {
+        let n = lp.num_vars();
+        let m_leq = lp.leq.len();
+        let m = m_leq + lp.eq.len();
+        let n_with_slack = n + m_leq;
+        // One artificial variable per row keeps the construction simple and
+        // uniform; the sizes involved are tiny.
+        let num_cols = n_with_slack + m;
+
+        let mut rows = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+
+        for (ri, (a, b)) in lp.leq.iter().chain(lp.eq.iter()).enumerate() {
+            let is_leq = ri < m_leq;
+            let mut row = vec![0.0; num_cols + 1];
+            row[..n].copy_from_slice(a);
+            if is_leq {
+                row[n + ri] = 1.0; // slack
+            }
+            row[num_cols] = *b;
+            // Normalise to a non-negative right-hand side.
+            if row[num_cols] < 0.0 {
+                for v in row.iter_mut() {
+                    *v = -*v;
+                }
+            }
+            // Artificial variable for this row.
+            row[n_with_slack + ri] = 1.0;
+            basis.push(n_with_slack + ri);
+            rows.push(row);
+        }
+
+        let mut objective = lp.objective.clone();
+        objective.resize(num_cols, 0.0);
+
+        Self {
+            rows,
+            basis,
+            n,
+            n_with_slack,
+            num_cols,
+            objective,
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        // Phase 1: minimise the sum of artificial variables.
+        let mut phase1 = vec![0.0; self.num_cols];
+        for v in phase1[self.n_with_slack..].iter_mut() {
+            *v = 1.0;
+        }
+        match self.optimize(&phase1, /* forbid_artificials = */ false) {
+            PivotResult::Optimal(value) => {
+                if value > 1e-7 {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            PivotResult::Unbounded => {
+                // Phase 1 objective is bounded below by zero; this cannot
+                // happen for well-formed input.
+                return LpOutcome::Infeasible;
+            }
+        }
+        self.drive_out_artificials();
+
+        // Phase 2: minimise the real objective, never letting an artificial
+        // variable re-enter the basis.
+        let objective = self.objective.clone();
+        match self.optimize(&objective, /* forbid_artificials = */ true) {
+            PivotResult::Optimal(value) => LpOutcome::Optimal {
+                objective: value,
+                x: self.extract_solution(),
+            },
+            PivotResult::Unbounded => LpOutcome::Unbounded,
+        }
+    }
+
+    /// Runs simplex pivots minimising `cost` until optimality or
+    /// unboundedness, using Bland's rule for anti-cycling.
+    fn optimize(&mut self, cost: &[f64], forbid_artificials: bool) -> PivotResult {
+        let limit_col = if forbid_artificials {
+            self.n_with_slack
+        } else {
+            self.num_cols
+        };
+        // Reduced cost row, kept consistent with the current basis.
+        let mut z = cost.to_vec();
+        let mut z_rhs = 0.0;
+        for (r, &bi) in self.basis.iter().enumerate() {
+            let coeff = z[bi];
+            if coeff != 0.0 {
+                for (zc, rc) in z.iter_mut().zip(&self.rows[r][..self.num_cols]) {
+                    *zc -= coeff * rc;
+                }
+                z_rhs -= coeff * self.rows[r][self.num_cols];
+            }
+        }
+
+        // A very generous iteration cap guards against numerical livelock.
+        let max_iter = 200 * (self.num_cols + self.rows.len() + 1);
+        for _ in 0..max_iter {
+            // Bland's rule: the entering variable is the lowest-index column
+            // with a negative reduced cost.
+            let entering = (0..limit_col).find(|&c| z[c] < -1e-9);
+            let entering = match entering {
+                Some(c) => c,
+                None => return PivotResult::Optimal(-z_rhs),
+            };
+
+            // Ratio test; Bland's rule again breaks ties by basic-variable
+            // index.
+            let mut leaving: Option<(usize, f64)> = None;
+            for r in 0..self.rows.len() {
+                let coeff = self.rows[r][entering];
+                if coeff > 1e-9 {
+                    let ratio = self.rows[r][self.num_cols] / coeff;
+                    match leaving {
+                        None => leaving = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - 1e-12
+                                || ((ratio - lratio).abs() <= 1e-12
+                                    && self.basis[r] < self.basis[lr])
+                            {
+                                leaving = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let (leave_row, _) = match leaving {
+                Some(l) => l,
+                None => return PivotResult::Unbounded,
+            };
+
+            self.pivot(leave_row, entering);
+            // Update the reduced-cost row for the pivot.
+            let coeff = z[entering];
+            if coeff != 0.0 {
+                for (zc, rc) in z.iter_mut().zip(&self.rows[leave_row][..self.num_cols]) {
+                    *zc -= coeff * rc;
+                }
+                z_rhs -= coeff * self.rows[leave_row][self.num_cols];
+            }
+        }
+        // Falling out of the loop means we hit the iteration cap; report the
+        // current (feasible) value as optimal — with Bland's rule this is not
+        // expected to happen for the problem sizes in this crate.
+        PivotResult::Optimal(-z_rhs)
+    }
+
+    /// Performs a pivot: the variable `entering` becomes basic in `row`.
+    fn pivot(&mut self, row: usize, entering: usize) {
+        let pivot = self.rows[row][entering];
+        debug_assert!(pivot.abs() > 1e-12);
+        for v in self.rows[row].iter_mut() {
+            *v /= pivot;
+        }
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][entering];
+            if factor != 0.0 {
+                for c in 0..=self.num_cols {
+                    self.rows[r][c] -= factor * self.rows[row][c];
+                }
+            }
+        }
+        self.basis[row] = entering;
+    }
+
+    /// After phase 1, pivots any artificial variable that is still basic out
+    /// of the basis (or detects that its row is redundant).
+    fn drive_out_artificials(&mut self) {
+        for r in 0..self.rows.len() {
+            if self.basis[r] >= self.n_with_slack {
+                // Find a non-artificial column with a non-zero coefficient.
+                if let Some(c) = (0..self.n_with_slack).find(|&c| self.rows[r][c].abs() > EPS) {
+                    self.pivot(r, c);
+                }
+                // Otherwise the row is all zeros over structural variables —
+                // a redundant constraint — and can stay as is: the artificial
+                // is basic at value zero and phase 2 forbids it from moving.
+            }
+        }
+    }
+
+    fn extract_solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        for (r, &bi) in self.basis.iter().enumerate() {
+            if bi < self.n {
+                x[bi] = self.rows[r][self.num_cols];
+            }
+        }
+        x
+    }
+}
+
+enum PivotResult {
+    Optimal(f64),
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_bounded_minimum() {
+        // minimise -x - y  s.t. x + y <= 1, x,y >= 0 ; optimum -1 on the segment.
+        let lp = LinearProgram::new(2)
+            .minimize(vec![-1.0, -1.0])
+            .with_leq(vec![1.0, 1.0], 1.0);
+        let out = lp.solve();
+        let obj = out.objective().expect("optimal");
+        assert!((obj + 1.0).abs() < 1e-9);
+        let x = out.solution().unwrap();
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimise x1 + 2*x2 s.t. x1 + x2 = 1 ; optimum at x = (1, 0).
+        let lp = LinearProgram::new(2)
+            .minimize(vec![1.0, 2.0])
+            .with_eq(vec![1.0, 1.0], 1.0);
+        let out = lp.solve();
+        assert!((out.objective().unwrap() - 1.0).abs() < 1e-9);
+        let x = out.solution().unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!(x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= -1 with x >= 0 is infeasible.
+        let lp = LinearProgram::new(1)
+            .minimize(vec![1.0])
+            .with_leq(vec![1.0], -1.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn contradictory_equalities_are_infeasible() {
+        let lp = LinearProgram::new(2)
+            .minimize(vec![0.0, 0.0])
+            .with_eq(vec![1.0, 1.0], 1.0)
+            .with_eq(vec![1.0, 1.0], 2.0);
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // minimise -x with only x >= 0 is unbounded below.
+        let lp = LinearProgram::new(1).minimize(vec![-1.0]);
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // minimise x s.t. -x <= -2  (i.e. x >= 2); optimum 2.
+        let lp = LinearProgram::new(1)
+            .minimize(vec![1.0])
+            .with_leq(vec![-1.0], -2.0);
+        let out = lp.solve();
+        assert!((out.objective().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplex_vertex_objective() {
+        // minimise the first coordinate over the 2-simplex with an extra
+        // ordering constraint w1 >= w2: the optimum is w = (0.5, 0.5)?  No:
+        // minimising w1 subject to w1 >= w2, w1 + w2 = 1 gives w1 = 0.5.
+        let lp = LinearProgram::new(2)
+            .minimize(vec![1.0, 0.0])
+            .with_eq(vec![1.0, 1.0], 1.0)
+            .with_leq(vec![-1.0, 1.0], 0.0);
+        let out = lp.solve();
+        assert!((out.objective().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_constraints_ok() {
+        // Duplicate equality rows must not confuse phase 1 / artificial removal.
+        let lp = LinearProgram::new(2)
+            .minimize(vec![1.0, 1.0])
+            .with_eq(vec![1.0, 1.0], 1.0)
+            .with_eq(vec![1.0, 1.0], 1.0);
+        let out = lp.solve();
+        assert!((out.objective().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_vertex_no_cycle() {
+        // A classic degenerate LP; Bland's rule must terminate.
+        let lp = LinearProgram::new(4)
+            .minimize(vec![-0.75, 150.0, -0.02, 6.0])
+            .with_leq(vec![0.25, -60.0, -0.04, 9.0], 0.0)
+            .with_leq(vec![0.5, -90.0, -0.02, 3.0], 0.0)
+            .with_leq(vec![0.0, 0.0, 1.0, 0.0], 1.0);
+        let out = lp.solve();
+        assert!(out.is_optimal());
+        assert!((out.objective().unwrap() - (-0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(LpOutcome::Infeasible.objective(), None);
+        assert!(LpOutcome::Infeasible.solution().is_none());
+        assert!(!LpOutcome::Unbounded.is_optimal());
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimum bounding rectangles (MBRs).
+//!
+//! Every spatial index in the reproduction (R-tree, aggregated R-tree,
+//! kd-tree and quadtree partitioners) summarises a set of points by its MBR
+//! and reasons about dominance through the MBR corners, exactly as the paper
+//! does with `P_min` / `P_max` in Algorithm 1 and `N_min` in Algorithm 2.
+
+use crate::point::{dominates, Point};
+
+/// An axis-aligned minimum bounding rectangle `[min, max]` in `R^d`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mbr {
+    min: Point,
+    max: Point,
+}
+
+impl Mbr {
+    /// Creates an MBR from explicit corners.
+    ///
+    /// # Panics
+    /// Panics if the corners have different dimensionality or if any minimum
+    /// coordinate exceeds the corresponding maximum.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert_eq!(min.dim(), max.dim(), "MBR corners must share dimensionality");
+        assert!(
+            min.coords().iter().zip(max.coords()).all(|(a, b)| a <= b),
+            "MBR min corner must dominate max corner"
+        );
+        Self { min, max }
+    }
+
+    /// Creates a degenerate MBR covering a single point.
+    pub fn from_point(p: &Point) -> Self {
+        Self {
+            min: p.clone(),
+            max: p.clone(),
+        }
+    }
+
+    /// Computes the MBR of a non-empty set of coordinate slices.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_coord_slices<'a, I>(mut iter: I) -> Option<Self>
+    where
+        I: Iterator<Item = &'a [f64]>,
+    {
+        let first = iter.next()?;
+        let mut min = first.to_vec();
+        let mut max = first.to_vec();
+        for coords in iter {
+            for (i, &c) in coords.iter().enumerate() {
+                if c < min[i] {
+                    min[i] = c;
+                }
+                if c > max[i] {
+                    max[i] = c;
+                }
+            }
+        }
+        Some(Self {
+            min: Point::new(min),
+            max: Point::new(max),
+        })
+    }
+
+    /// Computes the MBR of a non-empty set of points.
+    pub fn from_points<'a, I>(iter: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Point>,
+    {
+        Self::from_coord_slices(iter.into_iter().map(|p| p.coords()))
+    }
+
+    /// Minimum ("best") corner.
+    #[inline]
+    pub fn min(&self) -> &Point {
+        &self.min
+    }
+
+    /// Maximum ("worst") corner.
+    #[inline]
+    pub fn max(&self) -> &Point {
+        &self.max
+    }
+
+    /// Dimensionality of the MBR.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.dim()
+    }
+
+    /// Extends this MBR to cover the given coordinates.
+    pub fn extend_coords(&mut self, coords: &[f64]) {
+        debug_assert_eq!(coords.len(), self.dim());
+        for (i, &c) in coords.iter().enumerate() {
+            if c < self.min[i] {
+                self.min[i] = c;
+            }
+            if c > self.max[i] {
+                self.max[i] = c;
+            }
+        }
+    }
+
+    /// Extends this MBR to cover another MBR.
+    pub fn extend_mbr(&mut self, other: &Mbr) {
+        self.extend_coords(other.min.coords());
+        self.extend_coords(other.max.coords());
+    }
+
+    /// Union of two MBRs.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        let mut out = self.clone();
+        out.extend_mbr(other);
+        out
+    }
+
+    /// Returns `true` when the point lies inside the rectangle (inclusive).
+    pub fn contains(&self, coords: &[f64]) -> bool {
+        debug_assert_eq!(coords.len(), self.dim());
+        coords
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| self.min[i] <= c && c <= self.max[i])
+    }
+
+    /// Returns `true` when the two rectangles intersect (inclusive).
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        (0..self.dim()).all(|i| self.min[i] <= other.max[i] && other.min[i] <= self.max[i])
+    }
+
+    /// Returns `true` when `other` is fully contained in `self` (inclusive).
+    pub fn contains_mbr(&self, other: &Mbr) -> bool {
+        (0..self.dim()).all(|i| self.min[i] <= other.min[i] && other.max[i] <= self.max[i])
+    }
+
+    /// Returns `true` when the given point weakly dominates the *minimum*
+    /// corner, i.e. it dominates every point that could lie in the rectangle.
+    #[inline]
+    pub fn dominated_entirely_by(&self, coords: &[f64]) -> bool {
+        dominates(coords, self.min.coords())
+    }
+
+    /// Returns `true` when the given point weakly dominates the *maximum*
+    /// corner, i.e. it may dominate some point of the rectangle.
+    #[inline]
+    pub fn possibly_dominated_by(&self, coords: &[f64]) -> bool {
+        dominates(coords, self.max.coords())
+    }
+
+    /// Volume (product of side lengths); zero for degenerate rectangles.
+    pub fn volume(&self) -> f64 {
+        (0..self.dim()).map(|i| self.max[i] - self.min[i]).product()
+    }
+
+    /// Margin (sum of side lengths), used by R-tree split heuristics.
+    pub fn margin(&self) -> f64 {
+        (0..self.dim()).map(|i| self.max[i] - self.min[i]).sum()
+    }
+
+    /// Centre of the rectangle.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (0..self.dim())
+                .map(|i| 0.5 * (self.min[i] + self.max[i]))
+                .collect(),
+        )
+    }
+
+    /// Intersection volume of two MBRs (zero when disjoint).
+    pub fn intersection_volume(&self, other: &Mbr) -> f64 {
+        let mut v = 1.0;
+        for i in 0..self.dim() {
+            let lo = self.min[i].max(other.min[i]);
+            let hi = self.max[i].min(other.max[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            v *= hi - lo;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mbr(min: &[f64], max: &[f64]) -> Mbr {
+        Mbr::new(Point::from(min), Point::from(max))
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(vec![1.0, 5.0]),
+            Point::new(vec![3.0, 2.0]),
+            Point::new(vec![2.0, 4.0]),
+        ];
+        let r = Mbr::from_points(pts.iter()).unwrap();
+        assert_eq!(r.min().coords(), &[1.0, 2.0]);
+        assert_eq!(r.max().coords(), &[3.0, 5.0]);
+        assert!(pts.iter().all(|p| r.contains(p.coords())));
+    }
+
+    #[test]
+    fn empty_set_has_no_mbr() {
+        assert!(Mbr::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let a = mbr(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = mbr(&[1.0, 1.0], &[3.0, 3.0]);
+        let c = mbr(&[2.5, 2.5], &[4.0, 4.0]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&c));
+        assert!(!a.intersects(&c));
+        assert!(a.contains(&[1.0, 1.0]));
+        assert!(!a.contains(&[1.0, 2.5]));
+        assert!(a.contains_mbr(&mbr(&[0.5, 0.5], &[1.5, 1.5])));
+        assert!(!a.contains_mbr(&b));
+    }
+
+    #[test]
+    fn dominance_against_corners() {
+        let r = mbr(&[2.0, 2.0], &[4.0, 4.0]);
+        // (1,1) dominates the min corner, so it dominates every point in r.
+        assert!(r.dominated_entirely_by(&[1.0, 1.0]));
+        // (3,1) does not dominate the min corner but dominates the max corner:
+        // it may dominate some points of r.
+        assert!(!r.dominated_entirely_by(&[3.0, 1.0]));
+        assert!(r.possibly_dominated_by(&[3.0, 1.0]));
+        // (5,5) cannot dominate anything in r.
+        assert!(!r.possibly_dominated_by(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn volume_margin_center() {
+        let r = mbr(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(r.volume(), 6.0);
+        assert_eq!(r.margin(), 6.0);
+        assert_eq!(r.center().coords(), &[0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn intersection_volume() {
+        let a = mbr(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = mbr(&[1.0, 1.0], &[3.0, 3.0]);
+        assert_eq!(a.intersection_volume(&b), 1.0);
+        let c = mbr(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(a.intersection_volume(&c), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_corners_panic() {
+        let _ = mbr(&[1.0, 0.0], &[0.0, 1.0]);
+    }
+
+    proptest! {
+        /// The MBR of a point set contains every point, and its min/max corners
+        /// dominate / are dominated by every point.
+        #[test]
+        fn mbr_envelopes_points(pts in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3), 1..40)) {
+            let points: Vec<Point> = pts.into_iter().map(Point::new).collect();
+            let r = Mbr::from_points(points.iter()).unwrap();
+            for p in &points {
+                prop_assert!(r.contains(p.coords()));
+                prop_assert!(r.min().dominates(p));
+                prop_assert!(p.dominates(r.max()));
+            }
+        }
+
+        /// Union is commutative and contains both operands.
+        #[test]
+        fn union_contains_operands(a in proptest::collection::vec(-10.0f64..10.0, 2),
+                                   b in proptest::collection::vec(-10.0f64..10.0, 2),
+                                   c in proptest::collection::vec(-10.0f64..10.0, 2),
+                                   d in proptest::collection::vec(-10.0f64..10.0, 2)) {
+            let r1 = Mbr::from_points([Point::new(a), Point::new(b)].iter()).unwrap();
+            let r2 = Mbr::from_points([Point::new(c), Point::new(d)].iter()).unwrap();
+            let u = r1.union(&r2);
+            prop_assert!(u.contains_mbr(&r1));
+            prop_assert!(u.contains_mbr(&r2));
+            prop_assert_eq!(u, r2.union(&r1));
+        }
+    }
+}

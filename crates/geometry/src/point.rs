@@ -1,0 +1,294 @@
+//! d-dimensional points and the (weak) dominance relation.
+//!
+//! The paper assumes *lower values are preferred*, so an instance `t`
+//! dominates `s` (written `t ⪯ s`) when `t[i] ≤ s[i]` in every dimension.
+//! The F-dominance relation of the paper reduces to this plain dominance in
+//! the score space (Theorem 2), which is why the whole algorithmic machinery
+//! is built on top of this module.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A point in `R^d` with `f64` coordinates.
+///
+/// `Point` is deliberately a thin wrapper around `Vec<f64>`: the datasets used
+/// by ARSP have small dimensionality (2–8 in the paper) and the hot loops
+/// operate on borrowed coordinate slices, so there is nothing to gain from a
+/// fixed-size representation while flexibility across `d` would be lost.
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        Self { coords }
+    }
+
+    /// Creates the origin of `R^d`.
+    pub fn origin(dim: usize) -> Self {
+        Self {
+            coords: vec![0.0; dim],
+        }
+    }
+
+    /// Creates a point with every coordinate set to `value`.
+    pub fn splat(dim: usize, value: f64) -> Self {
+        Self {
+            coords: vec![value; dim],
+        }
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Borrow the coordinates.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Mutably borrow the coordinates.
+    #[inline]
+    pub fn coords_mut(&mut self) -> &mut [f64] {
+        &mut self.coords
+    }
+
+    /// Consume the point and return its coordinate vector.
+    pub fn into_coords(self) -> Vec<f64> {
+        self.coords
+    }
+
+    /// Weak dominance: `self ⪯ other` iff every coordinate of `self` is `≤`
+    /// the corresponding coordinate of `other`.
+    ///
+    /// This is the relation written `⪯` throughout the paper (lower is
+    /// better). Note that a point weakly dominates itself; callers that need
+    /// the paper's "dominates another object `s ≠ t`" semantics must exclude
+    /// identity at the instance level, not at the coordinate level.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the dimensionalities differ.
+    #[inline]
+    pub fn dominates(&self, other: &Point) -> bool {
+        dominates(&self.coords, &other.coords)
+    }
+
+    /// Strict dominance: `self ⪯ other` and the points differ in at least one
+    /// coordinate.
+    #[inline]
+    pub fn strictly_dominates(&self, other: &Point) -> bool {
+        strictly_dominates(&self.coords, &other.coords)
+    }
+
+    /// Linear score `S_ω(t) = Σ_i ω[i]·t[i]` of this point under weight `ω`.
+    #[inline]
+    pub fn score(&self, weight: &[f64]) -> f64 {
+        score(&self.coords, weight)
+    }
+
+    /// Squared Euclidean distance to another point (used only by tests and
+    /// generators; never by the algorithms themselves).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Coordinate-wise minimum of two points.
+    pub fn component_min(&self, other: &Point) -> Point {
+        debug_assert_eq!(self.dim(), other.dim());
+        Point::new(
+            self.coords
+                .iter()
+                .zip(other.coords.iter())
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+        )
+    }
+
+    /// Coordinate-wise maximum of two points.
+    pub fn component_max(&self, other: &Point) -> Point {
+        debug_assert_eq!(self.dim(), other.dim());
+        Point::new(
+            self.coords
+                .iter()
+                .zip(other.coords.iter())
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        )
+    }
+
+    /// Coordinate-wise difference `self − other`.
+    pub fn sub(&self, other: &Point) -> Point {
+        debug_assert_eq!(self.dim(), other.dim());
+        Point::new(
+            self.coords
+                .iter()
+                .zip(other.coords.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, index: usize) -> &f64 {
+        &self.coords[index]
+    }
+}
+
+impl IndexMut<usize> for Point {
+    #[inline]
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.coords[index]
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(coords: &[f64]) -> Self {
+        Point::new(coords.to_vec())
+    }
+}
+
+/// Slice-level weak dominance, the hot-path version of [`Point::dominates`].
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).all(|(x, y)| x <= y)
+}
+
+/// Slice-level strict dominance (`⪯` and not coordinate-wise equal).
+#[inline]
+pub fn strictly_dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Slice-level linear score `Σ_i ω[i]·t[i]`.
+#[inline]
+pub fn score(coords: &[f64], weight: &[f64]) -> f64 {
+    debug_assert_eq!(coords.len(), weight.len());
+    coords.iter().zip(weight.iter()).map(|(c, w)| c * w).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominance_basic() {
+        let a = Point::new(vec![1.0, 2.0]);
+        let b = Point::new(vec![1.0, 3.0]);
+        let c = Point::new(vec![0.5, 4.0]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+        assert!(a.dominates(&a));
+        assert!(!a.strictly_dominates(&a));
+        assert!(a.strictly_dominates(&b));
+    }
+
+    #[test]
+    fn score_is_weighted_sum() {
+        let p = Point::new(vec![2.0, 4.0, 6.0]);
+        assert_eq!(p.score(&[0.5, 0.25, 0.25]), 1.0 + 1.0 + 1.5);
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point::new(vec![1.0, 5.0]);
+        let b = Point::new(vec![3.0, 2.0]);
+        assert_eq!(a.component_min(&b).coords(), &[1.0, 2.0]);
+        assert_eq!(a.component_max(&b).coords(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn sub_and_distance() {
+        let a = Point::new(vec![3.0, 4.0]);
+        let o = Point::origin(2);
+        assert_eq!(a.sub(&o).coords(), &[3.0, 4.0]);
+        assert_eq!(a.distance_sq(&o), 25.0);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut p = Point::splat(3, 1.0);
+        p[1] = 7.0;
+        assert_eq!(p[1], 7.0);
+        assert_eq!(p[0], 1.0);
+    }
+
+    proptest! {
+        /// Dominance is reflexive and transitive; strict dominance is irreflexive.
+        #[test]
+        fn dominance_partial_order(a in proptest::collection::vec(-10.0f64..10.0, 4),
+                                   b in proptest::collection::vec(-10.0f64..10.0, 4),
+                                   c in proptest::collection::vec(-10.0f64..10.0, 4)) {
+            let (pa, pb, pc) = (Point::new(a), Point::new(b), Point::new(c));
+            prop_assert!(pa.dominates(&pa));
+            prop_assert!(!pa.strictly_dominates(&pa));
+            if pa.dominates(&pb) && pb.dominates(&pc) {
+                prop_assert!(pa.dominates(&pc));
+            }
+            if pa.strictly_dominates(&pb) {
+                prop_assert!(!pb.strictly_dominates(&pa));
+            }
+        }
+
+        /// The component-wise min dominates both arguments and the max is dominated by both.
+        #[test]
+        fn min_max_envelope(a in proptest::collection::vec(-10.0f64..10.0, 3),
+                            b in proptest::collection::vec(-10.0f64..10.0, 3)) {
+            let (pa, pb) = (Point::new(a), Point::new(b));
+            let lo = pa.component_min(&pb);
+            let hi = pa.component_max(&pb);
+            prop_assert!(lo.dominates(&pa) && lo.dominates(&pb));
+            prop_assert!(pa.dominates(&hi) && pb.dominates(&hi));
+        }
+
+        /// Scores under non-negative weights are monotone with respect to dominance.
+        #[test]
+        fn score_monotone(a in proptest::collection::vec(0.0f64..10.0, 3),
+                          delta in proptest::collection::vec(0.0f64..5.0, 3),
+                          w in proptest::collection::vec(0.0f64..1.0, 3)) {
+            let pa = Point::new(a.clone());
+            let pb = Point::new(a.iter().zip(&delta).map(|(x, d)| x + d).collect());
+            prop_assert!(pa.dominates(&pb));
+            prop_assert!(pa.score(&w) <= pb.score(&w) + 1e-12);
+        }
+    }
+}

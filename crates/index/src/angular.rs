@@ -1,0 +1,227 @@
+//! Angular sweep index: the d = 2 specialisation of the DUAL-MS algorithm.
+//!
+//! For two-dimensional data under weight ratio constraints `[l, h]`, the
+//! paper (§V-D, Fig. 7a) observes that the two half-space queries issued for
+//! an instance `t` can be re-interpreted as a single *continuous angular
+//! range query* around `t`: every other instance `s` is represented by the
+//! angle of the vector `s − t`, and the instances that F-dominate `t` are
+//! exactly those whose angle falls in the wedge determined by the two extreme
+//! slopes `−l` and `−h`.
+//!
+//! The index stores, for one reference instance, the angles of all other
+//! instances grouped by uncertain object, sorted, with prefix sums of their
+//! existence probabilities. A (possibly wrapping) angular range query then
+//! returns the dominated probability mass per object in
+//! `O(Σ_j log n_j) = O(m log n)` — and the whole preprocessing is `O(n log n)`
+//! per reference instance, which is why the paper reports a large
+//! preprocessing cost for DUAL-MS on IIP while its query time is tiny.
+
+use std::f64::consts::TAU;
+
+/// One angular item: direction of `s − t`, the object `s` belongs to, and
+/// `p(s)`.
+#[derive(Clone, Copy, Debug)]
+pub struct AngularItem {
+    /// Angle in radians; any finite value is accepted and normalised to
+    /// `[0, 2π)`.
+    pub angle: f64,
+    /// Object identifier (dense, `< num_objects`).
+    pub object: usize,
+    /// Weight (existence probability).
+    pub weight: f64,
+}
+
+/// Per-reference-instance angular index with per-object prefix sums.
+#[derive(Clone, Debug)]
+pub struct AngularSweepIndex {
+    /// For each object: sorted angles.
+    angles: Vec<Vec<f64>>,
+    /// For each object: prefix sums of weights aligned with `angles`
+    /// (`prefix[i]` = sum of the first `i` weights).
+    prefix: Vec<Vec<f64>>,
+}
+
+impl AngularSweepIndex {
+    /// Builds the index for `num_objects` objects from angular items.
+    pub fn build(num_objects: usize, items: impl IntoIterator<Item = AngularItem>) -> Self {
+        let mut per_object: Vec<Vec<(f64, f64)>> = vec![Vec::new(); num_objects];
+        for item in items {
+            assert!(item.object < num_objects, "object id out of range");
+            per_object[item.object].push((normalize_angle(item.angle), item.weight));
+        }
+        let mut angles = Vec::with_capacity(num_objects);
+        let mut prefix = Vec::with_capacity(num_objects);
+        for mut list in per_object {
+            list.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut a = Vec::with_capacity(list.len());
+            let mut p = Vec::with_capacity(list.len() + 1);
+            p.push(0.0);
+            let mut acc = 0.0;
+            for (angle, w) in list {
+                a.push(angle);
+                acc += w;
+                p.push(acc);
+            }
+            angles.push(a);
+            prefix.push(p);
+        }
+        Self { angles, prefix }
+    }
+
+    /// Number of objects the index was built over.
+    pub fn num_objects(&self) -> usize {
+        self.angles.len()
+    }
+
+    /// Total weight stored for one object.
+    pub fn object_total(&self, object: usize) -> f64 {
+        *self.prefix[object].last().unwrap_or(&0.0)
+    }
+
+    /// Sum of weights of one object's items whose angle lies in the closed
+    /// range `[lo, hi]` (angles are normalised; if `lo > hi` after
+    /// normalisation the range wraps through `0`).
+    pub fn object_sum_in_range(&self, object: usize, lo: f64, hi: f64) -> f64 {
+        let lo = normalize_angle(lo);
+        let hi = normalize_angle(hi);
+        if lo <= hi {
+            self.sum_within(object, lo, hi)
+        } else {
+            self.sum_within(object, lo, TAU) + self.sum_within(object, 0.0, hi)
+        }
+    }
+
+    /// Per-object sums over the angular range (see
+    /// [`Self::object_sum_in_range`]).
+    pub fn sums_in_range(&self, lo: f64, hi: f64) -> Vec<f64> {
+        (0..self.num_objects())
+            .map(|j| self.object_sum_in_range(j, lo, hi))
+            .collect()
+    }
+
+    /// Sum of weights with angle in `[lo, hi]`, `lo ≤ hi`, no wrapping.
+    fn sum_within(&self, object: usize, lo: f64, hi: f64) -> f64 {
+        let angles = &self.angles[object];
+        let prefix = &self.prefix[object];
+        let start = angles.partition_point(|&a| a < lo - ANGLE_EPS);
+        let end = angles.partition_point(|&a| a <= hi + ANGLE_EPS);
+        prefix[end] - prefix[start]
+    }
+}
+
+/// Tolerance used when comparing angles: points that lie exactly on a query
+/// boundary (the "on the hyperplane" case of the paper) must be included.
+const ANGLE_EPS: f64 = 1e-12;
+
+/// Normalises an angle into `[0, 2π)`.
+pub fn normalize_angle(angle: f64) -> f64 {
+    let mut a = angle % TAU;
+    if a < 0.0 {
+        a += TAU;
+    }
+    if a >= TAU {
+        a -= TAU;
+    }
+    a
+}
+
+/// The angular wedge (as a `[lo, hi]` range of directions of `s − t`) that
+/// characterises `s ≺_F t` for 2-d weight ratio constraints `[l, h]`:
+/// the directions `u` with `u · (l, 1) ≤ 0` and `u · (h, 1) ≤ 0`.
+///
+/// Returns `(lo, hi)` with `lo ≤ hi` in radians (the wedge never wraps for
+/// `0 ≤ l ≤ h` because it always contains the direction `(0, −1)` i.e.
+/// `3π/2`).
+pub fn dominance_wedge(l: f64, h: f64) -> (f64, f64) {
+    assert!(l >= 0.0 && l <= h, "invalid ratio range");
+    // u · (l, 1) ≤ 0 describes the closed half-plane of directions
+    // θ ∈ [α_l + π/2, α_l + 3π/2] where α_l = atan2(1, l) ∈ (0, π/2].
+    // The intersection for l ≤ h is [α_l + π/2, α_h + 3π/2].
+    let alpha_l = 1.0f64.atan2(l);
+    let alpha_h = 1.0f64.atan2(h);
+    (alpha_l + std::f64::consts::FRAC_PI_2, alpha_h + 3.0 * std::f64::consts::FRAC_PI_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn normalisation() {
+        assert!((normalize_angle(-FRAC_PI_2) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+        assert!((normalize_angle(TAU + 0.1) - 0.1).abs() < 1e-12);
+        assert_eq!(normalize_angle(0.0), 0.0);
+    }
+
+    #[test]
+    fn range_queries_with_and_without_wrap() {
+        let items = vec![
+            AngularItem { angle: 0.1, object: 0, weight: 1.0 },
+            AngularItem { angle: PI, object: 0, weight: 2.0 },
+            AngularItem { angle: 6.0, object: 0, weight: 4.0 },
+            AngularItem { angle: 0.2, object: 1, weight: 8.0 },
+        ];
+        let idx = AngularSweepIndex::build(2, items);
+        assert_eq!(idx.num_objects(), 2);
+        assert!((idx.object_total(0) - 7.0).abs() < 1e-12);
+        // Plain range.
+        assert!((idx.object_sum_in_range(0, 0.0, PI) - 3.0).abs() < 1e-12);
+        // Wrapping range from 5.5 through 0 to 0.15.
+        assert!((idx.object_sum_in_range(0, 5.5, 0.15) - 5.0).abs() < 1e-12);
+        // Per-object sums.
+        let sums = idx.sums_in_range(0.0, 0.5);
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert!((sums[1] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_angles_are_included() {
+        let items = vec![AngularItem { angle: 1.0, object: 0, weight: 3.0 }];
+        let idx = AngularSweepIndex::build(1, items);
+        assert!((idx.object_sum_in_range(0, 1.0, 2.0) - 3.0).abs() < 1e-12);
+        assert!((idx.object_sum_in_range(0, 0.0, 1.0) - 3.0).abs() < 1e-12);
+        assert!((idx.object_sum_in_range(0, 1.1, 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominance_wedge_matches_direct_test() {
+        // For every direction θ, membership of the wedge must agree with the
+        // two half-plane conditions u·(l,1) ≤ 0 and u·(h,1) ≤ 0.
+        let (l, h) = (0.5, 2.0);
+        let (lo, hi) = dominance_wedge(l, h);
+        assert!(lo < hi);
+        for k in 0..720 {
+            let theta = k as f64 * TAU / 720.0;
+            let u = (theta.cos(), theta.sin());
+            let cond = u.0 * l + u.1 <= 1e-12 && u.0 * h + u.1 <= 1e-12;
+            let theta_n = normalize_angle(theta);
+            let in_wedge = if lo <= hi {
+                theta_n >= lo - 1e-9 && theta_n <= hi + 1e-9
+            } else {
+                theta_n >= lo - 1e-9 || theta_n <= hi + 1e-9
+            };
+            // Allow boundary disagreement within numerical tolerance.
+            if (u.0 * l + u.1).abs() > 1e-6 && (u.0 * h + u.1).abs() > 1e-6 {
+                assert_eq!(cond, in_wedge, "θ = {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn wedge_for_degenerate_ratio() {
+        // l = h = 1: the wedge is the half-plane below the anti-diagonal,
+        // spanning exactly π.
+        let (lo, hi) = dominance_wedge(1.0, 1.0);
+        assert!((hi - lo - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_object_id_panics() {
+        let _ = AngularSweepIndex::build(
+            1,
+            vec![AngularItem { angle: 0.0, object: 3, weight: 1.0 }],
+        );
+    }
+}

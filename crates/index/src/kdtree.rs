@@ -1,0 +1,365 @@
+//! A static kd-tree with per-node weight aggregates.
+//!
+//! Two consumers:
+//!
+//! * the **KDTT** variant of Algorithm 1 first builds the whole kd-tree over
+//!   the score-space instance set `I'` and then performs the pre-order
+//!   traversal of Afshani et al.'s kd-ASP; the tree therefore exposes its
+//!   node structure,
+//! * the **eclipse DUAL-S** algorithm of §V-D asks existence queries ("is
+//!   there any point inside the F-dominance region of `t`, other than `t`
+//!   itself?") against the skyline of a certain dataset.
+
+use crate::region::DominanceRegion;
+use crate::PointEntry;
+use arsp_geometry::Mbr;
+
+/// Identifier of a node in the kd-tree arena.
+pub type KdNodeId = usize;
+
+/// Children of a kd-tree node.
+#[derive(Clone, Debug)]
+pub enum KdNodeContent {
+    /// Internal node: split dimension plus the two children.
+    Internal {
+        /// Dimension along which the node's points were split.
+        split_dim: usize,
+        /// Child holding the lower half.
+        left: KdNodeId,
+        /// Child holding the upper half.
+        right: KdNodeId,
+    },
+    /// Leaf node: indices into the entry array.
+    Leaf(Vec<usize>),
+}
+
+/// A kd-tree node.
+#[derive(Clone, Debug)]
+pub struct KdNode {
+    mbr: Mbr,
+    weight_sum: f64,
+    size: usize,
+    content: KdNodeContent,
+}
+
+impl KdNode {
+    /// Minimum bounding rectangle of the points under this node.
+    pub fn mbr(&self) -> &Mbr {
+        &self.mbr
+    }
+
+    /// Sum of the weights of the points under this node.
+    pub fn weight_sum(&self) -> f64 {
+        self.weight_sum
+    }
+
+    /// Number of points under this node.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Children of this node.
+    pub fn content(&self) -> &KdNodeContent {
+        &self.content
+    }
+}
+
+/// A static, median-split kd-tree over weighted point entries.
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    entries: Vec<PointEntry>,
+    nodes: Vec<KdNode>,
+    root: Option<KdNodeId>,
+    leaf_size: usize,
+}
+
+impl KdTree {
+    /// Builds a kd-tree whose leaves hold a single entry (the granularity the
+    /// paper's kd-ASP\* descends to).
+    pub fn build(entries: Vec<PointEntry>) -> Self {
+        Self::build_with_leaf_size(entries, 1)
+    }
+
+    /// Builds a kd-tree with a custom leaf capacity (≥ 1).
+    pub fn build_with_leaf_size(entries: Vec<PointEntry>, leaf_size: usize) -> Self {
+        assert!(leaf_size >= 1);
+        let mut tree = Self {
+            entries,
+            nodes: Vec::new(),
+            root: None,
+            leaf_size,
+        };
+        if tree.entries.is_empty() {
+            return tree;
+        }
+        let mut order: Vec<usize> = (0..tree.entries.len()).collect();
+        let root = tree.build_rec(&mut order, 0);
+        tree.root = Some(root);
+        tree
+    }
+
+    fn build_rec(&mut self, order: &mut [usize], depth: usize) -> KdNodeId {
+        let dim = self.entries[order[0]].dim();
+        let mbr = Mbr::from_coord_slices(order.iter().map(|&i| self.entries[i].coords.as_slice()))
+            .expect("non-empty point set");
+        let weight_sum: f64 = order.iter().map(|&i| self.entries[i].weight).sum();
+        let size = order.len();
+
+        if order.len() <= self.leaf_size {
+            self.nodes.push(KdNode {
+                mbr,
+                weight_sum,
+                size,
+                content: KdNodeContent::Leaf(order.to_vec()),
+            });
+            return self.nodes.len() - 1;
+        }
+
+        let split_dim = depth % dim;
+        let mid = order.len() / 2;
+        order.select_nth_unstable_by(mid, |&a, &b| {
+            self.entries[a].coords[split_dim]
+                .partial_cmp(&self.entries[b].coords[split_dim])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let (low, high) = order.split_at_mut(mid);
+        // `mid >= 1` because `order.len() > leaf_size >= 1`, so both halves are
+        // non-empty.
+        let left = self.build_rec(low, depth + 1);
+        let right = self.build_rec(high, depth + 1);
+        self.nodes.push(KdNode {
+            mbr,
+            weight_sum,
+            size,
+            content: KdNodeContent::Internal {
+                split_dim,
+                left,
+                right,
+            },
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Root node id (`None` for an empty tree).
+    pub fn root(&self) -> Option<KdNodeId> {
+        self.root
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: KdNodeId) -> &KdNode {
+        &self.nodes[id]
+    }
+
+    /// The stored entries in original order.
+    pub fn entries(&self) -> &[PointEntry] {
+        &self.entries
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Height of the tree.
+    pub fn height(&self) -> usize {
+        fn rec(tree: &KdTree, id: KdNodeId) -> usize {
+            match &tree.nodes[id].content {
+                KdNodeContent::Leaf(_) => 1,
+                KdNodeContent::Internal { left, right, .. } => {
+                    1 + rec(tree, *left).max(rec(tree, *right))
+                }
+            }
+        }
+        self.root.map_or(0, |r| rec(self, r))
+    }
+
+    /// Calls `f` for every entry inside the downward-closed region.
+    pub fn for_each_in<R: DominanceRegion>(&self, region: &R, mut f: impl FnMut(&PointEntry)) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !region.may_intersect(&node.mbr) {
+                continue;
+            }
+            match &node.content {
+                KdNodeContent::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+                KdNodeContent::Leaf(idx) => {
+                    for &ei in idx {
+                        let e = &self.entries[ei];
+                        if region.contains(&e.coords) {
+                            f(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sum of weights of entries inside the region, using node aggregates for
+    /// fully covered subtrees.
+    pub fn sum_weights_in<R: DominanceRegion>(&self, region: &R) -> f64 {
+        fn rec<R: DominanceRegion>(tree: &KdTree, id: KdNodeId, region: &R) -> f64 {
+            let node = &tree.nodes[id];
+            if !region.may_intersect(&node.mbr) {
+                return 0.0;
+            }
+            if region.covers(&node.mbr) {
+                return node.weight_sum;
+            }
+            match &node.content {
+                KdNodeContent::Internal { left, right, .. } => {
+                    rec(tree, *left, region) + rec(tree, *right, region)
+                }
+                KdNodeContent::Leaf(idx) => idx
+                    .iter()
+                    .map(|&ei| &tree.entries[ei])
+                    .filter(|e| region.contains(&e.coords))
+                    .map(|e| e.weight)
+                    .sum(),
+            }
+        }
+        self.root.map_or(0.0, |r| rec(self, r, region))
+    }
+
+    /// Returns `true` when some entry with id different from `skip_id` lies
+    /// inside the region.
+    pub fn any_in<R: DominanceRegion>(&self, region: &R, skip_id: Option<usize>) -> bool {
+        let Some(root) = self.root else { return false };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !region.may_intersect(&node.mbr) {
+                continue;
+            }
+            // Covered subtrees contain at least one qualifying point unless
+            // the subtree holds only the excluded entry.
+            if region.covers(&node.mbr) && (skip_id.is_none() || node.size > 1) {
+                return true;
+            }
+            match &node.content {
+                KdNodeContent::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+                KdNodeContent::Leaf(idx) => {
+                    for &ei in idx {
+                        let e = &self.entries[ei];
+                        if Some(e.id) == skip_id {
+                            continue;
+                        }
+                        if region.contains(&e.coords) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::WindowTo;
+    use crate::test_util::random_entries;
+
+    #[test]
+    fn empty_and_single() {
+        let t = KdTree::build(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        let corner = [1.0];
+        assert_eq!(t.sum_weights_in(&WindowTo::new(&corner)), 0.0);
+
+        let t = KdTree::build(vec![PointEntry::new(0, 0, 0.7, vec![0.5, 0.5])]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let corner = [0.6, 0.6];
+        assert!((t.sum_weights_in(&WindowTo::new(&corner)) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_height() {
+        let entries = random_entries(1024, 3, 20, 2);
+        let t = KdTree::build(entries);
+        // A median-split kd-tree over 1024 points with unit leaves has height
+        // exactly 11.
+        assert_eq!(t.height(), 11);
+    }
+
+    #[test]
+    fn node_invariants() {
+        let entries = random_entries(300, 2, 10, 4);
+        let t = KdTree::build_with_leaf_size(entries, 4);
+        let mut stack = vec![t.root().unwrap()];
+        while let Some(id) = stack.pop() {
+            let node = t.node(id);
+            match node.content() {
+                KdNodeContent::Internal { left, right, .. } => {
+                    let (l, r) = (t.node(*left), t.node(*right));
+                    assert_eq!(node.size(), l.size() + r.size());
+                    assert!((node.weight_sum() - (l.weight_sum() + r.weight_sum())).abs() < 1e-9);
+                    assert!(node.mbr().contains_mbr(l.mbr()));
+                    assert!(node.mbr().contains_mbr(r.mbr()));
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+                KdNodeContent::Leaf(idx) => {
+                    assert!(idx.len() <= 4);
+                    assert_eq!(node.size(), idx.len());
+                    for &ei in idx {
+                        assert!(node.mbr().contains(&t.entries()[ei].coords));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_sum_matches_brute_force() {
+        let entries = random_entries(700, 4, 30, 8);
+        let t = KdTree::build_with_leaf_size(entries.clone(), 2);
+        for corner in [
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.8, 0.2],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ] {
+            let want: f64 = entries
+                .iter()
+                .filter(|e| e.coords.iter().zip(&corner).all(|(c, q)| c <= q))
+                .map(|e| e.weight)
+                .sum();
+            let got = t.sum_weights_in(&WindowTo::new(&corner));
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn for_each_and_any_with_skip() {
+        let entries = vec![
+            PointEntry::new(0, 0, 1.0, vec![0.1, 0.1]),
+            PointEntry::new(1, 0, 1.0, vec![0.15, 0.12]),
+            PointEntry::new(2, 1, 1.0, vec![0.9, 0.9]),
+        ];
+        let t = KdTree::build(entries);
+        let corner = [0.2, 0.2];
+        let mut ids = Vec::new();
+        t.for_each_in(&WindowTo::new(&corner), |e| ids.push(e.id));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(t.any_in(&WindowTo::new(&corner), Some(0)));
+        let tight = [0.11, 0.11];
+        assert!(t.any_in(&WindowTo::new(&tight), None));
+        assert!(!t.any_in(&WindowTo::new(&tight), Some(0)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Spatial index substrate for the ARSP reproduction.
+//!
+//! The paper's algorithms lean on four indexing building blocks, all of which
+//! are implemented here from scratch:
+//!
+//! * [`rtree::RTree`] — a static, STR bulk-loaded R-tree over the instance
+//!   set `I`. Algorithm 2 (B&B) traverses it in best-first order.
+//! * [`aggregate_rtree::AggregateRTree`] — a dynamic R-tree whose nodes carry
+//!   the sum of the weights (existence probabilities) stored underneath; it
+//!   answers the window queries `σ[j] = Σ_{s ∈ T_j, SV(s) ⪯ SV(t)} p(s)` of
+//!   Algorithm 2 and, more generally, weight sums over any *downward-closed*
+//!   region (see [`region::DominanceRegion`]).
+//! * [`kdtree::KdTree`] — a static median-split kd-tree with per-node weight
+//!   aggregates; used by the non-fused KDTT variant and by the eclipse
+//!   DUAL-S existence queries.
+//! * [`angular::AngularSweepIndex`] — the d = 2 specialisation of §IV-B/§V-D:
+//!   instances sorted by angle around a reference instance with per-object
+//!   prefix sums, answering (possibly wrapping) angular range queries.
+//!
+//! The indexes know nothing about uncertain objects or rskyline semantics;
+//! they operate on [`PointEntry`] values (id, object id, weight, coordinates)
+//! and downward-closed query regions.
+
+pub mod aggregate_rtree;
+pub mod angular;
+pub mod kdtree;
+pub mod region;
+pub mod rtree;
+
+pub use aggregate_rtree::AggregateRTree;
+pub use angular::AngularSweepIndex;
+pub use kdtree::KdTree;
+pub use region::{DominanceRegion, FDominatorsOf, WindowTo};
+pub use rtree::{NodeContent, NodeId, RTree};
+
+/// A point stored in an index: an instance id, the id of the uncertain object
+/// it belongs to, its weight (existence probability) and its coordinates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointEntry {
+    /// Globally unique instance identifier.
+    pub id: usize,
+    /// Identifier of the uncertain object the instance belongs to.
+    pub object: usize,
+    /// Weight associated with the entry (existence probability `p(t)`; 1.0
+    /// for certain data).
+    pub weight: f64,
+    /// Coordinates of the entry.
+    pub coords: Vec<f64>,
+}
+
+impl PointEntry {
+    /// Creates a new entry.
+    pub fn new(id: usize, object: usize, weight: f64, coords: Vec<f64>) -> Self {
+        Self {
+            id,
+            object,
+            weight,
+            coords,
+        }
+    }
+
+    /// Dimensionality of the entry.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::PointEntry;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Deterministic random entries for index tests.
+    pub fn random_entries(n: usize, dim: usize, objects: usize, seed: u64) -> Vec<PointEntry> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| {
+                let coords = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let object = rng.gen_range(0..objects);
+                let weight = rng.gen_range(0.01..1.0);
+                PointEntry::new(id, object, weight, coords)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_entry_accessors() {
+        let e = PointEntry::new(3, 1, 0.5, vec![1.0, 2.0]);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.id, 3);
+        assert_eq!(e.object, 1);
+        assert_eq!(e.weight, 0.5);
+    }
+}

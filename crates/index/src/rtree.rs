@@ -1,0 +1,411 @@
+//! A static R-tree bulk loaded with the Sort-Tile-Recursive (STR) algorithm.
+//!
+//! The paper organises the instance set `I` with an in-memory R-tree
+//! (§II-B) and Algorithm 2 (B&B) traverses that R-tree in best-first order,
+//! pushing child nodes into its own priority queue. The tree therefore
+//! exposes its node structure (`NodeId`, [`NodeContent`]) rather than hiding
+//! it behind query methods, while also offering the usual region queries for
+//! the other consumers (tests, LOOP-style scans, eclipse baselines).
+
+use crate::region::DominanceRegion;
+use crate::PointEntry;
+use arsp_geometry::Mbr;
+
+/// Identifier of a node inside an [`RTree`] arena.
+pub type NodeId = usize;
+
+/// Children of an R-tree node.
+#[derive(Clone, Debug)]
+pub enum NodeContent {
+    /// Internal node: child node ids.
+    Internal(Vec<NodeId>),
+    /// Leaf node: indices into the entry array.
+    Leaf(Vec<usize>),
+}
+
+/// One node of the R-tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    mbr: Mbr,
+    content: NodeContent,
+}
+
+impl Node {
+    /// Minimum bounding rectangle of the node.
+    pub fn mbr(&self) -> &Mbr {
+        &self.mbr
+    }
+
+    /// Children of the node.
+    pub fn content(&self) -> &NodeContent {
+        &self.content
+    }
+
+    /// `true` when the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.content, NodeContent::Leaf(_))
+    }
+}
+
+/// A static STR bulk-loaded R-tree.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    entries: Vec<PointEntry>,
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+    fanout: usize,
+}
+
+/// Default node fanout. Small enough that best-first traversal gets useful
+/// pruning granularity, large enough to keep the tree shallow.
+pub const DEFAULT_FANOUT: usize = 16;
+
+impl RTree {
+    /// Bulk loads an R-tree over the given entries with the default fanout.
+    pub fn bulk_load(entries: Vec<PointEntry>) -> Self {
+        Self::bulk_load_with_fanout(entries, DEFAULT_FANOUT)
+    }
+
+    /// Bulk loads an R-tree with an explicit fanout (≥ 2).
+    pub fn bulk_load_with_fanout(entries: Vec<PointEntry>, fanout: usize) -> Self {
+        assert!(fanout >= 2, "R-tree fanout must be at least 2");
+        let mut tree = Self {
+            entries,
+            nodes: Vec::new(),
+            root: None,
+            fanout,
+        };
+        if tree.entries.is_empty() {
+            return tree;
+        }
+        // 1. Partition entry indices into spatially coherent leaf groups.
+        let mut order: Vec<usize> = (0..tree.entries.len()).collect();
+        let dim = tree.entries[0].dim();
+        let mut leaf_groups: Vec<Vec<usize>> = Vec::new();
+        str_partition(&tree.entries, &mut order, 0, dim, fanout, &mut leaf_groups);
+
+        // 2. Create the leaf level.
+        let mut level: Vec<NodeId> = leaf_groups
+            .into_iter()
+            .map(|group| {
+                let mbr = Mbr::from_coord_slices(
+                    group.iter().map(|&i| tree.entries[i].coords.as_slice()),
+                )
+                .expect("leaf groups are non-empty");
+                tree.push_node(Node {
+                    mbr,
+                    content: NodeContent::Leaf(group),
+                })
+            })
+            .collect();
+
+        // 3. Build upper levels by grouping consecutive nodes (the STR order
+        //    keeps consecutive nodes spatially close).
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len().div_ceil(fanout));
+            for chunk in level.chunks(fanout) {
+                let mbr = chunk
+                    .iter()
+                    .map(|&id| tree.nodes[id].mbr.clone())
+                    .reduce(|a, b| a.union(&b))
+                    .expect("chunks are non-empty");
+                next_level.push(tree.push_node(Node {
+                    mbr,
+                    content: NodeContent::Internal(chunk.to_vec()),
+                }));
+            }
+            level = next_level;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// The root node id, or `None` for an empty tree.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The stored entries, in the order they were supplied.
+    pub fn entries(&self) -> &[PointEntry] {
+        &self.entries
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut cur = self.root;
+        while let Some(id) = cur {
+            h += 1;
+            cur = match &self.nodes[id].content {
+                NodeContent::Internal(children) => Some(children[0]),
+                NodeContent::Leaf(_) => None,
+            };
+        }
+        h
+    }
+
+    /// Calls `f` for every entry inside the downward-closed region.
+    pub fn for_each_in<R: DominanceRegion>(&self, region: &R, mut f: impl FnMut(&PointEntry)) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !region.may_intersect(&node.mbr) {
+                continue;
+            }
+            match &node.content {
+                NodeContent::Internal(children) => stack.extend(children.iter().copied()),
+                NodeContent::Leaf(entries) => {
+                    for &ei in entries {
+                        let entry = &self.entries[ei];
+                        if region.contains(&entry.coords) {
+                            f(entry);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sum of entry weights inside the region.
+    pub fn sum_weights_in<R: DominanceRegion>(&self, region: &R) -> f64 {
+        let mut total = 0.0;
+        self.for_each_in(region, |e| total += e.weight);
+        total
+    }
+
+    /// Returns `true` when some entry other than `skip_id` lies inside the
+    /// region. Uses covers/may_intersect pruning so it can stop early.
+    pub fn any_in<R: DominanceRegion>(&self, region: &R, skip_id: Option<usize>) -> bool {
+        let Some(root) = self.root else { return false };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !region.may_intersect(&node.mbr) {
+                continue;
+            }
+            match &node.content {
+                NodeContent::Internal(children) => stack.extend(children.iter().copied()),
+                NodeContent::Leaf(entries) => {
+                    for &ei in entries {
+                        let entry = &self.entries[ei];
+                        if Some(entry.id) == skip_id {
+                            continue;
+                        }
+                        if region.contains(&entry.coords) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Recursive STR partitioning: sorts `order[..]` by dimension `dim` and splits
+/// it into vertical slabs whose size is a multiple of the target leaf size,
+/// recursing on the remaining dimensions.
+fn str_partition(
+    entries: &[PointEntry],
+    order: &mut [usize],
+    dim: usize,
+    total_dims: usize,
+    leaf_size: usize,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if order.len() <= leaf_size {
+        out.push(order.to_vec());
+        return;
+    }
+    order.sort_unstable_by(|&a, &b| {
+        entries[a].coords[dim]
+            .partial_cmp(&entries[b].coords[dim])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if dim + 1 == total_dims {
+        for chunk in order.chunks(leaf_size) {
+            out.push(chunk.to_vec());
+        }
+        return;
+    }
+    // Number of leaves still needed below this level and the slab width that
+    // spreads them evenly over the remaining dimensions.
+    let leaves = order.len().div_ceil(leaf_size);
+    let remaining_dims = (total_dims - dim) as f64;
+    let slices = (leaves as f64).powf(1.0 / remaining_dims).ceil() as usize;
+    let slab = (order.len().div_ceil(slices)).max(leaf_size);
+    let mut start = 0;
+    while start < order.len() {
+        let end = (start + slab).min(order.len());
+        str_partition(entries, &mut order[start..end], dim + 1, total_dims, leaf_size, out);
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::WindowTo;
+    use crate::test_util::random_entries;
+
+    fn brute_window_sum(entries: &[PointEntry], corner: &[f64]) -> f64 {
+        entries
+            .iter()
+            .filter(|e| e.coords.iter().zip(corner).all(|(c, q)| c <= q))
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::bulk_load(Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.root(), None);
+        assert_eq!(tree.height(), 0);
+        let corner = [1.0, 1.0];
+        assert_eq!(tree.sum_weights_in(&WindowTo::new(&corner)), 0.0);
+        assert!(!tree.any_in(&WindowTo::new(&corner), None));
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let tree = RTree::bulk_load(vec![PointEntry::new(0, 0, 0.5, vec![0.2, 0.3])]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 1);
+        let corner = [0.25, 0.35];
+        assert_eq!(tree.sum_weights_in(&WindowTo::new(&corner)), 0.5);
+        let corner2 = [0.1, 0.35];
+        assert_eq!(tree.sum_weights_in(&WindowTo::new(&corner2)), 0.0);
+    }
+
+    #[test]
+    fn node_mbrs_contain_children() {
+        let entries = random_entries(500, 3, 20, 7);
+        let tree = RTree::bulk_load(entries.clone());
+        // Every entry must be inside the MBR of the leaf holding it, and every
+        // child MBR must be inside its parent's MBR.
+        let root = tree.root().unwrap();
+        let mut stack = vec![root];
+        let mut seen = 0usize;
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            match node.content() {
+                NodeContent::Internal(children) => {
+                    for &c in children {
+                        assert!(node.mbr().contains_mbr(tree.node(c).mbr()));
+                        stack.push(c);
+                    }
+                }
+                NodeContent::Leaf(idx) => {
+                    for &ei in idx {
+                        assert!(node.mbr().contains(&tree.entries()[ei].coords));
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(seen, entries.len());
+    }
+
+    #[test]
+    fn leaf_sizes_respect_fanout() {
+        let entries = random_entries(300, 2, 10, 11);
+        let tree = RTree::bulk_load_with_fanout(entries, 8);
+        let root = tree.root().unwrap();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match tree.node(id).content() {
+                NodeContent::Internal(children) => {
+                    assert!(children.len() <= 8);
+                    stack.extend(children.iter().copied());
+                }
+                NodeContent::Leaf(idx) => {
+                    assert!(!idx.is_empty());
+                    assert!(idx.len() <= 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_sum_matches_brute_force() {
+        let entries = random_entries(800, 3, 25, 3);
+        let tree = RTree::bulk_load(entries.clone());
+        for corner in [
+            vec![0.5, 0.5, 0.5],
+            vec![0.9, 0.2, 0.7],
+            vec![0.05, 0.05, 0.05],
+            vec![1.0, 1.0, 1.0],
+        ] {
+            let got = tree.sum_weights_in(&WindowTo::new(&corner));
+            let want = brute_window_sum(&entries, &corner);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "corner {corner:?}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_visits_exactly_the_region() {
+        let entries = random_entries(400, 2, 10, 21);
+        let tree = RTree::bulk_load(entries.clone());
+        let corner = vec![0.6, 0.4];
+        let mut ids = Vec::new();
+        tree.for_each_in(&WindowTo::new(&corner), |e| ids.push(e.id));
+        ids.sort_unstable();
+        let mut expected: Vec<usize> = entries
+            .iter()
+            .filter(|e| e.coords[0] <= 0.6 && e.coords[1] <= 0.4)
+            .map(|e| e.id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn any_in_respects_skip_id() {
+        let entries = vec![
+            PointEntry::new(0, 0, 1.0, vec![0.1, 0.1]),
+            PointEntry::new(1, 1, 1.0, vec![0.9, 0.9]),
+        ];
+        let tree = RTree::bulk_load(entries);
+        let corner = [0.2, 0.2];
+        assert!(tree.any_in(&WindowTo::new(&corner), None));
+        assert!(!tree.any_in(&WindowTo::new(&corner), Some(0)));
+    }
+
+    #[test]
+    fn larger_tree_has_multiple_levels() {
+        let entries = random_entries(2000, 4, 50, 5);
+        let tree = RTree::bulk_load(entries);
+        assert!(tree.height() >= 3, "height = {}", tree.height());
+        assert_eq!(tree.fanout(), DEFAULT_FANOUT);
+    }
+}

@@ -1,0 +1,46 @@
+//! # arsp — All Restricted Skyline Probabilities on Uncertain Datasets
+//!
+//! Facade crate for the reproduction of *"Computing All Restricted Skyline
+//! Probabilities on Uncertain Datasets"* (ICDE 2024). It re-exports the four
+//! underlying crates so that applications can depend on a single crate:
+//!
+//! * [`geometry`] (`arsp-geometry`) — points, dominance, preference regions,
+//!   F-dominance tests,
+//! * [`index`] (`arsp-index`) — R-tree, aggregated R-tree, kd-tree, angular
+//!   index,
+//! * [`data`] (`arsp-data`) — the uncertain data model and workload
+//!   generators,
+//! * [`core`] (`arsp-core`) — the ARSP algorithms themselves.
+//!
+//! ## Example
+//!
+//! ```
+//! use arsp::prelude::*;
+//!
+//! // Generate a small uncertain dataset (50 objects, ≤ 4 instances each).
+//! let dataset = SyntheticConfig::small(50, 4, 3, 7).generate();
+//!
+//! // "The first attribute matters at least as much as the second, which
+//! //  matters at least as much as the third."
+//! let constraints = ConstraintSet::weak_ranking(3, 2);
+//!
+//! // Compute the rskyline probability of every instance.
+//! let result = arsp_kdtt_plus(&dataset, &constraints);
+//! assert_eq!(result.len(), dataset.num_instances());
+//!
+//! // Rank objects by their rskyline probability.
+//! let top = result.top_k_objects(&dataset, 5);
+//! assert_eq!(top.len(), 5);
+//! ```
+
+pub use arsp_core as core;
+pub use arsp_data as data;
+pub use arsp_geometry as geometry;
+pub use arsp_index as index;
+
+/// Commonly used items from all crates.
+pub mod prelude {
+    pub use arsp_core::prelude::*;
+    pub use arsp_data::{paper_running_example, Distribution, SyntheticConfig, UncertainDataset};
+    pub use arsp_geometry::constraints::{ConstraintSet, LinearConstraint, WeightRatio};
+}

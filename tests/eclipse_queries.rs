@@ -1,0 +1,85 @@
+//! Integration test: eclipse query algorithms (QUAD baseline vs DUAL-S) on
+//! certain datasets, mirroring the Fig. 8 workloads at test scale.
+
+use arsp::core::eclipse::{eclipse_brute, eclipse_dual_s, eclipse_quad, skyline};
+use arsp::data::CertainDataset;
+use arsp::prelude::*;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_catalog(n: usize, dim: usize, seed: u64) -> CertainDataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut d = CertainDataset::new(dim);
+    for _ in 0..n {
+        d.push_point((0..dim).map(|_| rng.gen_range(0.0..1.0)).collect());
+    }
+    d
+}
+
+#[test]
+fn quad_and_dual_s_match_brute_force() {
+    for dim in 2..=4 {
+        let catalog = random_catalog(500, dim, dim as u64);
+        for (l, h) in arsp::data::constraints_gen::fig8_ratio_ranges() {
+            let ratio = WeightRatio::uniform(dim, l, h);
+            let brute = eclipse_brute(&catalog, &ratio);
+            assert_eq!(brute, eclipse_quad(&catalog, &ratio));
+            assert_eq!(brute, eclipse_dual_s(&catalog, &ratio));
+        }
+    }
+}
+
+#[test]
+fn eclipse_equals_uncertain_rskyline_on_certain_data() {
+    // Wrapping every point into a certain uncertain object and running ARSP
+    // yields probability 1 exactly for the eclipse members.
+    let catalog = random_catalog(300, 3, 99);
+    let ratio = WeightRatio::uniform(3, 0.5, 2.0);
+    let eclipse = eclipse_dual_s(&catalog, &ratio);
+
+    let mut dataset = UncertainDataset::new(3);
+    for p in catalog.points() {
+        dataset.push_object(vec![(p.clone(), 1.0)]);
+    }
+    let result = arsp_dual(&dataset, &ratio);
+    let ones: Vec<usize> = (0..dataset.num_instances())
+        .filter(|&id| result.instance_prob(id) > 0.5)
+        .collect();
+    assert_eq!(ones, eclipse);
+}
+
+#[test]
+fn eclipse_is_contained_in_skyline_and_grows_with_the_band() {
+    let catalog = random_catalog(2000, 3, 5);
+    let sky = skyline(&catalog);
+    let mut previous = usize::MAX;
+    // Bands from narrowest to widest: eclipse size must be non-decreasing and
+    // bounded by the skyline size.
+    for (l, h) in [(0.9, 1.1), (0.58, 1.73), (0.36, 2.75), (0.18, 5.67)] {
+        let e = eclipse_dual_s(&catalog, &WeightRatio::uniform(3, l, h));
+        assert!(e.len() <= sky.len());
+        assert!(e.iter().all(|id| sky.contains(id)));
+        if previous != usize::MAX {
+            assert!(e.len() >= previous);
+        }
+        previous = e.len();
+    }
+}
+
+#[test]
+fn degenerate_band_is_a_top1_like_query() {
+    // With l = h the preference region is a single weight vector; the eclipse
+    // is the set of points achieving the minimum score under it (usually a
+    // single point).
+    let catalog = random_catalog(400, 2, 17);
+    let ratio = WeightRatio::uniform(2, 1.0, 1.0);
+    let eclipse = eclipse_dual_s(&catalog, &ratio);
+    assert!(!eclipse.is_empty());
+    let score = |id: usize| catalog.point(id).iter().sum::<f64>();
+    let best = (0..catalog.len())
+        .map(score)
+        .fold(f64::INFINITY, f64::min);
+    for id in &eclipse {
+        assert!((score(*id) - best).abs() < 1e-12);
+    }
+}

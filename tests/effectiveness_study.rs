@@ -1,0 +1,120 @@
+//! Integration test: the §V-B effectiveness study artefacts (Tables I & II,
+//! Fig. 4) on NBA-like data — the qualitative claims of the paper, checked
+//! programmatically.
+
+use arsp::core::effectiveness::{rskyline_ranking, score_summaries, skyline_ranking};
+use arsp::core::aggregate::aggregated_rskyline;
+use arsp::data::real;
+use arsp::geometry::polytope::preference_region_vertices;
+use arsp::prelude::*;
+
+fn setup() -> (UncertainDataset, ConstraintSet) {
+    (
+        real::nba_like(120, 40, 3, 2021),
+        ConstraintSet::weak_ranking(3, 2),
+    )
+}
+
+#[test]
+fn table1_and_table2_have_the_papers_qualitative_shape() {
+    let (dataset, constraints) = setup();
+    let arsp = arsp_kdtt_plus(&dataset, &constraints);
+    let table1 = rskyline_ranking(&dataset, &arsp, &constraints, 14);
+    let table2 = skyline_ranking(&dataset, &constraints, 14);
+
+    assert_eq!(table1.len(), 14);
+    assert_eq!(table2.len(), 14);
+
+    // 1. rskyline probabilities are (weakly) smaller than skyline
+    //    probabilities — "the function set F improves the dominance ability".
+    let asp = skyline_probabilities(&dataset);
+    for id in 0..dataset.num_instances() {
+        assert!(arsp.instance_prob(id) <= asp.instance_prob(id) + 1e-9);
+    }
+    assert!(table1[0].probability <= table2[0].probability + 1e-9);
+
+    // 2. The aggregated rskyline and the top rskyline-probability objects
+    //    overlap (consistent stars) but neither contains the other in general:
+    //    Table I contains both starred and unstarred entries.
+    let starred = table1.iter().filter(|r| r.in_aggregated_rskyline).count();
+    assert!(starred >= 1, "no aggregated-rskyline member in the top 14");
+
+    // 3. The two rankings share their strongest objects but are not equal.
+    let t1: Vec<usize> = table1.iter().map(|r| r.object).collect();
+    let t2: Vec<usize> = table2.iter().map(|r| r.object).collect();
+    let overlap = t1.iter().filter(|o| t2.contains(o)).count();
+    assert!(overlap >= 3, "rankings should share the consistent stars, overlap = {overlap}");
+}
+
+#[test]
+fn aggregated_rskyline_misses_high_probability_volatile_objects() {
+    // The paper's Giannis observation: objects outside the aggregated
+    // rskyline can still have higher rskyline probability than some
+    // aggregated-rskyline members. Verify the phenomenon is possible on the
+    // volatile-star archetypes of the simulated data (it needs enough players
+    // to show up reliably, hence the larger roster).
+    let dataset = real::nba_like(250, 50, 3, 7);
+    let constraints = ConstraintSet::weak_ranking(3, 2);
+    let arsp = arsp_kdtt_plus(&dataset, &constraints);
+    let aggregated = aggregated_rskyline(&dataset, &constraints);
+    let object_probs = arsp.object_probs(&dataset);
+
+    let min_aggregated = aggregated
+        .iter()
+        .map(|&o| object_probs[o])
+        .fold(f64::INFINITY, f64::min);
+    let best_outsider = (0..dataset.num_objects())
+        .filter(|o| !aggregated.contains(o))
+        .map(|o| object_probs[o])
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_outsider > min_aggregated,
+        "expected some non-aggregated object ({best_outsider}) to beat the weakest aggregated member ({min_aggregated})"
+    );
+}
+
+#[test]
+fn score_summaries_expose_consistency_vs_volatility() {
+    let (dataset, constraints) = setup();
+    let vertices = preference_region_vertices(&constraints);
+    // Consistent stars have a tighter interquartile range than volatile stars
+    // on average (this is how Fig. 4 explains the rankings).
+    let mut consistent_iqr = Vec::new();
+    let mut volatile_iqr = Vec::new();
+    for obj in dataset.objects() {
+        let label = obj.label.as_deref().unwrap_or("");
+        let summaries = score_summaries(&dataset, obj.id, &vertices);
+        let iqr: f64 = summaries.iter().map(|s| s.q3 - s.q1).sum::<f64>() / summaries.len() as f64;
+        if label.contains("ConsistentStar") {
+            consistent_iqr.push(iqr);
+        } else if label.contains("VolatileStar") {
+            volatile_iqr.push(iqr);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(!consistent_iqr.is_empty() && !volatile_iqr.is_empty());
+    assert!(mean(&consistent_iqr) < mean(&volatile_iqr));
+}
+
+#[test]
+fn different_preferences_change_the_rskyline_ranking_but_not_the_skyline_ranking() {
+    // "Given different inputs F ... rskyline probabilities are variant,
+    //  however, skyline probabilities always remain the same."
+    let dataset = real::nba_like(80, 25, 3, 555);
+    let pref_a = ConstraintSet::weak_ranking(3, 2);
+    let mut pref_b = ConstraintSet::new(3);
+    // Reverse importance: ω3 ≥ ω2 ≥ ω1.
+    pref_b.push(LinearConstraint::new(vec![1.0, -1.0, 0.0], 0.0));
+    pref_b.push(LinearConstraint::new(vec![0.0, 1.0, -1.0], 0.0));
+
+    let ra = arsp_kdtt_plus(&dataset, &pref_a).object_probs(&dataset);
+    let rb = arsp_kdtt_plus(&dataset, &pref_b).object_probs(&dataset);
+    assert!(
+        ra.iter().zip(&rb).any(|(a, b)| (a - b).abs() > 1e-6),
+        "different preferences should change rskyline probabilities"
+    );
+
+    let s1 = skyline_probabilities(&dataset).object_probs(&dataset);
+    let s2 = skyline_probabilities(&dataset).object_probs(&dataset);
+    assert_eq!(s1, s2);
+}

@@ -1,0 +1,80 @@
+//! Integration test: the paper's running example (Fig. 1 / Example 1)
+//! through the public facade crate.
+
+use arsp::prelude::*;
+
+fn example_constraints() -> (WeightRatio, ConstraintSet) {
+    let ratio = WeightRatio::uniform(2, 0.5, 2.0);
+    let constraints = ratio.to_constraint_set();
+    (ratio, constraints)
+}
+
+#[test]
+fn every_algorithm_reproduces_example_1() {
+    let dataset = paper_running_example();
+    let (ratio, constraints) = example_constraints();
+
+    let results = vec![
+        ("ENUM", arsp_enum(&dataset, &constraints)),
+        ("LOOP", arsp_loop(&dataset, &constraints)),
+        ("KDTT", arsp_kdtt(&dataset, &constraints)),
+        ("KDTT+", arsp_kdtt_plus(&dataset, &constraints)),
+        ("QDTT+", arsp_qdtt_plus(&dataset, &constraints)),
+        ("B&B", arsp_bnb(&dataset, &constraints)),
+        ("DUAL", arsp_dual(&dataset, &ratio)),
+        ("DUAL-MS", DualMs2d::preprocess(&dataset).query(0.5, 2.0)),
+    ];
+
+    for (name, result) in &results {
+        // The quantities the paper states for Example 1.
+        assert!(
+            (result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9,
+            "{name}: Pr_rsky(t1,1) = {}",
+            result.instance_prob(0)
+        );
+        assert!(result.instance_prob(1).abs() < 1e-12, "{name}: Pr_rsky(t1,2) ≠ 0");
+        let objects = result.object_probs(&dataset);
+        assert!((objects[0] - 2.0 / 9.0).abs() < 1e-9, "{name}: Pr_rsky(T1)");
+        // Probabilities are proper probabilities.
+        for id in 0..dataset.num_instances() {
+            let p = result.instance_prob(id);
+            assert!((0.0..=1.0 + 1e-12).contains(&p), "{name}: instance {id} has p = {p}");
+        }
+    }
+
+    // All pairs agree exactly (up to numerical noise).
+    let reference = &results[0].1;
+    for (name, result) in &results[1..] {
+        assert!(
+            reference.approx_eq(result, 1e-9),
+            "{name} differs from ENUM by {}",
+            reference.max_abs_diff(result)
+        );
+    }
+}
+
+#[test]
+fn example_1_possible_world_of_the_paper() {
+    // Pr(D) for the world that picks the first instance of every object is
+    // 1/36, as computed in Example 1.
+    let dataset = paper_running_example();
+    let worlds = arsp::data::enumerate_possible_worlds(&dataset, 100);
+    assert_eq!(worlds.len(), 36);
+    let first_choice: Vec<Option<usize>> = dataset
+        .objects()
+        .iter()
+        .map(|o| Some(o.instance_ids[0]))
+        .collect();
+    let world = worlds.iter().find(|w| w.choice == first_choice).unwrap();
+    assert!((world.prob - 1.0 / 36.0).abs() < 1e-12);
+}
+
+#[test]
+fn rskyline_probability_of_every_instance_is_bounded_by_existence_probability() {
+    let dataset = paper_running_example();
+    let (_, constraints) = example_constraints();
+    let result = arsp_kdtt_plus(&dataset, &constraints);
+    for inst in dataset.instances() {
+        assert!(result.instance_prob(inst.id) <= inst.prob + 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based integration tests: structural invariants of ARSP that must
+//! hold on arbitrary (small) uncertain datasets.
+
+use arsp::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random uncertain dataset in `dim` dimensions with at
+/// most `max_objects` objects and 3 instances per object.
+fn dataset_strategy(dim: usize, max_objects: usize) -> impl Strategy<Value = UncertainDataset> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(0.0f64..1.0, dim),
+                1..=3,
+            ),
+            0.3f64..1.0,
+        ),
+        1..=max_objects,
+    )
+    .prop_map(move |objects| {
+        let mut d = UncertainDataset::new(dim);
+        for (instances, total) in objects {
+            let p = total / instances.len() as f64;
+            d.push_object(instances.into_iter().map(|c| (c, p)).collect());
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Probabilities are proper: within [0, p(t)], and per-object sums within
+    /// [0, total object probability].
+    #[test]
+    fn probabilities_are_bounded(dataset in dataset_strategy(3, 8)) {
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let result = arsp_kdtt_plus(&dataset, &constraints);
+        for inst in dataset.instances() {
+            let p = result.instance_prob(inst.id);
+            prop_assert!(p >= -1e-12 && p <= inst.prob + 1e-9);
+        }
+        let object_probs = result.object_probs(&dataset);
+        for obj in dataset.objects() {
+            prop_assert!(object_probs[obj.id] <= obj.total_prob + 1e-9);
+        }
+    }
+
+    /// KDTT+, QDTT+, B&B and LOOP agree on random datasets.
+    #[test]
+    fn algorithms_agree(dataset in dataset_strategy(3, 8)) {
+        let constraints = ConstraintSet::weak_ranking(3, 1);
+        let reference = arsp_loop(&dataset, &constraints);
+        prop_assert!(reference.approx_eq(&arsp_kdtt_plus(&dataset, &constraints), 1e-8));
+        prop_assert!(reference.approx_eq(&arsp_qdtt_plus(&dataset, &constraints), 1e-8));
+        prop_assert!(reference.approx_eq(&arsp_bnb(&dataset, &constraints), 1e-8));
+    }
+
+    /// Adding constraints (shrinking the preference region / the function set
+    /// F) makes F-dominance easier, so every rskyline probability can only
+    /// decrease. The chain goes from the full simplex down to the total
+    /// weak-ranking chain.
+    #[test]
+    fn more_constraints_never_increase_probabilities(dataset in dataset_strategy(3, 7)) {
+        let mut previous = arsp_kdtt_plus(&dataset, &ConstraintSet::new(3));
+        for c in 1..3 {
+            let constraints = ConstraintSet::weak_ranking(3, c);
+            let current = arsp_kdtt_plus(&dataset, &constraints);
+            for id in 0..dataset.num_instances() {
+                prop_assert!(
+                    current.instance_prob(id) <= previous.instance_prob(id) + 1e-9,
+                    "instance {id}: c={c} gave {} > {}",
+                    current.instance_prob(id),
+                    previous.instance_prob(id)
+                );
+            }
+            previous = current;
+        }
+    }
+
+    /// The skyline probability (F = all monotone functions) upper-bounds the
+    /// rskyline probability for any constrained linear F.
+    #[test]
+    fn skyline_probability_is_an_upper_bound(dataset in dataset_strategy(2, 8)) {
+        let sky = skyline_probabilities(&dataset);
+        let rsky = arsp_kdtt_plus(&dataset, &ConstraintSet::weak_ranking(2, 1));
+        for id in 0..dataset.num_instances() {
+            prop_assert!(rsky.instance_prob(id) <= sky.instance_prob(id) + 1e-9);
+        }
+    }
+
+    /// Widening a weight-ratio band can only increase probabilities (the
+    /// preference region grows, F-dominance gets harder).
+    #[test]
+    fn wider_ratio_bands_never_decrease_probabilities(dataset in dataset_strategy(2, 8)) {
+        let prep = DualMs2d::preprocess(&dataset);
+        let narrow = prep.query(0.8, 1.25);
+        let wide = prep.query(0.4, 2.5);
+        for id in 0..dataset.num_instances() {
+            prop_assert!(wide.instance_prob(id) >= narrow.instance_prob(id) - 1e-9);
+        }
+    }
+
+    /// Certain datasets (every object has one instance with probability 1):
+    /// the probabilities are 0/1 and the 1s are exactly the rskyline of the
+    /// certain dataset.
+    #[test]
+    fn certain_datasets_reduce_to_plain_rskyline(
+        points in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 2..12)
+    ) {
+        let mut dataset = UncertainDataset::new(3);
+        for coords in &points {
+            dataset.push_object(vec![(coords.clone(), 1.0)]);
+        }
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let result = arsp_kdtt_plus(&dataset, &constraints);
+        let aggregated = arsp::core::aggregate::aggregated_rskyline(&dataset, &constraints);
+        for obj in 0..dataset.num_objects() {
+            let p = result.instance_prob(obj);
+            prop_assert!(p.abs() < 1e-9 || (p - 1.0).abs() < 1e-9);
+            prop_assert_eq!(p > 0.5, aggregated.contains(&obj));
+        }
+    }
+}
