@@ -15,7 +15,10 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bnb");
     group.sample_size(10);
 
-    for (label, dist) in [("IND", Distribution::Independent), ("CORR", Distribution::Correlated)] {
+    for (label, dist) in [
+        ("IND", Distribution::Independent),
+        ("CORR", Distribution::Correlated),
+    ] {
         let dataset = SyntheticConfig {
             num_objects: 400,
             max_instances: 6,

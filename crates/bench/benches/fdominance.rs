@@ -43,15 +43,19 @@ fn bench_fdominance(c: &mut Criterion) {
                 count
             })
         });
-        group.bench_with_input(BenchmarkId::new("weight_ratio_o_d", dim), &pairs, |b, pairs| {
-            b.iter(|| {
-                let mut count = 0usize;
-                for (t, s) in pairs {
-                    count += usize::from(ratio_test.f_dominates(black_box(t), black_box(s)));
-                }
-                count
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("weight_ratio_o_d", dim),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    for (t, s) in pairs {
+                        count += usize::from(ratio_test.f_dominates(black_box(t), black_box(s)));
+                    }
+                    count
+                })
+            },
+        );
     }
 
     // The LP reference is orders of magnitude slower; bench it once at d = 4

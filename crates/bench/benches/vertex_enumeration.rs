@@ -22,11 +22,9 @@ fn bench_vertex_enumeration(c: &mut Criterion) {
 
     for c_count in [2usize, 4, 6] {
         let im = im_constraints(4, c_count, 7);
-        group.bench_with_input(
-            BenchmarkId::new("interactive_d4", c_count),
-            &im,
-            |b, cs| b.iter(|| preference_region_vertices(black_box(cs)).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("interactive_d4", c_count), &im, |b, cs| {
+            b.iter(|| preference_region_vertices(black_box(cs)).len())
+        });
     }
 
     group.finish();

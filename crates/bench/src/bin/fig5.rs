@@ -65,10 +65,7 @@ const DISTRIBUTIONS: [Distribution; 3] = [
 ];
 
 fn header() {
-    print_header(
-        "value",
-        &["ENUM", "LOOP", "KDTT", "KDTT+", "QDTT+", "B&B"],
-    );
+    print_header("value", &["ENUM", "LOOP", "KDTT", "KDTT+", "QDTT+", "B&B"]);
 }
 
 fn sweep<F>(panel: &str, dist: Distribution, values: &[(&str, F)])
@@ -76,7 +73,10 @@ where
     F: Fn(&mut Workload) -> ConstraintSet,
 {
     let scale = scale_factor();
-    println!("\n--- Fig. 5 panel: vary {panel}, {} (scale 1/{scale}) ---", dist.short_name());
+    println!(
+        "\n--- Fig. 5 panel: vary {panel}, {} (scale 1/{scale}) ---",
+        dist.short_name()
+    );
     header();
     let mut runner = SweepRunner::default();
     for (label, configure) in values {
@@ -87,7 +87,12 @@ where
         // paper.
         let enum_m = runner.mark_infeasible("ENUM");
         let mut ms = vec![enum_m];
-        ms.extend(run_figure_algorithms(&mut runner, &dataset, &constraints, true));
+        ms.extend(run_figure_algorithms(
+            &mut runner,
+            &dataset,
+            &constraints,
+            true,
+        ));
         check_consistent_sizes(&ms[1..]);
         print_row(label, &ms);
     }

@@ -36,7 +36,9 @@ fn main() {
     let ratio = WeightRatio::uniform(2, 0.5, 2.0);
     let constraints = ratio.to_constraint_set();
 
-    println!("Fig. 7(b) reproduction — IIP-like dataset ({base} sightings at 100%), ratio [0.5, 2]");
+    println!(
+        "Fig. 7(b) reproduction — IIP-like dataset ({base} sightings at 100%), ratio [0.5, 2]"
+    );
     println!(
         "{:>8} {:>14} {:>16} {:>16} {:>10}",
         "m%", "KDTT+ query(s)", "DUAL-MS prep(s)", "DUAL-MS query(s)", "|ARSP|"

@@ -80,10 +80,16 @@ the paper's Trae Young effect.",
     println!("\n=== Fig. 4: per-vertex score summaries (lower is better) ===");
     for r in table1.iter().take(2) {
         println!("{}:", r.label.as_deref().unwrap_or("?"));
-        for (omega, s) in vertices.iter().zip(score_summaries(&dataset, r.object, &vertices)) {
+        for (omega, s) in vertices
+            .iter()
+            .zip(score_summaries(&dataset, r.object, &vertices))
+        {
             println!(
                 "  ω = {:?}: min {:.3} | q1 {:.3} | med {:.3} | q3 {:.3} | max {:.3} (mean {:.3})",
-                omega.iter().map(|w| (w * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+                omega
+                    .iter()
+                    .map(|w| (w * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>(),
                 s.min,
                 s.q1,
                 s.median,

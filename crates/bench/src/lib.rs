@@ -16,9 +16,7 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 use arsp_core::result::ArspResult;
-use arsp_core::{
-    arsp_bnb, arsp_kdtt, arsp_kdtt_plus, arsp_loop, arsp_qdtt_plus,
-};
+use arsp_core::{arsp_bnb, arsp_kdtt, arsp_kdtt_plus, arsp_loop, arsp_qdtt_plus};
 use arsp_data::UncertainDataset;
 use arsp_geometry::ConstraintSet;
 
@@ -93,11 +91,7 @@ impl SweepRunner {
 
     /// Runs one algorithm unless it is already disabled; disables it when it
     /// exceeds the time limit.
-    pub fn run(
-        &mut self,
-        algorithm: &'static str,
-        f: impl FnOnce() -> ArspResult,
-    ) -> Measurement {
+    pub fn run(&mut self, algorithm: &'static str, f: impl FnOnce() -> ArspResult) -> Measurement {
         if self.disabled.contains(algorithm) {
             return Measurement {
                 algorithm,

@@ -43,23 +43,115 @@ pub fn arsp_bnb(dataset: &UncertainDataset, constraints: &ConstraintSet) -> Arsp
 /// B&B with a pre-built F-dominance test; `use_pruning_set = false` disables
 /// the Theorem-4 pruning set (used by the ablation benchmark).
 pub fn arsp_bnb_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, true)
+    arsp_bnb_impl(dataset, fdom, true, false)
 }
 
 /// B&B without the pruning set `P` — every instance pays its window queries.
 /// Exposed for the ablation study of the design choice called out in
 /// DESIGN.md; not part of the paper's evaluated configurations.
-pub fn arsp_bnb_without_pruning(
+pub fn arsp_bnb_without_pruning(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
+    arsp_bnb_impl(dataset, fdom, false, false)
+}
+
+/// B&B with each popped instance's per-object window queries fanned out over
+/// worker threads. The best-first traversal and the aggregated R-tree updates
+/// stay sequential (they are inherently order-dependent); only the read-only
+/// `σ[j]` window sums run in parallel, and the probability product is folded
+/// in the same object order as the sequential loop — so the result is
+/// bitwise identical to [`arsp_bnb`]. Pays off when the number of objects is
+/// large; without the `parallel` feature this is [`arsp_bnb`].
+pub fn arsp_bnb_parallel(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
+    let fdom = LinearFDominance::from_constraints(constraints);
+    arsp_bnb_parallel_with_fdom(dataset, &fdom)
+}
+
+/// [`arsp_bnb_parallel`] with a pre-built F-dominance test.
+pub fn arsp_bnb_parallel_with_fdom(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
 ) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, false)
+    #[cfg(feature = "parallel")]
+    {
+        crate::parallel::with_pool(|| arsp_bnb_impl(dataset, fdom, true, true))
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        arsp_bnb_impl(dataset, fdom, true, true)
+    }
 }
+
+/// Computes `prob · Π_j (1 − σ[j])` over the non-empty aggregated R-trees,
+/// stopping at zero — the inner object loop of Algorithm 2. The window sums
+/// are pure reads, so the parallel path precomputes them (in parallel, when
+/// the object count warrants it) and folds the product in identical order.
+/// Unlike the sequential loop the precompute cannot stop at a zero product,
+/// so it pays every window query even for fully dominated instances — the
+/// object-count threshold exists to keep that trade favourable.
+fn fold_window_products(
+    agg: &[AggregateRTree],
+    own_object: usize,
+    sv: &[f64],
+    prob: f64,
+    parallel: bool,
+) -> f64 {
+    #[cfg(not(feature = "parallel"))]
+    let _ = parallel;
+    #[cfg(feature = "parallel")]
+    if parallel {
+        let populated = agg.iter().filter(|t| !t.is_empty()).count();
+        if populated >= MIN_PARALLEL_OBJECTS && crate::parallel::num_threads() > 1 {
+            use rayon::prelude::*;
+            let sigmas: Vec<f64> = (0..agg.len())
+                .into_par_iter()
+                .map(|j| {
+                    // The popped instance's own object is skipped by the fold
+                    // below; don't pay its window query either.
+                    if j == own_object || agg[j].is_empty() {
+                        0.0
+                    } else {
+                        agg[j].window_sum(sv)
+                    }
+                })
+                .collect();
+            let mut prob = prob;
+            for (j, tree) in agg.iter().enumerate() {
+                if j == own_object || tree.is_empty() {
+                    continue;
+                }
+                prob *= 1.0 - sigmas[j];
+                if prob <= 0.0 {
+                    return 0.0;
+                }
+            }
+            return prob;
+        }
+    }
+    let mut prob = prob;
+    for (j, tree) in agg.iter().enumerate() {
+        if j == own_object || tree.is_empty() {
+            continue;
+        }
+        let sigma = tree.window_sum(sv);
+        prob *= 1.0 - sigma;
+        if prob <= 0.0 {
+            return 0.0;
+        }
+    }
+    prob
+}
+
+/// Below this many populated aggregated R-trees the parallel path is not
+/// worth the dispatch overhead; a performance threshold only — results are
+/// identical either way.
+#[cfg(feature = "parallel")]
+const MIN_PARALLEL_OBJECTS: usize = 64;
 
 fn arsp_bnb_impl(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
     use_pruning_set: bool,
+    parallel: bool,
 ) -> ArspResult {
     let n = dataset.num_instances();
     let m = dataset.num_objects();
@@ -98,9 +190,8 @@ fn arsp_bnb_impl(
         });
     }
 
-    let is_pruned = |pruning: &[Vec<f64>], sv: &[f64]| -> bool {
-        pruning.iter().any(|p| dominates(p, sv))
-    };
+    let is_pruned =
+        |pruning: &[Vec<f64>], sv: &[f64]| -> bool { pruning.iter().any(|p| dominates(p, sv)) };
 
     while let Some(item) = heap.pop() {
         match item.kind {
@@ -142,18 +233,7 @@ fn arsp_bnb_impl(
                     // aggregated R-trees, never contributes to P.
                     continue;
                 }
-                let mut prob = inst.prob;
-                for (j, tree) in agg.iter().enumerate() {
-                    if j == inst.object || tree.is_empty() {
-                        continue;
-                    }
-                    let sigma = tree.window_sum(&sv);
-                    prob *= 1.0 - sigma;
-                    if prob <= 0.0 {
-                        prob = 0.0;
-                        break;
-                    }
-                }
+                let prob = fold_window_products(&agg, inst.object, &sv, inst.prob, parallel);
                 if prob > 0.0 {
                     result.set(instance_id, prob);
                     agg[inst.object].insert(&sv, inst.prob);
@@ -271,7 +351,11 @@ mod tests {
         let reference = arsp_loop(&d, &constraints);
         let bnb = arsp_bnb(&d, &constraints);
         let kdtt = arsp_kdtt_plus(&d, &constraints);
-        assert!(reference.approx_eq(&bnb, 1e-8), "{}", reference.max_abs_diff(&bnb));
+        assert!(
+            reference.approx_eq(&bnb, 1e-8),
+            "{}",
+            reference.max_abs_diff(&bnb)
+        );
         assert!(reference.approx_eq(&kdtt, 1e-8));
     }
 
@@ -312,5 +396,31 @@ mod tests {
         let d = UncertainDataset::new(3);
         let result = arsp_bnb(&d, &ConstraintSet::new(3));
         assert!(result.is_empty());
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical() {
+        // 90 objects crosses MIN_PARALLEL_OBJECTS, so the parallel window
+        // queries genuinely engage.
+        let d = SyntheticConfig {
+            num_objects: 90,
+            max_instances: 4,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.1,
+            seed: 21,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        // Force a fan-out even on single-core machines; the lock keeps
+        // knob-value assertions in other tests from observing the transient
+        // setting.
+        let _guard = crate::parallel::knob_lock();
+        crate::parallel::set_num_threads(4);
+        let seq = arsp_bnb(&d, &constraints);
+        let par = arsp_bnb_parallel(&d, &constraints);
+        crate::parallel::set_num_threads(0);
+        assert_eq!(seq.probs(), par.probs());
     }
 }

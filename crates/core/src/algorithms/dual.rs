@@ -37,9 +37,7 @@ pub fn arsp_dual(dataset: &UncertainDataset, ratio: &WeightRatio) -> ArspResult 
     let mut result = ArspResult::zeros(dataset.num_instances());
 
     // Index every object's instances (original space, probability weights).
-    let mut agg: Vec<AggregateRTree> = (0..m)
-        .map(|_| AggregateRTree::new(dataset.dim()))
-        .collect();
+    let mut agg: Vec<AggregateRTree> = (0..m).map(|_| AggregateRTree::new(dataset.dim())).collect();
     for inst in dataset.instances() {
         agg[inst.object].insert(&inst.coords, inst.prob);
     }
@@ -129,7 +127,9 @@ impl DualMs2d {
                     multi.push((s.object, angle, s.prob));
                 }
             }
-            items.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            items.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
             let mut angles = Vec::with_capacity(items.len());
             let mut log_prefix = Vec::with_capacity(items.len() + 1);
             let mut full_prefix = Vec::with_capacity(items.len() + 1);
@@ -269,7 +269,11 @@ mod tests {
             let ratio = WeightRatio::uniform(3, 0.5, 2.0);
             let truth = arsp_enum(&d, &ratio.to_constraint_set());
             let got = arsp_dual(&d, &ratio);
-            assert!(truth.approx_eq(&got, 1e-9), "seed {seed}: {}", truth.max_abs_diff(&got));
+            assert!(
+                truth.approx_eq(&got, 1e-9),
+                "seed {seed}: {}",
+                truth.max_abs_diff(&got)
+            );
         }
     }
 
@@ -287,7 +291,11 @@ mod tests {
         let ratio = WeightRatio::uniform(4, 0.25, 3.0);
         let reference = arsp_kdtt_plus(&d, &ratio.to_constraint_set());
         let got = arsp_dual(&d, &ratio);
-        assert!(reference.approx_eq(&got, 1e-8), "{}", reference.max_abs_diff(&got));
+        assert!(
+            reference.approx_eq(&got, 1e-8),
+            "{}",
+            reference.max_abs_diff(&got)
+        );
     }
 
     #[test]
@@ -323,7 +331,11 @@ mod tests {
         let ratio = WeightRatio::uniform(2, 0.5, 2.0);
         let reference = arsp_loop(&d, &ratio.to_constraint_set());
         let got = prep.query(0.5, 2.0);
-        assert!(reference.approx_eq(&got, 1e-8), "{}", reference.max_abs_diff(&got));
+        assert!(
+            reference.approx_eq(&got, 1e-8),
+            "{}",
+            reference.max_abs_diff(&got)
+        );
     }
 
     #[test]

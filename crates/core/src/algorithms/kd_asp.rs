@@ -52,6 +52,11 @@ fn is_one(x: f64) -> bool {
 
 /// The mutable traversal state (σ, β, χ) of Algorithm 1, plus the
 /// "point is inside the current node" marks used by the candidate pass.
+///
+/// `Clone` is what makes the parallel traversal exact: sibling subtrees run
+/// on bitwise copies of the state they would have observed sequentially (see
+/// [`undo`] for why the restoration is exact).
+#[derive(Clone)]
 struct SkyState {
     sigma: Vec<f64>,
     beta: f64,
@@ -83,19 +88,6 @@ impl SkyState {
         }
         // `old` already saturated: σ can only grow by zero-mass rounding and
         // neither β nor χ change.
-    }
-
-    /// Undoes a previous [`SkyState::add`] (line 27 of Algorithm 1).
-    fn remove(&mut self, obj: usize, p: f64) {
-        let cur = self.sigma[obj];
-        let restored = cur - p;
-        self.sigma[obj] = restored;
-        if is_one(cur) && !is_one(restored) {
-            self.chi -= 1;
-            self.beta *= 1.0 - restored;
-        } else if !is_one(cur) {
-            self.beta *= (1.0 - restored) / (1.0 - cur);
-        }
     }
 
     /// Skyline probability of a single point forming a leaf: `σ` holds the
@@ -132,10 +124,15 @@ fn corners(points: &[ScorePoint], order: &[u32]) -> (Vec<f64>, Vec<f64>) {
     (min, max)
 }
 
-/// Result of the candidate pass at one node: how much was added to the state
-/// (for undo) and the surviving candidate list for the children.
+/// Result of the candidate pass at one node: an exact snapshot of the state
+/// it mutated (for undo) and the surviving candidate list for the children.
 struct NodePass {
-    added: Vec<(usize, f64)>,
+    /// `(object, σ[object] before this node's addition)` in addition order.
+    saved_sigma: Vec<(usize, f64)>,
+    /// `β` before the pass.
+    beta_before: f64,
+    /// `χ` before the pass.
+    chi_before: usize,
     next_candidates: Vec<u32>,
 }
 
@@ -149,27 +146,39 @@ fn candidate_pass(
     pmax: &[f64],
     state: &mut SkyState,
 ) -> NodePass {
-    let mut added = Vec::new();
+    let mut saved_sigma = Vec::new();
     let mut next_candidates = Vec::new();
+    let beta_before = state.beta;
+    let chi_before = state.chi;
     for &c in candidates {
         let sp = &points[c as usize];
         if !state.in_node[c as usize] && dominates(&sp.coords, pmin) {
+            saved_sigma.push((sp.object, state.sigma[sp.object]));
             state.add(sp.object, sp.prob);
-            added.push((sp.object, sp.prob));
         } else if dominates(&sp.coords, pmax) {
             next_candidates.push(c);
         }
     }
     NodePass {
-        added,
+        saved_sigma,
+        beta_before,
+        chi_before,
         next_candidates,
     }
 }
 
-fn undo(state: &mut SkyState, added: &[(usize, f64)]) {
-    for &(obj, p) in added.iter().rev() {
-        state.remove(obj, p);
+/// Restores the state a [`candidate_pass`] mutated, **exactly**: saved σ
+/// entries are written back (newest first, so repeated additions to one
+/// object unwind correctly) and β/χ are restored from the snapshot rather
+/// than recomputed. Arithmetic "inverses" like `β / (1 − σ)` would drift
+/// under floating point; bitwise restoration is what lets sibling subtrees —
+/// sequential or parallel — observe identical states.
+fn undo(state: &mut SkyState, pass: &NodePass) {
+    for &(obj, old) in pass.saved_sigma.iter().rev() {
+        state.sigma[obj] = old;
     }
+    state.beta = pass.beta_before;
+    state.chi = pass.chi_before;
 }
 
 /// Emits the probability of every point of a node whose points all share the
@@ -177,12 +186,7 @@ fn undo(state: &mut SkyState, added: &[(usize, f64)]) {
 /// of the node mutually dominate each other, so on top of the outside mass in
 /// `σ` each point is also dominated by the node-internal mass of every other
 /// object present in the node.
-fn emit_coincident_node(
-    points: &[ScorePoint],
-    order: &[u32],
-    state: &SkyState,
-    out: &mut [f64],
-) {
+fn emit_coincident_node(points: &[ScorePoint], order: &[u32], state: &SkyState, out: &mut [f64]) {
     // Per-object probability mass inside the node (the node holds at most a
     // handful of coinciding points, so a small vector is fine).
     let mut node_mass: Vec<(usize, f64)> = Vec::new();
@@ -229,6 +233,27 @@ pub fn quad_asp_fused(points: &[ScorePoint], num_objects: usize, num_instances: 
     run_fused(points, num_objects, num_instances, SplitKind::Quad)
 }
 
+/// **KDTT+**, parallel: identical to [`kd_asp_fused`] bit for bit, but sibling
+/// subtrees of the first few recursion levels run on worker threads (see
+/// [`crate::parallel`]).
+pub fn kd_asp_fused_parallel(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+) -> Vec<f64> {
+    run_fused_parallel(points, num_objects, num_instances, SplitKind::Kd)
+}
+
+/// **QDTT+**, parallel: identical to [`quad_asp_fused`] bit for bit, with
+/// quadrant subtrees running on worker threads.
+pub fn quad_asp_fused_parallel(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+) -> Vec<f64> {
+    run_fused_parallel(points, num_objects, num_instances, SplitKind::Quad)
+}
+
 fn run_fused(
     points: &[ScorePoint],
     num_objects: usize,
@@ -242,8 +267,244 @@ fn run_fused(
     let mut order: Vec<u32> = (0..points.len() as u32).collect();
     let candidates: Vec<u32> = order.clone();
     let mut state = SkyState::new(num_objects, points.len());
-    fused_rec(points, &mut order, &candidates, 0, &mut state, &mut out, split);
+    fused_rec(
+        points,
+        &mut order,
+        &candidates,
+        0,
+        &mut state,
+        &mut out,
+        split,
+    );
     out
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_fused_parallel(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+    split: SplitKind,
+) -> Vec<f64> {
+    run_fused(points, num_objects, num_instances, split)
+}
+
+#[cfg(feature = "parallel")]
+fn run_fused_parallel(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+    split: SplitKind,
+) -> Vec<f64> {
+    let levels = crate::parallel::fan_out_levels();
+    if levels == 0 || points.len() < MIN_PARALLEL_NODE {
+        return run_fused(points, num_objects, num_instances, split);
+    }
+    crate::parallel::with_pool(|| {
+        let mut out = vec![0.0; num_instances];
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        let candidates: Vec<u32> = order.clone();
+        let mut state = SkyState::new(num_objects, points.len());
+        fused_rec_par(
+            points,
+            &mut order,
+            &candidates,
+            0,
+            &mut state,
+            &mut out,
+            split,
+            levels,
+        );
+        out
+    })
+}
+
+/// Nodes smaller than this are traversed sequentially even when parallel
+/// levels remain: a performance threshold only — results are bitwise
+/// identical either way.
+#[cfg(feature = "parallel")]
+const MIN_PARALLEL_NODE: usize = 512;
+
+/// One subtree of the parallel traversal: runs on an owned clone of the
+/// exactly-restored parent state and returns `(instance id, probability)`
+/// pairs instead of writing into the shared output (sibling subtrees cover
+/// disjoint instances, so the parent can merge without reordering anything).
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn run_subtree(
+    points: &[ScorePoint],
+    order: &mut [u32],
+    candidates: &[u32],
+    depth: usize,
+    mut state: SkyState,
+    out_len: usize,
+    split: SplitKind,
+    levels: usize,
+) -> Vec<(usize, f64)> {
+    let mut buf = vec![0.0; out_len];
+    fused_rec_par(
+        points, order, candidates, depth, &mut state, &mut buf, split, levels,
+    );
+    order
+        .iter()
+        .map(|&idx| {
+            let id = points[idx as usize].id;
+            (id, buf[id])
+        })
+        .collect()
+}
+
+/// The parallel twin of [`fused_rec`]: node processing is identical, but
+/// while parallel `levels` remain, child subtrees are dispatched through
+/// [`rayon::join`] (kd splits) or a parallel iterator (quad splits) on cloned
+/// states. Because [`undo`] restores states exactly, a clone of the
+/// post-candidate-pass state is bitwise the state the sequential recursion
+/// would hand the same child, so outputs cannot differ.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn fused_rec_par(
+    points: &[ScorePoint],
+    order: &mut [u32],
+    candidates: &[u32],
+    depth: usize,
+    state: &mut SkyState,
+    out: &mut [f64],
+    split: SplitKind,
+    levels: usize,
+) {
+    if levels == 0 || order.len() < MIN_PARALLEL_NODE {
+        fused_rec(points, order, candidates, depth, state, out, split);
+        return;
+    }
+
+    let (pmin, pmax) = corners(points, order);
+    for &idx in order.iter() {
+        state.in_node[idx as usize] = true;
+    }
+    let pass = candidate_pass(points, candidates, &pmin, &pmax, state);
+    for &idx in order.iter() {
+        state.in_node[idx as usize] = false;
+    }
+
+    if order.len() == 1 {
+        let sp = &points[order[0] as usize];
+        out[sp.id] = state.leaf_probability(sp.object, sp.prob);
+    } else if pmin == pmax {
+        emit_coincident_node(points, order, state, out);
+    } else if state.chi == 0 {
+        match split {
+            SplitKind::Kd => {
+                parallel_kd_split(points, order, &pass, depth, state, out, split, levels);
+            }
+            SplitKind::Quad => {
+                let dim = points[order[0] as usize].coords.len();
+                let center: Vec<f64> = (0..dim).map(|k| 0.5 * (pmin[k] + pmax[k])).collect();
+                let mut groups: std::collections::BTreeMap<u64, Vec<u32>> =
+                    std::collections::BTreeMap::new();
+                for &idx in order.iter() {
+                    let mut mask: u64 = 0;
+                    for (k, &c) in points[idx as usize].coords.iter().enumerate() {
+                        if k < 64 && c > center[k] {
+                            mask |= 1 << k;
+                        }
+                    }
+                    groups.entry(mask).or_default().push(idx);
+                }
+                if groups.len() == 1 {
+                    // Mask collision (dimensions ≥ 64): kd fallback, exactly
+                    // as in the sequential traversal.
+                    parallel_kd_split(points, order, &pass, depth, state, out, split, levels);
+                } else {
+                    use rayon::prelude::*;
+                    let out_len = out.len();
+                    let snapshot: &SkyState = state;
+                    let nc = &pass.next_candidates;
+                    let group_vals: Vec<Vec<(usize, f64)>> = groups
+                        .into_values()
+                        .collect::<Vec<_>>()
+                        .into_par_iter()
+                        .map(|mut group| {
+                            run_subtree(
+                                points,
+                                &mut group,
+                                nc,
+                                depth + 1,
+                                snapshot.clone(),
+                                out_len,
+                                split,
+                                levels - 1,
+                            )
+                        })
+                        .collect();
+                    for (id, p) in group_vals.into_iter().flatten() {
+                        out[id] = p;
+                    }
+                }
+            }
+        }
+    }
+
+    undo(state, &pass);
+}
+
+/// Median-splits the node on the depth's axis (the same
+/// `select_nth_unstable_by` the sequential traversal uses) and runs both
+/// halves through [`rayon::join`] on cloned states, merging the returned
+/// `(id, probability)` pairs. Shared by the Kd arm and the Quad
+/// mask-collision fallback of [`fused_rec_par`].
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn parallel_kd_split(
+    points: &[ScorePoint],
+    order: &mut [u32],
+    pass: &NodePass,
+    depth: usize,
+    state: &SkyState,
+    out: &mut [f64],
+    split: SplitKind,
+    levels: usize,
+) {
+    let dim = points[order[0] as usize].coords.len();
+    let axis = depth % dim;
+    let mid = order.len() / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        points[a as usize].coords[axis]
+            .partial_cmp(&points[b as usize].coords[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let out_len = out.len();
+    let (left, right) = order.split_at_mut(mid);
+    let (lstate, rstate) = (state.clone(), state.clone());
+    let nc = &pass.next_candidates;
+    let (lvals, rvals) = rayon::join(
+        || {
+            run_subtree(
+                points,
+                left,
+                nc,
+                depth + 1,
+                lstate,
+                out_len,
+                split,
+                levels - 1,
+            )
+        },
+        || {
+            run_subtree(
+                points,
+                right,
+                nc,
+                depth + 1,
+                rstate,
+                out_len,
+                split,
+                levels - 1,
+            )
+        },
+    );
+    for (id, p) in lvals.into_iter().chain(rvals) {
+        out[id] = p;
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -290,8 +551,24 @@ fn fused_rec(
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 let (left, right) = order.split_at_mut(mid);
-                fused_rec(points, left, &pass.next_candidates, depth + 1, state, out, split);
-                fused_rec(points, right, &pass.next_candidates, depth + 1, state, out, split);
+                fused_rec(
+                    points,
+                    left,
+                    &pass.next_candidates,
+                    depth + 1,
+                    state,
+                    out,
+                    split,
+                );
+                fused_rec(
+                    points,
+                    right,
+                    &pass.next_candidates,
+                    depth + 1,
+                    state,
+                    out,
+                    split,
+                );
             }
             SplitKind::Quad => {
                 let dim = points[order[0] as usize].coords.len();
@@ -322,8 +599,24 @@ fn fused_rec(
                             .unwrap_or(std::cmp::Ordering::Equal)
                     });
                     let (left, right) = order.split_at_mut(mid);
-                    fused_rec(points, left, &pass.next_candidates, depth + 1, state, out, split);
-                    fused_rec(points, right, &pass.next_candidates, depth + 1, state, out, split);
+                    fused_rec(
+                        points,
+                        left,
+                        &pass.next_candidates,
+                        depth + 1,
+                        state,
+                        out,
+                        split,
+                    );
+                    fused_rec(
+                        points,
+                        right,
+                        &pass.next_candidates,
+                        depth + 1,
+                        state,
+                        out,
+                        split,
+                    );
                 } else {
                     // Visit quadrants in ascending mask order: lower quadrants
                     // first, mirroring the kd variant's left-to-right order.
@@ -346,7 +639,7 @@ fn fused_rec(
     // mass of some object lying outside the node — the subtree has zero
     // skyline probability everywhere and is pruned (never constructed).
 
-    undo(state, &pass.added);
+    undo(state, &pass);
 }
 
 /// **KDTT**: build the complete kd-tree first, then traverse it pre-order.
@@ -377,7 +670,15 @@ pub fn kd_asp_prebuilt(
     let all: Vec<u32> = (0..points.len() as u32).collect();
     let mut state = SkyState::new(num_objects, points.len());
     let mut scratch = Vec::new();
-    prebuilt_rec(points, &tree, root, &all, &mut state, &mut out, &mut scratch);
+    prebuilt_rec(
+        points,
+        &tree,
+        root,
+        &all,
+        &mut state,
+        &mut out,
+        &mut scratch,
+    );
     out
 }
 
@@ -434,14 +735,30 @@ fn prebuilt_rec(
                 let mut reusable = members;
                 reusable.clear();
                 *scratch = reusable;
-                prebuilt_rec(points, tree, *left, &pass.next_candidates, state, out, scratch);
-                prebuilt_rec(points, tree, *right, &pass.next_candidates, state, out, scratch);
+                prebuilt_rec(
+                    points,
+                    tree,
+                    *left,
+                    &pass.next_candidates,
+                    state,
+                    out,
+                    scratch,
+                );
+                prebuilt_rec(
+                    points,
+                    tree,
+                    *right,
+                    &pass.next_candidates,
+                    state,
+                    out,
+                    scratch,
+                );
             }
             // χ ≥ 1: prune the traversal (the tree itself was already built).
         }
     }
 
-    undo(state, &pass.added);
+    undo(state, &pass);
 }
 
 #[cfg(test)]
@@ -485,7 +802,11 @@ mod tests {
         }
     }
 
-    fn all_variants(points: &[ScorePoint], num_objects: usize, num_instances: usize) -> [Vec<f64>; 3] {
+    fn all_variants(
+        points: &[ScorePoint],
+        num_objects: usize,
+        num_instances: usize,
+    ) -> [Vec<f64>; 3] {
         [
             kd_asp_fused(points, num_objects, num_instances),
             quad_asp_fused(points, num_objects, num_instances),
@@ -653,9 +974,7 @@ mod tests {
                 let k = rng.gen_range(1..4);
                 let p = 1.0 / k as f64;
                 for _ in 0..k {
-                    let coords = (0..2)
-                        .map(|_| rng.gen_range(0..3) as f64 * 0.5)
-                        .collect();
+                    let coords = (0..2).map(|_| rng.gen_range(0..3) as f64 * 0.5).collect();
                     pts.push(point(id, obj, p, coords));
                     id += 1;
                 }
@@ -672,5 +991,48 @@ mod tests {
         assert!(kd_asp_fused(&[], 0, 0).is_empty());
         assert!(quad_asp_fused(&[], 0, 0).is_empty());
         assert!(kd_asp_prebuilt(&[], 0, 0).is_empty());
+        assert!(kd_asp_fused_parallel(&[], 0, 0).is_empty());
+        assert!(quad_asp_fused_parallel(&[], 0, 0).is_empty());
+    }
+
+    /// Builds a random point set large enough to cross the parallel
+    /// traversal's node-size threshold several times over.
+    fn large_random_points(seed: u64, dim: usize) -> (Vec<ScorePoint>, usize, usize) {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let num_objects = 400;
+        let mut pts = Vec::new();
+        let mut id = 0;
+        for obj in 0..num_objects {
+            let k = rng.gen_range(1..6);
+            let p = 1.0 / k as f64;
+            for _ in 0..k {
+                let coords = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                pts.push(point(id, obj, p, coords));
+                id += 1;
+            }
+        }
+        (pts, num_objects, id)
+    }
+
+    #[test]
+    fn parallel_traversal_is_bitwise_identical() {
+        // Force a fan-out even on single-core machines so the parallel
+        // recursion genuinely runs; the lock keeps knob-value assertions in
+        // other tests from observing the transient setting.
+        let _guard = crate::parallel::knob_lock();
+        crate::parallel::set_num_threads(4);
+        for (seed, dim) in [(101u64, 2usize), (102, 3), (103, 4)] {
+            let (pts, num_objects, n) = large_random_points(seed, dim);
+            assert!(n > 512, "test set must exceed the parallel threshold");
+            let seq_kd = kd_asp_fused(&pts, num_objects, n);
+            let par_kd = kd_asp_fused_parallel(&pts, num_objects, n);
+            assert_eq!(seq_kd, par_kd, "kd traversal diverged (seed {seed})");
+            let seq_quad = quad_asp_fused(&pts, num_objects, n);
+            let par_quad = quad_asp_fused_parallel(&pts, num_objects, n);
+            assert_eq!(seq_quad, par_quad, "quad traversal diverged (seed {seed})");
+        }
+        crate::parallel::set_num_threads(0);
     }
 }

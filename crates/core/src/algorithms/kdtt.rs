@@ -35,24 +35,45 @@ pub fn arsp_qdtt_plus(dataset: &UncertainDataset, constraints: &ConstraintSet) -
 
 /// KDTT+ with a pre-built F-dominance test (lets benchmarks exclude vertex
 /// enumeration, which is a shared one-off cost).
-pub fn arsp_kdtt_plus_with_fdom(
-    dataset: &UncertainDataset,
-    fdom: &LinearFDominance,
-) -> ArspResult {
+pub fn arsp_kdtt_plus_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
     run_with_fdom(dataset, fdom, Variant::FusedKd)
 }
 
 /// QDTT+ with a pre-built F-dominance test.
-pub fn arsp_qdtt_plus_with_fdom(
-    dataset: &UncertainDataset,
-    fdom: &LinearFDominance,
-) -> ArspResult {
+pub fn arsp_qdtt_plus_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
     run_with_fdom(dataset, fdom, Variant::FusedQuad)
 }
 
 /// KDTT with a pre-built F-dominance test.
 pub fn arsp_kdtt_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
     run_with_fdom(dataset, fdom, Variant::Prebuilt)
+}
+
+/// KDTT+, parallel: the score-space mapping and the fused traversal both fan
+/// out to worker threads, with results bitwise identical to
+/// [`arsp_kdtt_plus`] (see [`crate::parallel`] for why). Without the
+/// `parallel` feature this is [`arsp_kdtt_plus`].
+pub fn arsp_kdtt_plus_parallel(
+    dataset: &UncertainDataset,
+    constraints: &ConstraintSet,
+) -> ArspResult {
+    run_parallel(dataset, constraints, Variant::FusedKd)
+}
+
+/// QDTT+, parallel: bitwise identical to [`arsp_qdtt_plus`].
+pub fn arsp_qdtt_plus_parallel(
+    dataset: &UncertainDataset,
+    constraints: &ConstraintSet,
+) -> ArspResult {
+    run_parallel(dataset, constraints, Variant::FusedQuad)
+}
+
+/// KDTT, parallel: the score-space mapping runs on worker threads; the
+/// prebuilt-tree traversal itself stays sequential (it exists to measure the
+/// cost the paper's fused variants remove, so parallelising it would defeat
+/// its purpose as a baseline). Bitwise identical to [`arsp_kdtt`].
+pub fn arsp_kdtt_parallel(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    run_parallel(dataset, constraints, Variant::Prebuilt)
 }
 
 #[derive(Clone, Copy)]
@@ -66,6 +87,28 @@ fn run(dataset: &UncertainDataset, constraints: &ConstraintSet, variant: Variant
     assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
     let fdom = LinearFDominance::from_constraints(constraints);
     run_with_fdom(dataset, &fdom, variant)
+}
+
+fn run_parallel(
+    dataset: &UncertainDataset,
+    constraints: &ConstraintSet,
+    variant: Variant,
+) -> ArspResult {
+    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
+    let fdom = LinearFDominance::from_constraints(constraints);
+    let points = crate::scorespace::map_to_score_space_parallel(dataset, &fdom);
+    let probs = match variant {
+        Variant::Prebuilt => {
+            kd_asp::kd_asp_prebuilt(&points, dataset.num_objects(), dataset.num_instances())
+        }
+        Variant::FusedKd => {
+            kd_asp::kd_asp_fused_parallel(&points, dataset.num_objects(), dataset.num_instances())
+        }
+        Variant::FusedQuad => {
+            kd_asp::quad_asp_fused_parallel(&points, dataset.num_objects(), dataset.num_instances())
+        }
+    };
+    ArspResult::from_probs(probs)
 }
 
 fn run_with_fdom(
@@ -159,7 +202,11 @@ mod tests {
             arsp_kdtt_plus(&d, &constraints),
             arsp_qdtt_plus(&d, &constraints),
         ] {
-            assert!(reference.approx_eq(&got, 1e-8), "{}", reference.max_abs_diff(&got));
+            assert!(
+                reference.approx_eq(&got, 1e-8),
+                "{}",
+                reference.max_abs_diff(&got)
+            );
         }
     }
 

@@ -23,66 +23,167 @@ pub fn arsp_loop(dataset: &UncertainDataset, constraints: &ConstraintSet) -> Ars
 /// one-off vertex enumeration from the measured time).
 pub fn arsp_loop_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
     let n = dataset.num_instances();
-    let m = dataset.num_objects();
     let mut result = ArspResult::zeros(n);
     if n == 0 {
         return result;
     }
+    let (order, keys) = sorted_order(dataset, fdom);
 
-    // Sort instance ids by their score under the first vertex; anything that
-    // F-dominates an instance must have a score ≤ the instance's score under
-    // every vertex, in particular this one.
+    // Per-object accumulated dominating mass, reset between instances via the
+    // `touched` list to keep each iteration O(#dominators) rather than O(m).
+    let mut scratch = LoopScratch::new(dataset.num_objects());
+    for (pos, &t_id) in order.iter().enumerate() {
+        let prob = instance_probability(dataset, fdom, &order, &keys, pos, &mut scratch);
+        result.set(t_id, prob);
+    }
+    result
+}
+
+/// LOOP with the per-instance scans fanned out over worker threads. Each
+/// instance's probability is an independent product accumulated in exactly
+/// the order of the sequential scan, so the result is bitwise identical to
+/// [`arsp_loop`]. The worker count is bounded by
+/// [`crate::parallel::set_num_threads`]; without the `parallel` feature this
+/// is [`arsp_loop`].
+pub fn arsp_loop_parallel(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
+    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
+    let fdom = LinearFDominance::from_constraints(constraints);
+    arsp_loop_parallel_with_fdom(dataset, &fdom)
+}
+
+/// [`arsp_loop_parallel`] with a pre-built F-dominance test.
+#[cfg(feature = "parallel")]
+pub fn arsp_loop_parallel_with_fdom(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+) -> ArspResult {
+    use rayon::prelude::*;
+
+    let n = dataset.num_instances();
+    let chunks = crate::parallel::chunk_bounds(n);
+    if n == 0 || chunks.len() <= 1 {
+        return arsp_loop_with_fdom(dataset, fdom);
+    }
+    let (order, keys) = sorted_order(dataset, fdom);
+    let order = &order;
+    let keys = &keys;
+
+    // One contiguous chunk of sort positions per worker; each worker owns its
+    // σ scratch, mirroring the sequential reuse pattern.
+    let chunk_results: Vec<Vec<(usize, f64)>> = crate::parallel::with_pool(|| {
+        chunks
+            .into_par_iter()
+            .map(|range| {
+                let mut scratch = LoopScratch::new(dataset.num_objects());
+                range
+                    .map(|pos| {
+                        let prob =
+                            instance_probability(dataset, fdom, order, keys, pos, &mut scratch);
+                        (order[pos], prob)
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+
+    let mut result = ArspResult::zeros(n);
+    for (t_id, prob) in chunk_results.into_iter().flatten() {
+        result.set(t_id, prob);
+    }
+    result
+}
+
+/// [`arsp_loop_parallel`] with a pre-built F-dominance test (sequential
+/// fallback: the `parallel` feature is disabled).
+#[cfg(not(feature = "parallel"))]
+pub fn arsp_loop_parallel_with_fdom(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+) -> ArspResult {
+    arsp_loop_with_fdom(dataset, fdom)
+}
+
+/// Sorts instance ids by their score under the first vertex; anything that
+/// F-dominates an instance must have a score ≤ the instance's score under
+/// every vertex, in particular this one.
+fn sorted_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> (Vec<usize>, Vec<f64>) {
     let omega = &fdom.vertices()[0];
-    let mut order: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..dataset.num_instances()).collect();
     let keys: Vec<f64> = dataset
         .instances()
         .iter()
         .map(|inst| arsp_geometry::point::score(&inst.coords, omega))
         .collect();
-    order.sort_unstable_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_unstable_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    (order, keys)
+}
 
-    // Per-object accumulated dominating mass, reset between instances via the
-    // `touched` list to keep each iteration O(#dominators) rather than O(m).
-    let mut sigma = vec![0.0f64; m];
-    let mut touched: Vec<usize> = Vec::new();
+/// Reusable per-worker accumulation buffers.
+struct LoopScratch {
+    sigma: Vec<f64>,
+    touched: Vec<usize>,
+}
 
-    for (pos, &t_id) in order.iter().enumerate() {
-        let t = dataset.instance(t_id);
-        touched.clear();
-
-        // Scan every instance whose sort key does not exceed t's; with strict
-        // inequality later instances cannot F-dominate t, and instances with
-        // an equal key are included to stay exact under score ties.
-        for &s_id in &order[..pos] {
-            let s = dataset.instance(s_id);
-            if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
-                if sigma[s.object] == 0.0 {
-                    touched.push(s.object);
-                }
-                sigma[s.object] += s.prob;
-            }
+impl LoopScratch {
+    fn new(num_objects: usize) -> Self {
+        Self {
+            sigma: vec![0.0; num_objects],
+            touched: Vec::new(),
         }
-        for &s_id in &order[pos + 1..] {
-            if keys[s_id] > keys[t_id] {
-                break;
-            }
-            let s = dataset.instance(s_id);
-            if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
-                if sigma[s.object] == 0.0 {
-                    touched.push(s.object);
-                }
-                sigma[s.object] += s.prob;
-            }
-        }
-
-        let mut prob = t.prob;
-        for &obj in &touched {
-            prob *= 1.0 - sigma[obj];
-            sigma[obj] = 0.0;
-        }
-        result.set(t_id, prob.max(0.0));
     }
-    result
+}
+
+/// The body of the LOOP scan for the instance at sort position `pos`: scans
+/// every instance whose sort key does not exceed this one's (with strict
+/// inequality later instances cannot F-dominate it, and instances with an
+/// equal key are included to stay exact under score ties) and folds the
+/// per-object dominating mass into the probability, always in sort order.
+fn instance_probability(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+    order: &[usize],
+    keys: &[f64],
+    pos: usize,
+    scratch: &mut LoopScratch,
+) -> f64 {
+    let t_id = order[pos];
+    let t = dataset.instance(t_id);
+    let sigma = &mut scratch.sigma;
+    let touched = &mut scratch.touched;
+    touched.clear();
+
+    for &s_id in &order[..pos] {
+        let s = dataset.instance(s_id);
+        if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
+            if sigma[s.object] == 0.0 {
+                touched.push(s.object);
+            }
+            sigma[s.object] += s.prob;
+        }
+    }
+    for &s_id in &order[pos + 1..] {
+        if keys[s_id] > keys[t_id] {
+            break;
+        }
+        let s = dataset.instance(s_id);
+        if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
+            if sigma[s.object] == 0.0 {
+                touched.push(s.object);
+            }
+            sigma[s.object] += s.prob;
+        }
+    }
+
+    let mut prob = t.prob;
+    for &obj in touched.iter() {
+        prob *= 1.0 - sigma[obj];
+        sigma[obj] = 0.0;
+    }
+    prob.max(0.0)
 }
 
 #[cfg(test)]
@@ -130,7 +231,11 @@ mod tests {
             let constraints = ConstraintSet::weak_ranking(3, 2);
             let a = arsp_enum(&d, &constraints);
             let b = arsp_loop(&d, &constraints);
-            assert!(a.approx_eq(&b, 1e-9), "seed {seed}: diff {}", a.max_abs_diff(&b));
+            assert!(
+                a.approx_eq(&b, 1e-9),
+                "seed {seed}: diff {}",
+                a.max_abs_diff(&b)
+            );
         }
     }
 
@@ -156,6 +261,30 @@ mod tests {
         assert!(a.approx_eq(&b, 1e-9));
         assert_eq!(b.instance_prob(0), 0.0);
         assert_eq!(b.instance_prob(1), 0.0);
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical() {
+        let d = SyntheticConfig {
+            num_objects: 120,
+            max_instances: 5,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.15,
+            seed: 77,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        // Force a fan-out even on single-core machines; the lock keeps
+        // knob-value assertions in other tests from observing the transient
+        // setting.
+        let _guard = crate::parallel::knob_lock();
+        crate::parallel::set_num_threads(4);
+        let seq = arsp_loop(&d, &constraints);
+        let par = arsp_loop_parallel(&d, &constraints);
+        crate::parallel::set_num_threads(0);
+        assert_eq!(seq.probs(), par.probs());
     }
 
     /// Helper so synthetic tests can vary the seed tersely.

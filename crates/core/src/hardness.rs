@@ -130,7 +130,10 @@ mod tests {
             seen_positive |= expected;
             seen_negative |= !expected;
         }
-        assert!(seen_positive && seen_negative, "test data covered both outcomes");
+        assert!(
+            seen_positive && seen_negative,
+            "test data covered both outcomes"
+        );
     }
 
     #[test]

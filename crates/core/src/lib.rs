@@ -35,6 +35,9 @@
 //!   the paper's names),
 //! * ARSP algorithms for weight ratio constraints: [`arsp_dual`] and the
 //!   d = 2 specialisation [`DualMs2d`],
+//! * a rayon-based parallel execution layer ([`parallel`]) with
+//!   bitwise-deterministic parallel twins of the algorithms
+//!   ([`ArspAlgorithm::run_parallel`], [`arsp_kdtt_plus_parallel`], …),
 //! * the all-skyline-probabilities special case [`skyline_probabilities`],
 //! * the aggregated rskyline and effectiveness helpers used by the paper's
 //!   §V-B study ([`aggregate`], [`effectiveness`]),
@@ -47,17 +50,24 @@ pub mod asp;
 pub mod eclipse;
 pub mod effectiveness;
 pub mod hardness;
+pub mod parallel;
 pub mod result;
 pub mod scorespace;
 
-pub use algorithms::bnb::{arsp_bnb, arsp_bnb_with_fdom, arsp_bnb_without_pruning};
+pub use algorithms::bnb::{
+    arsp_bnb, arsp_bnb_parallel, arsp_bnb_parallel_with_fdom, arsp_bnb_with_fdom,
+    arsp_bnb_without_pruning,
+};
 pub use algorithms::dual::{arsp_dual, DualMs2d};
 pub use algorithms::enumerate::{arsp_enum, arsp_enum_with_limit};
 pub use algorithms::kdtt::{
-    arsp_kdtt, arsp_kdtt_plus, arsp_kdtt_plus_with_fdom, arsp_kdtt_with_fdom, arsp_qdtt_plus,
+    arsp_kdtt, arsp_kdtt_parallel, arsp_kdtt_plus, arsp_kdtt_plus_parallel,
+    arsp_kdtt_plus_with_fdom, arsp_kdtt_with_fdom, arsp_qdtt_plus, arsp_qdtt_plus_parallel,
     arsp_qdtt_plus_with_fdom,
 };
-pub use algorithms::loop_scan::{arsp_loop, arsp_loop_with_fdom};
+pub use algorithms::loop_scan::{
+    arsp_loop, arsp_loop_parallel, arsp_loop_parallel_with_fdom, arsp_loop_with_fdom,
+};
 pub use algorithms::ArspAlgorithm;
 pub use asp::skyline_probabilities;
 pub use result::ArspResult;
@@ -69,10 +79,12 @@ pub mod prelude {
     pub use crate::asp::skyline_probabilities;
     pub use crate::eclipse::{eclipse_dual_s, eclipse_quad};
     pub use crate::effectiveness::{rskyline_ranking, skyline_ranking};
+    pub use crate::parallel::{num_threads, set_num_threads};
     pub use crate::result::ArspResult;
     pub use crate::{
-        arsp_bnb, arsp_dual, arsp_enum, arsp_kdtt, arsp_kdtt_plus, arsp_loop, arsp_qdtt_plus,
-        DualMs2d,
+        arsp_bnb, arsp_bnb_parallel, arsp_dual, arsp_enum, arsp_kdtt, arsp_kdtt_plus,
+        arsp_kdtt_plus_parallel, arsp_loop, arsp_loop_parallel, arsp_qdtt_plus,
+        arsp_qdtt_plus_parallel, DualMs2d,
     };
     pub use arsp_data::{SyntheticConfig, UncertainDataset};
     pub use arsp_geometry::constraints::{ConstraintSet, WeightRatio};

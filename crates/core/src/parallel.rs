@@ -1,0 +1,169 @@
+//! The rayon-based parallel execution layer.
+//!
+//! Every ARSP algorithm has a parallel entry point (see
+//! [`crate::ArspAlgorithm::run_parallel`]) that produces **bitwise-identical**
+//! results to its sequential counterpart:
+//!
+//! * **LOOP** parallelises over instances — each instance's probability is an
+//!   independent product accumulated in a deterministic order,
+//! * **KDTT+ / QDTT+** parallelise the fused kd-ASP\* traversal: sibling
+//!   subtrees run on cloned copies of the exactly-restored traversal state
+//!   (σ, β, χ), so every leaf sees the same float operations as in the
+//!   sequential recursion,
+//! * **KDTT** parallelises the score-space mapping (the prebuilt-tree
+//!   traversal itself stays sequential),
+//! * **B&B** parallelises the per-object window queries of each popped
+//!   instance; the probability product is then folded in object order,
+//! * **ENUM** stays sequential: its per-instance sums over possible worlds
+//!   are order-sensitive under floating point, so chunked summation would
+//!   change results. It is an exponential toy baseline either way.
+//!
+//! The determinism guarantee is checked end-to-end by the
+//! `parallel_agreement` integration test.
+//!
+//! ## Thread-count knob
+//!
+//! [`set_num_threads`] bounds the fan-out of all parallel entry points
+//! process-wide; `0` (the default) means "use all available cores". Because
+//! parallel and sequential paths agree bitwise, changing the knob never
+//! changes any result — only the wall-clock time.
+//!
+//! Without the `parallel` cargo feature every parallel entry point simply
+//! delegates to its sequential twin and [`num_threads`] reports `1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The process-wide thread-count override; `0` = automatic.
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Bounds the number of worker threads used by the parallel ARSP entry
+/// points. `0` restores the default (all available cores). Takes effect for
+/// computations started after the call.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel entry points will fan out to:
+/// the [`set_num_threads`] override when set, otherwise all available cores.
+/// Always `1` when the `parallel` feature is disabled.
+pub fn num_threads() -> usize {
+    let n = NUM_THREADS.load(Ordering::SeqCst);
+    if n > 0 {
+        return n;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Number of binary fan-out levels needed to keep `num_threads()` workers
+/// busy: the smallest `l` with `2^l >= num_threads()`.
+#[cfg(feature = "parallel")]
+pub(crate) fn fan_out_levels() -> usize {
+    let threads = num_threads();
+    threads.next_power_of_two().trailing_zeros() as usize
+}
+
+/// Runs `f` inside a rayon pool sized to the [`set_num_threads`] override, so
+/// that *every* parallel driver under `f` — including plain `par_iter`s that
+/// would otherwise split by the machine's core count — honours the knob.
+/// With no override set this is a plain call (rayon's default sizing
+/// applies); pool construction is only paid when the knob is active.
+#[cfg(feature = "parallel")]
+pub(crate) fn with_pool<R>(f: impl FnOnce() -> R) -> R {
+    let n = NUM_THREADS.load(Ordering::SeqCst);
+    if n == 0 {
+        return f();
+    }
+    match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+        Ok(pool) => pool.install(f),
+        Err(_) => f(),
+    }
+}
+
+/// Serialises unit tests that set **and assert** the process-global knob, so
+/// concurrently running tests that also twiddle it cannot interleave between
+/// a test's store and its load. (Result bitwise-equality never depends on the
+/// knob, so tests that only *set* it stay correct either way — but they take
+/// the lock too, to keep value assertions elsewhere stable.)
+#[cfg(test)]
+pub(crate) fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
+    static KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    KNOB_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Splits `0..len` into at most `num_threads()` contiguous chunks (fewer when
+/// `len` is small), preserving order.
+#[cfg(feature = "parallel")]
+pub(crate) fn chunk_bounds(len: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = num_threads().clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        if size > 0 {
+            out.push(start..start + size);
+            start += size;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_roundtrip() {
+        let _guard = knob_lock();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn chunks_partition_the_range() {
+        for len in [0usize, 1, 5, 17, 1000] {
+            let chunks = chunk_bounds(len);
+            assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), len);
+            let mut expected_start = 0;
+            for c in &chunks {
+                assert_eq!(c.start, expected_start);
+                assert!(!c.is_empty());
+                expected_start = c.end;
+            }
+            assert_eq!(expected_start, len);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn fan_out_covers_thread_count() {
+        let _guard = knob_lock();
+        set_num_threads(5);
+        assert!(1 << fan_out_levels() >= 5);
+        set_num_threads(0);
+        assert!(1 << fan_out_levels() >= num_threads());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn with_pool_bounds_ambient_parallelism() {
+        let _guard = knob_lock();
+        set_num_threads(2);
+        let seen = with_pool(rayon::current_num_threads);
+        assert_eq!(seen, 2);
+        set_num_threads(0);
+    }
+}

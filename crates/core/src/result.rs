@@ -81,11 +81,8 @@ impl ArspResult {
     /// The `k` objects with the highest rskyline probability, in descending
     /// order (ties broken by object id for determinism).
     pub fn top_k_objects(&self, dataset: &UncertainDataset, k: usize) -> Vec<(usize, f64)> {
-        let mut ranked: Vec<(usize, f64)> = self
-            .object_probs(dataset)
-            .into_iter()
-            .enumerate()
-            .collect();
+        let mut ranked: Vec<(usize, f64)> =
+            self.object_probs(dataset).into_iter().enumerate().collect();
         ranked.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -98,7 +95,11 @@ impl ArspResult {
     /// Largest absolute difference between two results (used by tests and by
     /// the benchmark harness to check cross-algorithm agreement).
     pub fn max_abs_diff(&self, other: &ArspResult) -> f64 {
-        assert_eq!(self.len(), other.len(), "results cover different instance sets");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "results cover different instance sets"
+        );
         self.probs
             .iter()
             .zip(&other.probs)

@@ -40,6 +40,36 @@ pub fn map_to_score_space(dataset: &UncertainDataset, fdom: &LinearFDominance) -
         .collect()
 }
 
+/// [`map_to_score_space`] with the mapping of each instance dispatched to
+/// worker threads. The mapping is a pure per-instance function and the
+/// parallel iterator preserves order, so the output is identical to the
+/// sequential version. Falls back to it without the `parallel` feature.
+pub fn map_to_score_space_parallel(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+) -> Vec<ScorePoint> {
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        crate::parallel::with_pool(|| {
+            dataset
+                .instances()
+                .par_iter()
+                .map(|inst| ScorePoint {
+                    id: inst.id,
+                    object: inst.object,
+                    prob: inst.prob,
+                    coords: fdom.map_to_score_space(&inst.coords),
+                })
+                .collect()
+        })
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        map_to_score_space(dataset, fdom)
+    }
+}
+
 /// The identity mapping: instances keep their original coordinates. Running
 /// kd-ASP\* on these points computes plain skyline probabilities (the ASP
 /// problem — the special case where `F` contains all monotone functions).

@@ -96,7 +96,10 @@ impl UncertainDataset {
         label: Option<String>,
         instances: Vec<(Vec<f64>, f64)>,
     ) -> usize {
-        assert!(!instances.is_empty(), "objects must have at least one instance");
+        assert!(
+            !instances.is_empty(),
+            "objects must have at least one instance"
+        );
         let object_id = self.objects.len();
         let mut instance_ids = Vec::with_capacity(instances.len());
         let mut total = 0.0;

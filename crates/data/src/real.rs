@@ -99,7 +99,12 @@ enum PlayerArchetype {
 /// Metrics are oriented so that *lower is better* (i.e. they are stored as
 /// `1 − normalised performance`), matching the convention of the rest of the
 /// repository.
-pub fn nba_like(num_players: usize, games_per_player: usize, dims: usize, seed: u64) -> UncertainDataset {
+pub fn nba_like(
+    num_players: usize,
+    games_per_player: usize,
+    dims: usize,
+    seed: u64,
+) -> UncertainDataset {
     assert!((1..=NBA_METRICS).contains(&dims));
     assert!(games_per_player >= 1);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -118,7 +123,9 @@ pub fn nba_like(num_players: usize, games_per_player: usize, dims: usize, seed: 
             PlayerArchetype::RolePlayer => (0.2, 0.55, 0.1),
         };
         // Per-metric skill level.
-        let mut skill: Vec<f64> = (0..dims).map(|_| rng.gen_range(skill_lo..skill_hi)).collect();
+        let mut skill: Vec<f64> = (0..dims)
+            .map(|_| rng.gen_range(skill_lo..skill_hi))
+            .collect();
         if archetype == PlayerArchetype::Specialist {
             // One elite metric, the rest ordinary.
             let star_dim = rng.gen_range(0..dims);
@@ -200,7 +207,11 @@ mod tests {
     #[test]
     fn nba_has_varied_archetypes() {
         let d = nba_like(200, 5, 3, 123);
-        let labels: Vec<&str> = d.objects().iter().filter_map(|o| o.label.as_deref()).collect();
+        let labels: Vec<&str> = d
+            .objects()
+            .iter()
+            .filter_map(|o| o.label.as_deref())
+            .collect();
         let has = |needle: &str| labels.iter().any(|l| l.contains(needle));
         assert!(has("ConsistentStar"));
         assert!(has("VolatileStar"));

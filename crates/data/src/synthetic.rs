@@ -220,7 +220,10 @@ mod tests {
                 .collect();
             for dim in 0..5 {
                 let lo = coords.iter().map(|c| c[dim]).fold(f64::INFINITY, f64::min);
-                let hi = coords.iter().map(|c| c[dim]).fold(f64::NEG_INFINITY, f64::max);
+                let hi = coords
+                    .iter()
+                    .map(|c| c[dim])
+                    .fold(f64::NEG_INFINITY, f64::max);
                 assert!(hi - lo <= 0.1 + 1e-9);
                 assert!(lo >= 0.0 && hi <= 1.0);
             }
@@ -282,7 +285,9 @@ mod tests {
     #[test]
     fn normal_sampler_moments() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let samples: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 2.0, 0.5)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 2.0, 0.5))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 2.0).abs() < 0.02, "mean = {mean}");

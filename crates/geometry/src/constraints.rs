@@ -73,7 +73,10 @@ impl WeightRatio {
     /// Creates the same range `[l, h]` for every non-reference dimension of a
     /// `d`-dimensional dataset.
     pub fn uniform(dim: usize, l: f64, h: f64) -> Self {
-        assert!(dim >= 2, "weight ratio constraints need at least 2 dimensions");
+        assert!(
+            dim >= 2,
+            "weight ratio constraints need at least 2 dimensions"
+        );
         Self::new(vec![(l, h); dim - 1])
     }
 

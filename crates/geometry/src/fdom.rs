@@ -272,10 +272,7 @@ mod tests {
         let sa = lin.map_to_score_space(&a);
         let sb = lin.map_to_score_space(&b);
         assert_eq!(sa.len(), lin.num_vertices());
-        assert_eq!(
-            lin.f_dominates(&a, &b),
-            crate::point::dominates(&sa, &sb)
-        );
+        assert_eq!(lin.f_dominates(&a, &b), crate::point::dominates(&sa, &sb));
     }
 
     #[test]
@@ -296,7 +293,10 @@ mod tests {
     #[should_panic]
     fn empty_preference_region_panics() {
         let mut cs = ConstraintSet::new(2);
-        cs.push(crate::constraints::LinearConstraint::new(vec![1.0, 1.0], -5.0));
+        cs.push(crate::constraints::LinearConstraint::new(
+            vec![1.0, 1.0],
+            -5.0,
+        ));
         let _ = LinearFDominance::from_constraints(&cs);
     }
 

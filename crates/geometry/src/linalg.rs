@@ -100,8 +100,16 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 /// enumeration needs: a singular subset of constraints does not define a
 /// unique vertex and must be skipped.
 pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
-    assert_eq!(a.rows(), a.cols(), "solve_linear_system requires a square matrix");
-    assert_eq!(a.rows(), b.len(), "dimension mismatch between matrix and rhs");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "solve_linear_system requires a square matrix"
+    );
+    assert_eq!(
+        a.rows(),
+        b.len(),
+        "dimension mismatch between matrix and rhs"
+    );
     let n = a.rows();
     // Augmented working copy.
     let mut work: Vec<Vec<f64>> = (0..n)

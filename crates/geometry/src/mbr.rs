@@ -21,7 +21,11 @@ impl Mbr {
     /// Panics if the corners have different dimensionality or if any minimum
     /// coordinate exceeds the corresponding maximum.
     pub fn new(min: Point, max: Point) -> Self {
-        assert_eq!(min.dim(), max.dim(), "MBR corners must share dimensionality");
+        assert_eq!(
+            min.dim(),
+            max.dim(),
+            "MBR corners must share dimensionality"
+        );
         assert!(
             min.coords().iter().zip(max.coords()).all(|(a, b)| a <= b),
             "MBR min corner must dominate max corner"

@@ -98,11 +98,9 @@ fn is_feasible(constraints: &ConstraintSet, omega: &[f64]) -> bool {
 }
 
 fn contains_vertex(vertices: &[Vec<f64>], candidate: &[f64]) -> bool {
-    vertices.iter().any(|v| {
-        v.iter()
-            .zip(candidate)
-            .all(|(a, b)| (a - b).abs() <= 1e-6)
-    })
+    vertices
+        .iter()
+        .any(|v| v.iter().zip(candidate).all(|(a, b)| (a - b).abs() <= 1e-6))
 }
 
 /// Calls `f` with every `k`-combination of `{0, …, n−1}`.

@@ -128,9 +128,7 @@ impl AggregateRTree {
 
         let child_action = match &self.nodes[node_id].content {
             AggContent::Leaf(_) => None,
-            AggContent::Internal(children) => {
-                Some(self.choose_subtree(children, &entry.coords))
-            }
+            AggContent::Internal(children) => Some(self.choose_subtree(children, &entry.coords)),
         };
 
         match child_action {
@@ -382,11 +380,14 @@ mod tests {
         ] {
             let want: f64 = entries
                 .iter()
-                .filter(|e| e.coords.iter().zip(&corner) .all(|(c, q)| c <= q))
+                .filter(|e| e.coords.iter().zip(&corner).all(|(c, q)| c <= q))
                 .map(|e| e.weight)
                 .sum();
             let got = tree.window_sum(&corner);
-            assert!((got - want).abs() < 1e-9, "corner {corner:?}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-9,
+                "corner {corner:?}: {got} vs {want}"
+            );
         }
     }
 

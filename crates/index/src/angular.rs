@@ -52,7 +52,9 @@ impl AngularSweepIndex {
         let mut angles = Vec::with_capacity(num_objects);
         let mut prefix = Vec::with_capacity(num_objects);
         for mut list in per_object {
-            list.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            list.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
             let mut a = Vec::with_capacity(list.len());
             let mut p = Vec::with_capacity(list.len() + 1);
             p.push(0.0);
@@ -139,7 +141,10 @@ pub fn dominance_wedge(l: f64, h: f64) -> (f64, f64) {
     // The intersection for l ≤ h is [α_l + π/2, α_h + 3π/2].
     let alpha_l = 1.0f64.atan2(l);
     let alpha_h = 1.0f64.atan2(h);
-    (alpha_l + std::f64::consts::FRAC_PI_2, alpha_h + 3.0 * std::f64::consts::FRAC_PI_2)
+    (
+        alpha_l + std::f64::consts::FRAC_PI_2,
+        alpha_h + 3.0 * std::f64::consts::FRAC_PI_2,
+    )
 }
 
 #[cfg(test)]
@@ -157,10 +162,26 @@ mod tests {
     #[test]
     fn range_queries_with_and_without_wrap() {
         let items = vec![
-            AngularItem { angle: 0.1, object: 0, weight: 1.0 },
-            AngularItem { angle: PI, object: 0, weight: 2.0 },
-            AngularItem { angle: 6.0, object: 0, weight: 4.0 },
-            AngularItem { angle: 0.2, object: 1, weight: 8.0 },
+            AngularItem {
+                angle: 0.1,
+                object: 0,
+                weight: 1.0,
+            },
+            AngularItem {
+                angle: PI,
+                object: 0,
+                weight: 2.0,
+            },
+            AngularItem {
+                angle: 6.0,
+                object: 0,
+                weight: 4.0,
+            },
+            AngularItem {
+                angle: 0.2,
+                object: 1,
+                weight: 8.0,
+            },
         ];
         let idx = AngularSweepIndex::build(2, items);
         assert_eq!(idx.num_objects(), 2);
@@ -177,7 +198,11 @@ mod tests {
 
     #[test]
     fn boundary_angles_are_included() {
-        let items = vec![AngularItem { angle: 1.0, object: 0, weight: 3.0 }];
+        let items = vec![AngularItem {
+            angle: 1.0,
+            object: 0,
+            weight: 3.0,
+        }];
         let idx = AngularSweepIndex::build(1, items);
         assert!((idx.object_sum_in_range(0, 1.0, 2.0) - 3.0).abs() < 1e-12);
         assert!((idx.object_sum_in_range(0, 0.0, 1.0) - 3.0).abs() < 1e-12);
@@ -221,7 +246,11 @@ mod tests {
     fn invalid_object_id_panics() {
         let _ = AngularSweepIndex::build(
             1,
-            vec![AngularItem { angle: 0.0, object: 3, weight: 1.0 }],
+            vec![AngularItem {
+                angle: 0.0,
+                object: 3,
+                weight: 1.0,
+            }],
         );
     }
 }

@@ -263,7 +263,14 @@ fn str_partition(
     let mut start = 0;
     while start < order.len() {
         let end = (start + slab).min(order.len());
-        str_partition(entries, &mut order[start..end], dim + 1, total_dims, leaf_size, out);
+        str_partition(
+            entries,
+            &mut order[start..end],
+            dim + 1,
+            total_dims,
+            leaf_size,
+            out,
+        );
         start = end;
     }
 }

@@ -32,13 +32,22 @@ fn main() {
     // Each probabilistic car is a category: the customer gets any car of the
     // category with equal probability.
     let categories: Vec<(&str, Vec<(f64, f64)>)> = vec![
-        ("compact-suv", vec![(180.0, 28.0), (200.0, 26.0), (170.0, 30.0)]),
+        (
+            "compact-suv",
+            vec![(180.0, 28.0), (200.0, 26.0), (170.0, 30.0)],
+        ),
         ("midsize-sedan", vec![(190.0, 34.0), (210.0, 31.0)]),
-        ("economy", vec![(110.0, 42.0), (95.0, 45.0), (120.0, 40.0), (105.0, 44.0)]),
+        (
+            "economy",
+            vec![(110.0, 42.0), (95.0, 45.0), (120.0, 40.0), (105.0, 44.0)],
+        ),
         ("luxury", vec![(280.0, 22.0), (260.0, 24.0)]),
         ("hybrid", vec![(150.0, 52.0), (140.0, 55.0), (160.0, 50.0)]),
         ("pickup", vec![(250.0, 18.0), (230.0, 20.0)]),
-        ("mixed-bag", vec![(90.0, 30.0), (260.0, 21.0), (150.0, 45.0)]),
+        (
+            "mixed-bag",
+            vec![(90.0, 30.0), (260.0, 21.0), (150.0, 45.0)],
+        ),
     ];
     for (label, cars) in &categories {
         let p = 1.0 / cars.len() as f64;
@@ -60,7 +69,11 @@ fn main() {
     let mut ranking: Vec<(usize, f64)> = object_probs.iter().copied().enumerate().collect();
     ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (object, prob) in &ranking {
-        let marker = if aggregated.contains(object) { "*" } else { " " };
+        let marker = if aggregated.contains(object) {
+            "*"
+        } else {
+            " "
+        };
         println!(
             "  {marker} {:14}  Pr_rsky = {prob:.4}   ({} concrete cars)",
             dataset.object(*object).label.as_deref().unwrap_or("?"),

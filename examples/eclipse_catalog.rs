@@ -27,9 +27,15 @@ fn main() {
     }
 
     let sky = skyline(&catalog);
-    println!("Catalogue: {n} products, {dim} attributes; skyline size = {}", sky.len());
+    println!(
+        "Catalogue: {n} products, {dim} attributes; skyline size = {}",
+        sky.len()
+    );
 
-    println!("\n{:<16} {:>10} {:>14} {:>14}", "ratio range q", "|eclipse|", "QUAD", "DUAL-S");
+    println!(
+        "\n{:<16} {:>10} {:>14} {:>14}",
+        "ratio range q", "|eclipse|", "QUAD", "DUAL-S"
+    );
     for (l, h) in arsp::data::constraints_gen::fig8_ratio_ranges() {
         let ratio = WeightRatio::uniform(dim, l, h);
 

@@ -68,7 +68,10 @@ fn main() {
         "\n=== Fig. 4 analogue: score distribution of {} under each vertex ===",
         dataset.object(star).label.as_deref().unwrap_or("?")
     );
-    for (omega, summary) in vertices.iter().zip(score_summaries(&dataset, star, &vertices)) {
+    for (omega, summary) in vertices
+        .iter()
+        .zip(score_summaries(&dataset, star, &vertices))
+    {
         println!(
             "  ω = {:?}: min {:.3}  q1 {:.3}  median {:.3}  q3 {:.3}  max {:.3}  (mean {:.3})",
             omega

@@ -16,7 +16,11 @@ fn main() {
     let constraints = ratio.to_constraint_set();
 
     let result = arsp_kdtt_plus(&dataset, &constraints);
-    println!("Paper running example ({} objects, {} instances)", dataset.num_objects(), dataset.num_instances());
+    println!(
+        "Paper running example ({} objects, {} instances)",
+        dataset.num_objects(),
+        dataset.num_instances()
+    );
     for inst in dataset.instances() {
         println!(
             "  instance t{},{}  at {:?}  p = {:.3}  Pr_rsky = {:.4}",
@@ -34,7 +38,10 @@ fn main() {
         );
     }
     let object_probs = result.object_probs(&dataset);
-    println!("  Pr_rsky(T1) = {:.4} (the paper reports 2/9 ≈ 0.2222)", object_probs[0]);
+    println!(
+        "  Pr_rsky(T1) = {:.4} (the paper reports 2/9 ≈ 0.2222)",
+        object_probs[0]
+    );
 
     // Every algorithm agrees; the weight-ratio DUAL algorithm applies too.
     let dual = arsp_dual(&dataset, &ratio);

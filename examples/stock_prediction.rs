@@ -34,8 +34,10 @@ fn main() {
         let confidence = rng.gen_range(0.7..1.0) / scenarios as f64;
         let instances = (0..scenarios)
             .map(|_| {
-                let price = (1.0 - quality + rng.gen_range(-volatility..volatility)).clamp(0.0, 1.0);
-                let growth = (1.0 - quality + rng.gen_range(-volatility..volatility)).clamp(0.0, 1.0);
+                let price =
+                    (1.0 - quality + rng.gen_range(-volatility..volatility)).clamp(0.0, 1.0);
+                let growth =
+                    (1.0 - quality + rng.gen_range(-volatility..volatility)).clamp(0.0, 1.0);
                 (vec![price, growth], confidence)
             })
             .collect();

@@ -4,8 +4,8 @@
 //! it evaluates equation (3) directly — and ENUM double-checks the smallest
 //! configurations.
 
-use arsp::prelude::*;
 use arsp::data::im_constraints;
+use arsp::prelude::*;
 
 fn synthetic(
     m: usize,

@@ -76,9 +76,7 @@ fn degenerate_band_is_a_top1_like_query() {
     let eclipse = eclipse_dual_s(&catalog, &ratio);
     assert!(!eclipse.is_empty());
     let score = |id: usize| catalog.point(id).iter().sum::<f64>();
-    let best = (0..catalog.len())
-        .map(score)
-        .fold(f64::INFINITY, f64::min);
+    let best = (0..catalog.len()).map(score).fold(f64::INFINITY, f64::min);
     for id in &eclipse {
         assert!((score(*id) - best).abs() < 1e-12);
     }

@@ -2,8 +2,8 @@
 //! Fig. 4) on NBA-like data — the qualitative claims of the paper, checked
 //! programmatically.
 
-use arsp::core::effectiveness::{rskyline_ranking, score_summaries, skyline_ranking};
 use arsp::core::aggregate::aggregated_rskyline;
+use arsp::core::effectiveness::{rskyline_ranking, score_summaries, skyline_ranking};
 use arsp::data::real;
 use arsp::geometry::polytope::preference_region_vertices;
 use arsp::prelude::*;
@@ -43,7 +43,10 @@ fn table1_and_table2_have_the_papers_qualitative_shape() {
     let t1: Vec<usize> = table1.iter().map(|r| r.object).collect();
     let t2: Vec<usize> = table2.iter().map(|r| r.object).collect();
     let overlap = t1.iter().filter(|o| t2.contains(o)).count();
-    assert!(overlap >= 3, "rankings should share the consistent stars, overlap = {overlap}");
+    assert!(
+        overlap >= 3,
+        "rankings should share the consistent stars, overlap = {overlap}"
+    );
 }
 
 #[test]

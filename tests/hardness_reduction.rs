@@ -1,9 +1,7 @@
 //! Integration test: the Orthogonal-Vectors reduction of Theorem 1, executed
 //! end-to-end through the public API.
 
-use arsp::core::hardness::{
-    brute_force_has_orthogonal_pair, reduce_orthogonal_vectors, BitVector,
-};
+use arsp::core::hardness::{brute_force_has_orthogonal_pair, reduce_orthogonal_vectors, BitVector};
 use arsp::prelude::*;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -58,7 +56,10 @@ fn reduction_instance_probabilities_match_counting_argument() {
         if orthogonal_to_some_b {
             assert!(p.abs() < 1e-12, "ξ(a_{i}) should be dominated");
         } else {
-            assert!((p - 1.0 / 3.0).abs() < 1e-12, "ξ(a_{i}) should be undominated");
+            assert!(
+                (p - 1.0 / 3.0).abs() < 1e-12,
+                "ξ(a_{i}) should be undominated"
+            );
         }
     }
 

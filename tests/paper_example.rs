@@ -32,13 +32,19 @@ fn every_algorithm_reproduces_example_1() {
             "{name}: Pr_rsky(t1,1) = {}",
             result.instance_prob(0)
         );
-        assert!(result.instance_prob(1).abs() < 1e-12, "{name}: Pr_rsky(t1,2) ≠ 0");
+        assert!(
+            result.instance_prob(1).abs() < 1e-12,
+            "{name}: Pr_rsky(t1,2) ≠ 0"
+        );
         let objects = result.object_probs(&dataset);
         assert!((objects[0] - 2.0 / 9.0).abs() < 1e-9, "{name}: Pr_rsky(T1)");
         // Probabilities are proper probabilities.
         for id in 0..dataset.num_instances() {
             let p = result.instance_prob(id);
-            assert!((0.0..=1.0 + 1e-12).contains(&p), "{name}: instance {id} has p = {p}");
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&p),
+                "{name}: instance {id} has p = {p}"
+            );
         }
     }
 

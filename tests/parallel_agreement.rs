@@ -1,0 +1,146 @@
+//! The parallel execution layer's contract: `run_parallel` produces results
+//! **bitwise identical** to `run` — not merely within tolerance — for every
+//! algorithm, dataset shape and thread count. This is what makes the
+//! `parallel` feature safe to leave on by default: no experiment or
+//! regression test can be perturbed by it.
+
+use arsp::prelude::*;
+
+/// Dataset shapes covering both sides of the internal parallel thresholds
+/// (node size for the fused traversals, object count for B&B).
+fn shapes() -> Vec<SyntheticConfig> {
+    vec![
+        // Small: below every parallel threshold (exercises the sequential
+        // fallbacks inside the parallel entry points).
+        SyntheticConfig {
+            num_objects: 12,
+            max_instances: 3,
+            dim: 2,
+            region_length: 0.4,
+            phi: 0.25,
+            seed: 1,
+            ..SyntheticConfig::default()
+        },
+        // Medium, 3-d: crosses the B&B object threshold.
+        SyntheticConfig {
+            num_objects: 100,
+            max_instances: 4,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.1,
+            seed: 2,
+            ..SyntheticConfig::default()
+        },
+        // Large, 2-d: crosses the fused traversals' node-size threshold, so
+        // subtree fan-out genuinely runs on worker threads.
+        SyntheticConfig {
+            num_objects: 260,
+            max_instances: 5,
+            dim: 2,
+            region_length: 0.35,
+            phi: 0.2,
+            seed: 3,
+            ..SyntheticConfig::default()
+        },
+    ]
+}
+
+/// ENUM enumerates possible worlds — beyond toy object counts it is
+/// intractable, exactly as in the paper's figures.
+fn feasible(algorithm: ArspAlgorithm, config: &SyntheticConfig) -> bool {
+    algorithm != ArspAlgorithm::Enum || config.num_objects <= 12
+}
+
+#[test]
+fn run_parallel_is_bitwise_identical_for_every_algorithm() {
+    for config in shapes() {
+        let dataset = config.generate();
+        for c in 1..config.dim {
+            let constraints = ConstraintSet::weak_ranking(config.dim, c);
+            for algorithm in ArspAlgorithm::ALL {
+                if !feasible(algorithm, &config) {
+                    continue;
+                }
+                let sequential = algorithm.run(&dataset, &constraints);
+                let parallel = algorithm.run_parallel(&dataset, &constraints);
+                assert_eq!(
+                    sequential.probs(),
+                    parallel.probs(),
+                    "{} diverged on seed {} (dim {}, c {c})",
+                    algorithm.name(),
+                    config.seed,
+                    config.dim,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let config = SyntheticConfig {
+        num_objects: 200,
+        max_instances: 5,
+        dim: 3,
+        region_length: 0.3,
+        phi: 0.15,
+        seed: 9,
+        ..SyntheticConfig::default()
+    };
+    let dataset = config.generate();
+    let constraints = ConstraintSet::weak_ranking(3, 2);
+    let reference = arsp_kdtt_plus(&dataset, &constraints);
+
+    // The knob is process-global, so this test temporarily narrows it; all
+    // settings must agree bitwise with the sequential reference, which also
+    // makes the temporary narrowing invisible to concurrently running tests.
+    for threads in [1, 2, 3, 8] {
+        set_num_threads(threads);
+        assert_eq!(num_threads(), threads);
+        for algorithm in [
+            ArspAlgorithm::Loop,
+            ArspAlgorithm::KdttPlus,
+            ArspAlgorithm::QdttPlus,
+            ArspAlgorithm::BranchAndBound,
+        ] {
+            let got = algorithm.run_parallel(&dataset, &constraints);
+            let want = algorithm.run(&dataset, &constraints);
+            assert_eq!(
+                got.probs(),
+                want.probs(),
+                "{} diverged at {threads} threads",
+                algorithm.name()
+            );
+        }
+        assert_eq!(
+            reference.probs(),
+            arsp_kdtt_plus(&dataset, &constraints).probs()
+        );
+    }
+    set_num_threads(0);
+}
+
+#[test]
+fn parallel_agrees_with_independent_reference_algorithm() {
+    // Cross-algorithm sanity on top of bitwise self-agreement: the parallel
+    // KDTT+ result matches LOOP (a completely different algorithm) within
+    // float tolerance.
+    let dataset = SyntheticConfig {
+        num_objects: 150,
+        max_instances: 4,
+        dim: 3,
+        region_length: 0.3,
+        phi: 0.1,
+        seed: 4,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let constraints = ConstraintSet::weak_ranking(3, 1);
+    let loop_result = arsp_loop(&dataset, &constraints);
+    let parallel = arsp_kdtt_plus_parallel(&dataset, &constraints);
+    assert!(
+        loop_result.approx_eq(&parallel, 1e-8),
+        "diff = {}",
+        loop_result.max_abs_diff(&parallel)
+    );
+}

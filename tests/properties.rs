@@ -9,10 +9,7 @@ use proptest::prelude::*;
 fn dataset_strategy(dim: usize, max_objects: usize) -> impl Strategy<Value = UncertainDataset> {
     proptest::collection::vec(
         (
-            proptest::collection::vec(
-                proptest::collection::vec(0.0f64..1.0, dim),
-                1..=3,
-            ),
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, dim), 1..=3),
             0.3f64..1.0,
         ),
         1..=max_objects,

@@ -1,0 +1,303 @@
+//! Vendored, dependency-light subset of the `proptest` API.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate implements the property-testing surface the workspace's tests
+//! use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   header) generating `#[test]` functions,
+//! * [`strategy::Strategy`] with [`strategy::Strategy::prop_map`],
+//! * value-producing strategies: numeric ranges, tuples and
+//!   [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] and
+//!   [`test_runner::ProptestConfig`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure seeds:
+//! every test function derives a deterministic ChaCha8 seed from its own name
+//! and the case number, so any reported failure is reproducible by rerunning
+//! the test. Swapping this stub for the registry package is a
+//! `Cargo.toml`-only change.
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Strategies for producing random values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::prelude::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for producing random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of the produced values.
+        type Value;
+
+        /// Produces one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// A mapped strategy (see [`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+    }
+}
+
+/// Strategies for producing collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::prelude::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec()`]: an exact length or a length
+    /// range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy producing vectors whose length is drawn from
+    /// `size` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-loop configuration and the deterministic case RNG.
+pub mod test_runner {
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = ChaCha8Rng;
+
+    /// Configuration of a [`crate::proptest!`] block, mirroring
+    /// `proptest::test_runner::Config`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test function runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG: seeded from the test name and case number,
+    /// so failures reproduce without any persisted state.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(hash ^ (u64::from(case) << 32))
+    }
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each declared function runs [`ProptestConfig::cases`](test_runner::ProptestConfig)
+/// seeded cases; every listed `name in strategy` binding is freshly sampled
+/// per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body (plain `assert!` here; the
+/// real crate routes the failure through its shrinking machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sampled vectors respect both length and element bounds.
+        #[test]
+        fn vec_strategy_respects_bounds(
+            v in crate::collection::vec(0.0f64..1.0, 2..7),
+            n in 1usize..=4,
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        /// prop_map applies its function to every sample.
+        #[test]
+        fn prop_map_applies(len in (0usize..5).prop_map(|n| n * 2)) {
+            prop_assert_eq!(len % 2, 0);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::prelude::*;
+        let mut a = crate::test_runner::case_rng("t", 3);
+        let mut b = crate::test_runner::case_rng("t", 3);
+        let mut c = crate::test_runner::case_rng("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,282 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the exact slice of `rand` it consumes:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range` over half-open and inclusive
+//!   integer and float ranges and `gen_bool`,
+//! * [`SeedableRng`] with the same SplitMix64-based `seed_from_u64` seed
+//!   expansion as `rand_core` 0.6,
+//! * [`SliceRandom::choose`].
+//!
+//! The trait names, bounds and module layout mirror the real crate so that
+//! swapping this stub for the registry package is a `Cargo.toml`-only change.
+//! Value streams are deterministic but are **not** guaranteed to be
+//! bit-identical to the upstream implementations; nothing in this workspace
+//! depends on the upstream streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Commonly used traits, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng, SliceRandom};
+}
+
+/// The core of a random number generator: uniformly random words.
+pub trait RngCore {
+    /// Returns the next uniformly random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next uniformly random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A seedable random number generator, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the `rand_core` 0.6
+    /// scheme) and creates the generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = sm.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Converts a random `u64` to a uniform `f64` in `[0, 1)` with 53 bits of
+/// precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A type with a uniform sampler over intervals, mirroring
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// Draws one uniform sample from `[low, high)` (or `[low, high]` when
+    /// `inclusive`).
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// A range that can produce a single uniform sample, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+///
+/// A single generic impl per range shape (rather than one impl per element
+/// type) keeps float-literal type inference working exactly as with the real
+/// crate.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_interval(rng, start, end, true)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128 + i128::from(inclusive)) as u128;
+                let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let unit = unit_f64(rng.next_u64()) as $t;
+                let value = low + (high - low) * unit;
+                // Guard against rounding up to an excluded endpoint.
+                if inclusive || value < high { value } else { low }
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Random selection from slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns a uniformly random element, or `None` for an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence: equidistributed enough for range smoke tests.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Counter(9);
+        let options = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*options.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

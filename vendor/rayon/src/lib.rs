@@ -1,0 +1,465 @@
+//! Vendored, dependency-free subset of the `rayon` API.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate implements the slice of rayon the workspace consumes on top of
+//! [`std::thread::scope`]:
+//!
+//! * [`join`] — structured fork/join of two closures,
+//! * [`current_num_threads`] — the ambient worker-thread budget,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scoped overrides of
+//!   that budget,
+//! * the [`prelude`] parallel-iterator traits with `par_iter` /
+//!   `into_par_iter`, `map`, `for_each` and order-preserving `collect`.
+//!
+//! Unlike real rayon there is no persistent work-stealing pool: parallel
+//! drivers split their input into `current_num_threads()` contiguous parts
+//! and run each part on a scoped OS thread. All combinators preserve input
+//! order, so `collect` produces exactly what the sequential iterator would.
+//! The API shapes mirror the real crate so that swapping this stub for the
+//! registry package is a `Cargo.toml`-only change.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The parallel-iterator traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; `0` means
+    /// "no override" and falls back to the machine parallelism.
+    static AMBIENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Returns the number of worker threads parallel drivers will use on this
+/// thread: the [`ThreadPool::install`] override when inside one, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    let ambient = AMBIENT_THREADS.with(Cell::get);
+    if ambient > 0 {
+        ambient
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let threads = current_num_threads();
+    std::thread::scope(|s| {
+        let handle = s.spawn(move || {
+            // Worker threads inherit the caller's thread budget so nested
+            // drivers do not silently escape an installed override.
+            AMBIENT_THREADS.with(|cell| cell.set(threads));
+            b()
+        });
+        let ra = a();
+        (ra, handle.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Builds a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread budget; `0` means "automatic".
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Creates the pool. Never fails in this vendored implementation; the
+    /// `Result` mirrors the real API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread budget, mirroring `rayon::ThreadPool`.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread budget installed as the ambient
+    /// budget for parallel drivers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        AMBIENT_THREADS.with(|cell| {
+            let prev = cell.get();
+            cell.set(self.num_threads);
+            let result = op();
+            cell.set(prev);
+            result
+        })
+    }
+
+    /// The worker-thread budget of this pool (`0` = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// An order-preserving parallel iterator.
+///
+/// Implementors provide contiguous splitting ([`ParallelIterator::split_even`])
+/// and a sequential fallback ([`ParallelIterator::run_seq`]); the provided
+/// combinators drive the parts on scoped threads and reassemble results in
+/// input order.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Splits into at most `parts` contiguous, in-order pieces.
+    fn split_even(self, parts: usize) -> Vec<Self>;
+
+    /// Evaluates this piece sequentially, in order.
+    fn run_seq(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Evaluates the iterator in parallel and collects the results in input
+    /// order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let mut parts = self.split_even(current_num_threads());
+        if parts.len() <= 1 {
+            return parts
+                .pop()
+                .map(|p| p.run_seq())
+                .unwrap_or_default()
+                .into_iter()
+                .collect();
+        }
+        let threads = current_num_threads();
+        let chunks: Vec<Vec<Self::Item>> = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| {
+                    s.spawn(move || {
+                        AMBIENT_THREADS.with(|cell| cell.set(threads));
+                        p.run_seq()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel iterator worker panicked"))
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Calls `f` on every element, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
+}
+
+/// A mapped parallel iterator (see [`ParallelIterator::map`]).
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Send + Sync,
+{
+    type Item = U;
+
+    fn split_even(self, parts: usize) -> Vec<Self> {
+        let f = self.f;
+        self.base
+            .split_even(parts)
+            .into_iter()
+            .map(|base| Map {
+                base,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+
+    fn run_seq(self) -> Vec<U> {
+        let f = self.f;
+        self.base.run_seq().into_iter().map(|x| f(x)).collect()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`], mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing conversion into a [`ParallelIterator`], mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn split_even(self, parts: usize) -> Vec<Self> {
+        split_range(self.range, parts)
+            .into_iter()
+            .map(|range| RangeIter { range })
+            .collect()
+    }
+
+    fn run_seq(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn split_even(mut self, parts: usize) -> Vec<Self> {
+        let bounds = split_range(0..self.items.len(), parts);
+        let mut out: Vec<Self> = Vec::with_capacity(bounds.len());
+        // Split from the back so each split_off is O(part).
+        for range in bounds.into_iter().rev() {
+            out.push(VecIter {
+                items: self.items.split_off(range.start),
+            });
+        }
+        out.reverse();
+        out
+    }
+
+    fn run_seq(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Parallel iterator over borrowed slice elements.
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn split_even(self, parts: usize) -> Vec<Self> {
+        split_range(0..self.items.len(), parts)
+            .into_iter()
+            .map(|range| SliceIter {
+                items: &self.items[range],
+            })
+            .collect()
+    }
+
+    fn run_seq(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+/// Splits `range` into at most `parts` contiguous, non-empty subranges.
+fn split_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let len = range.len();
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = range.start;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        if size == 0 && len > 0 {
+            continue;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn slice_par_iter_preserves_order() {
+        let data: Vec<i64> = (0..777).collect();
+        let doubled: Vec<i64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..777).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_preserves_order() {
+        let data: Vec<String> = (0..97).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = data.clone().into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, data.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 2);
+        // Override is scoped: outside install the ambient default returns.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 4950);
+    }
+
+    #[test]
+    fn split_range_covers_input() {
+        let parts = split_range(5..27, 4);
+        assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), 22);
+        assert_eq!(parts.first().unwrap().start, 5);
+        assert_eq!(parts.last().unwrap().end, 27);
+        for pair in parts.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+}
