@@ -12,6 +12,7 @@ use arsp_bench::{
     check_consistent_sizes, print_header, print_row, run_figure_algorithms, scale_factor,
     SweepRunner,
 };
+use arsp_core::engine::ArspEngine;
 use arsp_data::{im_constraints, Distribution, SyntheticConfig};
 use arsp_geometry::ConstraintSet;
 
@@ -82,14 +83,16 @@ where
     for (label, configure) in values {
         let mut w = Workload::new(scale, dist);
         let constraints = configure(&mut w);
-        let dataset = w.generate();
+        // One engine per sweep point: the five algorithms at this point share
+        // the vertex enumeration, LOOP order and B&B R-tree.
+        let engine = ArspEngine::new(w.generate());
         // ENUM is exponential: reported as INF beyond toy scale, as in the
         // paper.
         let enum_m = runner.mark_infeasible("ENUM");
         let mut ms = vec![enum_m];
         ms.extend(run_figure_algorithms(
             &mut runner,
-            &dataset,
+            &engine,
             &constraints,
             true,
         ));

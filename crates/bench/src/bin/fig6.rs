@@ -8,6 +8,7 @@ use arsp_bench::{
     check_consistent_sizes, print_header, print_row, run_figure_algorithms, scale_factor,
     SweepRunner,
 };
+use arsp_core::engine::ArspEngine;
 use arsp_data::{real, UncertainDataset};
 use arsp_geometry::ConstraintSet;
 
@@ -60,8 +61,8 @@ fn percentage_sweep(name: &str, full: &UncertainDataset, constraints: &Constrain
     header();
     let mut runner = SweepRunner::default();
     for pct in [20, 40, 60, 80, 100] {
-        let dataset = sample_objects(full, pct);
-        let ms = run_figure_algorithms(&mut runner, &dataset, constraints, true);
+        let engine = ArspEngine::new(sample_objects(full, pct));
+        let ms = run_figure_algorithms(&mut runner, &engine, constraints, true);
         check_consistent_sizes(&ms);
         print_row(&format!("m={pct}%"), &ms);
     }
@@ -98,20 +99,22 @@ fn main() {
     header();
     let mut runner = SweepRunner::default();
     for d in 2..=8usize {
-        let dataset = project(&nba_full, d);
+        let engine = ArspEngine::new(project(&nba_full, d));
         let constraints = ConstraintSet::weak_ranking(d, d - 1);
-        let ms = run_figure_algorithms(&mut runner, &dataset, &constraints, true);
+        let ms = run_figure_algorithms(&mut runner, &engine, &constraints, true);
         check_consistent_sizes(&ms);
         print_row(&format!("d={d}"), &ms);
     }
 
-    // (e) NBA, vary c (d = 8).
+    // (e) NBA, vary c (d = 8). The dataset is fixed across the sweep, so a
+    // single engine carries the B&B R-tree through all seven constraint sets.
     println!("\n--- Fig. 6(e): NBA-like, vary c (d = 8) ---");
     header();
     let mut runner = SweepRunner::default();
+    let engine = ArspEngine::new(nba_full);
     for c in 1..=7usize {
         let constraints = ConstraintSet::weak_ranking(8, c);
-        let ms = run_figure_algorithms(&mut runner, &nba_full, &constraints, true);
+        let ms = run_figure_algorithms(&mut runner, &engine, &constraints, true);
         check_consistent_sizes(&ms);
         print_row(&format!("c={c}"), &ms);
     }

@@ -6,7 +6,7 @@
 
 use arsp_bench::{scale_factor, time};
 use arsp_core::algorithms::dual::DualMs2d;
-use arsp_core::arsp_kdtt_plus;
+use arsp_core::engine::{ArspEngine, QueryAlgorithm};
 use arsp_data::{real, UncertainDataset};
 use arsp_geometry::constraints::WeightRatio;
 
@@ -45,10 +45,16 @@ fn main() {
     );
 
     for pct in [20, 40, 60, 80, 100] {
-        let dataset = sample_objects(&full, pct);
+        let engine = ArspEngine::new(sample_objects(&full, pct));
 
-        let (kdtt_result, kdtt_time) = time(|| arsp_kdtt_plus(&dataset, &constraints));
-        let (prep, prep_time) = time(|| DualMs2d::preprocess(&dataset));
+        let (kdtt_result, kdtt_time) = time(|| {
+            engine
+                .query(&constraints)
+                .algorithm(QueryAlgorithm::KdttPlus)
+                .run()
+                .into_result()
+        });
+        let (prep, prep_time) = time(|| DualMs2d::preprocess(engine.dataset()));
         let (dual_result, query_time) = time(|| prep.query(0.5, 2.0));
 
         assert!(

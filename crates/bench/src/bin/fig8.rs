@@ -6,8 +6,9 @@
 
 use arsp_bench::time;
 use arsp_core::eclipse::{eclipse_dual_s, eclipse_quad, skyline};
+use arsp_core::engine::ArspEngine;
 use arsp_data::constraints_gen::fig8_ratio_ranges;
-use arsp_data::CertainDataset;
+use arsp_data::{CertainDataset, UncertainDataset};
 use arsp_geometry::constraints::WeightRatio;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -78,5 +79,31 @@ fn main() {
         "\nThe shape to compare against the paper: DUAL-S is consistently faster than
 QUAD (by an order of magnitude or more), the gap widens with d, and QUAD is
 much more sensitive to the ratio range q."
+    );
+
+    // Sanity cross-check against the probabilistic engine: on certain data
+    // the rskyline probability is 1 exactly for the eclipse points, so the
+    // engine's auto-selected DUAL must name the same set (small n — the
+    // general machinery pays n·m window queries here).
+    let small = random_catalog(1 << 10, 3, 4);
+    let mut uncertain = UncertainDataset::new(3);
+    for point in small.points() {
+        uncertain.push_object(vec![(point.clone(), 1.0)]);
+    }
+    let engine = ArspEngine::new(uncertain);
+    let ratio = default_ratio(3);
+    let outcome = engine.ratio_query(&ratio).run();
+    let via_engine: Vec<usize> = outcome
+        .iter_probs()
+        .filter(|&(_, _, p)| p > 0.5)
+        .map(|(object, _, _)| object)
+        .collect();
+    let mut via_eclipse = eclipse_dual_s(&small, &ratio);
+    via_eclipse.sort_unstable();
+    assert_eq!(via_engine, via_eclipse, "engine and eclipse sets differ");
+    println!(
+        "\nEngine cross-check (n = 2^10): {} found the same {} products as DUAL-S.",
+        outcome.algorithm().name(),
+        via_engine.len()
     );
 }

@@ -8,7 +8,8 @@
 
 use arsp_bench::time;
 use arsp_core::effectiveness::{rskyline_ranking, score_summaries, skyline_ranking};
-use arsp_core::{arsp_kdtt_plus, skyline_probabilities};
+use arsp_core::engine::ArspEngine;
+use arsp_core::skyline_probabilities;
 use arsp_data::real;
 use arsp_geometry::polytope::preference_region_vertices;
 use arsp_geometry::ConstraintSet;
@@ -16,7 +17,8 @@ use arsp_geometry::ConstraintSet;
 fn main() {
     // The paper extracts the 2021 season and keeps rebounds / assists / points;
     // the simulated stand-in keeps the same shape (see DESIGN.md).
-    let dataset = real::nba_like(300, 60, 3, 2021);
+    let engine = ArspEngine::new(real::nba_like(300, 60, 3, 2021));
+    let dataset = engine.dataset();
     let constraints = ConstraintSet::weak_ranking(3, 2);
 
     println!(
@@ -25,12 +27,17 @@ fn main() {
         dataset.num_instances()
     );
 
-    let (arsp, arsp_time) = time(|| arsp_kdtt_plus(&dataset, &constraints));
-    let (asp, asp_time) = time(|| skyline_probabilities(&dataset));
-    println!("ARSP computed in {arsp_time:.3}s, ASP in {asp_time:.3}s\n");
+    let (outcome, arsp_time) = time(|| engine.query(&constraints).collect_stats(true).run());
+    let (asp, asp_time) = time(|| skyline_probabilities(dataset));
+    println!(
+        "ARSP via {} in {arsp_time:.3}s ({} work units), ASP in {asp_time:.3}s\n",
+        outcome.algorithm().name(),
+        outcome.counters().map_or(0, |c| c.total())
+    );
+    let arsp = outcome.result();
 
     println!("=== Table I: top-14 players by rskyline probability (* = aggregated rskyline) ===");
-    let table1 = rskyline_ranking(&dataset, &arsp, &constraints, 14);
+    let table1 = rskyline_ranking(dataset, arsp, &constraints, 14);
     for r in &table1 {
         println!(
             "{:>3}. {} {:40} Pr_rsky = {:.3}",
@@ -42,7 +49,7 @@ fn main() {
     }
 
     println!("\n=== Table II: top-14 players by skyline probability ===");
-    let table2 = skyline_ranking(&dataset, &constraints, 14);
+    let table2 = skyline_ranking(dataset, &constraints, 14);
     for r in &table2 {
         println!(
             "{:>3}.   {:40} Pr_sky  = {:.3}",
@@ -54,8 +61,8 @@ fn main() {
 
     // The Trae Young phenomenon: find the object with the largest rank drop
     // from the skyline ranking to the rskyline ranking.
-    let sky_probs = asp.object_probs(&dataset);
-    let rsky_probs = arsp.object_probs(&dataset);
+    let sky_probs = asp.object_probs(dataset);
+    let rsky_probs = arsp.object_probs(dataset);
     let rank_of = |probs: &[f64], object: usize| {
         probs.iter().filter(|&&p| p > probs[object] + 1e-12).count() + 1
     };
@@ -82,7 +89,7 @@ the paper's Trae Young effect.",
         println!("{}:", r.label.as_deref().unwrap_or("?"));
         for (omega, s) in vertices
             .iter()
-            .zip(score_summaries(&dataset, r.object, &vertices))
+            .zip(score_summaries(dataset, r.object, &vertices))
         {
             println!(
                 "  ω = {:?}: min {:.3} | q1 {:.3} | med {:.3} | q3 {:.3} | max {:.3} (mean {:.3})",

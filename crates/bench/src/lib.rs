@@ -15,9 +15,8 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
+use arsp_core::engine::{ArspEngine, QueryAlgorithm};
 use arsp_core::result::ArspResult;
-use arsp_core::{arsp_bnb, arsp_kdtt, arsp_kdtt_plus, arsp_loop, arsp_qdtt_plus};
-use arsp_data::UncertainDataset;
 use arsp_geometry::ConstraintSet;
 
 /// Reads the workload scale factor from `ARSP_BENCH_SCALE`.
@@ -126,21 +125,33 @@ impl SweepRunner {
 /// beyond toy scale, exactly as in the paper).
 pub const FIGURE_ALGORITHMS: [&str; 5] = ["LOOP", "KDTT", "KDTT+", "QDTT+", "B&B"];
 
-/// Runs the Fig. 5 / Fig. 6 algorithm set on one dataset + constraint pair.
+/// Runs the Fig. 5 / Fig. 6 algorithm set against one engine + constraint
+/// pair. All five algorithms share the engine's caches (vertex enumeration,
+/// LOOP sort order, the B&B R-tree), so one-off construction costs are paid
+/// once per sweep point instead of once per algorithm — see EXPERIMENTS.md.
 pub fn run_figure_algorithms(
     runner: &mut SweepRunner,
-    dataset: &UncertainDataset,
+    engine: &ArspEngine,
     constraints: &ConstraintSet,
     include_kdtt: bool,
 ) -> Vec<Measurement> {
+    let query = |algorithm: QueryAlgorithm| {
+        move || {
+            engine
+                .query(constraints)
+                .algorithm(algorithm)
+                .run()
+                .into_result()
+        }
+    };
     let mut out = Vec::new();
-    out.push(runner.run("LOOP", || arsp_loop(dataset, constraints)));
+    out.push(runner.run("LOOP", query(QueryAlgorithm::Loop)));
     if include_kdtt {
-        out.push(runner.run("KDTT", || arsp_kdtt(dataset, constraints)));
+        out.push(runner.run("KDTT", query(QueryAlgorithm::Kdtt)));
     }
-    out.push(runner.run("KDTT+", || arsp_kdtt_plus(dataset, constraints)));
-    out.push(runner.run("QDTT+", || arsp_qdtt_plus(dataset, constraints)));
-    out.push(runner.run("B&B", || arsp_bnb(dataset, constraints)));
+    out.push(runner.run("KDTT+", query(QueryAlgorithm::KdttPlus)));
+    out.push(runner.run("QDTT+", query(QueryAlgorithm::QdttPlus)));
+    out.push(runner.run("B&B", query(QueryAlgorithm::BranchAndBound)));
     out
 }
 
@@ -189,12 +200,19 @@ mod tests {
     #[test]
     fn sweep_runner_disables_slow_algorithms() {
         let mut runner = SweepRunner::new(0.0);
-        let dataset = SyntheticConfig::small(10, 2, 2, 1).generate();
+        let engine = ArspEngine::new(SyntheticConfig::small(10, 2, 2, 1).generate());
         let constraints = ConstraintSet::weak_ranking(2, 1);
-        let first = runner.run("KDTT+", || arsp_kdtt_plus(&dataset, &constraints));
+        let query = || {
+            engine
+                .query(&constraints)
+                .algorithm(QueryAlgorithm::KdttPlus)
+                .run()
+                .into_result()
+        };
+        let first = runner.run("KDTT+", query);
         assert!(first.seconds.is_some());
         // Limit 0 seconds: the second call is skipped.
-        let second = runner.run("KDTT+", || arsp_kdtt_plus(&dataset, &constraints));
+        let second = runner.run("KDTT+", query);
         assert!(second.seconds.is_none());
         assert_eq!(second.time_cell(), "INF");
     }
@@ -202,13 +220,17 @@ mod tests {
     #[test]
     fn figure_algorithms_run_and_agree() {
         let mut runner = SweepRunner::new(60.0);
-        let dataset = SyntheticConfig::small(25, 3, 3, 5).generate();
+        let engine = ArspEngine::new(SyntheticConfig::small(25, 3, 3, 5).generate());
         let constraints = ConstraintSet::weak_ranking(3, 2);
-        let measurements = run_figure_algorithms(&mut runner, &dataset, &constraints, true);
+        let measurements = run_figure_algorithms(&mut runner, &engine, &constraints, true);
         assert_eq!(measurements.len(), 5);
         check_consistent_sizes(&measurements);
         print_header("m", &FIGURE_ALGORITHMS);
         print_row("25", &measurements);
+        // The five algorithms shared the engine's caches: the constraint
+        // set's vertex enumeration was built exactly once.
+        let stats = engine.cache_stats();
+        assert!(stats.hits > 0, "sweep must reuse cached structures");
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::result::ArspResult;
+use crate::stats::CounterStats;
 use arsp_data::UncertainDataset;
 use arsp_geometry::fdom::LinearFDominance;
 use arsp_geometry::point::{dominates, score};
@@ -43,14 +44,47 @@ pub fn arsp_bnb(dataset: &UncertainDataset, constraints: &ConstraintSet) -> Arsp
 /// B&B with a pre-built F-dominance test; `use_pruning_set = false` disables
 /// the Theorem-4 pruning set (used by the ablation benchmark).
 pub fn arsp_bnb_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, true, false)
+    arsp_bnb_impl(dataset, fdom, None, true, false, None)
 }
 
 /// B&B without the pruning set `P` — every instance pays its window queries.
 /// Exposed for the ablation study of the design choice called out in
 /// DESIGN.md; not part of the paper's evaluated configurations.
 pub fn arsp_bnb_without_pruning(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, false, false)
+    arsp_bnb_impl(dataset, fdom, None, false, false, None)
+}
+
+/// Builds the static R-tree over a dataset's instances that B&B traverses —
+/// the index the paper assumes is maintained on `I`. It depends only on the
+/// dataset (never on the constraints), which is why
+/// [`crate::engine::ArspEngine`] builds it once and shares it across queries.
+pub fn build_instance_rtree(dataset: &UncertainDataset) -> RTree {
+    let entries: Vec<PointEntry> = dataset
+        .instances()
+        .iter()
+        .map(|inst| PointEntry::new(inst.id, inst.object, inst.prob, inst.coords.clone()))
+        .collect();
+    RTree::bulk_load(entries)
+}
+
+/// The full-control B&B entry point used by [`crate::engine::ArspEngine`]:
+/// optional prebuilt instance R-tree (must index the same dataset), execution
+/// mode, optional work-counter sink. Results are bitwise identical across
+/// every option combination.
+pub fn arsp_bnb_engine(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+    rtree: Option<&RTree>,
+    parallel: bool,
+    stats: Option<&CounterStats>,
+) -> ArspResult {
+    #[cfg(feature = "parallel")]
+    if parallel {
+        return crate::parallel::with_pool(|| {
+            arsp_bnb_impl(dataset, fdom, rtree, true, true, stats)
+        });
+    }
+    arsp_bnb_impl(dataset, fdom, rtree, true, parallel, stats)
 }
 
 /// B&B with each popped instance's per-object window queries fanned out over
@@ -71,14 +105,7 @@ pub fn arsp_bnb_parallel_with_fdom(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
 ) -> ArspResult {
-    #[cfg(feature = "parallel")]
-    {
-        crate::parallel::with_pool(|| arsp_bnb_impl(dataset, fdom, true, true))
-    }
-    #[cfg(not(feature = "parallel"))]
-    {
-        arsp_bnb_impl(dataset, fdom, true, true)
-    }
+    arsp_bnb_engine(dataset, fdom, None, true, None)
 }
 
 /// Computes `prob · Π_j (1 − σ[j])` over the non-empty aggregated R-trees,
@@ -94,6 +121,7 @@ fn fold_window_products(
     sv: &[f64],
     prob: f64,
     parallel: bool,
+    queries: &mut u64,
 ) -> f64 {
     #[cfg(not(feature = "parallel"))]
     let _ = parallel;
@@ -102,6 +130,13 @@ fn fold_window_products(
         let populated = agg.iter().filter(|t| !t.is_empty()).count();
         if populated >= MIN_PARALLEL_OBJECTS && crate::parallel::num_threads() > 1 {
             use rayon::prelude::*;
+            // The precompute pays one window query per populated tree except
+            // the instance's own object (skipped below either way).
+            *queries += agg
+                .iter()
+                .enumerate()
+                .filter(|(j, t)| *j != own_object && !t.is_empty())
+                .count() as u64;
             let sigmas: Vec<f64> = (0..agg.len())
                 .into_par_iter()
                 .map(|j| {
@@ -132,6 +167,7 @@ fn fold_window_products(
         if j == own_object || tree.is_empty() {
             continue;
         }
+        *queries += 1;
         let sigma = tree.window_sum(sv);
         prob *= 1.0 - sigma;
         if prob <= 0.0 {
@@ -150,8 +186,10 @@ const MIN_PARALLEL_OBJECTS: usize = 64;
 fn arsp_bnb_impl(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
+    prebuilt: Option<&RTree>,
     use_pruning_set: bool,
     parallel: bool,
+    stats: Option<&CounterStats>,
 ) -> ArspResult {
     let n = dataset.num_instances();
     let m = dataset.num_objects();
@@ -163,13 +201,20 @@ fn arsp_bnb_impl(
     let omega = &fdom.vertices()[0];
 
     // R-tree over the original-space instances (the index the paper assumes
-    // is maintained on I).
-    let entries: Vec<PointEntry> = dataset
-        .instances()
-        .iter()
-        .map(|inst| PointEntry::new(inst.id, inst.object, inst.prob, inst.coords.clone()))
-        .collect();
-    let rtree = RTree::bulk_load(entries);
+    // is maintained on I) — built here unless the caller shares a cached one.
+    let owned;
+    let rtree = match prebuilt {
+        Some(tree) => {
+            debug_assert_eq!(tree.len(), n, "prebuilt R-tree indexes a different dataset");
+            tree
+        }
+        None => {
+            owned = build_instance_rtree(dataset);
+            &owned
+        }
+    };
+    let mut nodes_popped = 0u64;
+    let mut window_queries = 0u64;
 
     // One aggregated R-tree per object, holding the score-space images of the
     // instances processed so far that have non-zero rskyline probability.
@@ -196,68 +241,182 @@ fn arsp_bnb_impl(
     while let Some(item) = heap.pop() {
         match item.kind {
             ItemKind::Node(node_id) => {
-                let node = rtree.node(node_id);
-                if use_pruning_set {
-                    let sv_min = fdom.map_to_score_space(node.mbr().min().coords());
-                    if is_pruned(&pruning, &sv_min) {
-                        continue;
-                    }
-                }
-                match node.content() {
-                    NodeContent::Internal(children) => {
-                        for &child in children {
-                            let key = score(rtree.node(child).mbr().min().coords(), omega);
-                            heap.push(HeapItem {
-                                key,
-                                kind: ItemKind::Node(child),
-                            });
-                        }
-                    }
-                    NodeContent::Leaf(entry_idx) => {
-                        for &ei in entry_idx {
-                            let entry = &rtree.entries()[ei];
-                            let key = score(&entry.coords, omega);
-                            heap.push(HeapItem {
-                                key,
-                                kind: ItemKind::Instance(entry.id),
-                            });
-                        }
-                    }
-                }
+                nodes_popped += 1;
+                expand_node(
+                    rtree,
+                    node_id,
+                    omega,
+                    fdom,
+                    use_pruning_set,
+                    &pruning,
+                    &mut heap,
+                );
             }
             ItemKind::Instance(instance_id) => {
-                let inst = dataset.instance(instance_id);
-                let sv = fdom.map_to_score_space(&inst.coords);
-                if use_pruning_set && is_pruned(&pruning, &sv) {
-                    // Zero rskyline probability: never inserted into the
-                    // aggregated R-trees, never contributes to P.
-                    continue;
+                // Gather every instance sharing this best-first key. Equal-key
+                // instances can F-dominate each other (coincident points
+                // always do) while the heap breaks ties arbitrarily, so the
+                // whole tie group must be evaluated against the pre-group
+                // index state with intra-group domination added explicitly —
+                // the counterpart of kd-ASP*'s coincident-node handling.
+                // Nodes tied at the same key may still hide group members,
+                // so they are expanded during the gather.
+                let key = item.key;
+                let mut group = vec![instance_id];
+                while heap.peek().is_some_and(|top| top.key <= key) {
+                    let tied = heap.pop().expect("peeked non-empty");
+                    match tied.kind {
+                        ItemKind::Node(node_id) => {
+                            nodes_popped += 1;
+                            expand_node(
+                                rtree,
+                                node_id,
+                                omega,
+                                fdom,
+                                use_pruning_set,
+                                &pruning,
+                                &mut heap,
+                            );
+                        }
+                        ItemKind::Instance(id) => group.push(id),
+                    }
                 }
-                let prob = fold_window_products(&agg, inst.object, &sv, inst.prob, parallel);
-                if prob > 0.0 {
-                    result.set(instance_id, prob);
-                    agg[inst.object].insert(&sv, inst.prob);
-                    acc_prob[inst.object] += inst.prob;
-                    match &mut max_corner[inst.object] {
-                        Some(corner) => {
-                            for (c, &s) in corner.iter_mut().zip(&sv) {
-                                if s > *c {
-                                    *c = s;
+                // Deterministic member order regardless of heap internals.
+                group.sort_unstable();
+
+                // Score-space images of the non-pruned members.
+                let mut members: Vec<(usize, Vec<f64>)> = Vec::with_capacity(group.len());
+                for &id in &group {
+                    let sv = fdom.map_to_score_space(&dataset.instance(id).coords);
+                    if use_pruning_set && is_pruned(&pruning, &sv) {
+                        // Zero rskyline probability: never inserted into the
+                        // aggregated R-trees, never contributes to P.
+                        continue;
+                    }
+                    members.push((id, sv));
+                }
+
+                // Probabilities first (against the pre-group trees), index
+                // updates afterwards.
+                let mut computed: Vec<(usize, f64)> = Vec::with_capacity(members.len());
+                for (t_pos, (t_id, sv_t)) in members.iter().enumerate() {
+                    let t = dataset.instance(*t_id);
+                    let mut prob = fold_window_products(
+                        &agg,
+                        t.object,
+                        sv_t,
+                        t.prob,
+                        parallel,
+                        &mut window_queries,
+                    );
+                    if prob > 0.0 && members.len() > 1 {
+                        // Per-object intra-group mass dominating t, folded on
+                        // top of the outside mass the trees reported: the
+                        // factor (1 − out) becomes (1 − out − in).
+                        let mut intra: Vec<(usize, f64)> = Vec::new();
+                        for (s_pos, (s_id, sv_s)) in members.iter().enumerate() {
+                            let s = dataset.instance(*s_id);
+                            if s_pos == t_pos || s.object == t.object {
+                                continue;
+                            }
+                            if dominates(sv_s, sv_t) {
+                                match intra.iter_mut().find(|(obj, _)| *obj == s.object) {
+                                    Some((_, mass)) => *mass += s.prob,
+                                    None => intra.push((s.object, s.prob)),
                                 }
                             }
                         }
-                        None => max_corner[inst.object] = Some(sv.clone()),
+                        for (obj, mass) in intra {
+                            window_queries += 1;
+                            let outside = agg[obj].window_sum(sv_t);
+                            let denom = 1.0 - outside;
+                            if denom <= 0.0 {
+                                prob = 0.0;
+                                break;
+                            }
+                            prob *= ((denom - mass) / denom).max(0.0);
+                            if prob <= 0.0 {
+                                prob = 0.0;
+                                break;
+                            }
+                        }
                     }
-                    if use_pruning_set && acc_prob[inst.object] >= 1.0 - ONE_EPS {
-                        if let Some(corner) = &max_corner[inst.object] {
-                            pruning.push(corner.clone());
+                    computed.push((*t_id, prob.max(0.0)));
+                }
+
+                for ((t_id, prob), (_, sv)) in computed.into_iter().zip(&members) {
+                    if prob > 0.0 {
+                        let object = dataset.instance(t_id).object;
+                        let p = dataset.instance(t_id).prob;
+                        result.set(t_id, prob);
+                        agg[object].insert(sv, p);
+                        acc_prob[object] += p;
+                        match &mut max_corner[object] {
+                            Some(corner) => {
+                                for (c, &s) in corner.iter_mut().zip(sv) {
+                                    if s > *c {
+                                        *c = s;
+                                    }
+                                }
+                            }
+                            None => max_corner[object] = Some(sv.clone()),
+                        }
+                        if use_pruning_set && acc_prob[object] >= 1.0 - ONE_EPS {
+                            if let Some(corner) = &max_corner[object] {
+                                pruning.push(corner.clone());
+                            }
                         }
                     }
                 }
             }
         }
     }
+    if let Some(s) = stats {
+        s.add_nodes_visited(nodes_popped);
+        s.add_window_queries(window_queries);
+    }
     result
+}
+
+/// Pushes a node's children (or leaf instances) onto the best-first heap,
+/// unless the Theorem-4 pruning set already covers the node.
+fn expand_node(
+    rtree: &RTree,
+    node_id: arsp_index::NodeId,
+    omega: &[f64],
+    fdom: &LinearFDominance,
+    use_pruning_set: bool,
+    pruning: &[Vec<f64>],
+    heap: &mut BinaryHeap<HeapItem>,
+) {
+    let node = rtree.node(node_id);
+    if use_pruning_set {
+        let sv_min = fdom.map_to_score_space(node.mbr().min().coords());
+        if pruning.iter().any(|p| dominates(p, &sv_min)) {
+            return;
+        }
+    }
+    match node.content() {
+        NodeContent::Internal(children) => {
+            for &child in children {
+                let key = score(rtree.node(child).mbr().min().coords(), omega);
+                heap.push(HeapItem {
+                    key,
+                    kind: ItemKind::Node(child),
+                });
+            }
+        }
+        NodeContent::Leaf(entry_idx) => {
+            for &ei in entry_idx {
+                let entry = &rtree.entries()[ei];
+                let key = score(&entry.coords, omega);
+                heap.push(HeapItem {
+                    key,
+                    kind: ItemKind::Instance(entry.id),
+                });
+            }
+        }
+    }
 }
 
 /// Min-heap item ordered by ascending score key.
@@ -396,6 +555,61 @@ mod tests {
         let d = UncertainDataset::new(3);
         let result = arsp_bnb(&d, &ConstraintSet::new(3));
         assert!(result.is_empty());
+    }
+
+    #[test]
+    fn coincident_instances_across_objects() {
+        // Regression test: several objects with probability mass at exactly
+        // the same point (equal best-first keys). The heap breaks such ties
+        // arbitrarily, so B&B must evaluate the tie group jointly — mutual
+        // F-domination between coincident instances reduces everyone.
+        let mut d = UncertainDataset::new(2);
+        d.push_object(vec![(vec![0.0, 0.0], 0.5), (vec![0.8, 0.8], 0.5)]);
+        d.push_object(vec![(vec![0.0, 0.0], 0.4), (vec![0.9, 0.1], 0.6)]);
+        d.push_object(vec![(vec![0.0, 0.0], 0.3)]);
+        d.push_object(vec![(vec![0.5, 0.5], 1.0)]);
+        let constraints = ConstraintSet::weak_ranking(2, 1);
+        let truth = arsp_enum(&d, &constraints);
+        let got = arsp_bnb(&d, &constraints);
+        assert!(truth.approx_eq(&got, 1e-9), "{}", truth.max_abs_diff(&got));
+        // The coincident instances genuinely lose mass to each other.
+        assert!(got.instance_prob(0) < 0.5);
+    }
+
+    #[test]
+    fn tied_scores_from_clamped_partial_objects() {
+        // The stock_prediction example's shape: every object partial, many
+        // coordinates clamped to the domain edges → equal-score ties under
+        // the best-first vertex. B&B must agree with LOOP.
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let mut d = UncertainDataset::new(2);
+        for _ in 0..120 {
+            let quality: f64 = rng.gen_range(0.0..1.0);
+            let volatility: f64 = rng.gen_range(0.1..0.4);
+            let k = rng.gen_range(2..=4);
+            let p = rng.gen_range(0.7..1.0) / k as f64;
+            let instances = (0..k)
+                .map(|_| {
+                    let coords = (0..2)
+                        .map(|_| {
+                            (1.0 - quality + rng.gen_range(-volatility..volatility)).clamp(0.0, 1.0)
+                        })
+                        .collect();
+                    (coords, p)
+                })
+                .collect();
+            d.push_object(instances);
+        }
+        let constraints = WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set();
+        let reference = arsp_loop(&d, &constraints);
+        let got = arsp_bnb(&d, &constraints);
+        assert!(
+            reference.approx_eq(&got, 1e-8),
+            "{}",
+            reference.max_abs_diff(&got)
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   instances.
 
 use crate::result::ArspResult;
+use crate::stats::CounterStats;
 use arsp_data::UncertainDataset;
 use arsp_geometry::constraints::WeightRatio;
 use arsp_geometry::fdom::WeightRatioFDominance;
@@ -31,17 +32,54 @@ use arsp_index::AggregateRTree;
 /// Computes ARSP under weight ratio constraints with per-object aggregated
 /// R-trees (the general-dimension DUAL algorithm).
 pub fn arsp_dual(dataset: &UncertainDataset, ratio: &WeightRatio) -> ArspResult {
-    assert_eq!(dataset.dim(), ratio.dim(), "dimension mismatch");
-    let fdom = WeightRatioFDominance::new(ratio.clone());
-    let m = dataset.num_objects();
-    let mut result = ArspResult::zeros(dataset.num_instances());
+    arsp_dual_engine(dataset, ratio, None, None)
+}
 
-    // Index every object's instances (original space, probability weights).
-    let mut agg: Vec<AggregateRTree> = (0..m).map(|_| AggregateRTree::new(dataset.dim())).collect();
+/// Builds DUAL's per-object aggregated R-trees over the *original-space*
+/// instances. The index depends only on the dataset — every weight-ratio
+/// query probes the same trees with a different dominance region — which is
+/// why [`crate::engine::ArspEngine`] builds it once and shares it across
+/// ratio queries.
+pub fn build_dual_index(dataset: &UncertainDataset) -> Vec<AggregateRTree> {
+    let mut agg: Vec<AggregateRTree> = (0..dataset.num_objects())
+        .map(|_| AggregateRTree::new(dataset.dim()))
+        .collect();
     for inst in dataset.instances() {
         agg[inst.object].insert(&inst.coords, inst.prob);
     }
+    agg
+}
 
+/// The full-control DUAL entry point used by [`crate::engine::ArspEngine`]:
+/// optional prebuilt per-object index (see [`build_dual_index`]) and optional
+/// work-counter sink. Results are identical with or without the options.
+pub fn arsp_dual_engine(
+    dataset: &UncertainDataset,
+    ratio: &WeightRatio,
+    prebuilt: Option<&[AggregateRTree]>,
+    stats: Option<&CounterStats>,
+) -> ArspResult {
+    assert_eq!(dataset.dim(), ratio.dim(), "dimension mismatch");
+    let fdom = WeightRatioFDominance::new(ratio.clone());
+    let mut result = ArspResult::zeros(dataset.num_instances());
+
+    let owned;
+    let agg: &[AggregateRTree] = match prebuilt {
+        Some(trees) => {
+            debug_assert_eq!(
+                trees.len(),
+                dataset.num_objects(),
+                "prebuilt DUAL index covers a different dataset"
+            );
+            trees
+        }
+        None => {
+            owned = build_dual_index(dataset);
+            &owned
+        }
+    };
+
+    let mut window_queries = 0u64;
     for inst in dataset.instances() {
         let region = FDominatorsOf::new(&fdom, &inst.coords);
         let mut prob = inst.prob;
@@ -49,6 +87,7 @@ pub fn arsp_dual(dataset: &UncertainDataset, ratio: &WeightRatio) -> ArspResult 
             if j == inst.object {
                 continue;
             }
+            window_queries += 1;
             let sigma = tree.sum_weights_in(&region);
             prob *= 1.0 - sigma;
             if prob <= 0.0 {
@@ -57,6 +96,9 @@ pub fn arsp_dual(dataset: &UncertainDataset, ratio: &WeightRatio) -> ArspResult 
             }
         }
         result.set(inst.id, prob);
+    }
+    if let Some(s) = stats {
+        s.add_window_queries(window_queries);
     }
     result
 }

@@ -36,9 +36,55 @@
 //! is exact.
 
 use crate::scorespace::ScorePoint;
+use crate::stats::CounterStats;
 use arsp_geometry::point::dominates;
 use arsp_index::kdtree::KdNodeContent;
 use arsp_index::{KdTree, PointEntry};
+
+/// The three traversal strategies of Algorithm 1, as a value — the engine
+/// selects among them at query time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KdVariant {
+    /// KDTT: fully prebuilt kd-tree, then pre-order traversal.
+    Prebuilt,
+    /// KDTT+: kd partitioning fused into the traversal.
+    FusedKd,
+    /// QDTT+: quadtree partitioning fused into the traversal.
+    FusedQuad,
+}
+
+/// The full-control kd-ASP\* entry point used by the engine: picks the
+/// traversal variant, the execution mode, and optionally reports work
+/// counters. Results are bitwise identical across execution modes and
+/// unaffected by the stats sink.
+pub fn kd_asp_engine(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+    variant: KdVariant,
+    parallel: bool,
+    stats: Option<&CounterStats>,
+) -> Vec<f64> {
+    match (variant, parallel) {
+        // The prebuilt-tree traversal stays sequential by design (it exists
+        // to measure the construction overhead the fused variants remove).
+        (KdVariant::Prebuilt, _) => {
+            kd_asp_prebuilt_stats(points, num_objects, num_instances, stats)
+        }
+        (KdVariant::FusedKd, false) => {
+            run_fused(points, num_objects, num_instances, SplitKind::Kd, stats)
+        }
+        (KdVariant::FusedQuad, false) => {
+            run_fused(points, num_objects, num_instances, SplitKind::Quad, stats)
+        }
+        (KdVariant::FusedKd, true) => {
+            run_fused_parallel(points, num_objects, num_instances, SplitKind::Kd, stats)
+        }
+        (KdVariant::FusedQuad, true) => {
+            run_fused_parallel(points, num_objects, num_instances, SplitKind::Quad, stats)
+        }
+    }
+}
 
 /// Tolerance for deciding that an object's dominating mass has reached one.
 /// Probabilities are sums of `1/n_i` terms, so anything closer to one than
@@ -145,6 +191,7 @@ fn candidate_pass(
     pmin: &[f64],
     pmax: &[f64],
     state: &mut SkyState,
+    tests: &mut u64,
 ) -> NodePass {
     let mut saved_sigma = Vec::new();
     let mut next_candidates = Vec::new();
@@ -152,11 +199,18 @@ fn candidate_pass(
     let chi_before = state.chi;
     for &c in candidates {
         let sp = &points[c as usize];
-        if !state.in_node[c as usize] && dominates(&sp.coords, pmin) {
+        let outside_and_below = !state.in_node[c as usize] && {
+            *tests += 1;
+            dominates(&sp.coords, pmin)
+        };
+        if outside_and_below {
             saved_sigma.push((sp.object, state.sigma[sp.object]));
             state.add(sp.object, sp.prob);
-        } else if dominates(&sp.coords, pmax) {
-            next_candidates.push(c);
+        } else {
+            *tests += 1;
+            if dominates(&sp.coords, pmax) {
+                next_candidates.push(c);
+            }
         }
     }
     NodePass {
@@ -225,12 +279,12 @@ fn emit_coincident_node(points: &[ScorePoint], order: &[u32], state: &SkyState, 
 /// `num_instances` is the size of the output vector (probabilities are placed
 /// at each point's original instance id).
 pub fn kd_asp_fused(points: &[ScorePoint], num_objects: usize, num_instances: usize) -> Vec<f64> {
-    run_fused(points, num_objects, num_instances, SplitKind::Kd)
+    run_fused(points, num_objects, num_instances, SplitKind::Kd, None)
 }
 
 /// **QDTT+**: fused traversal with quadtree splitting.
 pub fn quad_asp_fused(points: &[ScorePoint], num_objects: usize, num_instances: usize) -> Vec<f64> {
-    run_fused(points, num_objects, num_instances, SplitKind::Quad)
+    run_fused(points, num_objects, num_instances, SplitKind::Quad, None)
 }
 
 /// **KDTT+**, parallel: identical to [`kd_asp_fused`] bit for bit, but sibling
@@ -241,7 +295,7 @@ pub fn kd_asp_fused_parallel(
     num_objects: usize,
     num_instances: usize,
 ) -> Vec<f64> {
-    run_fused_parallel(points, num_objects, num_instances, SplitKind::Kd)
+    run_fused_parallel(points, num_objects, num_instances, SplitKind::Kd, None)
 }
 
 /// **QDTT+**, parallel: identical to [`quad_asp_fused`] bit for bit, with
@@ -251,7 +305,7 @@ pub fn quad_asp_fused_parallel(
     num_objects: usize,
     num_instances: usize,
 ) -> Vec<f64> {
-    run_fused_parallel(points, num_objects, num_instances, SplitKind::Quad)
+    run_fused_parallel(points, num_objects, num_instances, SplitKind::Quad, None)
 }
 
 fn run_fused(
@@ -259,6 +313,7 @@ fn run_fused(
     num_objects: usize,
     num_instances: usize,
     split: SplitKind,
+    stats: Option<&CounterStats>,
 ) -> Vec<f64> {
     let mut out = vec![0.0; num_instances];
     if points.is_empty() {
@@ -275,6 +330,7 @@ fn run_fused(
         &mut state,
         &mut out,
         split,
+        stats,
     );
     out
 }
@@ -285,8 +341,9 @@ fn run_fused_parallel(
     num_objects: usize,
     num_instances: usize,
     split: SplitKind,
+    stats: Option<&CounterStats>,
 ) -> Vec<f64> {
-    run_fused(points, num_objects, num_instances, split)
+    run_fused(points, num_objects, num_instances, split, stats)
 }
 
 #[cfg(feature = "parallel")]
@@ -295,10 +352,11 @@ fn run_fused_parallel(
     num_objects: usize,
     num_instances: usize,
     split: SplitKind,
+    stats: Option<&CounterStats>,
 ) -> Vec<f64> {
     let levels = crate::parallel::fan_out_levels();
     if levels == 0 || points.len() < MIN_PARALLEL_NODE {
-        return run_fused(points, num_objects, num_instances, split);
+        return run_fused(points, num_objects, num_instances, split, stats);
     }
     crate::parallel::with_pool(|| {
         let mut out = vec![0.0; num_instances];
@@ -314,6 +372,7 @@ fn run_fused_parallel(
             &mut out,
             split,
             levels,
+            stats,
         );
         out
     })
@@ -340,10 +399,11 @@ fn run_subtree(
     out_len: usize,
     split: SplitKind,
     levels: usize,
+    stats: Option<&CounterStats>,
 ) -> Vec<(usize, f64)> {
     let mut buf = vec![0.0; out_len];
     fused_rec_par(
-        points, order, candidates, depth, &mut state, &mut buf, split, levels,
+        points, order, candidates, depth, &mut state, &mut buf, split, levels, stats,
     );
     order
         .iter()
@@ -371,9 +431,10 @@ fn fused_rec_par(
     out: &mut [f64],
     split: SplitKind,
     levels: usize,
+    stats: Option<&CounterStats>,
 ) {
     if levels == 0 || order.len() < MIN_PARALLEL_NODE {
-        fused_rec(points, order, candidates, depth, state, out, split);
+        fused_rec(points, order, candidates, depth, state, out, split, stats);
         return;
     }
 
@@ -381,9 +442,14 @@ fn fused_rec_par(
     for &idx in order.iter() {
         state.in_node[idx as usize] = true;
     }
-    let pass = candidate_pass(points, candidates, &pmin, &pmax, state);
+    let mut tests = 0u64;
+    let pass = candidate_pass(points, candidates, &pmin, &pmax, state, &mut tests);
     for &idx in order.iter() {
         state.in_node[idx as usize] = false;
+    }
+    if let Some(s) = stats {
+        s.add_nodes_visited(1);
+        s.add_fdom_tests(tests);
     }
 
     if order.len() == 1 {
@@ -394,7 +460,9 @@ fn fused_rec_par(
     } else if state.chi == 0 {
         match split {
             SplitKind::Kd => {
-                parallel_kd_split(points, order, &pass, depth, state, out, split, levels);
+                parallel_kd_split(
+                    points, order, &pass, depth, state, out, split, levels, stats,
+                );
             }
             SplitKind::Quad => {
                 let dim = points[order[0] as usize].coords.len();
@@ -413,7 +481,9 @@ fn fused_rec_par(
                 if groups.len() == 1 {
                     // Mask collision (dimensions ≥ 64): kd fallback, exactly
                     // as in the sequential traversal.
-                    parallel_kd_split(points, order, &pass, depth, state, out, split, levels);
+                    parallel_kd_split(
+                        points, order, &pass, depth, state, out, split, levels, stats,
+                    );
                 } else {
                     use rayon::prelude::*;
                     let out_len = out.len();
@@ -433,6 +503,7 @@ fn fused_rec_par(
                                 out_len,
                                 split,
                                 levels - 1,
+                                stats,
                             )
                         })
                         .collect();
@@ -463,6 +534,7 @@ fn parallel_kd_split(
     out: &mut [f64],
     split: SplitKind,
     levels: usize,
+    stats: Option<&CounterStats>,
 ) {
     let dim = points[order[0] as usize].coords.len();
     let axis = depth % dim;
@@ -487,6 +559,7 @@ fn parallel_kd_split(
                 out_len,
                 split,
                 levels - 1,
+                stats,
             )
         },
         || {
@@ -499,6 +572,7 @@ fn parallel_kd_split(
                 out_len,
                 split,
                 levels - 1,
+                stats,
             )
         },
     );
@@ -513,6 +587,7 @@ enum SplitKind {
     Quad,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fused_rec(
     points: &[ScorePoint],
     order: &mut [u32],
@@ -521,6 +596,7 @@ fn fused_rec(
     state: &mut SkyState,
     out: &mut [f64],
     split: SplitKind,
+    stats: Option<&CounterStats>,
 ) {
     let (pmin, pmax) = corners(points, order);
 
@@ -528,9 +604,14 @@ fn fused_rec(
     for &idx in order.iter() {
         state.in_node[idx as usize] = true;
     }
-    let pass = candidate_pass(points, candidates, &pmin, &pmax, state);
+    let mut tests = 0u64;
+    let pass = candidate_pass(points, candidates, &pmin, &pmax, state, &mut tests);
     for &idx in order.iter() {
         state.in_node[idx as usize] = false;
+    }
+    if let Some(s) = stats {
+        s.add_nodes_visited(1);
+        s.add_fdom_tests(tests);
     }
 
     if order.len() == 1 {
@@ -559,6 +640,7 @@ fn fused_rec(
                     state,
                     out,
                     split,
+                    stats,
                 );
                 fused_rec(
                     points,
@@ -568,6 +650,7 @@ fn fused_rec(
                     state,
                     out,
                     split,
+                    stats,
                 );
             }
             SplitKind::Quad => {
@@ -607,6 +690,7 @@ fn fused_rec(
                         state,
                         out,
                         split,
+                        stats,
                     );
                     fused_rec(
                         points,
@@ -616,6 +700,7 @@ fn fused_rec(
                         state,
                         out,
                         split,
+                        stats,
                     );
                 } else {
                     // Visit quadrants in ascending mask order: lower quadrants
@@ -629,6 +714,7 @@ fn fused_rec(
                             state,
                             out,
                             split,
+                            stats,
                         );
                     }
                 }
@@ -652,6 +738,16 @@ pub fn kd_asp_prebuilt(
     points: &[ScorePoint],
     num_objects: usize,
     num_instances: usize,
+) -> Vec<f64> {
+    kd_asp_prebuilt_stats(points, num_objects, num_instances, None)
+}
+
+/// [`kd_asp_prebuilt`] with an optional work-counter sink.
+pub fn kd_asp_prebuilt_stats(
+    points: &[ScorePoint],
+    num_objects: usize,
+    num_instances: usize,
+    stats: Option<&CounterStats>,
 ) -> Vec<f64> {
     let mut out = vec![0.0; num_instances];
     if points.is_empty() {
@@ -678,6 +774,7 @@ pub fn kd_asp_prebuilt(
         &mut state,
         &mut out,
         &mut scratch,
+        stats,
     );
     out
 }
@@ -695,6 +792,7 @@ fn collect_positions(tree: &KdTree, node: usize, out: &mut Vec<u32>) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn prebuilt_rec(
     points: &[ScorePoint],
     tree: &KdTree,
@@ -703,6 +801,7 @@ fn prebuilt_rec(
     state: &mut SkyState,
     out: &mut [f64],
     scratch: &mut Vec<u32>,
+    stats: Option<&CounterStats>,
 ) {
     let n = tree.node(node);
     let pmin = n.mbr().min().coords().to_vec();
@@ -714,9 +813,14 @@ fn prebuilt_rec(
     for &idx in &members {
         state.in_node[idx as usize] = true;
     }
-    let pass = candidate_pass(points, candidates, &pmin, &pmax, state);
+    let mut tests = 0u64;
+    let pass = candidate_pass(points, candidates, &pmin, &pmax, state, &mut tests);
     for &idx in &members {
         state.in_node[idx as usize] = false;
+    }
+    if let Some(s) = stats {
+        s.add_nodes_visited(1);
+        s.add_fdom_tests(tests);
     }
 
     match n.content() {
@@ -743,6 +847,7 @@ fn prebuilt_rec(
                     state,
                     out,
                     scratch,
+                    stats,
                 );
                 prebuilt_rec(
                     points,
@@ -752,6 +857,7 @@ fn prebuilt_rec(
                     state,
                     out,
                     scratch,
+                    stats,
                 );
             }
             // χ ≥ 1: prune the traversal (the tree itself was already built).

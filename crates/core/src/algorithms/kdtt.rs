@@ -12,41 +12,42 @@
 //! partitioning (QDTT+).  Overall complexity `O(c² + d'·d·n + n^{2−1/d'})`.
 
 use super::kd_asp;
+pub use super::kd_asp::KdVariant;
 use crate::result::ArspResult;
-use crate::scorespace::map_to_score_space;
+use crate::stats::CounterStats;
 use arsp_data::UncertainDataset;
 use arsp_geometry::fdom::LinearFDominance;
 use arsp_geometry::ConstraintSet;
 
 /// KDTT: Algorithm 1 over a fully prebuilt kd-tree.
 pub fn arsp_kdtt(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
-    run(dataset, constraints, Variant::Prebuilt)
+    run(dataset, constraints, KdVariant::Prebuilt, false)
 }
 
 /// KDTT+: Algorithm 1 with construction fused into the traversal.
 pub fn arsp_kdtt_plus(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
-    run(dataset, constraints, Variant::FusedKd)
+    run(dataset, constraints, KdVariant::FusedKd, false)
 }
 
 /// QDTT+: Algorithm 1 with fused quadtree-style splitting.
 pub fn arsp_qdtt_plus(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
-    run(dataset, constraints, Variant::FusedQuad)
+    run(dataset, constraints, KdVariant::FusedQuad, false)
 }
 
 /// KDTT+ with a pre-built F-dominance test (lets benchmarks exclude vertex
 /// enumeration, which is a shared one-off cost).
 pub fn arsp_kdtt_plus_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    run_with_fdom(dataset, fdom, Variant::FusedKd)
+    arsp_kdtt_engine(dataset, fdom, KdVariant::FusedKd, false, None)
 }
 
 /// QDTT+ with a pre-built F-dominance test.
 pub fn arsp_qdtt_plus_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    run_with_fdom(dataset, fdom, Variant::FusedQuad)
+    arsp_kdtt_engine(dataset, fdom, KdVariant::FusedQuad, false, None)
 }
 
 /// KDTT with a pre-built F-dominance test.
 pub fn arsp_kdtt_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    run_with_fdom(dataset, fdom, Variant::Prebuilt)
+    arsp_kdtt_engine(dataset, fdom, KdVariant::Prebuilt, false, None)
 }
 
 /// KDTT+, parallel: the score-space mapping and the fused traversal both fan
@@ -57,7 +58,7 @@ pub fn arsp_kdtt_plus_parallel(
     dataset: &UncertainDataset,
     constraints: &ConstraintSet,
 ) -> ArspResult {
-    run_parallel(dataset, constraints, Variant::FusedKd)
+    run(dataset, constraints, KdVariant::FusedKd, true)
 }
 
 /// QDTT+, parallel: bitwise identical to [`arsp_qdtt_plus`].
@@ -65,7 +66,7 @@ pub fn arsp_qdtt_plus_parallel(
     dataset: &UncertainDataset,
     constraints: &ConstraintSet,
 ) -> ArspResult {
-    run_parallel(dataset, constraints, Variant::FusedQuad)
+    run(dataset, constraints, KdVariant::FusedQuad, true)
 }
 
 /// KDTT, parallel: the score-space mapping runs on worker threads; the
@@ -73,61 +74,45 @@ pub fn arsp_qdtt_plus_parallel(
 /// cost the paper's fused variants remove, so parallelising it would defeat
 /// its purpose as a baseline). Bitwise identical to [`arsp_kdtt`].
 pub fn arsp_kdtt_parallel(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
-    run_parallel(dataset, constraints, Variant::Prebuilt)
+    run(dataset, constraints, KdVariant::Prebuilt, true)
 }
 
-#[derive(Clone, Copy)]
-enum Variant {
-    Prebuilt,
-    FusedKd,
-    FusedQuad,
-}
-
-fn run(dataset: &UncertainDataset, constraints: &ConstraintSet, variant: Variant) -> ArspResult {
-    assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
-    let fdom = LinearFDominance::from_constraints(constraints);
-    run_with_fdom(dataset, &fdom, variant)
-}
-
-fn run_parallel(
+fn run(
     dataset: &UncertainDataset,
     constraints: &ConstraintSet,
-    variant: Variant,
+    variant: KdVariant,
+    parallel: bool,
 ) -> ArspResult {
     assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
     let fdom = LinearFDominance::from_constraints(constraints);
-    let points = crate::scorespace::map_to_score_space_parallel(dataset, &fdom);
-    let probs = match variant {
-        Variant::Prebuilt => {
-            kd_asp::kd_asp_prebuilt(&points, dataset.num_objects(), dataset.num_instances())
-        }
-        Variant::FusedKd => {
-            kd_asp::kd_asp_fused_parallel(&points, dataset.num_objects(), dataset.num_instances())
-        }
-        Variant::FusedQuad => {
-            kd_asp::quad_asp_fused_parallel(&points, dataset.num_objects(), dataset.num_instances())
-        }
-    };
-    ArspResult::from_probs(probs)
+    arsp_kdtt_engine(dataset, &fdom, variant, parallel, None)
 }
 
-fn run_with_fdom(
+/// The full-control KDTT-family entry point used by
+/// [`crate::engine::ArspEngine`]: prebuilt F-dominance test (the engine
+/// caches the vertex enumeration per constraint set), traversal variant,
+/// execution mode, optional work-counter sink. Results are bitwise identical
+/// across every option combination (see [`crate::parallel`]).
+pub fn arsp_kdtt_engine(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
-    variant: Variant,
+    variant: KdVariant,
+    parallel: bool,
+    stats: Option<&CounterStats>,
 ) -> ArspResult {
-    let points = map_to_score_space(dataset, fdom);
-    let probs = match variant {
-        Variant::Prebuilt => {
-            kd_asp::kd_asp_prebuilt(&points, dataset.num_objects(), dataset.num_instances())
-        }
-        Variant::FusedKd => {
-            kd_asp::kd_asp_fused(&points, dataset.num_objects(), dataset.num_instances())
-        }
-        Variant::FusedQuad => {
-            kd_asp::quad_asp_fused(&points, dataset.num_objects(), dataset.num_instances())
-        }
+    let points = if parallel {
+        crate::scorespace::map_to_score_space_parallel(dataset, fdom)
+    } else {
+        crate::scorespace::map_to_score_space(dataset, fdom)
     };
+    let probs = kd_asp::kd_asp_engine(
+        &points,
+        dataset.num_objects(),
+        dataset.num_instances(),
+        variant,
+        parallel,
+        stats,
+    );
     ArspResult::from_probs(probs)
 }
 

@@ -6,8 +6,13 @@
 //! every instance accumulate the dominating probability mass of every other
 //! object with the vertex-based F-dominance test of Theorem 2.
 //! Complexity `O(c² + d·d'·n²)`.
+//!
+//! All entry points funnel into [`arsp_loop_engine`], which optionally takes
+//! a prebuilt [`InstanceOrder`] (the engine caches it across queries that
+//! share a preference-region vertex) and a [`CounterStats`] sink.
 
 use crate::result::ArspResult;
+use crate::stats::CounterStats;
 use arsp_data::UncertainDataset;
 use arsp_geometry::fdom::{FDominance, LinearFDominance};
 use arsp_geometry::ConstraintSet;
@@ -16,27 +21,13 @@ use arsp_geometry::ConstraintSet;
 pub fn arsp_loop(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
     assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
     let fdom = LinearFDominance::from_constraints(constraints);
-    arsp_loop_with_fdom(dataset, &fdom)
+    arsp_loop_engine(dataset, &fdom, None, false, None)
 }
 
 /// LOOP with a pre-built F-dominance test (used by benchmarks to exclude the
 /// one-off vertex enumeration from the measured time).
 pub fn arsp_loop_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    let n = dataset.num_instances();
-    let mut result = ArspResult::zeros(n);
-    if n == 0 {
-        return result;
-    }
-    let (order, keys) = sorted_order(dataset, fdom);
-
-    // Per-object accumulated dominating mass, reset between instances via the
-    // `touched` list to keep each iteration O(#dominators) rather than O(m).
-    let mut scratch = LoopScratch::new(dataset.num_objects());
-    for (pos, &t_id) in order.iter().enumerate() {
-        let prob = instance_probability(dataset, fdom, &order, &keys, pos, &mut scratch);
-        result.set(t_id, prob);
-    }
-    result
+    arsp_loop_engine(dataset, fdom, None, false, None)
 }
 
 /// LOOP with the per-instance scans fanned out over worker threads. Each
@@ -48,65 +39,126 @@ pub fn arsp_loop_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) 
 pub fn arsp_loop_parallel(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
     assert_eq!(dataset.dim(), constraints.dim(), "dimension mismatch");
     let fdom = LinearFDominance::from_constraints(constraints);
-    arsp_loop_parallel_with_fdom(dataset, &fdom)
+    arsp_loop_engine(dataset, &fdom, None, true, None)
 }
 
 /// [`arsp_loop_parallel`] with a pre-built F-dominance test.
-#[cfg(feature = "parallel")]
 pub fn arsp_loop_parallel_with_fdom(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
 ) -> ArspResult {
-    use rayon::prelude::*;
+    arsp_loop_engine(dataset, fdom, None, true, None)
+}
 
+/// The full-control LOOP entry point used by [`crate::engine::ArspEngine`]:
+/// optional prebuilt sort order (must have been built for the same dataset
+/// and the same first preference-region vertex), parallel toggle, optional
+/// work-counter sink. Results are bitwise identical across every combination
+/// of the options.
+pub fn arsp_loop_engine(
+    dataset: &UncertainDataset,
+    fdom: &LinearFDominance,
+    prebuilt: Option<&InstanceOrder>,
+    parallel: bool,
+    stats: Option<&CounterStats>,
+) -> ArspResult {
     let n = dataset.num_instances();
-    let chunks = crate::parallel::chunk_bounds(n);
-    if n == 0 || chunks.len() <= 1 {
-        return arsp_loop_with_fdom(dataset, fdom);
+    let mut result = ArspResult::zeros(n);
+    if n == 0 {
+        return result;
     }
-    let (order, keys) = sorted_order(dataset, fdom);
-    let order = &order;
-    let keys = &keys;
+    let owned;
+    let ord = match prebuilt {
+        Some(o) => {
+            debug_assert_eq!(
+                o.order.len(),
+                n,
+                "prebuilt order covers a different dataset"
+            );
+            o
+        }
+        None => {
+            owned = instance_order(dataset, fdom);
+            &owned
+        }
+    };
 
-    // One contiguous chunk of sort positions per worker; each worker owns its
-    // σ scratch, mirroring the sequential reuse pattern.
-    let chunk_results: Vec<Vec<(usize, f64)>> = crate::parallel::with_pool(|| {
-        chunks
-            .into_par_iter()
-            .map(|range| {
-                let mut scratch = LoopScratch::new(dataset.num_objects());
-                range
-                    .map(|pos| {
-                        let prob =
-                            instance_probability(dataset, fdom, order, keys, pos, &mut scratch);
-                        (order[pos], prob)
+    #[cfg(feature = "parallel")]
+    if parallel {
+        let chunks = crate::parallel::chunk_bounds(n);
+        if chunks.len() > 1 {
+            use rayon::prelude::*;
+
+            // One contiguous chunk of sort positions per worker; each worker
+            // owns its σ scratch, mirroring the sequential reuse pattern.
+            let chunk_results: Vec<(Vec<(usize, f64)>, u64)> = crate::parallel::with_pool(|| {
+                chunks
+                    .into_par_iter()
+                    .map(|range| {
+                        let mut scratch = LoopScratch::new(dataset.num_objects());
+                        let mut tests = 0u64;
+                        let probs = range
+                            .map(|pos| {
+                                let prob = instance_probability(
+                                    dataset,
+                                    fdom,
+                                    ord,
+                                    pos,
+                                    &mut scratch,
+                                    &mut tests,
+                                );
+                                (ord.order[pos], prob)
+                            })
+                            .collect();
+                        (probs, tests)
                     })
                     .collect()
-            })
-            .collect()
-    });
+            });
 
-    let mut result = ArspResult::zeros(n);
-    for (t_id, prob) in chunk_results.into_iter().flatten() {
+            for (chunk, tests) in chunk_results {
+                if let Some(s) = stats {
+                    s.add_fdom_tests(tests);
+                }
+                for (t_id, prob) in chunk {
+                    result.set(t_id, prob);
+                }
+            }
+            return result;
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = parallel;
+
+    // Per-object accumulated dominating mass, reset between instances via the
+    // `touched` list to keep each iteration O(#dominators) rather than O(m).
+    let mut scratch = LoopScratch::new(dataset.num_objects());
+    let mut tests = 0u64;
+    for (pos, &t_id) in ord.order.iter().enumerate() {
+        let prob = instance_probability(dataset, fdom, ord, pos, &mut scratch, &mut tests);
         result.set(t_id, prob);
+    }
+    if let Some(s) = stats {
+        s.add_fdom_tests(tests);
     }
     result
 }
 
-/// [`arsp_loop_parallel`] with a pre-built F-dominance test (sequential
-/// fallback: the `parallel` feature is disabled).
-#[cfg(not(feature = "parallel"))]
-pub fn arsp_loop_parallel_with_fdom(
-    dataset: &UncertainDataset,
-    fdom: &LinearFDominance,
-) -> ArspResult {
-    arsp_loop_with_fdom(dataset, fdom)
+/// The instance sort order LOOP scans in: instance ids sorted ascending by
+/// their score under the first vertex of the preference region, plus the
+/// scores themselves. Reusable across every query whose preference region
+/// shares that vertex — which is what [`crate::engine::ArspEngine`] caches.
+#[derive(Clone, Debug)]
+pub struct InstanceOrder {
+    /// Instance ids in ascending score order.
+    pub order: Vec<usize>,
+    /// Score of each instance (indexed by instance id, not sort position).
+    pub keys: Vec<f64>,
 }
 
 /// Sorts instance ids by their score under the first vertex; anything that
 /// F-dominates an instance must have a score ≤ the instance's score under
 /// every vertex, in particular this one.
-fn sorted_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> (Vec<usize>, Vec<f64>) {
+pub fn instance_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> InstanceOrder {
     let omega = &fdom.vertices()[0];
     let mut order: Vec<usize> = (0..dataset.num_instances()).collect();
     let keys: Vec<f64> = dataset
@@ -119,7 +171,7 @@ fn sorted_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> (Vec<usi
             .partial_cmp(&keys[b])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    (order, keys)
+    InstanceOrder { order, keys }
 }
 
 /// Reusable per-worker accumulation buffers.
@@ -145,11 +197,12 @@ impl LoopScratch {
 fn instance_probability(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
-    order: &[usize],
-    keys: &[f64],
+    ord: &InstanceOrder,
     pos: usize,
     scratch: &mut LoopScratch,
+    tests: &mut u64,
 ) -> f64 {
+    let (order, keys) = (&ord.order, &ord.keys);
     let t_id = order[pos];
     let t = dataset.instance(t_id);
     let sigma = &mut scratch.sigma;
@@ -158,11 +211,14 @@ fn instance_probability(
 
     for &s_id in &order[..pos] {
         let s = dataset.instance(s_id);
-        if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
-            if sigma[s.object] == 0.0 {
-                touched.push(s.object);
+        if s.object != t.object {
+            *tests += 1;
+            if fdom.f_dominates(&s.coords, &t.coords) {
+                if sigma[s.object] == 0.0 {
+                    touched.push(s.object);
+                }
+                sigma[s.object] += s.prob;
             }
-            sigma[s.object] += s.prob;
         }
     }
     for &s_id in &order[pos + 1..] {
@@ -170,11 +226,14 @@ fn instance_probability(
             break;
         }
         let s = dataset.instance(s_id);
-        if s.object != t.object && fdom.f_dominates(&s.coords, &t.coords) {
-            if sigma[s.object] == 0.0 {
-                touched.push(s.object);
+        if s.object != t.object {
+            *tests += 1;
+            if fdom.f_dominates(&s.coords, &t.coords) {
+                if sigma[s.object] == 0.0 {
+                    touched.push(s.object);
+                }
+                sigma[s.object] += s.prob;
             }
-            sigma[s.object] += s.prob;
         }
     }
 
@@ -285,6 +344,39 @@ mod tests {
         let par = arsp_loop_parallel(&d, &constraints);
         crate::parallel::set_num_threads(0);
         assert_eq!(seq.probs(), par.probs());
+    }
+
+    #[test]
+    fn prebuilt_order_and_stats_leave_results_unchanged() {
+        let d = SyntheticConfig {
+            num_objects: 40,
+            max_instances: 4,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.2,
+            seed: 5,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let fdom = LinearFDominance::from_constraints(&constraints);
+        let baseline = arsp_loop(&d, &constraints);
+
+        let order = instance_order(&d, &fdom);
+        let stats = CounterStats::new();
+        let got = arsp_loop_engine(&d, &fdom, Some(&order), false, Some(&stats));
+        assert_eq!(baseline.probs(), got.probs());
+        assert!(stats.snapshot().fdom_tests > 0);
+
+        // The parallel path reports through the same sink.
+        let par_stats = CounterStats::new();
+        let par = arsp_loop_engine(&d, &fdom, Some(&order), true, Some(&par_stats));
+        assert_eq!(baseline.probs(), par.probs());
+        assert_eq!(
+            par_stats.snapshot().fdom_tests,
+            stats.snapshot().fdom_tests,
+            "test count must not depend on the execution mode"
+        );
     }
 
     /// Helper so synthetic tests can vary the seed tersely.

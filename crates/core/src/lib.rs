@@ -8,27 +8,39 @@
 //!
 //! ## Quick start
 //!
+//! The primary API is the session-oriented [`engine::ArspEngine`]: it owns
+//! the dataset, amortises every index across queries, and picks the right
+//! algorithm per query unless told otherwise.
+//!
 //! ```
 //! use arsp_core::prelude::*;
 //!
 //! // The paper's running example: 4 uncertain objects, 10 instances.
-//! let dataset = arsp_data::paper_running_example();
+//! let engine = ArspEngine::new(arsp_data::paper_running_example());
 //!
 //! // F = {ω1·x1 + ω2·x2 | 0.5 ≤ ω1/ω2 ≤ 2}, as in Example 1.
 //! let ratio = WeightRatio::uniform(2, 0.5, 2.0);
 //! let constraints = ratio.to_constraint_set();
 //!
-//! // Any of the algorithms computes the same result.
-//! let result = arsp_kdtt_plus(&dataset, &constraints);
-//! assert!((result.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
+//! let outcome = engine.query(&constraints).run();
+//! assert!((outcome.instance_prob(0) - 2.0 / 9.0).abs() < 1e-9);
 //!
-//! // Under weight ratio constraints the DUAL algorithm applies too.
-//! let dual = arsp_dual(&dataset, &ratio);
-//! assert!(result.approx_eq(&dual, 1e-9));
+//! // Under weight ratio constraints the DUAL algorithm applies too — Auto
+//! // selects it for ratio queries, and all algorithms agree.
+//! let dual = engine.ratio_query(&ratio).run();
+//! assert_eq!(dual.algorithm().name(), "DUAL");
+//! assert!(outcome.result().approx_eq(dual.result(), 1e-9));
 //! ```
+//!
+//! The per-algorithm free functions ([`arsp_kdtt_plus`] and friends) remain
+//! available and agree bitwise with the engine — they run the same code with
+//! no caching.
 //!
 //! ## What is provided
 //!
+//! * the query engine ([`engine`]): builder-style sessions, cached shared
+//!   indexes, automatic algorithm selection, batched constraint sweeps,
+//!   per-query timings and work counters ([`stats`]),
 //! * ARSP algorithms for general linear constraints:
 //!   [`arsp_enum`], [`arsp_loop`], [`arsp_kdtt`], [`arsp_kdtt_plus`],
 //!   [`arsp_qdtt_plus`], [`arsp_bnb`] (see [`algorithms`] for the mapping to
@@ -49,10 +61,12 @@ pub mod algorithms;
 pub mod asp;
 pub mod eclipse;
 pub mod effectiveness;
+pub mod engine;
 pub mod hardness;
 pub mod parallel;
 pub mod result;
 pub mod scorespace;
+pub mod stats;
 
 pub use algorithms::bnb::{
     arsp_bnb, arsp_bnb_parallel, arsp_bnb_parallel_with_fdom, arsp_bnb_with_fdom,
@@ -70,7 +84,9 @@ pub use algorithms::loop_scan::{
 };
 pub use algorithms::ArspAlgorithm;
 pub use asp::skyline_probabilities;
+pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
 pub use result::ArspResult;
+pub use stats::QueryCounters;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
@@ -79,8 +95,10 @@ pub mod prelude {
     pub use crate::asp::skyline_probabilities;
     pub use crate::eclipse::{eclipse_dual_s, eclipse_quad};
     pub use crate::effectiveness::{rskyline_ranking, skyline_ranking};
+    pub use crate::engine::{ArspEngine, ArspOutcome, Execution, QueryAlgorithm};
     pub use crate::parallel::{num_threads, set_num_threads};
     pub use crate::result::ArspResult;
+    pub use crate::stats::QueryCounters;
     pub use crate::{
         arsp_bnb, arsp_bnb_parallel, arsp_dual, arsp_enum, arsp_kdtt, arsp_kdtt_plus,
         arsp_kdtt_plus_parallel, arsp_loop, arsp_loop_parallel, arsp_qdtt_plus,

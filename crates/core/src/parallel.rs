@@ -80,7 +80,29 @@ pub(crate) fn with_pool<R>(f: impl FnOnce() -> R) -> R {
     if n == 0 {
         return f();
     }
-    match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+    install_sized(n, f)
+}
+
+/// Runs `f` inside a dedicated rayon pool of `threads` workers (`0` falls
+/// back to [`with_pool`], i.e. the process-wide knob). Used for per-query
+/// thread bounds: a scoped pool never touches the process-global override,
+/// so concurrent callers cannot race each other's settings and a panic in
+/// `f` leaks nothing. Note the plain-`par_iter` paths inherit the installed
+/// pool, but when the process-wide knob *is* set, nested [`with_pool`] calls
+/// still honour it — the global override wins over the per-call size.
+#[cfg(feature = "parallel")]
+pub(crate) fn with_pool_sized<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    if threads == 0 {
+        return with_pool(f);
+    }
+    install_sized(threads, f)
+}
+
+/// Builds a `threads`-sized pool and installs `f` in it, running `f` plainly
+/// if pool construction fails.
+#[cfg(feature = "parallel")]
+fn install_sized<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
         Ok(pool) => pool.install(f),
         Err(_) => f(),
     }

@@ -78,6 +78,33 @@ impl ArspResult {
         out
     }
 
+    /// Rskyline probability of one uncertain object (the sum of its
+    /// instances' probabilities). Prefer [`ArspResult::object_probs`] when
+    /// every object is needed — this walks the object's instance list only.
+    pub fn object_prob(&self, dataset: &UncertainDataset, object: usize) -> f64 {
+        assert_eq!(self.probs.len(), dataset.num_instances());
+        dataset
+            .object(object)
+            .instance_ids
+            .iter()
+            .map(|&id| self.probs[id])
+            .sum()
+    }
+
+    /// Iterates over `(object, instance, probability)` triples in instance-id
+    /// order — the ergonomic way for applications to walk a result without
+    /// indexing raw probability slices.
+    pub fn iter_probs<'a>(
+        &'a self,
+        dataset: &'a UncertainDataset,
+    ) -> impl Iterator<Item = (usize, usize, f64)> + 'a {
+        assert_eq!(self.probs.len(), dataset.num_instances());
+        dataset
+            .instances()
+            .iter()
+            .map(move |inst| (inst.object, inst.id, self.probs[inst.id]))
+    }
+
     /// The `k` objects with the highest rskyline probability, in descending
     /// order (ties broken by object id for determinism).
     pub fn top_k_objects(&self, dataset: &UncertainDataset, k: usize) -> Vec<(usize, f64)> {
@@ -146,6 +173,28 @@ mod tests {
         assert_eq!(top[1].0, 0);
         let all = r.top_k_objects(&d, 10);
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn object_prob_and_triple_iterator() {
+        let d = paper_running_example();
+        let mut r = ArspResult::zeros(d.num_instances());
+        r.set(0, 0.5);
+        r.set(2, 0.4);
+        r.set(3, 0.2);
+        // Single-object accessor matches the dense vector.
+        for (obj, &dense) in r.object_probs(&d).iter().enumerate() {
+            assert!((r.object_prob(&d, obj) - dense).abs() < 1e-12);
+        }
+        // The triple iterator walks every instance once, in id order, with
+        // the owning object attached.
+        let triples: Vec<(usize, usize, f64)> = r.iter_probs(&d).collect();
+        assert_eq!(triples.len(), d.num_instances());
+        for (i, &(object, instance, prob)) in triples.iter().enumerate() {
+            assert_eq!(instance, i);
+            assert_eq!(object, d.instance(i).object);
+            assert_eq!(prob, r.instance_prob(i));
+        }
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Work counters threaded through the ARSP algorithms.
+//!
+//! Every algorithm entry point accepts an optional [`CounterStats`] sink.
+//! When one is supplied (the engine does so for queries built with
+//! `collect_stats(true)`), the algorithm reports how much work it performed:
+//! F-dominance / score-space dominance tests, partitioning-tree nodes
+//! visited, and aggregated-R-tree window queries. The counters are purely
+//! observational — supplying a sink never changes a single float operation,
+//! which is what keeps the engine's results bitwise identical to the free
+//! functions'.
+//!
+//! The counters are atomics so the parallel execution paths can report from
+//! worker threads; algorithms accumulate locally and flush in batches (per
+//! instance, per node pass) to keep the hot loops free of per-test atomic
+//! traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe sink for algorithm work counters.
+#[derive(Debug, Default)]
+pub struct CounterStats {
+    fdom_tests: AtomicU64,
+    nodes_visited: AtomicU64,
+    window_queries: AtomicU64,
+}
+
+impl CounterStats {
+    /// Creates a sink with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` F-dominance (or score-space dominance) tests.
+    #[inline]
+    pub fn add_fdom_tests(&self, n: u64) {
+        if n > 0 {
+            self.fdom_tests.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` visited partitioning-tree nodes (kd/quad subtree nodes for
+    /// the KDTT family, R-tree nodes popped from the best-first heap for B&B).
+    #[inline]
+    pub fn add_nodes_visited(&self, n: u64) {
+        if n > 0 {
+            self.nodes_visited.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` aggregated-R-tree window queries (B&B's σ\[j\] sums and
+    /// DUAL's per-object dominating-mass queries).
+    #[inline]
+    pub fn add_window_queries(&self, n: u64) {
+        if n > 0 {
+            self.window_queries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> QueryCounters {
+        QueryCounters {
+            fdom_tests: self.fdom_tests.load(Ordering::Relaxed),
+            nodes_visited: self.nodes_visited.load(Ordering::Relaxed),
+            window_queries: self.window_queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value snapshot of [`CounterStats`], carried by
+/// [`crate::engine::ArspOutcome`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// F-dominance / score-space dominance tests performed.
+    pub fdom_tests: u64,
+    /// Partitioning-tree nodes visited.
+    pub nodes_visited: u64,
+    /// Aggregated-R-tree window queries answered.
+    pub window_queries: u64,
+}
+
+impl QueryCounters {
+    /// Sum of all counters — a single "work units" figure for quick logging.
+    pub fn total(&self) -> u64 {
+        self.fdom_tests + self.nodes_visited + self.window_queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let sink = CounterStats::new();
+        sink.add_fdom_tests(3);
+        sink.add_fdom_tests(0); // no-op fast path
+        sink.add_nodes_visited(2);
+        sink.add_window_queries(5);
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap,
+            QueryCounters {
+                fdom_tests: 3,
+                nodes_visited: 2,
+                window_queries: 5,
+            }
+        );
+        assert_eq!(snap.total(), 10);
+    }
+
+    #[test]
+    fn sink_is_shareable_across_threads() {
+        let sink = std::sync::Arc::new(CounterStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = sink.clone();
+                std::thread::spawn(move || s.add_nodes_visited(100))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.snapshot().nodes_visited, 400);
+    }
+}

@@ -33,6 +33,15 @@ pub use kdtree::KdTree;
 pub use region::{DominanceRegion, FDominatorsOf, WindowTo};
 pub use rtree::{NodeContent, NodeId, RTree};
 
+/// A shareable, immutable handle to a bulk-loaded [`RTree`]. The tree is
+/// read-only after construction, so a session-level cache can hand the same
+/// handle to any number of concurrent queries.
+pub type SharedRTree = std::sync::Arc<RTree>;
+
+/// A shareable handle to a per-object forest of [`AggregateRTree`]s (the
+/// layout the DUAL algorithm queries: one tree per uncertain object).
+pub type SharedAggregateForest = std::sync::Arc<Vec<AggregateRTree>>;
+
 /// A point stored in an index: an instance id, the id of the uncertain object
 /// it belongs to, its weight (existence probability) and its coordinates.
 #[derive(Clone, Debug, PartialEq)]

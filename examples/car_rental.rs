@@ -60,24 +60,32 @@ fn main() {
     let mut constraints = ConstraintSet::new(2);
     constraints.push(LinearConstraint::new(vec![1.0, -1.0], 0.0));
 
-    let result = arsp_kdtt_plus(&dataset, &constraints);
-    let object_probs = result.object_probs(&dataset);
     let aggregated = aggregated_rskyline(&dataset, &constraints);
+    let engine = ArspEngine::new(dataset);
+    // `top_k` covering every category gives the full ranking directly — no
+    // manual slice indexing and sorting.
+    let outcome = engine
+        .query(&constraints)
+        .top_k(engine.dataset().num_objects())
+        .run();
 
     println!("Probabilistic cars ranked by rskyline probability");
     println!("(categories marked with * are in the aggregated rskyline)\n");
-    let mut ranking: Vec<(usize, f64)> = object_probs.iter().copied().enumerate().collect();
-    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    for (object, prob) in &ranking {
-        let marker = if aggregated.contains(object) {
+    for &(object, prob) in outcome.top_objects().unwrap() {
+        let marker = if aggregated.contains(&object) {
             "*"
         } else {
             " "
         };
         println!(
             "  {marker} {:14}  Pr_rsky = {prob:.4}   ({} concrete cars)",
-            dataset.object(*object).label.as_deref().unwrap_or("?"),
-            dataset.object(*object).num_instances(),
+            engine
+                .dataset()
+                .object(object)
+                .label
+                .as_deref()
+                .unwrap_or("?"),
+            engine.dataset().object(object).num_instances(),
         );
     }
 
@@ -89,8 +97,12 @@ probabilities, which is the information the aggregation loses.",
         aggregated.len()
     );
 
-    // Cross-check with the possible-world baseline (the dataset is tiny).
-    let truth = arsp_enum(&dataset, &constraints);
-    assert!(truth.approx_eq(&result, 1e-9));
+    // Cross-check with the possible-world baseline (the dataset is tiny) —
+    // forced through the same engine session.
+    let truth = engine
+        .query(&constraints)
+        .algorithm(QueryAlgorithm::Enum)
+        .run();
+    assert!(truth.result().approx_eq(outcome.result(), 1e-9));
     println!("\n(Verified against exhaustive possible-world enumeration.)");
 }

@@ -15,15 +15,24 @@ use arsp::prelude::*;
 
 fn main() {
     // 150 players, 60 games each, 3 metrics (stand-ins for rebounds, assists,
-    // points; see DESIGN.md for the real-data substitution).
-    let dataset = real::nba_like(150, 60, 3, 2021);
+    // points; see DESIGN.md for the real-data substitution). The engine owns
+    // the season and serves every analysis query below.
+    let engine = ArspEngine::new(real::nba_like(150, 60, 3, 2021));
+    let dataset = engine.dataset();
     let constraints = ConstraintSet::weak_ranking(3, 2);
 
-    let arsp = arsp_kdtt_plus(&dataset, &constraints);
+    let outcome = engine.query(&constraints).collect_stats(true).run();
+    println!(
+        "ARSP via {} in {:?} ({} dominance tests)\n",
+        outcome.algorithm().name(),
+        outcome.total_time(),
+        outcome.counters().map_or(0, |c| c.total())
+    );
+    let arsp = outcome.result();
 
     println!("=== Table I analogue: top-14 players by rskyline probability ===");
     println!("(players marked * are in the aggregated rskyline)\n");
-    let table1 = rskyline_ranking(&dataset, &arsp, &constraints, 14);
+    let table1 = rskyline_ranking(dataset, arsp, &constraints, 14);
     for row in &table1 {
         println!(
             "  {:>2}. {} {:38} Pr_rsky = {:.3}",
@@ -35,7 +44,7 @@ fn main() {
     }
 
     println!("\n=== Table II analogue: top-14 players by skyline probability ===\n");
-    let table2 = skyline_ranking(&dataset, &constraints, 14);
+    let table2 = skyline_ranking(dataset, &constraints, 14);
     for row in &table2 {
         println!(
             "  {:>2}. {:40} Pr_sky = {:.3}",
@@ -47,7 +56,7 @@ fn main() {
 
     // The paper's observations, checked programmatically:
     // 1. rskyline probabilities are never larger than skyline probabilities,
-    let asp = skyline_probabilities(&dataset);
+    let asp = skyline_probabilities(dataset);
     let max_violation = (0..dataset.num_instances())
         .map(|id| arsp.instance_prob(id) - asp.instance_prob(id))
         .fold(f64::MIN, f64::max);
@@ -70,7 +79,7 @@ fn main() {
     );
     for (omega, summary) in vertices
         .iter()
-        .zip(score_summaries(&dataset, star, &vertices))
+        .zip(score_summaries(dataset, star, &vertices))
     {
         println!(
             "  ω = {:?}: min {:.3}  q1 {:.3}  median {:.3}  q3 {:.3}  max {:.3}  (mean {:.3})",

@@ -7,9 +7,11 @@
 //! `F = {ω1·P + ω2·GR | 0.5·ω2 ≤ ω1 ≤ 2·ω2}` — weight ratio constraints,
 //! the case the paper's §IV targets.
 //!
-//! The example compares the general algorithms (KDTT+/B&B) with the
-//! weight-ratio specific DUAL algorithm and the d = 2 DUAL-MS structure whose
-//! preprocessing can be reused across different ratio bands.
+//! The example drives everything through one [`ArspEngine`] session: the
+//! ratio query auto-selects DUAL, the forced general algorithms (KDTT+/B&B)
+//! agree bitwise with their free-function twins, and a whole band sweep runs
+//! as one cached batch. The d = 2 DUAL-MS structure with its reusable
+//! preprocessing is shown for comparison.
 //!
 //! Run with `cargo run --release --example stock_prediction`.
 
@@ -17,7 +19,6 @@ use arsp::core::DualMs2d;
 use arsp::prelude::*;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
 
 fn main() {
     // Build a synthetic prediction feed: 400 stocks, 3–6 scenario predictions
@@ -43,57 +44,93 @@ fn main() {
             .collect();
         dataset.push_labeled_object(Some(format!("STK{stock:04}")), instances);
     }
+    let engine = ArspEngine::new(dataset);
     println!(
         "Prediction feed: {} stocks, {} predicted scenarios",
-        dataset.num_objects(),
-        dataset.num_instances()
+        engine.dataset().num_objects(),
+        engine.dataset().num_instances()
     );
 
     let ratio = WeightRatio::uniform(2, 0.5, 2.0);
     let constraints = ratio.to_constraint_set();
 
-    // General-purpose algorithms.
-    let t = Instant::now();
-    let kdtt = arsp_kdtt_plus(&dataset, &constraints);
-    println!("KDTT+          : {:?}", t.elapsed());
-    let t = Instant::now();
-    let bnb = arsp_bnb(&dataset, &constraints);
-    println!("B&B            : {:?}", t.elapsed());
+    // The ratio query auto-selects DUAL (§IV); general algorithms are forced
+    // through the same session for comparison.
+    let dual = engine.ratio_query(&ratio).run();
+    println!(
+        "{:<15}: {:?} ({})",
+        dual.algorithm().name(),
+        dual.total_time(),
+        dual.selection_reason().unwrap_or("forced")
+    );
+    for algorithm in [QueryAlgorithm::KdttPlus, QueryAlgorithm::BranchAndBound] {
+        let outcome = engine.query(&constraints).algorithm(algorithm).run();
+        println!(
+            "{:<15}: {:?} (build {:?} + run {:?})",
+            outcome.algorithm().name(),
+            outcome.total_time(),
+            outcome.build_time(),
+            outcome.run_time()
+        );
+        assert!(dual.result().approx_eq(outcome.result(), 1e-7));
+    }
 
-    // Weight-ratio specific algorithms.
-    let t = Instant::now();
-    let dual = arsp_dual(&dataset, &ratio);
-    println!("DUAL           : {:?}", t.elapsed());
-    let t = Instant::now();
-    let prep = DualMs2d::preprocess(&dataset);
+    // The d = 2 specialisation: quadratic preprocessing, then very fast
+    // queries for any band.
+    let t = std::time::Instant::now();
+    let prep = DualMs2d::preprocess(engine.dataset());
     let prep_time = t.elapsed();
-    let t = Instant::now();
+    let t = std::time::Instant::now();
     let dual_ms = prep.query(0.5, 2.0);
     println!(
-        "DUAL-MS        : preprocessing {:?} ({} stored entries), query {:?}",
+        "{:<15}: preprocessing {:?} ({} stored entries), query {:?}",
+        "DUAL-MS",
         prep_time,
         prep.stored_entries(),
         t.elapsed()
     );
-
-    assert!(kdtt.approx_eq(&bnb, 1e-8));
-    assert!(kdtt.approx_eq(&dual, 1e-8));
-    assert!(kdtt.approx_eq(&dual_ms, 1e-8));
-    println!("All four algorithms agree.\n");
+    assert!(dual.result().approx_eq(&dual_ms, 1e-8));
+    println!("All algorithms agree.\n");
 
     println!("Top-10 stocks by probability of being an undominated pick:");
-    for (object, prob) in kdtt.top_k_objects(&dataset, 10) {
+    let top = engine.query(&constraints).top_k(10).run();
+    for &(object, prob) in top.top_objects().unwrap() {
         println!(
             "  {}  Pr_rsky = {prob:.4}",
-            dataset.object(object).label.as_deref().unwrap_or("?")
+            engine
+                .dataset()
+                .object(object)
+                .label
+                .as_deref()
+                .unwrap_or("?")
         );
     }
 
-    // The DUAL-MS preprocessing is reusable across preference bands: an
-    // analyst can narrow or widen the band without re-reading the data.
-    println!("\nReusing the DUAL-MS structure for different preference bands:");
-    for (l, h) in [(0.5, 2.0), (0.8, 1.25), (0.2, 5.0)] {
-        let t = Instant::now();
+    // An analyst sweep over preference bands, evaluated as one batch: the
+    // engine shares every cached structure across the sweep and fans out
+    // across queries.
+    let bands = [(0.5, 2.0), (0.8, 1.25), (0.2, 5.0)];
+    let sweep: Vec<ConstraintSet> = bands
+        .iter()
+        .map(|&(l, h)| WeightRatio::uniform(2, l, h).to_constraint_set())
+        .collect();
+    let t = std::time::Instant::now();
+    let outcomes = engine.run_batch(&sweep);
+    let batch_time = t.elapsed();
+    println!("\nBand sweep as one batch ({batch_time:?} total):");
+    for (&(l, h), outcome) in bands.iter().zip(&outcomes) {
+        println!(
+            "  band [{l:.2}, {h:.2}]: |ARSP| = {:4} non-zero stocks  ({} in {:?})",
+            outcome.result_size(),
+            outcome.algorithm().name(),
+            outcome.total_time()
+        );
+    }
+
+    // The DUAL-MS preprocessing is just as reusable across bands.
+    println!("\nReusing the DUAL-MS structure for the same bands:");
+    for &(l, h) in &bands {
+        let t = std::time::Instant::now();
         let result = prep.query(l, h);
         println!(
             "  band [{l:.2}, {h:.2}]: |ARSP| = {:4} non-zero stocks  (query took {:?})",

@@ -14,23 +14,36 @@
 //!
 //! ## Example
 //!
+//! The primary API is the session-oriented [`core::engine::ArspEngine`]: it
+//! owns the dataset, caches every shared index across queries, and picks the
+//! algorithm automatically unless told otherwise.
+//!
 //! ```
 //! use arsp::prelude::*;
 //!
-//! // Generate a small uncertain dataset (50 objects, ≤ 4 instances each).
-//! let dataset = SyntheticConfig::small(50, 4, 3, 7).generate();
+//! // Generate a small uncertain dataset (50 objects, ≤ 4 instances each)
+//! // and wrap it in a query engine.
+//! let engine = ArspEngine::new(SyntheticConfig::small(50, 4, 3, 7).generate());
 //!
 //! // "The first attribute matters at least as much as the second, which
 //! //  matters at least as much as the third."
 //! let constraints = ConstraintSet::weak_ranking(3, 2);
 //!
-//! // Compute the rskyline probability of every instance.
-//! let result = arsp_kdtt_plus(&dataset, &constraints);
-//! assert_eq!(result.len(), dataset.num_instances());
+//! // Compute the rskyline probability of every instance; ask for the top-5
+//! // objects and the work counters while at it.
+//! let outcome = engine
+//!     .query(&constraints)
+//!     .algorithm(QueryAlgorithm::KdttPlus)
+//!     .top_k(5)
+//!     .collect_stats(true)
+//!     .run();
+//! assert_eq!(outcome.result().len(), engine.dataset().num_instances());
+//! assert_eq!(outcome.top_objects().unwrap().len(), 5);
+//! assert!(outcome.counters().unwrap().nodes_visited > 0);
 //!
-//! // Rank objects by their rskyline probability.
-//! let top = result.top_k_objects(&dataset, 5);
-//! assert_eq!(top.len(), 5);
+//! // The per-algorithm free functions remain available and agree bitwise.
+//! let direct = arsp_kdtt_plus(engine.dataset(), &constraints);
+//! assert!(direct.approx_eq(outcome.result(), 0.0));
 //! ```
 
 pub use arsp_core as core;

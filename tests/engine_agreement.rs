@@ -1,0 +1,270 @@
+//! The engine's contract: queries through [`ArspEngine`] produce results
+//! **bitwise identical** to the free functions — with caches cold or warm,
+//! forced or auto-selected, one at a time or batched — and repeated queries
+//! are served entirely from the session's caches.
+
+use arsp::core::engine::CacheStats;
+use arsp::prelude::*;
+
+fn shapes() -> Vec<SyntheticConfig> {
+    vec![
+        // Tiny: Auto resolves to LOOP.
+        SyntheticConfig {
+            num_objects: 12,
+            max_instances: 3,
+            dim: 2,
+            region_length: 0.4,
+            phi: 0.25,
+            seed: 1,
+            ..SyntheticConfig::default()
+        },
+        // Medium, 3-d.
+        SyntheticConfig {
+            num_objects: 80,
+            max_instances: 4,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.1,
+            seed: 2,
+            ..SyntheticConfig::default()
+        },
+        // 4-d with partial objects.
+        SyntheticConfig {
+            num_objects: 60,
+            max_instances: 5,
+            dim: 4,
+            region_length: 0.25,
+            phi: 0.3,
+            seed: 3,
+            ..SyntheticConfig::default()
+        },
+    ]
+}
+
+/// ENUM enumerates possible worlds — beyond toy object counts it is
+/// intractable, exactly as in the paper's figures.
+fn feasible(algorithm: ArspAlgorithm, config: &SyntheticConfig) -> bool {
+    algorithm != ArspAlgorithm::Enum || config.num_objects <= 12
+}
+
+#[test]
+fn engine_is_bitwise_identical_to_free_functions() {
+    for config in shapes() {
+        let dataset = config.generate();
+        let engine = ArspEngine::new(dataset.clone());
+        for c in 1..config.dim {
+            let constraints = ConstraintSet::weak_ranking(config.dim, c);
+            for algorithm in ArspAlgorithm::ALL {
+                if !feasible(algorithm, &config) {
+                    continue;
+                }
+                let free = algorithm.run(&dataset, &constraints);
+                // Twice: once cold (building caches), once warm (pure reuse).
+                for attempt in ["cold", "warm"] {
+                    let outcome = engine.query(&constraints).algorithm(algorithm).run();
+                    assert_eq!(
+                        free.probs(),
+                        outcome.result().probs(),
+                        "{} diverged from the free function ({attempt} cache, seed {}, c {c})",
+                        algorithm.name(),
+                        config.seed,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_dual_is_bitwise_identical_to_free_function() {
+    let dataset = SyntheticConfig {
+        num_objects: 50,
+        max_instances: 4,
+        dim: 3,
+        region_length: 0.3,
+        phi: 0.2,
+        seed: 9,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let engine = ArspEngine::new(dataset.clone());
+    for (l, h) in [(0.5, 2.0), (0.36, 2.75), (1.0, 1.0)] {
+        let ratio = WeightRatio::uniform(3, l, h);
+        let free = arsp_dual(&dataset, &ratio);
+        let outcome = engine.ratio_query(&ratio).run();
+        assert_eq!(outcome.algorithm(), QueryAlgorithm::Dual);
+        assert_eq!(
+            free.probs(),
+            outcome.result().probs(),
+            "DUAL diverged on ratio [{l}, {h}]"
+        );
+    }
+}
+
+#[test]
+fn auto_selection_agrees_with_forced_reference() {
+    // Whatever Auto picks, the probabilities must match LOOP within float
+    // tolerance (different algorithm, same answer).
+    for config in shapes() {
+        let dataset = config.generate();
+        let engine = ArspEngine::new(dataset.clone());
+        let constraints = ConstraintSet::weak_ranking(config.dim, config.dim - 1);
+        let auto = engine.query(&constraints).run();
+        assert!(auto.auto_selected());
+        assert!(auto.selection_reason().is_some());
+        let reference = arsp_loop(&dataset, &constraints);
+        assert!(
+            reference.approx_eq(auto.result(), 1e-8),
+            "Auto ({}) diverged from LOOP by {}",
+            auto.algorithm().name(),
+            reference.max_abs_diff(auto.result())
+        );
+    }
+}
+
+#[test]
+fn batch_is_bitwise_identical_to_one_at_a_time() {
+    let engine = ArspEngine::new(
+        SyntheticConfig {
+            num_objects: 70,
+            max_instances: 4,
+            dim: 4,
+            region_length: 0.3,
+            phi: 0.1,
+            seed: 17,
+            ..SyntheticConfig::default()
+        }
+        .generate(),
+    );
+    let sweep: Vec<ConstraintSet> = (1..4).map(|c| ConstraintSet::weak_ranking(4, c)).collect();
+
+    // Cold engine: batch first …
+    let batch = engine.run_batch(&sweep);
+    assert_eq!(batch.len(), sweep.len());
+    // … then the same queries one at a time on the warm engine, plus against
+    // a completely fresh engine (cold caches).
+    let fresh = ArspEngine::new(engine.dataset().clone());
+    for (constraints, from_batch) in sweep.iter().zip(&batch) {
+        let warm = engine.query(constraints).run();
+        let cold = fresh.query(constraints).run();
+        assert_eq!(from_batch.result().probs(), warm.result().probs());
+        assert_eq!(from_batch.result().probs(), cold.result().probs());
+        assert_eq!(from_batch.algorithm(), warm.algorithm());
+    }
+}
+
+#[test]
+fn repeated_queries_and_batches_never_rebuild() {
+    let engine = ArspEngine::new(
+        SyntheticConfig {
+            num_objects: 40,
+            max_instances: 4,
+            dim: 3,
+            seed: 23,
+            ..SyntheticConfig::default()
+        }
+        .generate(),
+    );
+    let sweep: Vec<ConstraintSet> = (1..3).map(|c| ConstraintSet::weak_ranking(3, c)).collect();
+
+    // Warm every cache the sweep can touch (every algorithm × every set).
+    for constraints in &sweep {
+        for algorithm in [
+            QueryAlgorithm::Loop,
+            QueryAlgorithm::KdttPlus,
+            QueryAlgorithm::BranchAndBound,
+        ] {
+            let _ = engine.query(constraints).algorithm(algorithm).run();
+        }
+    }
+    let warm: CacheStats = engine.cache_stats();
+    assert!(warm.misses > 0, "the warm-up must have built something");
+
+    // Re-running the whole workload — single queries and a batch — must be
+    // pure cache hits: zero further construction.
+    let _ = engine.run_batch(&sweep);
+    for constraints in &sweep {
+        let _ = engine
+            .query(constraints)
+            .algorithm(QueryAlgorithm::BranchAndBound)
+            .run();
+    }
+    let after = engine.cache_stats();
+    assert_eq!(
+        warm.misses, after.misses,
+        "repeat workload rebuilt a cached structure"
+    );
+    assert!(after.hits > warm.hits);
+}
+
+#[test]
+fn parallel_engine_queries_match_sequential() {
+    let engine = ArspEngine::new(
+        SyntheticConfig {
+            num_objects: 150,
+            max_instances: 5,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.15,
+            seed: 31,
+            ..SyntheticConfig::default()
+        }
+        .generate(),
+    );
+    let constraints = ConstraintSet::weak_ranking(3, 2);
+    for algorithm in [
+        QueryAlgorithm::Loop,
+        QueryAlgorithm::KdttPlus,
+        QueryAlgorithm::QdttPlus,
+        QueryAlgorithm::BranchAndBound,
+    ] {
+        let seq = engine.query(&constraints).algorithm(algorithm).run();
+        let par = engine
+            .query(&constraints)
+            .algorithm(algorithm)
+            .execution(Execution::Parallel { threads: 0 })
+            .run();
+        assert_eq!(
+            seq.result().probs(),
+            par.result().probs(),
+            "{} parallel diverged",
+            seq.algorithm().name()
+        );
+    }
+}
+
+#[test]
+fn outcome_views_are_consistent_with_the_result() {
+    let engine = ArspEngine::new(
+        SyntheticConfig {
+            num_objects: 30,
+            max_instances: 4,
+            dim: 3,
+            seed: 5,
+            ..SyntheticConfig::default()
+        }
+        .generate(),
+    );
+    let constraints = ConstraintSet::weak_ranking(3, 1);
+    let outcome = engine
+        .query(&constraints)
+        .top_k(3)
+        .min_prob(1e-12)
+        .collect_stats(true)
+        .run();
+
+    // Counters were collected and the timings add up.
+    let counters = outcome.counters().expect("stats requested");
+    assert!(counters.total() > 0);
+    assert!(outcome.total_time() >= outcome.run_time());
+
+    // Views agree with direct ArspResult accessors.
+    assert_eq!(outcome.iter_probs().count(), outcome.result_size());
+    let top = outcome.top_objects().unwrap();
+    let direct = outcome.result().top_k_objects(engine.dataset(), 3);
+    assert_eq!(top, direct.as_slice());
+    for (object, instance, prob) in outcome.iter_probs() {
+        assert_eq!(object, engine.dataset().instance(instance).object);
+        assert_eq!(prob, outcome.instance_prob(instance));
+    }
+}
