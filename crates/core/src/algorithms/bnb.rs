@@ -23,12 +23,13 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::result::ArspResult;
+use crate::scorespace::ScoreMatrix;
 use crate::stats::CounterStats;
 use arsp_data::UncertainDataset;
 use arsp_geometry::fdom::LinearFDominance;
 use arsp_geometry::point::{dominates, score};
 use arsp_geometry::ConstraintSet;
-use arsp_index::{AggregateRTree, NodeContent, PointEntry, RTree};
+use arsp_index::{AggregateRTree, FlatEntries, NodeContent, RTree};
 
 /// Tolerance for deciding that an object's accumulated probability has
 /// reached one (mirrors the saturation tolerance of kd-ASP\*).
@@ -44,14 +45,14 @@ pub fn arsp_bnb(dataset: &UncertainDataset, constraints: &ConstraintSet) -> Arsp
 /// B&B with a pre-built F-dominance test; `use_pruning_set = false` disables
 /// the Theorem-4 pruning set (used by the ablation benchmark).
 pub fn arsp_bnb_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, None, true, false, None)
+    arsp_bnb_impl(dataset, fdom, None, None, true, false, None, None)
 }
 
 /// B&B without the pruning set `P` — every instance pays its window queries.
 /// Exposed for the ablation study of the design choice called out in
 /// DESIGN.md; not part of the paper's evaluated configurations.
 pub fn arsp_bnb_without_pruning(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, None, false, false, None)
+    arsp_bnb_impl(dataset, fdom, None, None, false, false, None, None)
 }
 
 /// Builds the static R-tree over a dataset's instances that B&B traverses —
@@ -59,32 +60,35 @@ pub fn arsp_bnb_without_pruning(dataset: &UncertainDataset, fdom: &LinearFDomina
 /// dataset (never on the constraints), which is why
 /// [`crate::engine::ArspEngine`] builds it once and shares it across queries.
 pub fn build_instance_rtree(dataset: &UncertainDataset) -> RTree {
-    let entries: Vec<PointEntry> = dataset
-        .instances()
-        .iter()
-        .map(|inst| PointEntry::new(inst.id, inst.object, inst.prob, inst.coords.clone()))
-        .collect();
-    RTree::bulk_load(entries)
+    let mut entries = FlatEntries::with_capacity(dataset.dim(), dataset.num_instances());
+    for inst in dataset.instances() {
+        entries.push(inst.id, inst.object, inst.prob, &inst.coords);
+    }
+    RTree::bulk_load_flat(entries)
 }
 
 /// The full-control B&B entry point used by [`crate::engine::ArspEngine`]:
-/// optional prebuilt instance R-tree (must index the same dataset), execution
-/// mode, optional work-counter sink. Results are bitwise identical across
-/// every option combination.
+/// optional prebuilt instance R-tree (must index the same dataset), optional
+/// precomputed [`ScoreMatrix`] (rows replace the per-instance lazy
+/// score-space mapping — same bits, no per-instance work), execution mode,
+/// optional work-counter sink, optional reusable [`BnbScratch`]. Results are
+/// bitwise identical across every option combination.
 pub fn arsp_bnb_engine(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
     rtree: Option<&RTree>,
+    scores: Option<&ScoreMatrix>,
     parallel: bool,
     stats: Option<&CounterStats>,
+    scratch: Option<&mut BnbScratch>,
 ) -> ArspResult {
     #[cfg(feature = "parallel")]
     if parallel {
         return crate::parallel::with_pool(|| {
-            arsp_bnb_impl(dataset, fdom, rtree, true, true, stats)
+            arsp_bnb_impl(dataset, fdom, rtree, scores, true, true, stats, scratch)
         });
     }
-    arsp_bnb_impl(dataset, fdom, rtree, true, parallel, stats)
+    arsp_bnb_impl(dataset, fdom, rtree, scores, true, parallel, stats, scratch)
 }
 
 /// B&B with each popped instance's per-object window queries fanned out over
@@ -105,7 +109,7 @@ pub fn arsp_bnb_parallel_with_fdom(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
 ) -> ArspResult {
-    arsp_bnb_engine(dataset, fdom, None, true, None)
+    arsp_bnb_engine(dataset, fdom, None, None, true, None, None)
 }
 
 /// Computes `prob · Π_j (1 − σ[j])` over the non-empty aggregated R-trees,
@@ -183,13 +187,59 @@ fn fold_window_products(
 #[cfg(feature = "parallel")]
 const MIN_PARALLEL_OBJECTS: usize = 64;
 
+/// Reusable working memory of one B&B run: the best-first heap's backing
+/// vector, the tie-group staging buffers, the flat score-space images of the
+/// current tie group, the pruning set, the per-object corner/probability
+/// accumulators and the per-object aggregated R-trees. Take one out of the
+/// engine's scratch pool (or `Default::default()` a fresh one) and pass it to
+/// any number of [`arsp_bnb_engine`] calls; buffers grow to the high-water
+/// mark and are then reused.
+#[derive(Debug, Default)]
+pub struct BnbScratch {
+    heap: Vec<HeapItem>,
+    group: Vec<usize>,
+    /// Non-pruned tie-group member ids; member `k`'s score vector is
+    /// `members_sv[k*d' .. (k+1)*d']`.
+    members: Vec<usize>,
+    members_sv: Vec<f64>,
+    computed: Vec<(usize, f64)>,
+    intra: Vec<(usize, f64)>,
+    /// Pruning set `P` as a flat `d'`-strided array.
+    pruning: Vec<f64>,
+    /// Per-object running maximum corner (flat, `d'`-strided) and whether the
+    /// object has produced one yet.
+    max_corner: Vec<f64>,
+    has_corner: Vec<bool>,
+    acc_prob: Vec<f64>,
+    /// Node-corner mapping buffer for the Theorem-4 subtree test.
+    sv_buf: Vec<f64>,
+    /// One aggregated R-tree per object (reset, not reallocated, per query).
+    agg: Vec<AggregateRTree>,
+}
+
+impl BnbScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Membership test against the flat pruning set (Theorem 4).
+#[inline]
+fn is_pruned(pruning: &[f64], d_prime: usize, sv: &[f64]) -> bool {
+    pruning.chunks_exact(d_prime).any(|p| dominates(p, sv))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn arsp_bnb_impl(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
     prebuilt: Option<&RTree>,
+    scores: Option<&ScoreMatrix>,
     use_pruning_set: bool,
     parallel: bool,
     stats: Option<&CounterStats>,
+    scratch: Option<&mut BnbScratch>,
 ) -> ArspResult {
     let n = dataset.num_instances();
     let m = dataset.num_objects();
@@ -199,34 +249,76 @@ fn arsp_bnb_impl(
     }
     let d_prime = fdom.num_vertices();
     let omega = &fdom.vertices()[0];
+    debug_assert!(
+        scores.map_or(true, |s| s.num_rows() == n && s.score_dim() == d_prime),
+        "score matrix covers a different dataset or constraint set"
+    );
 
     // R-tree over the original-space instances (the index the paper assumes
     // is maintained on I) — built here unless the caller shares a cached one.
-    let owned;
+    let owned_tree;
     let rtree = match prebuilt {
         Some(tree) => {
             debug_assert_eq!(tree.len(), n, "prebuilt R-tree indexes a different dataset");
             tree
         }
         None => {
-            owned = build_instance_rtree(dataset);
-            &owned
+            owned_tree = build_instance_rtree(dataset);
+            &owned_tree
         }
     };
     let mut nodes_popped = 0u64;
     let mut window_queries = 0u64;
 
+    let mut owned_scratch;
+    let s = match scratch {
+        Some(s) => s,
+        None => {
+            owned_scratch = BnbScratch::default();
+            &mut owned_scratch
+        }
+    };
+    let BnbScratch {
+        heap: heap_store,
+        group,
+        members,
+        members_sv,
+        computed,
+        intra,
+        pruning,
+        max_corner,
+        has_corner,
+        acc_prob,
+        sv_buf,
+        agg,
+    } = &mut *s;
+
     // One aggregated R-tree per object, holding the score-space images of the
     // instances processed so far that have non-zero rskyline probability.
-    let mut agg: Vec<AggregateRTree> = (0..m).map(|_| AggregateRTree::new(d_prime)).collect();
+    // Reset (not reallocated) when the scratch is reused.
+    agg.truncate(m);
+    for tree in agg.iter_mut() {
+        tree.reset(d_prime);
+    }
+    while agg.len() < m {
+        agg.push(AggregateRTree::new(d_prime));
+    }
 
-    // Pruning set P (score-space points) and the per-object running maximum
-    // corner / accumulated probability feeding it.
-    let mut pruning: Vec<Vec<f64>> = Vec::new();
-    let mut max_corner: Vec<Option<Vec<f64>>> = vec![None; m];
-    let mut acc_prob: Vec<f64> = vec![0.0; m];
+    // Pruning set P (score-space points, flat) and the per-object running
+    // maximum corner / accumulated probability feeding it.
+    pruning.clear();
+    max_corner.clear();
+    max_corner.resize(m * d_prime, 0.0);
+    has_corner.clear();
+    has_corner.resize(m, false);
+    acc_prob.clear();
+    acc_prob.resize(m, 0.0);
+    sv_buf.clear();
+    sv_buf.resize(d_prime, 0.0);
 
-    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+    let mut heap_vec = std::mem::take(heap_store);
+    heap_vec.clear();
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::from(heap_vec);
     if let Some(root) = rtree.root() {
         let key = score(rtree.node(root).mbr().min().coords(), omega);
         heap.push(HeapItem {
@@ -234,9 +326,6 @@ fn arsp_bnb_impl(
             kind: ItemKind::Node(root),
         });
     }
-
-    let is_pruned =
-        |pruning: &[Vec<f64>], sv: &[f64]| -> bool { pruning.iter().any(|p| dominates(p, sv)) };
 
     while let Some(item) = heap.pop() {
         match item.kind {
@@ -248,7 +337,10 @@ fn arsp_bnb_impl(
                     omega,
                     fdom,
                     use_pruning_set,
-                    &pruning,
+                    pruning,
+                    d_prime,
+                    scores,
+                    sv_buf,
                     &mut heap,
                 );
             }
@@ -262,7 +354,8 @@ fn arsp_bnb_impl(
                 // Nodes tied at the same key may still hide group members,
                 // so they are expanded during the gather.
                 let key = item.key;
-                let mut group = vec![instance_id];
+                group.clear();
+                group.push(instance_id);
                 while heap.peek().is_some_and(|top| top.key <= key) {
                     let tied = heap.pop().expect("peeked non-empty");
                     match tied.kind {
@@ -274,7 +367,10 @@ fn arsp_bnb_impl(
                                 omega,
                                 fdom,
                                 use_pruning_set,
-                                &pruning,
+                                pruning,
+                                d_prime,
+                                scores,
+                                sv_buf,
                                 &mut heap,
                             );
                         }
@@ -284,25 +380,41 @@ fn arsp_bnb_impl(
                 // Deterministic member order regardless of heap internals.
                 group.sort_unstable();
 
-                // Score-space images of the non-pruned members.
-                let mut members: Vec<(usize, Vec<f64>)> = Vec::with_capacity(group.len());
-                for &id in &group {
-                    let sv = fdom.map_to_score_space(&dataset.instance(id).coords);
-                    if use_pruning_set && is_pruned(&pruning, &sv) {
+                // Score-space images of the non-pruned members, staged into
+                // the flat member buffer: precomputed rows are copied,
+                // otherwise the mapping is computed in place — either way no
+                // per-instance allocation.
+                members.clear();
+                members_sv.clear();
+                for &id in group.iter() {
+                    let slot = members_sv.len();
+                    members_sv.resize(slot + d_prime, 0.0);
+                    match scores {
+                        Some(matrix) => {
+                            members_sv[slot..slot + d_prime].copy_from_slice(matrix.row(id))
+                        }
+                        None => fdom.map_to_score_space_into(
+                            &dataset.instance(id).coords,
+                            &mut members_sv[slot..slot + d_prime],
+                        ),
+                    }
+                    if use_pruning_set && is_pruned(pruning, d_prime, &members_sv[slot..]) {
                         // Zero rskyline probability: never inserted into the
                         // aggregated R-trees, never contributes to P.
+                        members_sv.truncate(slot);
                         continue;
                     }
-                    members.push((id, sv));
+                    members.push(id);
                 }
 
                 // Probabilities first (against the pre-group trees), index
                 // updates afterwards.
-                let mut computed: Vec<(usize, f64)> = Vec::with_capacity(members.len());
-                for (t_pos, (t_id, sv_t)) in members.iter().enumerate() {
-                    let t = dataset.instance(*t_id);
+                computed.clear();
+                for (t_pos, &t_id) in members.iter().enumerate() {
+                    let t = dataset.instance(t_id);
+                    let sv_t = &members_sv[t_pos * d_prime..(t_pos + 1) * d_prime];
                     let mut prob = fold_window_products(
-                        &agg,
+                        agg,
                         t.object,
                         sv_t,
                         t.prob,
@@ -313,20 +425,21 @@ fn arsp_bnb_impl(
                         // Per-object intra-group mass dominating t, folded on
                         // top of the outside mass the trees reported: the
                         // factor (1 − out) becomes (1 − out − in).
-                        let mut intra: Vec<(usize, f64)> = Vec::new();
-                        for (s_pos, (s_id, sv_s)) in members.iter().enumerate() {
-                            let s = dataset.instance(*s_id);
-                            if s_pos == t_pos || s.object == t.object {
+                        intra.clear();
+                        for (s_pos, &s_id) in members.iter().enumerate() {
+                            let s_inst = dataset.instance(s_id);
+                            if s_pos == t_pos || s_inst.object == t.object {
                                 continue;
                             }
+                            let sv_s = &members_sv[s_pos * d_prime..(s_pos + 1) * d_prime];
                             if dominates(sv_s, sv_t) {
-                                match intra.iter_mut().find(|(obj, _)| *obj == s.object) {
-                                    Some((_, mass)) => *mass += s.prob,
-                                    None => intra.push((s.object, s.prob)),
+                                match intra.iter_mut().find(|(obj, _)| *obj == s_inst.object) {
+                                    Some((_, mass)) => *mass += s_inst.prob,
+                                    None => intra.push((s_inst.object, s_inst.prob)),
                                 }
                             }
                         }
-                        for (obj, mass) in intra {
+                        for &(obj, mass) in intra.iter() {
                             window_queries += 1;
                             let outside = agg[obj].window_sum(sv_t);
                             let denom = 1.0 - outside;
@@ -341,78 +454,99 @@ fn arsp_bnb_impl(
                             }
                         }
                     }
-                    computed.push((*t_id, prob.max(0.0)));
+                    computed.push((t_id, prob.max(0.0)));
                 }
 
-                for ((t_id, prob), (_, sv)) in computed.into_iter().zip(&members) {
+                for (t_pos, &(t_id, prob)) in computed.iter().enumerate() {
                     if prob > 0.0 {
+                        let sv = &members_sv[t_pos * d_prime..(t_pos + 1) * d_prime];
                         let object = dataset.instance(t_id).object;
                         let p = dataset.instance(t_id).prob;
                         result.set(t_id, prob);
                         agg[object].insert(sv, p);
                         acc_prob[object] += p;
-                        match &mut max_corner[object] {
-                            Some(corner) => {
-                                for (c, &s) in corner.iter_mut().zip(sv) {
-                                    if s > *c {
-                                        *c = s;
-                                    }
+                        let corner = &mut max_corner[object * d_prime..(object + 1) * d_prime];
+                        if has_corner[object] {
+                            for (c, &sv_k) in corner.iter_mut().zip(sv) {
+                                if sv_k > *c {
+                                    *c = sv_k;
                                 }
                             }
-                            None => max_corner[object] = Some(sv.clone()),
+                        } else {
+                            corner.copy_from_slice(sv);
+                            has_corner[object] = true;
                         }
-                        if use_pruning_set && acc_prob[object] >= 1.0 - ONE_EPS {
-                            if let Some(corner) = &max_corner[object] {
-                                pruning.push(corner.clone());
-                            }
+                        if use_pruning_set
+                            && acc_prob[object] >= 1.0 - ONE_EPS
+                            && has_corner[object]
+                        {
+                            pruning.extend_from_slice(
+                                &max_corner[object * d_prime..(object + 1) * d_prime],
+                            );
                         }
                     }
                 }
             }
         }
     }
-    if let Some(s) = stats {
-        s.add_nodes_visited(nodes_popped);
-        s.add_window_queries(window_queries);
+    // Hand the heap's allocation back to the scratch for the next query.
+    let mut heap_vec = heap.into_vec();
+    heap_vec.clear();
+    *heap_store = heap_vec;
+
+    if let Some(st) = stats {
+        st.add_nodes_visited(nodes_popped);
+        st.add_window_queries(window_queries);
     }
     result
 }
 
 /// Pushes a node's children (or leaf instances) onto the best-first heap,
-/// unless the Theorem-4 pruning set already covers the node.
+/// unless the Theorem-4 pruning set already covers the node. `sv_buf` is the
+/// reusable buffer for the node-corner mapping; leaf keys are read from the
+/// precomputed score matrix when one is available (bitwise the same value as
+/// recomputing the dot product).
+#[allow(clippy::too_many_arguments)]
 fn expand_node(
     rtree: &RTree,
     node_id: arsp_index::NodeId,
     omega: &[f64],
     fdom: &LinearFDominance,
     use_pruning_set: bool,
-    pruning: &[Vec<f64>],
+    pruning: &[f64],
+    d_prime: usize,
+    scores: Option<&ScoreMatrix>,
+    sv_buf: &mut [f64],
     heap: &mut BinaryHeap<HeapItem>,
 ) {
     let node = rtree.node(node_id);
-    if use_pruning_set {
-        let sv_min = fdom.map_to_score_space(node.mbr().min().coords());
-        if pruning.iter().any(|p| dominates(p, &sv_min)) {
+    if use_pruning_set && !pruning.is_empty() {
+        fdom.map_to_score_space_into(node.mbr().min().coords(), sv_buf);
+        if is_pruned(pruning, d_prime, sv_buf) {
             return;
         }
     }
-    match node.content() {
-        NodeContent::Internal(children) => {
-            for &child in children {
-                let key = score(rtree.node(child).mbr().min().coords(), omega);
+    match *node.content() {
+        NodeContent::Internal { start, len } => {
+            for &child in rtree.items(start, len) {
+                let key = score(rtree.node(child as usize).mbr().min().coords(), omega);
                 heap.push(HeapItem {
                     key,
-                    kind: ItemKind::Node(child),
+                    kind: ItemKind::Node(child as usize),
                 });
             }
         }
-        NodeContent::Leaf(entry_idx) => {
-            for &ei in entry_idx {
-                let entry = &rtree.entries()[ei];
-                let key = score(&entry.coords, omega);
+        NodeContent::Leaf { start, len } => {
+            let entries = rtree.entries();
+            for &ei in rtree.items(start, len) {
+                let id = entries.id(ei as usize);
+                let key = match scores {
+                    Some(matrix) => matrix.row(id)[0],
+                    None => score(entries.coords_of(ei as usize), omega),
+                };
                 heap.push(HeapItem {
                     key,
-                    kind: ItemKind::Instance(entry.id),
+                    kind: ItemKind::Instance(id),
                 });
             }
         }
@@ -420,11 +554,13 @@ fn expand_node(
 }
 
 /// Min-heap item ordered by ascending score key.
+#[derive(Debug)]
 struct HeapItem {
     key: f64,
     kind: ItemKind,
 }
 
+#[derive(Debug)]
 enum ItemKind {
     Node(arsp_index::NodeId),
     Instance(usize),
@@ -609,6 +745,87 @@ mod tests {
             reference.approx_eq(&got, 1e-8),
             "{}",
             reference.max_abs_diff(&got)
+        );
+    }
+
+    #[test]
+    fn precomputed_scores_and_scratch_reuse_are_bitwise_identical() {
+        let d = SyntheticConfig {
+            num_objects: 60,
+            max_instances: 5,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.15,
+            seed: 13,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let fdom = LinearFDominance::from_constraints(&constraints);
+        let reference = arsp_bnb_with_fdom(&d, &fdom);
+
+        let flat = arsp_data::FlatStore::from_dataset(&d);
+        let scores = ScoreMatrix::compute(&flat, &fdom);
+        let rtree = build_instance_rtree(&d);
+        // One scratch reused across runs — including a run against a second
+        // constraint set in between, so stale state would be caught.
+        let mut scratch = BnbScratch::new();
+        for _ in 0..2 {
+            let got = arsp_bnb_engine(
+                &d,
+                &fdom,
+                Some(&rtree),
+                Some(&scores),
+                false,
+                None,
+                Some(&mut scratch),
+            );
+            assert_eq!(reference.probs(), got.probs());
+
+            let other = ConstraintSet::weak_ranking(3, 1);
+            let other_fdom = LinearFDominance::from_constraints(&other);
+            let other_scores = ScoreMatrix::compute(&flat, &other_fdom);
+            let other_ref = arsp_bnb_with_fdom(&d, &other_fdom);
+            let other_got = arsp_bnb_engine(
+                &d,
+                &other_fdom,
+                Some(&rtree),
+                Some(&other_scores),
+                false,
+                None,
+                Some(&mut scratch),
+            );
+            assert_eq!(other_ref.probs(), other_got.probs());
+        }
+
+        // Work counters are identical with and without the precomputed rows.
+        let stats_lazy = CounterStats::new();
+        let _ = arsp_bnb_engine(
+            &d,
+            &fdom,
+            Some(&rtree),
+            None,
+            false,
+            Some(&stats_lazy),
+            None,
+        );
+        let stats_flat = CounterStats::new();
+        let _ = arsp_bnb_engine(
+            &d,
+            &fdom,
+            Some(&rtree),
+            Some(&scores),
+            false,
+            Some(&stats_flat),
+            Some(&mut scratch),
+        );
+        assert_eq!(
+            stats_lazy.snapshot().window_queries,
+            stats_flat.snapshot().window_queries
+        );
+        assert_eq!(
+            stats_lazy.snapshot().nodes_visited,
+            stats_flat.snapshot().nodes_visited
         );
     }
 

@@ -35,11 +35,12 @@
 //! entirely outside the node and dominates everything in it, so the pruning
 //! is exact.
 
-use crate::scorespace::ScorePoint;
+use crate::scorespace::{FlatScorePoints, ScorePoint};
 use crate::stats::CounterStats;
+use arsp_geometry::mbr::{extend_bounds, reset_bounds};
 use arsp_geometry::point::dominates;
 use arsp_index::kdtree::KdNodeContent;
-use arsp_index::{KdTree, PointEntry};
+use arsp_index::{FlatEntries, KdTree, PointEntry};
 
 /// The three traversal strategies of Algorithm 1, as a value — the engine
 /// selects among them at query time.
@@ -781,13 +782,17 @@ pub fn kd_asp_prebuilt_stats(
 
 /// Collects the positions (entry ids) of every point under a kd-tree node.
 fn collect_positions(tree: &KdTree, node: usize, out: &mut Vec<u32>) {
-    match tree.node(node).content() {
-        KdNodeContent::Leaf(entry_idx) => {
-            out.extend(entry_idx.iter().map(|&ei| tree.entries()[ei].id as u32));
+    match *tree.node(node).content() {
+        KdNodeContent::Leaf { start, len } => {
+            out.extend(
+                tree.leaf_items(start, len)
+                    .iter()
+                    .map(|&ei| tree.entries().id(ei as usize) as u32),
+            );
         }
         KdNodeContent::Internal { left, right, .. } => {
-            collect_positions(tree, *left, out);
-            collect_positions(tree, *right, out);
+            collect_positions(tree, left, out);
+            collect_positions(tree, right, out);
         }
     }
 }
@@ -823,8 +828,8 @@ fn prebuilt_rec(
         s.add_fdom_tests(tests);
     }
 
-    match n.content() {
-        KdNodeContent::Leaf(_) => {
+    match *n.content() {
+        KdNodeContent::Leaf { .. } => {
             if members.len() == 1 {
                 let sp = &points[members[0] as usize];
                 out[sp.id] = state.leaf_probability(sp.object, sp.prob);
@@ -842,7 +847,7 @@ fn prebuilt_rec(
                 prebuilt_rec(
                     points,
                     tree,
-                    *left,
+                    left,
                     &pass.next_candidates,
                     state,
                     out,
@@ -852,7 +857,7 @@ fn prebuilt_rec(
                 prebuilt_rec(
                     points,
                     tree,
-                    *right,
+                    right,
                     &pass.next_candidates,
                     state,
                     out,
@@ -865,6 +870,510 @@ fn prebuilt_rec(
     }
 
     undo(state, &pass);
+}
+
+// ---------------------------------------------------------------------------
+// Flat columnar traversal
+// ---------------------------------------------------------------------------
+//
+// The functions below are the columnar twins of the recursion above: they run
+// over a [`FlatScorePoints`] view (one dim-strided coordinate array plus
+// parallel object/probability columns) and keep *all* per-node working memory
+// in a reusable [`KdScratch`] arena — candidate lists and σ-undo records live
+// on shared stacks truncated on node exit, node corners live in a
+// depth-indexed bounds arena, and quadrant grouping uses a counting scatter
+// instead of a `BTreeMap`. After the first query warms the arena up, the
+// traversal performs no heap allocation.
+//
+// Every decision (dominance tests, split comparator, quadrant masks and visit
+// order, coincident-node arithmetic, σ/β/χ updates and their exact undo) is
+// executed in the same order with the same values as the `ScorePoint`-based
+// recursion, so the output is bitwise identical — enforced by the tests at
+// the bottom of this file and by the `engine_agreement` suite.
+
+/// Reusable working memory of the flat kd-ASP\* traversal. Create once (or
+/// take one out of the engine's scratch pool), pass to any number of
+/// [`kd_asp_flat_engine`] calls; buffers grow to the high-water mark and are
+/// then reused.
+#[derive(Debug, Default)]
+pub struct KdScratch {
+    /// Point permutation the recursion splits in place.
+    order: Vec<u32>,
+    /// Shared candidate-list stack: each node's surviving candidates are
+    /// appended on entry and truncated on exit.
+    cand: Vec<u32>,
+    /// Shared σ-undo stack: `(object, σ before this node's addition)`.
+    saved: Vec<(u32, f64)>,
+    /// Depth-indexed node corners: `2·dim` slots per recursion level
+    /// (`pmin` then `pmax`).
+    bounds: Vec<f64>,
+    /// Per-object dominating mass σ.
+    sigma: Vec<f64>,
+    /// "Point is inside the current node" marks.
+    in_node: Vec<bool>,
+    /// Quadrant-split centre (consumed before recursing).
+    center: Vec<f64>,
+    /// Quadrant `(mask, position)` sort pairs (consumed before recursing).
+    qkeys: Vec<(u64, u32)>,
+    /// Quadrant permutation staging buffer (consumed before recursing).
+    qbuf: Vec<u32>,
+    /// Stack arena of quadrant-group end offsets (survives recursion).
+    qbounds: Vec<u32>,
+    /// Prebuilt-traversal member list (consumed before recursing).
+    members: Vec<u32>,
+    /// Coincident-node per-object mass accumulator.
+    node_mass: Vec<(u32, f64)>,
+}
+
+impl KdScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the arena for a traversal over `n` points and
+    /// `num_objects` objects.
+    fn prepare(&mut self, num_objects: usize, n: usize) {
+        self.sigma.clear();
+        self.sigma.resize(num_objects, 0.0);
+        self.in_node.clear();
+        self.in_node.resize(n, false);
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        self.cand.clear();
+        self.cand.extend(0..n as u32);
+        self.saved.clear();
+        self.qbounds.clear();
+    }
+}
+
+/// β/χ of Algorithm 1 — the two scalars of the traversal state that live on
+/// the call stack (σ and the marks live in [`KdScratch`]).
+struct FlatBc {
+    beta: f64,
+    chi: usize,
+}
+
+/// [`SkyState::add`] over the scratch-resident σ.
+#[inline]
+fn flat_sky_add(sigma: &mut [f64], bc: &mut FlatBc, obj: usize, p: f64) {
+    let old = sigma[obj];
+    let new = old + p;
+    sigma[obj] = new;
+    if is_one(new) && !is_one(old) {
+        bc.chi += 1;
+        bc.beta /= 1.0 - old;
+    } else if !is_one(new) {
+        bc.beta *= (1.0 - new) / (1.0 - old);
+    }
+}
+
+/// [`SkyState::leaf_probability`] over the scratch-resident σ.
+#[inline]
+fn flat_leaf_probability(sigma: &[f64], bc: &FlatBc, object: usize, prob: f64) -> f64 {
+    if bc.chi == 0 {
+        bc.beta * prob / (1.0 - sigma[object])
+    } else if bc.chi == 1 && is_one(sigma[object]) {
+        bc.beta * prob
+    } else {
+        0.0
+    }
+}
+
+/// [`emit_coincident_node`] over the flat layout (same accumulation order,
+/// same arithmetic).
+fn emit_coincident_flat(
+    pts: &FlatScorePoints<'_>,
+    order: &[u32],
+    sigma: &[f64],
+    bc: &FlatBc,
+    node_mass: &mut Vec<(u32, f64)>,
+    out: &mut [f64],
+) {
+    node_mass.clear();
+    for &idx in order {
+        let obj = pts.objects[idx as usize];
+        let p = pts.probs[idx as usize];
+        match node_mass.iter_mut().find(|(o, _)| *o == obj) {
+            Some((_, mass)) => *mass += p,
+            None => node_mass.push((obj, p)),
+        }
+    }
+    for &idx in order {
+        let iu = idx as usize;
+        let object = pts.objects[iu] as usize;
+        let mut prob = flat_leaf_probability(sigma, bc, object, pts.probs[iu]);
+        if prob > 0.0 {
+            for &(obj, mass) in node_mass.iter() {
+                if obj as usize == object {
+                    continue;
+                }
+                let outside = sigma[obj as usize];
+                let denom = 1.0 - outside;
+                if denom <= 0.0 {
+                    prob = 0.0;
+                    break;
+                }
+                prob *= ((1.0 - outside - mass) / denom).max(0.0);
+            }
+        }
+        out[iu] = prob.max(0.0);
+    }
+}
+
+/// The candidate pass of lines 9–18 over the shared stacks: reads the
+/// parent's candidate range `[c0, c1)` of `scratch.cand`, appends this node's
+/// surviving candidates at the top of the stack, and records σ mutations on
+/// the shared undo stack. Returns the number of F-dominance tests performed.
+/// `bstart` locates this node's `pmin`/`pmax` inside the bounds arena.
+fn flat_candidate_pass(
+    pts: &FlatScorePoints<'_>,
+    s: &mut KdScratch,
+    bc: &mut FlatBc,
+    c0: usize,
+    c1: usize,
+    bstart: usize,
+) -> u64 {
+    let dim = pts.dim;
+    let mut tests = 0u64;
+    for i in c0..c1 {
+        let c = s.cand[i];
+        let cu = c as usize;
+        let row = pts.coords_of(cu);
+        let outside_and_below = !s.in_node[cu] && {
+            tests += 1;
+            dominates(row, &s.bounds[bstart..bstart + dim])
+        };
+        if outside_and_below {
+            let obj = pts.objects[cu] as usize;
+            s.saved.push((obj as u32, s.sigma[obj]));
+            flat_sky_add(&mut s.sigma, bc, obj, pts.probs[cu]);
+        } else {
+            tests += 1;
+            if dominates(row, &s.bounds[bstart + dim..bstart + 2 * dim]) {
+                s.cand.push(c);
+            }
+        }
+    }
+    tests
+}
+
+/// Writes the node's corners into the depth slot of the bounds arena
+/// (the flat [`corners`] — same min/max comparisons, so the same values).
+fn flat_corners(pts: &FlatScorePoints<'_>, s: &mut KdScratch, order: &[u32], bstart: usize) {
+    let dim = pts.dim;
+    if s.bounds.len() < bstart + 2 * dim {
+        s.bounds.resize(bstart + 2 * dim, 0.0);
+    }
+    let (pmin, pmax) = s.bounds[bstart..bstart + 2 * dim].split_at_mut(dim);
+    reset_bounds(pmin, pmax);
+    for &idx in order {
+        extend_bounds(pmin, pmax, pts.coords_of(idx as usize));
+    }
+}
+
+/// Median kd split of `order` on the depth axis (shared by the Kd arm and
+/// the quadrant mask-collision fallback).
+fn flat_kd_partition(pts: &FlatScorePoints<'_>, order: &mut [u32], depth: usize) -> usize {
+    let dim = pts.dim;
+    let axis = depth % dim;
+    let mid = order.len() / 2;
+    let coords = pts.coords;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        coords[a as usize * dim + axis]
+            .partial_cmp(&coords[b as usize * dim + axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    mid
+}
+
+/// The flat twin of [`fused_rec`]. `c0..c1` is this node's candidate range in
+/// the shared stack.
+#[allow(clippy::too_many_arguments)]
+fn fused_rec_flat(
+    pts: &FlatScorePoints<'_>,
+    s: &mut KdScratch,
+    bc: &mut FlatBc,
+    order: &mut [u32],
+    c0: usize,
+    c1: usize,
+    depth: usize,
+    split: SplitKind,
+    out: &mut [f64],
+    stats: Option<&CounterStats>,
+) {
+    let dim = pts.dim;
+    let bstart = depth * 2 * dim;
+    flat_corners(pts, s, order, bstart);
+
+    for &idx in order.iter() {
+        s.in_node[idx as usize] = true;
+    }
+    let saved_start = s.saved.len();
+    let beta_before = bc.beta;
+    let chi_before = bc.chi;
+    let cstart = s.cand.len();
+    let tests = flat_candidate_pass(pts, s, bc, c0, c1, bstart);
+    for &idx in order.iter() {
+        s.in_node[idx as usize] = false;
+    }
+    if let Some(st) = stats {
+        st.add_nodes_visited(1);
+        st.add_fdom_tests(tests);
+    }
+    let cend = s.cand.len();
+
+    if order.len() == 1 {
+        let iu = order[0] as usize;
+        out[iu] = flat_leaf_probability(&s.sigma, bc, pts.objects[iu] as usize, pts.probs[iu]);
+    } else if s.bounds[bstart..bstart + dim] == s.bounds[bstart + dim..bstart + 2 * dim] {
+        // All points of the node coincide; it cannot be split further.
+        let (sigma, node_mass) = (&s.sigma, &mut s.node_mass);
+        emit_coincident_flat(pts, order, sigma, bc, node_mass, out);
+    } else if bc.chi == 0 {
+        let kd_fallback = match split {
+            SplitKind::Kd => true,
+            SplitKind::Quad => {
+                // Quadrant grouping: ascending mask order with the original
+                // order preserved inside each group — exactly the BTreeMap
+                // grouping of the `ScorePoint` path, via one O(n log n) sort
+                // of (mask, position) pairs (sorting by the position as the
+                // tie-breaker makes the unstable sort behave stably).
+                s.center.clear();
+                s.center.extend(
+                    (0..dim).map(|k| 0.5 * (s.bounds[bstart + k] + s.bounds[bstart + dim + k])),
+                );
+                s.qkeys.clear();
+                let mut all_same = true;
+                for (pos, &idx) in order.iter().enumerate() {
+                    let row = pts.coords_of(idx as usize);
+                    let mut mask: u64 = 0;
+                    for (k, &c) in row.iter().enumerate() {
+                        if k < 64 && c > s.center[k] {
+                            mask |= 1 << k;
+                        }
+                    }
+                    all_same &= mask == s.qkeys.first().map_or(mask, |&(m, _)| m);
+                    s.qkeys.push((mask, pos as u32));
+                }
+                if all_same {
+                    // Mask collision (dimensions ≥ 64): kd fallback, exactly
+                    // as in the `ScorePoint` traversal.
+                    true
+                } else {
+                    s.qkeys.sort_unstable();
+                    // Permute `order` into grouped form via a staging copy.
+                    s.qbuf.clear();
+                    s.qbuf.extend_from_slice(order);
+                    for (slot, &(_, pos)) in s.qkeys.iter().enumerate() {
+                        order[slot] = s.qbuf[pos as usize];
+                    }
+                    // Group end offsets survive the child recursions on the
+                    // qbounds stack arena.
+                    let qb0 = s.qbounds.len();
+                    for (slot, &(mask, _)) in s.qkeys.iter().enumerate() {
+                        if s.qkeys
+                            .get(slot + 1)
+                            .map_or(true, |&(next, _)| next != mask)
+                        {
+                            s.qbounds.push(slot as u32 + 1);
+                        }
+                    }
+                    let groups = s.qbounds.len() - qb0;
+                    let mut gstart = 0usize;
+                    for g in 0..groups {
+                        let gend = s.qbounds[qb0 + g] as usize;
+                        fused_rec_flat(
+                            pts,
+                            s,
+                            bc,
+                            &mut order[gstart..gend],
+                            cstart,
+                            cend,
+                            depth + 1,
+                            split,
+                            out,
+                            stats,
+                        );
+                        gstart = gend;
+                    }
+                    s.qbounds.truncate(qb0);
+                    false
+                }
+            }
+        };
+        if kd_fallback {
+            let mid = flat_kd_partition(pts, order, depth);
+            let (left, right) = order.split_at_mut(mid);
+            fused_rec_flat(pts, s, bc, left, cstart, cend, depth + 1, split, out, stats);
+            fused_rec_flat(
+                pts,
+                s,
+                bc,
+                right,
+                cstart,
+                cend,
+                depth + 1,
+                split,
+                out,
+                stats,
+            );
+        }
+    }
+    // χ ≥ 1 with |P| > 1: the subtree is pruned, exactly as in the
+    // `ScorePoint` traversal.
+
+    // Exact undo: σ entries newest-first, β/χ from the snapshot, candidate
+    // stack truncated to this node's base.
+    while s.saved.len() > saved_start {
+        let (obj, old) = s.saved.pop().expect("saved_start bounds the stack");
+        s.sigma[obj as usize] = old;
+    }
+    bc.beta = beta_before;
+    bc.chi = chi_before;
+    s.cand.truncate(cstart);
+}
+
+/// The flat twin of [`prebuilt_rec`]: same prebuilt kd-tree, same traversal,
+/// shared-stack working memory.
+#[allow(clippy::too_many_arguments)]
+fn prebuilt_rec_flat(
+    pts: &FlatScorePoints<'_>,
+    tree: &KdTree,
+    node: usize,
+    s: &mut KdScratch,
+    bc: &mut FlatBc,
+    c0: usize,
+    c1: usize,
+    out: &mut [f64],
+    stats: Option<&CounterStats>,
+) {
+    let dim = pts.dim;
+    let n = tree.node(node);
+    // The node corners come from the prebuilt tree; stage them in the shared
+    // bounds arena slot 0 is unusable (depth unknown), so copy into a scratch
+    // range addressed by the recursion depth implied by the candidate stack —
+    // simplest exact equivalent: reuse the bounds arena indexed by the
+    // current candidate-stack height, which is strictly increasing along a
+    // root-to-node path.
+    let bstart = s.bounds.len();
+    s.bounds.extend_from_slice(n.mbr().min().coords());
+    s.bounds.extend_from_slice(n.mbr().max().coords());
+
+    s.members.clear();
+    collect_positions(tree, node, &mut s.members);
+    for i in 0..s.members.len() {
+        let idx = s.members[i];
+        s.in_node[idx as usize] = true;
+    }
+    let saved_start = s.saved.len();
+    let beta_before = bc.beta;
+    let chi_before = bc.chi;
+    let cstart = s.cand.len();
+    let tests = flat_candidate_pass(pts, s, bc, c0, c1, bstart);
+    for i in 0..s.members.len() {
+        let idx = s.members[i];
+        s.in_node[idx as usize] = false;
+    }
+    if let Some(st) = stats {
+        st.add_nodes_visited(1);
+        st.add_fdom_tests(tests);
+    }
+    let cend = s.cand.len();
+
+    let coincident = s.bounds[bstart..bstart + dim] == s.bounds[bstart + dim..bstart + 2 * dim];
+    s.bounds.truncate(bstart);
+
+    match *n.content() {
+        KdNodeContent::Leaf { .. } => {
+            if s.members.len() == 1 {
+                let iu = s.members[0] as usize;
+                out[iu] =
+                    flat_leaf_probability(&s.sigma, bc, pts.objects[iu] as usize, pts.probs[iu]);
+            } else {
+                let members = std::mem::take(&mut s.members);
+                let (sigma, node_mass) = (&s.sigma, &mut s.node_mass);
+                emit_coincident_flat(pts, &members, sigma, bc, node_mass, out);
+                s.members = members;
+            }
+        }
+        KdNodeContent::Internal { left, right, .. } => {
+            if coincident {
+                let members = std::mem::take(&mut s.members);
+                let (sigma, node_mass) = (&s.sigma, &mut s.node_mass);
+                emit_coincident_flat(pts, &members, sigma, bc, node_mass, out);
+                s.members = members;
+            } else if bc.chi == 0 {
+                prebuilt_rec_flat(pts, tree, left, s, bc, cstart, cend, out, stats);
+                prebuilt_rec_flat(pts, tree, right, s, bc, cstart, cend, out, stats);
+            }
+            // χ ≥ 1: prune the traversal (the tree itself was already built).
+        }
+    }
+
+    while s.saved.len() > saved_start {
+        let (obj, old) = s.saved.pop().expect("saved_start bounds the stack");
+        s.sigma[obj as usize] = old;
+    }
+    bc.beta = beta_before;
+    bc.chi = chi_before;
+    s.cand.truncate(cstart);
+}
+
+/// The flat columnar kd-ASP\* entry point: [`kd_asp_engine`] over a
+/// [`FlatScorePoints`] view with all working memory drawn from a reusable
+/// [`KdScratch`]. Sequential only (the parallel twins run the `ScorePoint`
+/// path, which is bitwise identical); results are bitwise identical to
+/// [`kd_asp_engine`] on the equivalent `ScorePoint` slice.
+pub fn kd_asp_flat_engine(
+    pts: FlatScorePoints<'_>,
+    num_objects: usize,
+    num_instances: usize,
+    variant: KdVariant,
+    stats: Option<&CounterStats>,
+    scratch: &mut KdScratch,
+) -> Vec<f64> {
+    let mut out = vec![0.0; num_instances];
+    if pts.is_empty() {
+        return out;
+    }
+    let n = pts.len();
+    scratch.prepare(num_objects, n);
+    let mut bc = FlatBc { beta: 1.0, chi: 0 };
+    match variant {
+        KdVariant::Prebuilt => {
+            // Build the full kd-tree over the flat points (the construction
+            // cost is the point of the KDTT baseline), then traverse.
+            let mut entries = FlatEntries::with_capacity(pts.dim, n);
+            for id in 0..n {
+                entries.push(
+                    id,
+                    pts.objects[id] as usize,
+                    pts.probs[id],
+                    pts.coords_of(id),
+                );
+            }
+            let tree = KdTree::build_flat(entries);
+            let root = tree.root().expect("non-empty tree");
+            // The prebuilt traversal stages corners at the top of the bounds
+            // arena; start empty.
+            scratch.bounds.clear();
+            prebuilt_rec_flat(&pts, &tree, root, scratch, &mut bc, 0, n, &mut out, stats);
+        }
+        KdVariant::FusedKd | KdVariant::FusedQuad => {
+            let split = if variant == KdVariant::FusedKd {
+                SplitKind::Kd
+            } else {
+                SplitKind::Quad
+            };
+            let mut order = std::mem::take(&mut scratch.order);
+            fused_rec_flat(
+                &pts, scratch, &mut bc, &mut order, 0, n, 0, split, &mut out, stats,
+            );
+            scratch.order = order;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1120,6 +1629,105 @@ mod tests {
             }
         }
         (pts, num_objects, id)
+    }
+
+    /// Runs the flat columnar engine on the flat image of a `ScorePoint`
+    /// slice (ids are positions, as the score-space mapping guarantees).
+    fn run_flat(
+        points: &[ScorePoint],
+        num_objects: usize,
+        num_instances: usize,
+        variant: KdVariant,
+        scratch: &mut KdScratch,
+    ) -> Vec<f64> {
+        let dim = points.first().map_or(0, |p| p.coords.len());
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        let mut objects = Vec::with_capacity(points.len());
+        let mut probs = Vec::with_capacity(points.len());
+        for (pos, sp) in points.iter().enumerate() {
+            assert_eq!(sp.id, pos, "flat layout requires id == position");
+            coords.extend_from_slice(&sp.coords);
+            objects.push(sp.object as u32);
+            probs.push(sp.prob);
+        }
+        let pts = FlatScorePoints {
+            dim,
+            coords: &coords,
+            objects: &objects,
+            probs: &probs,
+        };
+        kd_asp_flat_engine(pts, num_objects, num_instances, variant, None, scratch)
+    }
+
+    #[test]
+    fn flat_traversals_are_bitwise_identical_to_score_point_paths() {
+        // One scratch reused across every run: exercises the arena reset and
+        // the high-water-mark reuse on top of the bitwise agreement.
+        let mut scratch = KdScratch::new();
+        for (seed, dim) in [(7u64, 2usize), (8, 3), (9, 4)] {
+            let (pts, num_objects, n) = large_random_points(seed, dim);
+            for (variant, reference) in [
+                (KdVariant::FusedKd, kd_asp_fused(&pts, num_objects, n)),
+                (KdVariant::FusedQuad, quad_asp_fused(&pts, num_objects, n)),
+                (KdVariant::Prebuilt, kd_asp_prebuilt(&pts, num_objects, n)),
+            ] {
+                let flat = run_flat(&pts, num_objects, n, variant, &mut scratch);
+                assert_eq!(
+                    reference, flat,
+                    "flat {variant:?} diverged (seed {seed}, dim {dim})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_traversal_handles_degenerate_inputs() {
+        let mut scratch = KdScratch::new();
+        // Empty input.
+        let pts = FlatScorePoints {
+            dim: 0,
+            coords: &[],
+            objects: &[],
+            probs: &[],
+        };
+        assert!(kd_asp_flat_engine(pts, 0, 0, KdVariant::FusedKd, None, &mut scratch).is_empty());
+        // Coincident points across objects (the un-splittable node path).
+        let pts = vec![
+            point(0, 0, 1.0, vec![0.5, 0.5]),
+            point(1, 1, 1.0, vec![0.5, 0.5]),
+            point(2, 2, 1.0, vec![0.5, 0.5]),
+        ];
+        for variant in [
+            KdVariant::FusedKd,
+            KdVariant::FusedQuad,
+            KdVariant::Prebuilt,
+        ] {
+            let got = run_flat(&pts, 3, 3, variant, &mut scratch);
+            assert_eq!(got, vec![0.0, 0.0, 0.0]);
+        }
+        // Clustered grid coordinates: ties on every split axis.
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(55);
+        let mut pts = Vec::new();
+        let mut id = 0;
+        for obj in 0..8 {
+            let k = rng.gen_range(1..4);
+            let p = 1.0 / k as f64;
+            for _ in 0..k {
+                let coords = (0..3).map(|_| rng.gen_range(0..3) as f64 * 0.5).collect();
+                pts.push(point(id, obj, p, coords));
+                id += 1;
+            }
+        }
+        for (variant, reference) in [
+            (KdVariant::FusedKd, kd_asp_fused(&pts, 8, id)),
+            (KdVariant::FusedQuad, quad_asp_fused(&pts, 8, id)),
+            (KdVariant::Prebuilt, kd_asp_prebuilt(&pts, 8, id)),
+        ] {
+            let flat = run_flat(&pts, 8, id, variant, &mut scratch);
+            assert_eq!(reference, flat, "flat {variant:?} diverged on grid data");
+        }
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! share a preference-region vertex) and a [`CounterStats`] sink.
 
 use crate::result::ArspResult;
+use crate::scorespace::ScoreMatrix;
 use crate::stats::CounterStats;
-use arsp_data::UncertainDataset;
+use arsp_data::{FlatStore, UncertainDataset};
 use arsp_geometry::fdom::{FDominance, LinearFDominance};
-use arsp_geometry::ConstraintSet;
+use arsp_geometry::{ConstraintSet, PointRef};
 
 /// Computes ARSP with the LOOP baseline.
 pub fn arsp_loop(dataset: &UncertainDataset, constraints: &ConstraintSet) -> ArspResult {
@@ -174,8 +175,13 @@ pub fn instance_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> In
     InstanceOrder { order, keys }
 }
 
-/// Reusable per-worker accumulation buffers.
-struct LoopScratch {
+/// Reusable per-worker accumulation buffers: per-object accumulated
+/// dominating mass plus the list of objects touched for the current
+/// instance (reset between instances, so each iteration is
+/// O(#dominators) rather than O(m)). Reusable across queries via
+/// [`crate::scratch::QueryScratch`].
+#[derive(Debug, Default)]
+pub struct LoopScratch {
     sigma: Vec<f64>,
     touched: Vec<usize>,
 }
@@ -186,6 +192,14 @@ impl LoopScratch {
             sigma: vec![0.0; num_objects],
             touched: Vec::new(),
         }
+    }
+
+    /// Sizes (or re-sizes) the buffers for a dataset with `num_objects`
+    /// objects, keeping existing allocations.
+    fn prepare(&mut self, num_objects: usize) {
+        self.sigma.clear();
+        self.sigma.resize(num_objects, 0.0);
+        self.touched.clear();
     }
 }
 
@@ -238,6 +252,172 @@ fn instance_probability(
     }
 
     let mut prob = t.prob;
+    for &obj in touched.iter() {
+        prob *= 1.0 - sigma[obj];
+        sigma[obj] = 0.0;
+    }
+    prob.max(0.0)
+}
+
+// ---------------------------------------------------------------------------
+// Flat columnar scan
+// ---------------------------------------------------------------------------
+
+/// Builds the LOOP sort order from a precomputed [`ScoreMatrix`]: the keys
+/// are the matrix's first column (the score under the first preference-region
+/// vertex), which is bitwise identical to what [`instance_order`] computes —
+/// but read out of the cached projection pass instead of recomputing `n` dot
+/// products.
+pub fn instance_order_from_scores(scores: &ScoreMatrix) -> InstanceOrder {
+    let n = scores.num_rows();
+    let d = scores.score_dim();
+    let keys: Vec<f64> = (0..n).map(|i| scores.values()[i * d]).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    InstanceOrder { order, keys }
+}
+
+/// The flat columnar LOOP scan: identical pair enumeration and arithmetic to
+/// [`arsp_loop_engine`], but every F-dominance test is a `d'`-component
+/// dominance comparison of two precomputed [`ScoreMatrix`] rows (Theorem 2)
+/// instead of `d'` recomputed dot products, and the instance columns stream
+/// out of the [`FlatStore`]. With a warm [`LoopScratch`] the sequential scan
+/// performs no heap allocation beyond the result vector. Results are bitwise
+/// identical to [`arsp_loop_engine`] (the projected scores are bitwise equal,
+/// so every dominance decision agrees).
+pub fn arsp_loop_flat_engine(
+    flat: &FlatStore,
+    scores: &ScoreMatrix,
+    ord: &InstanceOrder,
+    parallel: bool,
+    stats: Option<&CounterStats>,
+    scratch: Option<&mut LoopScratch>,
+) -> ArspResult {
+    let n = flat.num_instances();
+    let mut result = ArspResult::zeros(n);
+    if n == 0 {
+        return result;
+    }
+    debug_assert_eq!(ord.order.len(), n, "order covers a different dataset");
+    debug_assert_eq!(scores.num_rows(), n, "scores cover a different dataset");
+
+    #[cfg(feature = "parallel")]
+    if parallel {
+        let chunks = crate::parallel::chunk_bounds(n);
+        if chunks.len() > 1 {
+            use rayon::prelude::*;
+
+            let chunk_results: Vec<(Vec<(usize, f64)>, u64)> = crate::parallel::with_pool(|| {
+                chunks
+                    .into_par_iter()
+                    .map(|range| {
+                        let mut scratch = LoopScratch::new(flat.num_objects());
+                        let mut tests = 0u64;
+                        let probs = range
+                            .map(|pos| {
+                                let prob = instance_probability_flat(
+                                    flat,
+                                    scores,
+                                    ord,
+                                    pos,
+                                    &mut scratch,
+                                    &mut tests,
+                                );
+                                (ord.order[pos], prob)
+                            })
+                            .collect();
+                        (probs, tests)
+                    })
+                    .collect()
+            });
+
+            for (chunk, tests) in chunk_results {
+                if let Some(s) = stats {
+                    s.add_fdom_tests(tests);
+                }
+                for (t_id, prob) in chunk {
+                    result.set(t_id, prob);
+                }
+            }
+            return result;
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = parallel;
+
+    let mut owned;
+    let scratch = match scratch {
+        Some(s) => {
+            s.prepare(flat.num_objects());
+            s
+        }
+        None => {
+            owned = LoopScratch::new(flat.num_objects());
+            &mut owned
+        }
+    };
+    let mut tests = 0u64;
+    for (pos, &t_id) in ord.order.iter().enumerate() {
+        let prob = instance_probability_flat(flat, scores, ord, pos, scratch, &mut tests);
+        result.set(t_id, prob);
+    }
+    if let Some(s) = stats {
+        s.add_fdom_tests(tests);
+    }
+    result
+}
+
+/// [`instance_probability`] over the flat layout: same scan ranges, same
+/// accumulation order, with the Theorem-2 test evaluated as row dominance.
+fn instance_probability_flat(
+    flat: &FlatStore,
+    scores: &ScoreMatrix,
+    ord: &InstanceOrder,
+    pos: usize,
+    scratch: &mut LoopScratch,
+    tests: &mut u64,
+) -> f64 {
+    let (order, keys) = (&ord.order, &ord.keys);
+    let t_id = order[pos];
+    let t_object = flat.object_of(t_id);
+    let sv_t = PointRef(scores.row(t_id));
+    let sigma = &mut scratch.sigma;
+    let touched = &mut scratch.touched;
+    touched.clear();
+
+    for &s_id in &order[..pos] {
+        let s_object = flat.object_of(s_id);
+        if s_object != t_object {
+            *tests += 1;
+            if PointRef(scores.row(s_id)).dominates(sv_t) {
+                if sigma[s_object] == 0.0 {
+                    touched.push(s_object);
+                }
+                sigma[s_object] += flat.prob(s_id);
+            }
+        }
+    }
+    for &s_id in &order[pos + 1..] {
+        if keys[s_id] > keys[t_id] {
+            break;
+        }
+        let s_object = flat.object_of(s_id);
+        if s_object != t_object {
+            *tests += 1;
+            if PointRef(scores.row(s_id)).dominates(sv_t) {
+                if sigma[s_object] == 0.0 {
+                    touched.push(s_object);
+                }
+                sigma[s_object] += flat.prob(s_id);
+            }
+        }
+    }
+
+    let mut prob = flat.prob(t_id);
     for &obj in touched.iter() {
         prob *= 1.0 - sigma[obj];
         sigma[obj] = 0.0;
@@ -377,6 +557,70 @@ mod tests {
             stats.snapshot().fdom_tests,
             "test count must not depend on the execution mode"
         );
+    }
+
+    #[test]
+    fn flat_scan_is_bitwise_identical_to_point_scan() {
+        let d = SyntheticConfig {
+            num_objects: 70,
+            max_instances: 5,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.2,
+            seed: 41,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(3, 2);
+        let fdom = LinearFDominance::from_constraints(&constraints);
+        let reference = arsp_loop(&d, &constraints);
+
+        let flat = arsp_data::FlatStore::from_dataset(&d);
+        let scores = ScoreMatrix::compute(&flat, &fdom);
+        let order = instance_order_from_scores(&scores);
+        // The derived order is bitwise identical to the Point-based one.
+        let point_order = instance_order(&d, &fdom);
+        assert_eq!(order.order, point_order.order);
+        assert_eq!(
+            order.keys.iter().map(|k| k.to_bits()).collect::<Vec<_>>(),
+            point_order
+                .keys
+                .iter()
+                .map(|k| k.to_bits())
+                .collect::<Vec<_>>()
+        );
+
+        // One scratch reused across runs, plus the no-scratch path, plus the
+        // stats sink: all bitwise identical, same test counts.
+        let stats_point = CounterStats::new();
+        let _ = arsp_loop_engine(&d, &fdom, Some(&point_order), false, Some(&stats_point));
+        let mut scratch = LoopScratch::default();
+        for _ in 0..2 {
+            let stats_flat = CounterStats::new();
+            let got = arsp_loop_flat_engine(
+                &flat,
+                &scores,
+                &order,
+                false,
+                Some(&stats_flat),
+                Some(&mut scratch),
+            );
+            assert_eq!(reference.probs(), got.probs());
+            assert_eq!(
+                stats_point.snapshot().fdom_tests,
+                stats_flat.snapshot().fdom_tests,
+                "flat scan must perform the same number of dominance tests"
+            );
+        }
+        let no_scratch = arsp_loop_flat_engine(&flat, &scores, &order, false, None, None);
+        assert_eq!(reference.probs(), no_scratch.probs());
+
+        // The parallel flat scan agrees too.
+        let _guard = crate::parallel::knob_lock();
+        crate::parallel::set_num_threads(4);
+        let par = arsp_loop_flat_engine(&flat, &scores, &order, true, None, None);
+        crate::parallel::set_num_threads(0);
+        assert_eq!(reference.probs(), par.probs());
     }
 
     /// Helper so synthetic tests can vary the seed tersely.

@@ -10,11 +10,19 @@
 //! * the **vertex enumeration** of each distinct constraint set (the
 //!   [`LinearFDominance`] test — the `O(c²·LP)` one-off cost every algorithm
 //!   pays), keyed by the constraint set's exact coefficients,
+//! * the **flat columnar instance store** ([`FlatStore`] — the contiguous
+//!   layout every sequential hot path streams; dataset-only, built once),
+//! * the **projected score matrix** ([`ScoreMatrix`] — the `coords · ω`
+//!   pass shared by LOOP, the KDTT family and B&B), keyed by the
+//!   preference region's exact vertex set,
 //! * the **LOOP instance order** (sorted by score under the preference
 //!   region's first vertex), keyed by that vertex,
 //! * the **instance R-tree** B&B traverses (dataset-only, built once),
 //! * the **per-object aggregated R-trees** of DUAL (dataset-only, built
-//!   once).
+//!   once),
+//! * a pool of **per-query scratch arenas** ([`QueryScratch`] — candidate
+//!   stacks, σ buffers, heap storage), checked out per query so warmed-up
+//!   sequential queries allocate nothing beyond their result vector.
 //!
 //! Queries are built fluently and return an [`ArspOutcome`] that wraps the
 //! [`ArspResult`] with the algorithm that ran (and why, if auto-selected),
@@ -58,12 +66,16 @@ use crate::algorithms::bnb::{arsp_bnb_engine, build_instance_rtree};
 use crate::algorithms::dual::{arsp_dual_engine, build_dual_index};
 use crate::algorithms::enumerate::arsp_enum;
 use crate::algorithms::kd_asp::KdVariant;
-use crate::algorithms::kdtt::arsp_kdtt_engine;
-use crate::algorithms::loop_scan::{arsp_loop_engine, instance_order, InstanceOrder};
+use crate::algorithms::kdtt::{arsp_kdtt_engine_from_scores, arsp_kdtt_flat_engine};
+use crate::algorithms::loop_scan::{
+    arsp_loop_flat_engine, instance_order_from_scores, InstanceOrder,
+};
 use crate::algorithms::ArspAlgorithm;
 use crate::result::ArspResult;
+use crate::scorespace::ScoreMatrix;
+use crate::scratch::QueryScratch;
 use crate::stats::{CounterStats, QueryCounters};
-use arsp_data::UncertainDataset;
+use arsp_data::{FlatStore, UncertainDataset};
 use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
 use arsp_geometry::fdom::LinearFDominance;
 use arsp_index::{SharedAggregateForest, SharedRTree};
@@ -210,10 +222,17 @@ struct EngineCaches {
     fdom: Mutex<HashMap<Vec<u64>, Arc<LinearFDominance>>>,
     /// LOOP sort orders keyed by the first preference-region vertex.
     orders: Mutex<HashMap<Vec<u64>, Arc<InstanceOrder>>>,
+    /// Per-constraint projected score matrices, keyed by the full vertex set.
+    scores: Mutex<HashMap<Vec<u64>, Arc<ScoreMatrix>>>,
+    /// The columnar instance store every flat path streams (dataset-only).
+    flat: OnceLock<Arc<FlatStore>>,
     /// The instance R-tree B&B traverses (dataset-only).
     rtree: OnceLock<SharedRTree>,
     /// DUAL's per-object aggregated R-trees (dataset-only).
     dual_index: OnceLock<SharedAggregateForest>,
+    /// Pool of reusable per-query scratch arenas (not a cache — no hit/miss
+    /// accounting; an empty pool just means a query warms up a new arena).
+    scratch_pool: Mutex<Vec<QueryScratch>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -299,6 +318,17 @@ fn constraint_key(constraints: &ConstraintSet) -> Vec<u64> {
 /// order cache key.
 fn omega_key(omega: &[f64]) -> Vec<u64> {
     omega.iter().map(|w| w.to_bits()).collect()
+}
+
+/// Bit-exact fingerprint of a whole vertex set, used as the score-matrix
+/// cache key (the matrix depends on every vertex, not just the first).
+fn vertices_key(fdom: &LinearFDominance) -> Vec<u64> {
+    let mut key = Vec::with_capacity(1 + fdom.num_vertices() * fdom.vertices()[0].len());
+    key.push(fdom.num_vertices() as u64);
+    for v in fdom.vertices() {
+        key.extend(v.iter().map(|w| w.to_bits()));
+    }
+    key
 }
 
 /// A query-session engine over one uncertain dataset. Cheap to query
@@ -397,11 +427,30 @@ impl ArspEngine {
             })
     }
 
-    /// Cached LOOP sort order for a preference region's first vertex.
-    fn order_for(&self, fdom: &LinearFDominance) -> Arc<InstanceOrder> {
+    /// The cached columnar instance store (dataset-only; built on the first
+    /// query that runs a flat path).
+    fn flat(&self) -> Arc<FlatStore> {
+        self.caches
+            .once(&self.caches.flat, || FlatStore::from_dataset(&self.dataset))
+    }
+
+    /// Cached projected-score matrix for a constraint set's vertex set — the
+    /// one `coords · ω` pass shared by LOOP, the KDTT family and B&B.
+    fn scores_for(&self, fdom: &LinearFDominance) -> Arc<ScoreMatrix> {
+        let flat = self.flat();
+        self.caches
+            .keyed(&self.caches.scores, vertices_key(fdom), || {
+                ScoreMatrix::compute(&flat, fdom)
+            })
+    }
+
+    /// Cached LOOP sort order for a preference region's first vertex,
+    /// derived from the cached score matrix (bitwise the same keys as
+    /// recomputing the dot products).
+    fn order_for(&self, fdom: &LinearFDominance, scores: &ScoreMatrix) -> Arc<InstanceOrder> {
         self.caches
             .keyed(&self.caches.orders, omega_key(&fdom.vertices()[0]), || {
-                instance_order(&self.dataset, fdom)
+                instance_order_from_scores(scores)
             })
     }
 
@@ -409,6 +458,27 @@ impl ArspEngine {
     fn rtree(&self) -> SharedRTree {
         self.caches
             .once(&self.caches.rtree, || build_instance_rtree(&self.dataset))
+    }
+
+    /// Checks a reusable scratch arena out of the pool (a fresh one when the
+    /// pool is empty — e.g. the first query, or concurrent queries exceeding
+    /// the number of arenas warmed so far).
+    fn take_scratch(&self) -> QueryScratch {
+        self.caches
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch arena to the pool for the next query.
+    fn put_scratch(&self, scratch: QueryScratch) {
+        self.caches
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(scratch);
     }
 
     /// The shared DUAL per-object index (built on first DUAL query).
@@ -561,12 +631,17 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
             }
         };
 
+        // Reusable per-query working memory, checked out of the engine's
+        // pool and returned after the query (warm pools make the sequential
+        // hot paths allocation-free).
+        let mut scratch = engine.take_scratch();
+
         // The algorithm body, run either directly or — for a per-query
         // thread bound — inside a dedicated scoped pool. A scoped pool never
         // touches the process-wide `set_num_threads` knob, so concurrent
         // queries cannot race each other's settings and a panicking query
         // leaks nothing.
-        let execute = |build_time: &mut Duration| {
+        let execute = |build_time: &mut Duration, scratch: &mut QueryScratch| {
             let run_start;
             let result = match algorithm {
                 QueryAlgorithm::Auto => unreachable!("Auto was resolved above"),
@@ -593,10 +668,19 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
                     let cs = linear.expect("linear constraints materialised above");
                     let fdom = fdom_for_query(build_time, cs);
                     let build_start = Instant::now();
-                    let order = engine.order_for(&fdom);
+                    let flat = engine.flat();
+                    let scores = engine.scores_for(&fdom);
+                    let order = engine.order_for(&fdom, &scores);
                     *build_time += build_start.elapsed();
                     run_start = Instant::now();
-                    arsp_loop_engine(dataset, &fdom, Some(&order), parallel, stats)
+                    arsp_loop_flat_engine(
+                        &flat,
+                        &scores,
+                        &order,
+                        parallel,
+                        stats,
+                        Some(scratch.loop_mut()),
+                    )
                 }
                 QueryAlgorithm::Kdtt | QueryAlgorithm::KdttPlus | QueryAlgorithm::QdttPlus => {
                     let cs = linear.expect("linear constraints materialised above");
@@ -606,17 +690,37 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
                         _ => KdVariant::FusedKd,
                     };
                     let fdom = fdom_for_query(build_time, cs);
+                    let build_start = Instant::now();
+                    let flat = engine.flat();
+                    let scores = engine.scores_for(&fdom);
+                    *build_time += build_start.elapsed();
                     run_start = Instant::now();
-                    arsp_kdtt_engine(dataset, &fdom, variant, parallel, stats)
+                    if parallel {
+                        // The parallel twins traverse the `ScorePoint` layout
+                        // (bitwise identical results), rebuilt from the
+                        // cached projection instead of recomputing it.
+                        arsp_kdtt_engine_from_scores(&flat, &scores, variant, true, stats)
+                    } else {
+                        arsp_kdtt_flat_engine(&flat, &scores, variant, stats, scratch.kd_mut())
+                    }
                 }
                 QueryAlgorithm::BranchAndBound => {
                     let cs = linear.expect("linear constraints materialised above");
                     let fdom = fdom_for_query(build_time, cs);
                     let build_start = Instant::now();
                     let rtree = engine.rtree();
+                    let scores = engine.scores_for(&fdom);
                     *build_time += build_start.elapsed();
                     run_start = Instant::now();
-                    arsp_bnb_engine(dataset, &fdom, Some(&rtree), parallel, stats)
+                    arsp_bnb_engine(
+                        dataset,
+                        &fdom,
+                        Some(&rtree),
+                        Some(&scores),
+                        parallel,
+                        stats,
+                        Some(scratch.bnb_mut()),
+                    )
                 }
             };
             (result, run_start.elapsed())
@@ -625,10 +729,11 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
         let (result, run_time) = match self.execution {
             #[cfg(feature = "parallel")]
             Execution::Parallel { threads } if threads > 0 => {
-                crate::parallel::with_pool_sized(threads, || execute(&mut build_time))
+                crate::parallel::with_pool_sized(threads, || execute(&mut build_time, &mut scratch))
             }
-            _ => execute(&mut build_time),
+            _ => execute(&mut build_time, &mut scratch),
         };
+        engine.put_scratch(scratch);
 
         let top_objects = self.top_k.map(|k| result.top_k_objects(dataset, k));
         ArspOutcome {

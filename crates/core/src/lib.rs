@@ -66,6 +66,7 @@ pub mod hardness;
 pub mod parallel;
 pub mod result;
 pub mod scorespace;
+pub mod scratch;
 pub mod stats;
 
 pub use algorithms::bnb::{
@@ -86,6 +87,8 @@ pub use algorithms::ArspAlgorithm;
 pub use asp::skyline_probabilities;
 pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
 pub use result::ArspResult;
+pub use scorespace::{FlatScorePoints, ScoreMatrix};
+pub use scratch::QueryScratch;
 pub use stats::QueryCounters;
 
 /// Commonly used items, re-exported for convenient glob import.

@@ -7,7 +7,7 @@
 //! the all-skyline-probabilities (ASP) problem, which the KDTT/QDTT/B&B
 //! algorithms then solve.
 
-use arsp_data::UncertainDataset;
+use arsp_data::{FlatStore, UncertainDataset};
 use arsp_geometry::fdom::LinearFDominance;
 
 /// An instance after (optional) mapping into score space: everything the
@@ -70,6 +70,108 @@ pub fn map_to_score_space_parallel(
     }
 }
 
+/// The per-constraint projected scores of the whole dataset as one flat,
+/// row-major matrix: row `id` is `SV(t_id)` (length `d' = |V|`), computed in
+/// a single streaming pass over the [`FlatStore`]'s contiguous coordinate
+/// column. Values are bitwise identical to
+/// [`LinearFDominance::map_to_score_space`] on each instance, so score-space
+/// dominance over matrix rows decides exactly like `f_dominates` on the
+/// original coordinates (Theorem 2). [`crate::engine::ArspEngine`] caches one
+/// matrix per distinct vertex set and shares it across LOOP, the KDTT family
+/// and B&B.
+#[derive(Clone, Debug)]
+pub struct ScoreMatrix {
+    score_dim: usize,
+    values: Vec<f64>,
+}
+
+impl ScoreMatrix {
+    /// Projects every instance of the flat store onto the preference-region
+    /// vertices — the one vectorizable `coords · ω` pass.
+    pub fn compute(flat: &FlatStore, fdom: &LinearFDominance) -> Self {
+        let score_dim = fdom.num_vertices();
+        let n = flat.num_instances();
+        let mut values = vec![0.0; n * score_dim];
+        for (id, row) in values.chunks_exact_mut(score_dim).enumerate() {
+            fdom.map_to_score_space_into(flat.coords_of(id), row);
+        }
+        Self { score_dim, values }
+    }
+
+    /// Score-space dimensionality `d'`.
+    #[inline]
+    pub fn score_dim(&self) -> usize {
+        self.score_dim
+    }
+
+    /// Number of rows (instances).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.values.len() / self.score_dim
+    }
+
+    /// The score vector `SV(t_id)` of one instance.
+    #[inline]
+    pub fn row(&self, id: usize) -> &[f64] {
+        &self.values[id * self.score_dim..(id + 1) * self.score_dim]
+    }
+
+    /// The whole row-major value array (`num_rows × score_dim`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// The columnar view the flat kd-ASP\* traversal runs over: score-space
+/// coordinates as one dim-strided array plus the parallel object/probability
+/// columns. Point `id`'s coordinates are `coords[id*dim .. (id+1)*dim]` — the
+/// flat twin of a `&[ScorePoint]` slice whose `ScorePoint::id` equals its
+/// position (which is how [`map_to_score_space`] lays points out).
+#[derive(Clone, Copy, Debug)]
+pub struct FlatScorePoints<'a> {
+    /// Coordinate stride (`d'` for score space, `d` for identity points).
+    pub dim: usize,
+    /// Dim-strided coordinates, indexed by instance id.
+    pub coords: &'a [f64],
+    /// Owning object of each instance.
+    pub objects: &'a [u32],
+    /// Existence probability of each instance.
+    pub probs: &'a [f64],
+}
+
+impl<'a> FlatScorePoints<'a> {
+    /// Assembles the view from a cached score matrix and the flat store's
+    /// scalar columns.
+    pub fn new(flat: &'a FlatStore, scores: &'a ScoreMatrix) -> Self {
+        debug_assert_eq!(scores.num_rows(), flat.num_instances());
+        Self {
+            dim: scores.score_dim(),
+            coords: scores.values(),
+            objects: flat.objects(),
+            probs: flat.probs(),
+        }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `true` when there are no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Coordinates of one point.
+    #[inline]
+    pub fn coords_of(&self, id: usize) -> &'a [f64] {
+        &self.coords[id * self.dim..(id + 1) * self.dim]
+    }
+}
+
 /// The identity mapping: instances keep their original coordinates. Running
 /// kd-ASP\* on these points computes plain skyline probabilities (the ASP
 /// problem — the special case where `F` contains all monotone functions).
@@ -124,6 +226,30 @@ mod tests {
                 assert_eq!(direct, in_score_space, "{a:?} vs {b:?}");
             }
         }
+    }
+
+    #[test]
+    fn score_matrix_rows_are_bitwise_identical_to_lazy_mapping() {
+        let d = paper_running_example();
+        let fdom = LinearFDominance::from_constraints(
+            &WeightRatio::uniform(2, 0.5, 2.0).to_constraint_set(),
+        );
+        let flat = FlatStore::from_dataset(&d);
+        let matrix = ScoreMatrix::compute(&flat, &fdom);
+        assert_eq!(matrix.score_dim(), fdom.num_vertices());
+        assert_eq!(matrix.num_rows(), d.num_instances());
+        for inst in d.instances() {
+            let lazy = fdom.map_to_score_space(&inst.coords);
+            let row = matrix.row(inst.id);
+            assert_eq!(row.len(), lazy.len());
+            for (a, b) in row.iter().zip(&lazy) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let view = FlatScorePoints::new(&flat, &matrix);
+        assert_eq!(view.len(), d.num_instances());
+        assert!(!view.is_empty());
+        assert_eq!(view.coords_of(3), matrix.row(3));
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Reusable per-query working memory.
+//!
+//! The flat columnar algorithm paths keep every piece of per-query working
+//! state — candidate stacks, σ buffers, heap storage, score-vector staging —
+//! in one [`QueryScratch`] arena instead of allocating it per query. The
+//! engine maintains a pool of these ([`crate::engine::ArspEngine`] checks one
+//! out per query and returns it afterwards), so a warmed-up session performs
+//! no heap allocation on the sequential hot paths beyond the result vector
+//! each query returns.
+//!
+//! Scratch reuse is purely a memory-management concern: results are bitwise
+//! identical whether a scratch is fresh, reused, or absent (the algorithms
+//! fall back to a throwaway arena).
+
+use crate::algorithms::bnb::BnbScratch;
+use crate::algorithms::kd_asp::KdScratch;
+use crate::algorithms::loop_scan::LoopScratch;
+
+/// The union of every algorithm's reusable buffers. One instance serves any
+/// sequence of queries (of any algorithm) against any dataset — buffers are
+/// re-sized on use and grow to the session's high-water mark.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// kd-ASP\* traversal arena (KDTT / KDTT+ / QDTT+).
+    pub(crate) kd: KdScratch,
+    /// LOOP accumulation buffers.
+    pub(crate) loop_scan: LoopScratch,
+    /// B&B heap, tie-group staging and per-object accumulators.
+    pub(crate) bnb: BnbScratch,
+}
+
+impl QueryScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The kd-ASP\* arena.
+    pub fn kd_mut(&mut self) -> &mut KdScratch {
+        &mut self.kd
+    }
+
+    /// The LOOP buffers.
+    pub fn loop_mut(&mut self) -> &mut LoopScratch {
+        &mut self.loop_scan
+    }
+
+    /// The B&B buffers.
+    pub fn bnb_mut(&mut self) -> &mut BnbScratch {
+        &mut self.bnb
+    }
+}

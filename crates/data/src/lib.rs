@@ -3,6 +3,9 @@
 //! * [`dataset`] — the uncertain data model of §II-B: objects, instances,
 //!   existence probabilities, plus the certain-dataset type used by the
 //!   eclipse experiments and the aggregated-rskyline comparison.
+//! * [`flat`] — the columnar [`FlatStore`] twin of the dataset: one
+//!   contiguous dim-strided coordinate array plus parallel probability and
+//!   object columns, the layout every hot loop streams.
 //! * [`possible_world`] — possible-world enumeration (equation 1), used by
 //!   the ENUM baseline and as the ground-truth oracle in tests.
 //! * [`synthetic`] — the synthetic generator of §V-A: IND / ANTI / CORR
@@ -16,6 +19,7 @@
 
 pub mod constraints_gen;
 pub mod dataset;
+pub mod flat;
 pub mod possible_world;
 pub mod real;
 pub mod synthetic;
@@ -24,5 +28,6 @@ pub use constraints_gen::{im_constraints, weak_ranking_constraints};
 pub use dataset::{
     paper_running_example, CertainDataset, Instance, UncertainDataset, UncertainObject,
 };
+pub use flat::FlatStore;
 pub use possible_world::{enumerate_possible_worlds, PossibleWorld};
 pub use synthetic::{Distribution, SyntheticConfig};

@@ -88,6 +88,22 @@ impl LinearFDominance {
     pub fn map_to_score_space(&self, coords: &[f64]) -> Vec<f64> {
         score_vector(coords, &self.vertices)
     }
+
+    /// Allocation-free variant of [`LinearFDominance::map_to_score_space`]:
+    /// writes `SV(t)` into a caller-owned buffer of length
+    /// [`LinearFDominance::num_vertices`]. Values are bitwise identical to the
+    /// allocating variant (same per-vertex dot product, same order), which is
+    /// what lets the flat columnar paths precompute score matrices that agree
+    /// exactly with lazily mapped points.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.num_vertices()`.
+    pub fn map_to_score_space_into(&self, coords: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.vertices.len(), "score buffer length");
+        for (o, omega) in out.iter_mut().zip(&self.vertices) {
+            *o = crate::point::score(coords, omega);
+        }
+    }
 }
 
 impl FDominance for LinearFDominance {
@@ -273,6 +289,17 @@ mod tests {
         let sb = lin.map_to_score_space(&b);
         assert_eq!(sa.len(), lin.num_vertices());
         assert_eq!(lin.f_dominates(&a, &b), crate::point::dominates(&sa, &sb));
+    }
+
+    #[test]
+    fn map_into_is_bitwise_identical_to_allocating_map() {
+        let lin = example_linear();
+        let pts = [[2.0, 9.0], [3.0, 4.0], [9.0, 12.0], [11.0, 8.0]];
+        let mut buf = vec![0.0; lin.num_vertices()];
+        for p in &pts {
+            lin.map_to_score_space_into(p, &mut buf);
+            assert_eq!(buf, lin.map_to_score_space(p));
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use constraints::{ConstraintSet, LinearConstraint, WeightRatio};
 pub use fdom::{FDominance, LinearFDominance, WeightRatioFDominance};
 pub use hyperplane::{HalfSpaceSide, Hyperplane};
 pub use mbr::Mbr;
-pub use point::Point;
+pub use point::{Point, PointRef};
 pub use polytope::preference_region_vertices;
 
 /// Tolerance used for geometric degeneracy decisions (singularity, feasibility

@@ -75,6 +75,18 @@ impl Mbr {
         Self::from_coord_slices(iter.into_iter().map(|p| p.coords()))
     }
 
+    /// Computes the MBR of a set of rows of a flat, `dim`-strided coordinate
+    /// array (row `i` is `coords[i*dim..(i+1)*dim]`). Returns `None` for an
+    /// empty row set. This is the columnar-store counterpart of
+    /// [`Mbr::from_coord_slices`] and produces bitwise-identical corners
+    /// (minimum/maximum are pure comparisons).
+    pub fn from_flat_rows<I>(coords: &[f64], dim: usize, rows: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        Self::from_coord_slices(rows.into_iter().map(|i| &coords[i * dim..(i + 1) * dim]))
+    }
+
     /// Minimum ("best") corner.
     #[inline]
     pub fn min(&self) -> &Point {
@@ -187,6 +199,32 @@ impl Mbr {
     }
 }
 
+/// Widens `[min, max]` (two caller-owned slices) to cover `coords` in place.
+/// The allocation-free building block the flat traversals use to accumulate
+/// node bounds in a scratch arena without materialising intermediate [`Mbr`]
+/// values.
+#[inline]
+pub fn extend_bounds(min: &mut [f64], max: &mut [f64], coords: &[f64]) {
+    debug_assert_eq!(min.len(), coords.len());
+    debug_assert_eq!(max.len(), coords.len());
+    for (i, &c) in coords.iter().enumerate() {
+        if c < min[i] {
+            min[i] = c;
+        }
+        if c > max[i] {
+            max[i] = c;
+        }
+    }
+}
+
+/// Resets `[min, max]` to the empty bounds (`+∞` / `−∞`), ready for
+/// [`extend_bounds`] accumulation.
+#[inline]
+pub fn reset_bounds(min: &mut [f64], max: &mut [f64]) {
+    min.fill(f64::INFINITY);
+    max.fill(f64::NEG_INFINITY);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +250,28 @@ mod tests {
     #[test]
     fn empty_set_has_no_mbr() {
         assert!(Mbr::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn flat_rows_and_bounds_helpers_match_pointwise_construction() {
+        let coords = [1.0, 5.0, 3.0, 2.0, 2.0, 4.0]; // 3 rows × 2 dims
+        let flat = Mbr::from_flat_rows(&coords, 2, 0..3).unwrap();
+        let pts = [
+            Point::new(vec![1.0, 5.0]),
+            Point::new(vec![3.0, 2.0]),
+            Point::new(vec![2.0, 4.0]),
+        ];
+        assert_eq!(flat, Mbr::from_points(pts.iter()).unwrap());
+        assert!(Mbr::from_flat_rows(&coords, 2, std::iter::empty()).is_none());
+
+        let mut min = vec![0.0; 2];
+        let mut max = vec![0.0; 2];
+        reset_bounds(&mut min, &mut max);
+        for row in 0..3 {
+            extend_bounds(&mut min, &mut max, &coords[row * 2..(row + 1) * 2]);
+        }
+        assert_eq!(min.as_slice(), flat.min().coords());
+        assert_eq!(max.as_slice(), flat.max().coords());
     }
 
     #[test]

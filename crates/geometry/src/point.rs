@@ -173,6 +173,65 @@ impl From<&[f64]> for Point {
     }
 }
 
+/// A borrowed view of a point: a coordinate slice with the point operations
+/// attached. This is the hot-path representation — the flat columnar stores
+/// hand out `PointRef`s into their contiguous coordinate arrays, so the
+/// algorithms never clone a [`Point`] to compare or score instances.
+///
+/// All operations are bitwise identical to their [`Point`] counterparts (they
+/// share the same slice-level implementations).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointRef<'a>(pub &'a [f64]);
+
+impl<'a> PointRef<'a> {
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The underlying coordinate slice.
+    #[inline]
+    pub fn coords(&self) -> &'a [f64] {
+        self.0
+    }
+
+    /// Weak dominance against another borrowed point.
+    #[inline]
+    pub fn dominates(&self, other: PointRef<'_>) -> bool {
+        dominates(self.0, other.0)
+    }
+
+    /// Strict dominance against another borrowed point.
+    #[inline]
+    pub fn strictly_dominates(&self, other: PointRef<'_>) -> bool {
+        strictly_dominates(self.0, other.0)
+    }
+
+    /// Linear score `S_ω(t) = Σ_i ω[i]·t[i]` under weight `ω`.
+    #[inline]
+    pub fn score(&self, weight: &[f64]) -> f64 {
+        score(self.0, weight)
+    }
+
+    /// An owned copy of the point (cold paths only).
+    pub fn to_point(&self) -> Point {
+        Point::from(self.0)
+    }
+}
+
+impl<'a> From<&'a [f64]> for PointRef<'a> {
+    fn from(coords: &'a [f64]) -> Self {
+        PointRef(coords)
+    }
+}
+
+impl<'a> From<&'a Point> for PointRef<'a> {
+    fn from(p: &'a Point) -> Self {
+        PointRef(p.coords())
+    }
+}
+
 /// Slice-level weak dominance, the hot-path version of [`Point::dominates`].
 #[inline]
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
@@ -242,6 +301,22 @@ mod tests {
         let o = Point::origin(2);
         assert_eq!(a.sub(&o).coords(), &[3.0, 4.0]);
         assert_eq!(a.distance_sq(&o), 25.0);
+    }
+
+    #[test]
+    fn point_ref_matches_point_operations() {
+        let a = Point::new(vec![1.0, 2.0, 3.0]);
+        let b = Point::new(vec![1.0, 3.0, 3.0]);
+        let (ra, rb) = (PointRef::from(&a), PointRef::from(&b));
+        assert_eq!(ra.dim(), 3);
+        assert_eq!(ra.coords(), a.coords());
+        assert_eq!(ra.dominates(rb), a.dominates(&b));
+        assert_eq!(ra.strictly_dominates(rb), a.strictly_dominates(&b));
+        let w = [0.2, 0.3, 0.5];
+        assert_eq!(ra.score(&w), a.score(&w));
+        assert_eq!(ra.to_point(), a);
+        let slice: &[f64] = &[4.0, 5.0];
+        assert_eq!(PointRef::from(slice).coords(), slice);
     }
 
     #[test]

@@ -66,6 +66,16 @@ impl AggregateRTree {
         }
     }
 
+    /// Empties the tree and re-targets it at `dim`-dimensional points,
+    /// keeping the node arena's allocation for reuse across queries.
+    pub fn reset(&mut self, dim: usize) {
+        assert!(dim >= 1);
+        self.dim = dim;
+        self.nodes.clear();
+        self.root = None;
+        self.len = 0;
+    }
+
     /// Number of points stored.
     pub fn len(&self) -> usize {
         self.len
@@ -432,6 +442,21 @@ mod tests {
         let got = tree.sum_weights_in(&region);
         assert!((got - want).abs() < 1e-9);
         assert_eq!(tree.any_in(&region), want > 0.0);
+    }
+
+    #[test]
+    fn reset_empties_and_retargets_the_tree() {
+        let mut tree = AggregateRTree::new(2);
+        for e in random_entries(80, 2, 5, 3) {
+            tree.insert(&e.coords, e.weight);
+        }
+        assert!(!tree.is_empty());
+        tree.reset(3);
+        assert!(tree.is_empty());
+        assert_eq!(tree.total_weight(), 0.0);
+        tree.insert(&[0.1, 0.2, 0.3], 0.5);
+        assert_eq!(tree.len(), 1);
+        assert!((tree.window_sum(&[1.0, 1.0, 1.0]) - 0.5).abs() < 1e-12);
     }
 
     #[test]

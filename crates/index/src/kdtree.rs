@@ -9,16 +9,24 @@
 //! * the **eclipse DUAL-S** algorithm of §V-D asks existence queries ("is
 //!   there any point inside the F-dominance region of `t`, other than `t`
 //!   itself?") against the skyline of a certain dataset.
+//!
+//! Layout: entries live in a columnar [`FlatEntries`] store, leaf membership
+//! is a `(start, len)` range into one shared `leaf_items` array (no per-leaf
+//! `Vec`), and node MBRs/weight aggregates are derived **bottom-up** during
+//! construction — leaves scan only their own entries and internal nodes take
+//! the union/sum of their two children, so the build does `O(n·d)` coordinate
+//! work per level instead of rescanning the full subtree at every recursion
+//! depth.
 
 use crate::region::DominanceRegion;
-use crate::PointEntry;
+use crate::{EntryRef, FlatEntries, PointEntry};
 use arsp_geometry::Mbr;
 
 /// Identifier of a node in the kd-tree arena.
 pub type KdNodeId = usize;
 
 /// Children of a kd-tree node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum KdNodeContent {
     /// Internal node: split dimension plus the two children.
     Internal {
@@ -29,8 +37,13 @@ pub enum KdNodeContent {
         /// Child holding the upper half.
         right: KdNodeId,
     },
-    /// Leaf node: indices into the entry array.
-    Leaf(Vec<usize>),
+    /// Leaf node: a `(start, len)` range into [`KdTree::leaf_items`].
+    Leaf {
+        /// First slot of the leaf's range in the shared item array.
+        start: u32,
+        /// Number of entries in the leaf.
+        len: u32,
+    },
 }
 
 /// A kd-tree node.
@@ -67,8 +80,11 @@ impl KdNode {
 /// A static, median-split kd-tree over weighted point entries.
 #[derive(Clone, Debug)]
 pub struct KdTree {
-    entries: Vec<PointEntry>,
+    entries: FlatEntries,
     nodes: Vec<KdNode>,
+    /// Shared leaf-membership arena; each leaf owns one contiguous range of
+    /// entry positions.
+    leaf_items: Vec<u32>,
     root: Option<KdNodeId>,
     leaf_size: usize,
 }
@@ -82,51 +98,88 @@ impl KdTree {
 
     /// Builds a kd-tree with a custom leaf capacity (≥ 1).
     pub fn build_with_leaf_size(entries: Vec<PointEntry>, leaf_size: usize) -> Self {
+        Self::build_flat_with_leaf_size(FlatEntries::from_entries(&entries), leaf_size)
+    }
+
+    /// Builds a kd-tree directly over a columnar entry store (no row-oriented
+    /// intermediate).
+    pub fn build_flat(entries: FlatEntries) -> Self {
+        Self::build_flat_with_leaf_size(entries, 1)
+    }
+
+    /// [`KdTree::build_flat`] with a custom leaf capacity (≥ 1).
+    pub fn build_flat_with_leaf_size(entries: FlatEntries, leaf_size: usize) -> Self {
         assert!(leaf_size >= 1);
+        let n = entries.len();
         let mut tree = Self {
             entries,
-            nodes: Vec::new(),
+            nodes: Vec::with_capacity(if n == 0 { 0 } else { 2 * n }),
+            leaf_items: Vec::with_capacity(n),
             root: None,
             leaf_size,
         };
-        if tree.entries.is_empty() {
+        if n == 0 {
             return tree;
         }
-        let mut order: Vec<usize> = (0..tree.entries.len()).collect();
+        let mut order: Vec<u32> = (0..n as u32).collect();
         let root = tree.build_rec(&mut order, 0);
         tree.root = Some(root);
         tree
     }
 
-    fn build_rec(&mut self, order: &mut [usize], depth: usize) -> KdNodeId {
-        let dim = self.entries[order[0]].dim();
-        let mbr = Mbr::from_coord_slices(order.iter().map(|&i| self.entries[i].coords.as_slice()))
-            .expect("non-empty point set");
-        let weight_sum: f64 = order.iter().map(|&i| self.entries[i].weight).sum();
-        let size = order.len();
-
+    fn build_rec(&mut self, order: &mut [u32], depth: usize) -> KdNodeId {
         if order.len() <= self.leaf_size {
+            // Leaf: the only place coordinates are scanned during the build.
+            let dim = self.entries.dim();
+            let mbr = Mbr::from_flat_rows(
+                self.entries.coords(),
+                dim,
+                order.iter().map(|&i| i as usize),
+            )
+            .expect("non-empty point set");
+            let weight_sum: f64 = order.iter().map(|&i| self.entries.weight(i as usize)).sum();
+            let start = self.leaf_items.len() as u32;
+            self.leaf_items.extend_from_slice(order);
             self.nodes.push(KdNode {
                 mbr,
                 weight_sum,
-                size,
-                content: KdNodeContent::Leaf(order.to_vec()),
+                size: order.len(),
+                content: KdNodeContent::Leaf {
+                    start,
+                    len: order.len() as u32,
+                },
             });
             return self.nodes.len() - 1;
         }
 
-        let split_dim = depth % dim;
+        // The weight aggregate is summed linearly over the (pre-split) slice
+        // — floating-point addition is order-sensitive, and this is the exact
+        // accumulation order the pre-arena build used, keeping
+        // `sum_weights_in` aggregates bit-for-bit stable across the layout
+        // change. Weights are a single contiguous column, so this costs one
+        // streaming pass per level (unlike the coordinate rescans the
+        // bottom-up MBRs eliminate).
+        let weight_sum: f64 = order.iter().map(|&i| self.entries.weight(i as usize)).sum();
+        let split_dim = depth % self.entries.dim();
         let mid = order.len() / 2;
-        order.select_nth_unstable_by(mid, |&a, &b| {
-            self.entries[a].coords[split_dim]
-                .partial_cmp(&self.entries[b].coords[split_dim])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        {
+            let coords = self.entries.coords();
+            let dim = self.entries.dim();
+            order.select_nth_unstable_by(mid, |&a, &b| {
+                coords[a as usize * dim + split_dim]
+                    .partial_cmp(&coords[b as usize * dim + split_dim])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        let size = order.len();
         let (low, high) = order.split_at_mut(mid);
         // `mid >= 1` because `order.len() > leaf_size >= 1`, so both halves are
         // non-empty.
         let left = self.build_rec(low, depth + 1);
         let right = self.build_rec(high, depth + 1);
+        // Bounds come from the children — min/max unions are exact, so the
+        // MBR is bit-identical to a full subtree rescan without one.
+        let mbr = self.nodes[left].mbr.union(&self.nodes[right].mbr);
         self.nodes.push(KdNode {
             mbr,
             weight_sum,
@@ -150,9 +203,15 @@ impl KdTree {
         &self.nodes[id]
     }
 
-    /// The stored entries in original order.
-    pub fn entries(&self) -> &[PointEntry] {
+    /// The columnar entry store, in original entry order.
+    pub fn entries(&self) -> &FlatEntries {
         &self.entries
+    }
+
+    /// The entry positions of a leaf's `(start, len)` range.
+    #[inline]
+    pub fn leaf_items(&self, start: u32, len: u32) -> &[u32] {
+        &self.leaf_items[start as usize..(start + len) as usize]
     }
 
     /// Number of stored entries.
@@ -168,10 +227,10 @@ impl KdTree {
     /// Height of the tree.
     pub fn height(&self) -> usize {
         fn rec(tree: &KdTree, id: KdNodeId) -> usize {
-            match &tree.nodes[id].content {
-                KdNodeContent::Leaf(_) => 1,
+            match tree.nodes[id].content {
+                KdNodeContent::Leaf { .. } => 1,
                 KdNodeContent::Internal { left, right, .. } => {
-                    1 + rec(tree, *left).max(rec(tree, *right))
+                    1 + rec(tree, left).max(rec(tree, right))
                 }
             }
         }
@@ -179,7 +238,7 @@ impl KdTree {
     }
 
     /// Calls `f` for every entry inside the downward-closed region.
-    pub fn for_each_in<R: DominanceRegion>(&self, region: &R, mut f: impl FnMut(&PointEntry)) {
+    pub fn for_each_in<R: DominanceRegion>(&self, region: &R, mut f: impl FnMut(EntryRef<'_>)) {
         let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
@@ -187,15 +246,15 @@ impl KdTree {
             if !region.may_intersect(&node.mbr) {
                 continue;
             }
-            match &node.content {
+            match node.content {
                 KdNodeContent::Internal { left, right, .. } => {
-                    stack.push(*left);
-                    stack.push(*right);
+                    stack.push(left);
+                    stack.push(right);
                 }
-                KdNodeContent::Leaf(idx) => {
-                    for &ei in idx {
-                        let e = &self.entries[ei];
-                        if region.contains(&e.coords) {
+                KdNodeContent::Leaf { start, len } => {
+                    for &ei in self.leaf_items(start, len) {
+                        let e = self.entries.get(ei as usize);
+                        if region.contains(e.coords) {
                             f(e);
                         }
                     }
@@ -215,15 +274,15 @@ impl KdTree {
             if region.covers(&node.mbr) {
                 return node.weight_sum;
             }
-            match &node.content {
+            match node.content {
                 KdNodeContent::Internal { left, right, .. } => {
-                    rec(tree, *left, region) + rec(tree, *right, region)
+                    rec(tree, left, region) + rec(tree, right, region)
                 }
-                KdNodeContent::Leaf(idx) => idx
+                KdNodeContent::Leaf { start, len } => tree
+                    .leaf_items(start, len)
                     .iter()
-                    .map(|&ei| &tree.entries[ei])
-                    .filter(|e| region.contains(&e.coords))
-                    .map(|e| e.weight)
+                    .filter(|&&ei| region.contains(tree.entries.coords_of(ei as usize)))
+                    .map(|&ei| tree.entries.weight(ei as usize))
                     .sum(),
             }
         }
@@ -245,18 +304,17 @@ impl KdTree {
             if region.covers(&node.mbr) && (skip_id.is_none() || node.size > 1) {
                 return true;
             }
-            match &node.content {
+            match node.content {
                 KdNodeContent::Internal { left, right, .. } => {
-                    stack.push(*left);
-                    stack.push(*right);
+                    stack.push(left);
+                    stack.push(right);
                 }
-                KdNodeContent::Leaf(idx) => {
-                    for &ei in idx {
-                        let e = &self.entries[ei];
-                        if Some(e.id) == skip_id {
+                KdNodeContent::Leaf { start, len } => {
+                    for &ei in self.leaf_items(start, len) {
+                        if Some(self.entries.id(ei as usize)) == skip_id {
                             continue;
                         }
-                        if region.contains(&e.coords) {
+                        if region.contains(self.entries.coords_of(ei as usize)) {
                             return true;
                         }
                     }
@@ -302,27 +360,32 @@ mod tests {
         let entries = random_entries(300, 2, 10, 4);
         let t = KdTree::build_with_leaf_size(entries, 4);
         let mut stack = vec![t.root().unwrap()];
+        let mut leaf_slots = 0;
         while let Some(id) = stack.pop() {
             let node = t.node(id);
-            match node.content() {
+            match *node.content() {
                 KdNodeContent::Internal { left, right, .. } => {
-                    let (l, r) = (t.node(*left), t.node(*right));
+                    let (l, r) = (t.node(left), t.node(right));
                     assert_eq!(node.size(), l.size() + r.size());
                     assert!((node.weight_sum() - (l.weight_sum() + r.weight_sum())).abs() < 1e-9);
                     assert!(node.mbr().contains_mbr(l.mbr()));
                     assert!(node.mbr().contains_mbr(r.mbr()));
-                    stack.push(*left);
-                    stack.push(*right);
+                    stack.push(left);
+                    stack.push(right);
                 }
-                KdNodeContent::Leaf(idx) => {
+                KdNodeContent::Leaf { start, len } => {
+                    let idx = t.leaf_items(start, len);
                     assert!(idx.len() <= 4);
                     assert_eq!(node.size(), idx.len());
                     for &ei in idx {
-                        assert!(node.mbr().contains(&t.entries()[ei].coords));
+                        assert!(node.mbr().contains(t.entries().coords_of(ei as usize)));
                     }
+                    leaf_slots += idx.len();
                 }
             }
         }
+        // Leaf ranges partition the shared item arena.
+        assert_eq!(leaf_slots, t.len());
     }
 
     #[test]
@@ -361,5 +424,20 @@ mod tests {
         let tight = [0.11, 0.11];
         assert!(t.any_in(&WindowTo::new(&tight), None));
         assert!(!t.any_in(&WindowTo::new(&tight), Some(0)));
+    }
+
+    #[test]
+    fn flat_build_matches_row_oriented_build() {
+        let entries = random_entries(257, 3, 12, 6);
+        let via_rows = KdTree::build_with_leaf_size(entries.clone(), 2);
+        let via_flat = KdTree::build_flat_with_leaf_size(FlatEntries::from_entries(&entries), 2);
+        assert_eq!(via_rows.height(), via_flat.height());
+        for corner in [vec![0.5, 0.5, 0.5], vec![0.8, 0.3, 0.6]] {
+            let w = WindowTo::new(&corner);
+            assert_eq!(
+                via_rows.sum_weights_in(&w).to_bits(),
+                via_flat.sum_weights_in(&w).to_bits()
+            );
+        }
     }
 }

@@ -6,21 +6,39 @@
 //! exposes its node structure (`NodeId`, [`NodeContent`]) rather than hiding
 //! it behind query methods, while also offering the usual region queries for
 //! the other consumers (tests, LOOP-style scans, eclipse baselines).
+//!
+//! Layout: entries live in a columnar [`FlatEntries`] store and every node's
+//! children — child node ids for internal nodes, entry positions for leaves —
+//! are a `(start, len)` range into one shared item array ([`RTree::items`]).
+//! The STR partitioning sorts a single permutation in place and records leaf
+//! *boundaries* instead of materialising a `Vec<Vec<usize>>` of groups, so
+//! bulk loading allocates O(1) vectors beyond the output arenas.
 
 use crate::region::DominanceRegion;
-use crate::PointEntry;
+use crate::{EntryRef, FlatEntries, PointEntry};
 use arsp_geometry::Mbr;
 
 /// Identifier of a node inside an [`RTree`] arena.
 pub type NodeId = usize;
 
-/// Children of an R-tree node.
-#[derive(Clone, Debug)]
+/// Children of an R-tree node, as a `(start, len)` range into the shared
+/// item array ([`RTree::items`]).
+#[derive(Clone, Copy, Debug)]
 pub enum NodeContent {
-    /// Internal node: child node ids.
-    Internal(Vec<NodeId>),
-    /// Leaf node: indices into the entry array.
-    Leaf(Vec<usize>),
+    /// Internal node: the range holds child node ids.
+    Internal {
+        /// First slot of the node's range in the shared item array.
+        start: u32,
+        /// Number of children.
+        len: u32,
+    },
+    /// Leaf node: the range holds entry positions.
+    Leaf {
+        /// First slot of the node's range in the shared item array.
+        start: u32,
+        /// Number of entries in the leaf.
+        len: u32,
+    },
 }
 
 /// One node of the R-tree.
@@ -43,15 +61,18 @@ impl Node {
 
     /// `true` when the node is a leaf.
     pub fn is_leaf(&self) -> bool {
-        matches!(self.content, NodeContent::Leaf(_))
+        matches!(self.content, NodeContent::Leaf { .. })
     }
 }
 
 /// A static STR bulk-loaded R-tree.
 #[derive(Clone, Debug)]
 pub struct RTree {
-    entries: Vec<PointEntry>,
+    entries: FlatEntries,
     nodes: Vec<Node>,
+    /// Shared child arena: leaf ranges hold entry positions, internal ranges
+    /// hold child node ids.
+    items: Vec<u32>,
     root: Option<NodeId>,
     fanout: usize,
 }
@@ -68,36 +89,67 @@ impl RTree {
 
     /// Bulk loads an R-tree with an explicit fanout (≥ 2).
     pub fn bulk_load_with_fanout(entries: Vec<PointEntry>, fanout: usize) -> Self {
+        Self::bulk_load_flat_with_fanout(FlatEntries::from_entries(&entries), fanout)
+    }
+
+    /// Bulk loads directly over a columnar entry store with the default
+    /// fanout (no row-oriented intermediate).
+    pub fn bulk_load_flat(entries: FlatEntries) -> Self {
+        Self::bulk_load_flat_with_fanout(entries, DEFAULT_FANOUT)
+    }
+
+    /// [`RTree::bulk_load_flat`] with an explicit fanout (≥ 2).
+    pub fn bulk_load_flat_with_fanout(entries: FlatEntries, fanout: usize) -> Self {
         assert!(fanout >= 2, "R-tree fanout must be at least 2");
+        let n = entries.len();
         let mut tree = Self {
             entries,
             nodes: Vec::new(),
+            items: Vec::new(),
             root: None,
             fanout,
         };
-        if tree.entries.is_empty() {
+        if n == 0 {
             return tree;
         }
-        // 1. Partition entry indices into spatially coherent leaf groups.
-        let mut order: Vec<usize> = (0..tree.entries.len()).collect();
-        let dim = tree.entries[0].dim();
-        let mut leaf_groups: Vec<Vec<usize>> = Vec::new();
-        str_partition(&tree.entries, &mut order, 0, dim, fanout, &mut leaf_groups);
+        // 1. Partition one permutation of entry positions into spatially
+        //    coherent leaf ranges: `order` is sorted in place and
+        //    `boundaries` collects the end offset of each leaf group.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let dim = tree.entries.dim();
+        let mut boundaries: Vec<u32> = Vec::new();
+        str_partition(
+            tree.entries.coords(),
+            dim,
+            &mut order,
+            0,
+            fanout,
+            0,
+            &mut boundaries,
+        );
 
-        // 2. Create the leaf level.
-        let mut level: Vec<NodeId> = leaf_groups
-            .into_iter()
-            .map(|group| {
-                let mbr = Mbr::from_coord_slices(
-                    group.iter().map(|&i| tree.entries[i].coords.as_slice()),
-                )
-                .expect("leaf groups are non-empty");
-                tree.push_node(Node {
-                    mbr,
-                    content: NodeContent::Leaf(group),
-                })
-            })
-            .collect();
+        // 2. Create the leaf level. The permutation becomes the front of the
+        //    shared item array; each leaf is a range of it.
+        tree.items.extend_from_slice(&order);
+        let mut level: Vec<NodeId> = Vec::with_capacity(boundaries.len());
+        let mut start = 0u32;
+        for &end in &boundaries {
+            let group = &order[start as usize..end as usize];
+            let mbr = Mbr::from_flat_rows(
+                tree.entries.coords(),
+                dim,
+                group.iter().map(|&i| i as usize),
+            )
+            .expect("leaf groups are non-empty");
+            level.push(tree.push_node(Node {
+                mbr,
+                content: NodeContent::Leaf {
+                    start,
+                    len: end - start,
+                },
+            }));
+            start = end;
+        }
 
         // 3. Build upper levels by grouping consecutive nodes (the STR order
         //    keeps consecutive nodes spatially close).
@@ -109,9 +161,14 @@ impl RTree {
                     .map(|&id| tree.nodes[id].mbr.clone())
                     .reduce(|a, b| a.union(&b))
                     .expect("chunks are non-empty");
+                let start = tree.items.len() as u32;
+                tree.items.extend(chunk.iter().map(|&id| id as u32));
                 next_level.push(tree.push_node(Node {
                     mbr,
-                    content: NodeContent::Internal(chunk.to_vec()),
+                    content: NodeContent::Internal {
+                        start,
+                        len: chunk.len() as u32,
+                    },
                 }));
             }
             level = next_level;
@@ -135,8 +192,15 @@ impl RTree {
         &self.nodes[id]
     }
 
-    /// The stored entries, in the order they were supplied.
-    pub fn entries(&self) -> &[PointEntry] {
+    /// The item slots of a node's `(start, len)` range: child node ids for an
+    /// internal node, entry positions for a leaf.
+    #[inline]
+    pub fn items(&self, start: u32, len: u32) -> &[u32] {
+        &self.items[start as usize..(start + len) as usize]
+    }
+
+    /// The columnar entry store, in the order entries were supplied.
+    pub fn entries(&self) -> &FlatEntries {
         &self.entries
     }
 
@@ -161,16 +225,16 @@ impl RTree {
         let mut cur = self.root;
         while let Some(id) = cur {
             h += 1;
-            cur = match &self.nodes[id].content {
-                NodeContent::Internal(children) => Some(children[0]),
-                NodeContent::Leaf(_) => None,
+            cur = match self.nodes[id].content {
+                NodeContent::Internal { start, .. } => Some(self.items[start as usize] as usize),
+                NodeContent::Leaf { .. } => None,
             };
         }
         h
     }
 
     /// Calls `f` for every entry inside the downward-closed region.
-    pub fn for_each_in<R: DominanceRegion>(&self, region: &R, mut f: impl FnMut(&PointEntry)) {
+    pub fn for_each_in<R: DominanceRegion>(&self, region: &R, mut f: impl FnMut(EntryRef<'_>)) {
         let Some(root) = self.root else { return };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
@@ -178,12 +242,14 @@ impl RTree {
             if !region.may_intersect(&node.mbr) {
                 continue;
             }
-            match &node.content {
-                NodeContent::Internal(children) => stack.extend(children.iter().copied()),
-                NodeContent::Leaf(entries) => {
-                    for &ei in entries {
-                        let entry = &self.entries[ei];
-                        if region.contains(&entry.coords) {
+            match node.content {
+                NodeContent::Internal { start, len } => {
+                    stack.extend(self.items(start, len).iter().map(|&c| c as usize))
+                }
+                NodeContent::Leaf { start, len } => {
+                    for &ei in self.items(start, len) {
+                        let entry = self.entries.get(ei as usize);
+                        if region.contains(entry.coords) {
                             f(entry);
                         }
                     }
@@ -209,15 +275,16 @@ impl RTree {
             if !region.may_intersect(&node.mbr) {
                 continue;
             }
-            match &node.content {
-                NodeContent::Internal(children) => stack.extend(children.iter().copied()),
-                NodeContent::Leaf(entries) => {
-                    for &ei in entries {
-                        let entry = &self.entries[ei];
-                        if Some(entry.id) == skip_id {
+            match node.content {
+                NodeContent::Internal { start, len } => {
+                    stack.extend(self.items(start, len).iter().map(|&c| c as usize))
+                }
+                NodeContent::Leaf { start, len } => {
+                    for &ei in self.items(start, len) {
+                        if Some(self.entries.id(ei as usize)) == skip_id {
                             continue;
                         }
-                        if region.contains(&entry.coords) {
+                        if region.contains(self.entries.coords_of(ei as usize)) {
                             return true;
                         }
                     }
@@ -228,29 +295,38 @@ impl RTree {
     }
 }
 
-/// Recursive STR partitioning: sorts `order[..]` by dimension `dim` and splits
-/// it into vertical slabs whose size is a multiple of the target leaf size,
-/// recursing on the remaining dimensions.
+/// Recursive STR partitioning over a flat coordinate array: sorts
+/// `order[..]` by dimension `dim` and splits it into vertical slabs whose
+/// size is a multiple of the target leaf size, recursing on the remaining
+/// dimensions. Instead of materialising per-leaf vectors, the function
+/// records the *end offset* (relative to the full permutation, hence `base`)
+/// of every leaf group in `boundaries` — the permutation itself carries the
+/// membership.
+#[allow(clippy::too_many_arguments)]
 fn str_partition(
-    entries: &[PointEntry],
-    order: &mut [usize],
-    dim: usize,
+    coords: &[f64],
     total_dims: usize,
+    order: &mut [u32],
+    dim: usize,
     leaf_size: usize,
-    out: &mut Vec<Vec<usize>>,
+    base: u32,
+    boundaries: &mut Vec<u32>,
 ) {
     if order.len() <= leaf_size {
-        out.push(order.to_vec());
+        boundaries.push(base + order.len() as u32);
         return;
     }
     order.sort_unstable_by(|&a, &b| {
-        entries[a].coords[dim]
-            .partial_cmp(&entries[b].coords[dim])
+        coords[a as usize * total_dims + dim]
+            .partial_cmp(&coords[b as usize * total_dims + dim])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     if dim + 1 == total_dims {
-        for chunk in order.chunks(leaf_size) {
-            out.push(chunk.to_vec());
+        let mut start = 0;
+        while start < order.len() {
+            let end = (start + leaf_size).min(order.len());
+            boundaries.push(base + end as u32);
+            start = end;
         }
         return;
     }
@@ -264,12 +340,13 @@ fn str_partition(
     while start < order.len() {
         let end = (start + slab).min(order.len());
         str_partition(
-            entries,
+            coords,
+            total_dims,
             &mut order[start..end],
             dim + 1,
-            total_dims,
             leaf_size,
-            out,
+            base + start as u32,
+            boundaries,
         );
         start = end;
     }
@@ -322,16 +399,16 @@ mod tests {
         let mut seen = 0usize;
         while let Some(id) = stack.pop() {
             let node = tree.node(id);
-            match node.content() {
-                NodeContent::Internal(children) => {
-                    for &c in children {
-                        assert!(node.mbr().contains_mbr(tree.node(c).mbr()));
-                        stack.push(c);
+            match *node.content() {
+                NodeContent::Internal { start, len } => {
+                    for &c in tree.items(start, len) {
+                        assert!(node.mbr().contains_mbr(tree.node(c as usize).mbr()));
+                        stack.push(c as usize);
                     }
                 }
-                NodeContent::Leaf(idx) => {
-                    for &ei in idx {
-                        assert!(node.mbr().contains(&tree.entries()[ei].coords));
+                NodeContent::Leaf { start, len } => {
+                    for &ei in tree.items(start, len) {
+                        assert!(node.mbr().contains(tree.entries().coords_of(ei as usize)));
                         seen += 1;
                     }
                 }
@@ -347,14 +424,14 @@ mod tests {
         let root = tree.root().unwrap();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            match tree.node(id).content() {
-                NodeContent::Internal(children) => {
-                    assert!(children.len() <= 8);
-                    stack.extend(children.iter().copied());
+            match *tree.node(id).content() {
+                NodeContent::Internal { start, len } => {
+                    assert!(len <= 8);
+                    stack.extend(tree.items(start, len).iter().map(|&c| c as usize));
                 }
-                NodeContent::Leaf(idx) => {
-                    assert!(!idx.is_empty());
-                    assert!(idx.len() <= 8);
+                NodeContent::Leaf { len, .. } => {
+                    assert!(len >= 1);
+                    assert!(len <= 8);
                 }
             }
         }
@@ -414,5 +491,36 @@ mod tests {
         let tree = RTree::bulk_load(entries);
         assert!(tree.height() >= 3, "height = {}", tree.height());
         assert_eq!(tree.fanout(), DEFAULT_FANOUT);
+    }
+
+    #[test]
+    fn leaf_ranges_partition_the_permutation() {
+        // The flattened STR load must cover every entry exactly once with
+        // consecutive, non-overlapping leaf ranges at the front of the item
+        // arena.
+        let entries = random_entries(731, 3, 15, 13);
+        let tree = RTree::bulk_load(entries);
+        let mut leaf_ranges: Vec<(u32, u32)> = Vec::new();
+        let mut stack = vec![tree.root().unwrap()];
+        while let Some(id) = stack.pop() {
+            match *tree.node(id).content() {
+                NodeContent::Internal { start, len } => {
+                    stack.extend(tree.items(start, len).iter().map(|&c| c as usize));
+                }
+                NodeContent::Leaf { start, len } => leaf_ranges.push((start, len)),
+            }
+        }
+        leaf_ranges.sort_unstable();
+        let mut expect_start = 0u32;
+        let mut seen: Vec<u32> = Vec::new();
+        for (start, len) in leaf_ranges {
+            assert_eq!(start, expect_start, "leaf ranges must be consecutive");
+            seen.extend_from_slice(tree.items(start, len));
+            expect_start = start + len;
+        }
+        assert_eq!(expect_start as usize, tree.len());
+        seen.sort_unstable();
+        let expected: Vec<u32> = (0..tree.len() as u32).collect();
+        assert_eq!(seen, expected);
     }
 }

@@ -2,9 +2,18 @@
 //! **bitwise identical** to the free functions — with caches cold or warm,
 //! forced or auto-selected, one at a time or batched — and repeated queries
 //! are served entirely from the session's caches.
+//!
+//! Since the flat columnar layout landed, this suite is also the end-to-end
+//! agreement gate between the two data layouts: the engine executes the
+//! flat-store paths (cached [`arsp::core::ScoreMatrix`], arena indexes,
+//! reusable scratch) while the free functions execute the `Point`-based
+//! paths, and every comparison below is exact (`==` on the probability
+//! vectors, not a tolerance). The property tests at the bottom drive the same
+//! contract over randomly generated datasets and constraint sets.
 
 use arsp::core::engine::CacheStats;
 use arsp::prelude::*;
+use proptest::prelude::*;
 
 fn shapes() -> Vec<SyntheticConfig> {
     vec![
@@ -229,6 +238,97 @@ fn parallel_engine_queries_match_sequential() {
             par.result().probs(),
             "{} parallel diverged",
             seq.algorithm().name()
+        );
+    }
+}
+
+proptest! {
+    // Random-dataset agreement: the engine's flat columnar paths must agree
+    // **bitwise** with the Point-based free functions on arbitrary datasets
+    // and constraint sets. A modest case count keeps the suite fast; every
+    // case covers LOOP, KDTT, KDTT+, QDTT+ and B&B, twice (cold + warm
+    // caches, so the second run also exercises scratch-arena reuse).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn flat_paths_agree_bitwise_with_point_paths_on_random_datasets(
+        seed in 0u64..1_000_000,
+        num_objects in 5usize..40,
+        max_instances in 1usize..6,
+        dim in 2usize..5,
+        ranking in 1usize..4,
+        region_length in 0.1f64..0.6,
+        phi in 0.0f64..0.5,
+    ) {
+        let dataset = SyntheticConfig {
+            num_objects,
+            max_instances,
+            dim,
+            region_length,
+            phi,
+            seed,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(dim, ranking.min(dim - 1));
+        let engine = ArspEngine::new(dataset.clone());
+        for algorithm in [
+            ArspAlgorithm::Loop,
+            ArspAlgorithm::Kdtt,
+            ArspAlgorithm::KdttPlus,
+            ArspAlgorithm::QdttPlus,
+            ArspAlgorithm::BranchAndBound,
+        ] {
+            let free = algorithm.run(&dataset, &constraints);
+            for attempt in ["cold", "warm"] {
+                let outcome = engine.query(&constraints).algorithm(algorithm).run();
+                prop_assert_eq!(
+                    free.probs(),
+                    outcome.result().probs(),
+                    "{} flat path diverged ({} cache, seed {})",
+                    algorithm.name(),
+                    attempt,
+                    seed
+                );
+            }
+        }
+    }
+
+}
+
+proptest! {
+    // The weight-ratio pipeline: DUAL (which does not use the flat layout)
+    // must keep agreeing with the flat general-constraint paths within float
+    // tolerance on random ratio boxes.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ratio_queries_agree_across_flat_and_dual_paths(
+        seed in 0u64..1_000_000,
+        low in 0.2f64..1.0,
+        span in 0.0f64..2.0,
+    ) {
+        let dataset = SyntheticConfig {
+            num_objects: 25,
+            max_instances: 4,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.2,
+            seed,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let ratio = WeightRatio::uniform(3, low, low + span);
+        let engine = ArspEngine::new(dataset.clone());
+        let dual = engine.ratio_query(&ratio).run();
+        let kdtt = engine
+            .ratio_query(&ratio)
+            .algorithm(ArspAlgorithm::KdttPlus)
+            .run();
+        prop_assert!(
+            dual.result().approx_eq(kdtt.result(), 1e-9),
+            "DUAL vs flat KDTT+ diverged by {} (seed {seed})",
+            dual.result().max_abs_diff(kdtt.result())
         );
     }
 }
