@@ -115,10 +115,12 @@ pub fn arsp_bnb_parallel_with_fdom(
 /// Computes `prob · Π_j (1 − σ[j])` over the non-empty aggregated R-trees,
 /// stopping at zero — the inner object loop of Algorithm 2. The window sums
 /// are pure reads, so the parallel path precomputes them (in parallel, when
-/// the object count warrants it) and folds the product in identical order.
+/// the object count warrants it) into the scratch-resident `sigma_buf` — no
+/// per-instance allocation — and folds the product in identical order.
 /// Unlike the sequential loop the precompute cannot stop at a zero product,
 /// so it pays every window query even for fully dominated instances — the
 /// object-count threshold exists to keep that trade favourable.
+#[cfg_attr(not(feature = "parallel"), allow(clippy::ptr_arg))]
 fn fold_window_products(
     agg: &[AggregateRTree],
     own_object: usize,
@@ -126,14 +128,14 @@ fn fold_window_products(
     prob: f64,
     parallel: bool,
     queries: &mut u64,
+    sigma_buf: &mut Vec<f64>,
 ) -> f64 {
     #[cfg(not(feature = "parallel"))]
-    let _ = parallel;
+    let _ = (parallel, sigma_buf);
     #[cfg(feature = "parallel")]
     if parallel {
         let populated = agg.iter().filter(|t| !t.is_empty()).count();
         if populated >= MIN_PARALLEL_OBJECTS && crate::parallel::num_threads() > 1 {
-            use rayon::prelude::*;
             // The precompute pays one window query per populated tree except
             // the instance's own object (skipped below either way).
             *queries += agg
@@ -141,24 +143,23 @@ fn fold_window_products(
                 .enumerate()
                 .filter(|(j, t)| *j != own_object && !t.is_empty())
                 .count() as u64;
-            let sigmas: Vec<f64> = (0..agg.len())
-                .into_par_iter()
-                .map(|j| {
-                    // The popped instance's own object is skipped by the fold
-                    // below; don't pay its window query either.
-                    if j == own_object || agg[j].is_empty() {
-                        0.0
-                    } else {
-                        agg[j].window_sum(sv)
-                    }
-                })
-                .collect();
+            // No clear: fill_slots overwrites every slot below.
+            sigma_buf.resize(agg.len(), 0.0);
+            crate::parallel::fill_slots(sigma_buf, |j| {
+                // The popped instance's own object is skipped by the fold
+                // below; don't pay its window query either.
+                if j == own_object || agg[j].is_empty() {
+                    0.0
+                } else {
+                    agg[j].window_sum(sv)
+                }
+            });
             let mut prob = prob;
             for (j, tree) in agg.iter().enumerate() {
                 if j == own_object || tree.is_empty() {
                     continue;
                 }
-                prob *= 1.0 - sigmas[j];
+                prob *= 1.0 - sigma_buf[j];
                 if prob <= 0.0 {
                     return 0.0;
                 }
@@ -213,6 +214,8 @@ pub struct BnbScratch {
     acc_prob: Vec<f64>,
     /// Node-corner mapping buffer for the Theorem-4 subtree test.
     sv_buf: Vec<f64>,
+    /// Per-object window-sum staging buffer of the parallel execution path.
+    par_sigma: Vec<f64>,
     /// One aggregated R-tree per object (reset, not reallocated, per query).
     agg: Vec<AggregateRTree>,
 }
@@ -290,6 +293,7 @@ fn arsp_bnb_impl(
         has_corner,
         acc_prob,
         sv_buf,
+        par_sigma,
         agg,
     } = &mut *s;
 
@@ -420,6 +424,7 @@ fn arsp_bnb_impl(
                         t.prob,
                         parallel,
                         &mut window_queries,
+                        par_sigma,
                     );
                     if prob > 0.0 && members.len() > 1 {
                         // Per-object intra-group mass dominating t, folded on

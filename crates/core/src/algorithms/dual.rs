@@ -11,7 +11,10 @@
 //!   reporting / point-location machinery (Theorem 6), which the paper itself
 //!   describes as "theoretical in nature"; the queries answered are identical
 //!   (per-object dominating mass under weight-ratio constraints), only the
-//!   data structure differs. See DESIGN.md.
+//!   data structure differs. See DESIGN.md. [`arsp_dual_flat_engine`] is its
+//!   flat columnar twin — the engine's hot path under every execution mode,
+//!   streaming the cached [`FlatStore`] and, under parallel execution,
+//!   chunking instances over worker threads (bitwise identical either way).
 //! * [`DualMs2d`] — the specialised d = 2 algorithm the paper actually
 //!   evaluates (Fig. 7): per-instance preprocessing sorts all other instances
 //!   by their angle around the instance, after which a weight-ratio query is
@@ -22,7 +25,7 @@
 
 use crate::result::ArspResult;
 use crate::stats::CounterStats;
-use arsp_data::UncertainDataset;
+use arsp_data::{FlatStore, UncertainDataset};
 use arsp_geometry::constraints::WeightRatio;
 use arsp_geometry::fdom::WeightRatioFDominance;
 use arsp_index::angular::dominance_wedge;
@@ -96,6 +99,110 @@ pub fn arsp_dual_engine(
             }
         }
         result.set(inst.id, prob);
+    }
+    if let Some(s) = stats {
+        s.add_window_queries(window_queries);
+    }
+    result
+}
+
+/// One instance's DUAL probability: probes every other object's aggregated
+/// R-tree for the mass F-dominating the instance, folding the factors in
+/// object order and stopping at zero — the same arithmetic, in the same
+/// order, as the instance loop of [`arsp_dual_engine`].
+fn dual_instance_prob(
+    flat: &FlatStore,
+    fdom: &WeightRatioFDominance,
+    agg: &[AggregateRTree],
+    id: usize,
+    window_queries: &mut u64,
+) -> f64 {
+    let region = FDominatorsOf::new(fdom, flat.coords_of(id));
+    let object = flat.object_of(id);
+    let mut prob = flat.prob(id);
+    for (j, tree) in agg.iter().enumerate() {
+        if j == object {
+            continue;
+        }
+        *window_queries += 1;
+        let sigma = tree.sum_weights_in(&region);
+        prob *= 1.0 - sigma;
+        if prob <= 0.0 {
+            return 0.0;
+        }
+    }
+    prob
+}
+
+/// The flat columnar DUAL entry point used by
+/// [`crate::engine::ArspEngine`]: instance coordinates, probabilities and
+/// object ids stream out of the cached [`FlatStore`] while the per-object
+/// aggregated R-trees (`agg`, see [`build_dual_index`]) are probed exactly
+/// as in [`arsp_dual_engine`] — the flat store is a bit-for-bit copy of the
+/// dataset, so results are **bitwise identical**. With `parallel` set the
+/// instances are evaluated in contiguous chunks on worker threads: each
+/// instance's probability is an independent product folded in object order,
+/// so the parallel twin is bitwise identical too (the index is read-only
+/// here — DUAL's trees are dataset-resident, not query-mutated like B&B's).
+pub fn arsp_dual_flat_engine(
+    flat: &FlatStore,
+    ratio: &WeightRatio,
+    agg: &[AggregateRTree],
+    parallel: bool,
+    stats: Option<&CounterStats>,
+) -> ArspResult {
+    assert_eq!(flat.dim(), ratio.dim(), "dimension mismatch");
+    debug_assert_eq!(
+        agg.len(),
+        flat.num_objects(),
+        "DUAL index covers a different dataset"
+    );
+    let fdom = WeightRatioFDominance::new(ratio.clone());
+    let n = flat.num_instances();
+    let mut result = ArspResult::zeros(n);
+    if n == 0 {
+        return result;
+    }
+
+    #[cfg(feature = "parallel")]
+    if parallel {
+        let chunks = crate::parallel::chunk_bounds(n);
+        if chunks.len() > 1 {
+            use rayon::prelude::*;
+
+            let fdom = &fdom;
+            let chunk_results: Vec<(usize, Vec<f64>, u64)> = crate::parallel::with_pool(|| {
+                chunks
+                    .into_par_iter()
+                    .map(|range| {
+                        let start = range.start;
+                        let mut queries = 0u64;
+                        let probs = range
+                            .map(|id| dual_instance_prob(flat, fdom, agg, id, &mut queries))
+                            .collect();
+                        (start, probs, queries)
+                    })
+                    .collect()
+            });
+
+            for (start, probs, queries) in chunk_results {
+                if let Some(s) = stats {
+                    s.add_window_queries(queries);
+                }
+                for (offset, prob) in probs.into_iter().enumerate() {
+                    result.set(start + offset, prob);
+                }
+            }
+            return result;
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = parallel;
+
+    let mut window_queries = 0u64;
+    for id in 0..n {
+        let prob = dual_instance_prob(flat, &fdom, agg, id, &mut window_queries);
+        result.set(id, prob);
     }
     if let Some(s) = stats {
         s.add_window_queries(window_queries);
@@ -385,5 +492,81 @@ mod tests {
     fn dual_ms_rejects_higher_dimensions() {
         let d = SyntheticConfig::small(5, 2, 3, 1).generate();
         let _ = DualMs2d::preprocess(&d);
+    }
+
+    #[test]
+    fn flat_engine_is_bitwise_identical_to_point_engine() {
+        let d = SyntheticConfig {
+            num_objects: 60,
+            max_instances: 5,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.2,
+            seed: 19,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let flat = FlatStore::from_dataset(&d);
+        let agg = build_dual_index(&d);
+        for (l, h) in [(0.5, 2.0), (1.0, 1.0), (0.25, 3.5)] {
+            let ratio = WeightRatio::uniform(3, l, h);
+            let stats_point = CounterStats::new();
+            let reference = arsp_dual_engine(&d, &ratio, Some(&agg), Some(&stats_point));
+            let stats_flat = CounterStats::new();
+            let got = arsp_dual_flat_engine(&flat, &ratio, &agg, false, Some(&stats_flat));
+            assert_eq!(
+                reference.probs(),
+                got.probs(),
+                "flat DUAL diverged on ratio [{l}, {h}]"
+            );
+            assert_eq!(
+                stats_point.snapshot().window_queries,
+                stats_flat.snapshot().window_queries,
+                "flat DUAL must issue the same window queries"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_engine_parallel_is_bitwise_identical() {
+        let d = SyntheticConfig {
+            num_objects: 80,
+            max_instances: 4,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.15,
+            seed: 29,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let flat = FlatStore::from_dataset(&d);
+        let agg = build_dual_index(&d);
+        let ratio = WeightRatio::uniform(3, 0.5, 2.0);
+        let seq_stats = CounterStats::new();
+        let seq = arsp_dual_flat_engine(&flat, &ratio, &agg, false, Some(&seq_stats));
+        // Force a fan-out even on single-core machines; the lock keeps
+        // knob-value assertions in other tests from observing the transient
+        // setting.
+        let _guard = crate::parallel::knob_lock();
+        crate::parallel::set_num_threads(4);
+        let par_stats = CounterStats::new();
+        let par = arsp_dual_flat_engine(&flat, &ratio, &agg, true, Some(&par_stats));
+        crate::parallel::set_num_threads(0);
+        assert_eq!(seq.probs(), par.probs());
+        assert_eq!(
+            seq_stats.snapshot().window_queries,
+            par_stats.snapshot().window_queries,
+            "query count must not depend on the execution mode"
+        );
+    }
+
+    #[test]
+    fn flat_engine_handles_empty_datasets() {
+        let d = UncertainDataset::new(2);
+        let flat = FlatStore::from_dataset(&d);
+        let agg = build_dual_index(&d);
+        let ratio = WeightRatio::uniform(2, 0.5, 2.0);
+        let result = arsp_dual_flat_engine(&flat, &ratio, &agg, false, None);
+        assert!(result.is_empty());
     }
 }

@@ -890,6 +890,15 @@ fn prebuilt_rec(
 // executed in the same order with the same values as the `ScorePoint`-based
 // recursion, so the output is bitwise identical — enforced by the tests at
 // the bottom of this file and by the `engine_agreement` suite.
+//
+// The parallel twin ([`kd_asp_flat_engine_parallel`]) dispatches sibling
+// subtrees of the first few recursion levels to worker threads: each subtree
+// checks a [`KdWorkerScratch`] arena out of a shared [`KdWorkerPool`], seeds
+// σ and the candidate list from the parent's exact snapshot (bitwise the
+// state the sequential recursion would hand it), recurses with the ordinary
+// flat machinery, and returns `(id, probability)` pairs for the parent to
+// merge. Exact snapshot + exact undo is what makes the fan-out invisible in
+// the output.
 
 /// Reusable working memory of the flat kd-ASP\* traversal. Create once (or
 /// take one out of the engine's scratch pool), pass to any number of
@@ -1087,6 +1096,133 @@ fn flat_kd_partition(pts: &FlatScorePoints<'_>, order: &mut [u32], depth: usize)
     mid
 }
 
+/// Snapshot of the traversal state a node's candidate pass mutated, plus the
+/// node's candidate range on the shared stack — the flat counterpart of
+/// [`NodePass`], recorded by [`flat_node_enter`] and restored exactly by
+/// [`flat_node_exit`].
+struct FlatPass {
+    /// σ-undo stack height before the pass.
+    saved_start: usize,
+    /// `β` before the pass.
+    beta_before: f64,
+    /// `χ` before the pass.
+    chi_before: usize,
+    /// This node's surviving-candidate range on the shared stack.
+    cstart: usize,
+    /// End of that range (the stack top after the pass).
+    cend: usize,
+}
+
+/// The shared node prologue of the flat traversals: computes the corners
+/// into the depth slot `bstart`, marks the node's points, runs the candidate
+/// pass over the parent range `[c0, c1)` and reports to the stats sink —
+/// exactly the operation order of the `ScorePoint` recursion.
+#[allow(clippy::too_many_arguments)]
+fn flat_node_enter(
+    pts: &FlatScorePoints<'_>,
+    s: &mut KdScratch,
+    bc: &mut FlatBc,
+    order: &[u32],
+    c0: usize,
+    c1: usize,
+    bstart: usize,
+    stats: Option<&CounterStats>,
+) -> FlatPass {
+    flat_corners(pts, s, order, bstart);
+    for &idx in order.iter() {
+        s.in_node[idx as usize] = true;
+    }
+    let saved_start = s.saved.len();
+    let beta_before = bc.beta;
+    let chi_before = bc.chi;
+    let cstart = s.cand.len();
+    let tests = flat_candidate_pass(pts, s, bc, c0, c1, bstart);
+    for &idx in order.iter() {
+        s.in_node[idx as usize] = false;
+    }
+    if let Some(st) = stats {
+        st.add_nodes_visited(1);
+        st.add_fdom_tests(tests);
+    }
+    let cend = s.cand.len();
+    FlatPass {
+        saved_start,
+        beta_before,
+        chi_before,
+        cstart,
+        cend,
+    }
+}
+
+/// The shared node epilogue: exact undo — σ entries newest-first, β/χ from
+/// the snapshot, candidate stack truncated to this node's base.
+fn flat_node_exit(s: &mut KdScratch, bc: &mut FlatBc, pass: &FlatPass) {
+    while s.saved.len() > pass.saved_start {
+        let (obj, old) = s.saved.pop().expect("saved_start bounds the stack");
+        s.sigma[obj as usize] = old;
+    }
+    bc.beta = pass.beta_before;
+    bc.chi = pass.chi_before;
+    s.cand.truncate(pass.cstart);
+}
+
+/// Quadrant-groups `order` around the centre of the bounds slot `bstart`:
+/// ascending mask order with the original order preserved inside each group
+/// — exactly the BTreeMap grouping of the `ScorePoint` path, via one
+/// O(n log n) sort of (mask, position) pairs (sorting by the position as the
+/// tie-breaker makes the unstable sort behave stably). On success returns
+/// the base offset `qb0` of the group end offsets pushed onto the `qbounds`
+/// stack arena (the caller recurses group by group, then truncates back to
+/// `qb0`); returns `None` on a mask collision (dimensions ≥ 64 put every
+/// point in one group), where the caller falls back to a kd split exactly as
+/// the `ScorePoint` traversal does.
+fn flat_quad_group(
+    pts: &FlatScorePoints<'_>,
+    s: &mut KdScratch,
+    order: &mut [u32],
+    bstart: usize,
+) -> Option<usize> {
+    let dim = pts.dim;
+    s.center.clear();
+    s.center
+        .extend((0..dim).map(|k| 0.5 * (s.bounds[bstart + k] + s.bounds[bstart + dim + k])));
+    s.qkeys.clear();
+    let mut all_same = true;
+    for (pos, &idx) in order.iter().enumerate() {
+        let row = pts.coords_of(idx as usize);
+        let mut mask: u64 = 0;
+        for (k, &c) in row.iter().enumerate() {
+            if k < 64 && c > s.center[k] {
+                mask |= 1 << k;
+            }
+        }
+        all_same &= mask == s.qkeys.first().map_or(mask, |&(m, _)| m);
+        s.qkeys.push((mask, pos as u32));
+    }
+    if all_same {
+        return None;
+    }
+    s.qkeys.sort_unstable();
+    // Permute `order` into grouped form via a staging copy.
+    s.qbuf.clear();
+    s.qbuf.extend_from_slice(order);
+    for (slot, &(_, pos)) in s.qkeys.iter().enumerate() {
+        order[slot] = s.qbuf[pos as usize];
+    }
+    // Group end offsets survive the child recursions on the qbounds stack
+    // arena.
+    let qb0 = s.qbounds.len();
+    for (slot, &(mask, _)) in s.qkeys.iter().enumerate() {
+        if s.qkeys
+            .get(slot + 1)
+            .map_or(true, |&(next, _)| next != mask)
+        {
+            s.qbounds.push(slot as u32 + 1);
+        }
+    }
+    Some(qb0)
+}
+
 /// The flat twin of [`fused_rec`]. `c0..c1` is this node's candidate range in
 /// the shared stack.
 #[allow(clippy::too_many_arguments)]
@@ -1104,24 +1240,8 @@ fn fused_rec_flat(
 ) {
     let dim = pts.dim;
     let bstart = depth * 2 * dim;
-    flat_corners(pts, s, order, bstart);
-
-    for &idx in order.iter() {
-        s.in_node[idx as usize] = true;
-    }
-    let saved_start = s.saved.len();
-    let beta_before = bc.beta;
-    let chi_before = bc.chi;
-    let cstart = s.cand.len();
-    let tests = flat_candidate_pass(pts, s, bc, c0, c1, bstart);
-    for &idx in order.iter() {
-        s.in_node[idx as usize] = false;
-    }
-    if let Some(st) = stats {
-        st.add_nodes_visited(1);
-        st.add_fdom_tests(tests);
-    }
-    let cend = s.cand.len();
+    let pass = flat_node_enter(pts, s, bc, order, c0, c1, bstart, stats);
+    let (cstart, cend) = (pass.cstart, pass.cend);
 
     if order.len() == 1 {
         let iu = order[0] as usize;
@@ -1131,107 +1251,284 @@ fn fused_rec_flat(
         let (sigma, node_mass) = (&s.sigma, &mut s.node_mass);
         emit_coincident_flat(pts, order, sigma, bc, node_mass, out);
     } else if bc.chi == 0 {
-        let kd_fallback = match split {
-            SplitKind::Kd => true,
-            SplitKind::Quad => {
-                // Quadrant grouping: ascending mask order with the original
-                // order preserved inside each group — exactly the BTreeMap
-                // grouping of the `ScorePoint` path, via one O(n log n) sort
-                // of (mask, position) pairs (sorting by the position as the
-                // tie-breaker makes the unstable sort behave stably).
-                s.center.clear();
-                s.center.extend(
-                    (0..dim).map(|k| 0.5 * (s.bounds[bstart + k] + s.bounds[bstart + dim + k])),
-                );
-                s.qkeys.clear();
-                let mut all_same = true;
-                for (pos, &idx) in order.iter().enumerate() {
-                    let row = pts.coords_of(idx as usize);
-                    let mut mask: u64 = 0;
-                    for (k, &c) in row.iter().enumerate() {
-                        if k < 64 && c > s.center[k] {
-                            mask |= 1 << k;
-                        }
-                    }
-                    all_same &= mask == s.qkeys.first().map_or(mask, |&(m, _)| m);
-                    s.qkeys.push((mask, pos as u32));
-                }
-                if all_same {
-                    // Mask collision (dimensions ≥ 64): kd fallback, exactly
-                    // as in the `ScorePoint` traversal.
-                    true
-                } else {
-                    s.qkeys.sort_unstable();
-                    // Permute `order` into grouped form via a staging copy.
-                    s.qbuf.clear();
-                    s.qbuf.extend_from_slice(order);
-                    for (slot, &(_, pos)) in s.qkeys.iter().enumerate() {
-                        order[slot] = s.qbuf[pos as usize];
-                    }
-                    // Group end offsets survive the child recursions on the
-                    // qbounds stack arena.
-                    let qb0 = s.qbounds.len();
-                    for (slot, &(mask, _)) in s.qkeys.iter().enumerate() {
-                        if s.qkeys
-                            .get(slot + 1)
-                            .map_or(true, |&(next, _)| next != mask)
-                        {
-                            s.qbounds.push(slot as u32 + 1);
-                        }
-                    }
-                    let groups = s.qbounds.len() - qb0;
-                    let mut gstart = 0usize;
-                    for g in 0..groups {
-                        let gend = s.qbounds[qb0 + g] as usize;
-                        fused_rec_flat(
-                            pts,
-                            s,
-                            bc,
-                            &mut order[gstart..gend],
-                            cstart,
-                            cend,
-                            depth + 1,
-                            split,
-                            out,
-                            stats,
-                        );
-                        gstart = gend;
-                    }
-                    s.qbounds.truncate(qb0);
-                    false
-                }
-            }
+        let grouped = match split {
+            SplitKind::Kd => None,
+            SplitKind::Quad => flat_quad_group(pts, s, order, bstart),
         };
-        if kd_fallback {
-            let mid = flat_kd_partition(pts, order, depth);
-            let (left, right) = order.split_at_mut(mid);
-            fused_rec_flat(pts, s, bc, left, cstart, cend, depth + 1, split, out, stats);
-            fused_rec_flat(
-                pts,
-                s,
-                bc,
-                right,
-                cstart,
-                cend,
-                depth + 1,
-                split,
-                out,
-                stats,
-            );
+        match grouped {
+            Some(qb0) => {
+                let groups = s.qbounds.len() - qb0;
+                let mut gstart = 0usize;
+                for g in 0..groups {
+                    let gend = s.qbounds[qb0 + g] as usize;
+                    fused_rec_flat(
+                        pts,
+                        s,
+                        bc,
+                        &mut order[gstart..gend],
+                        cstart,
+                        cend,
+                        depth + 1,
+                        split,
+                        out,
+                        stats,
+                    );
+                    gstart = gend;
+                }
+                s.qbounds.truncate(qb0);
+            }
+            None => {
+                // Kd split, or the quad mask-collision fallback.
+                let mid = flat_kd_partition(pts, order, depth);
+                let (left, right) = order.split_at_mut(mid);
+                fused_rec_flat(pts, s, bc, left, cstart, cend, depth + 1, split, out, stats);
+                fused_rec_flat(
+                    pts,
+                    s,
+                    bc,
+                    right,
+                    cstart,
+                    cend,
+                    depth + 1,
+                    split,
+                    out,
+                    stats,
+                );
+            }
         }
     }
     // χ ≥ 1 with |P| > 1: the subtree is pruned, exactly as in the
     // `ScorePoint` traversal.
 
-    // Exact undo: σ entries newest-first, β/χ from the snapshot, candidate
-    // stack truncated to this node's base.
-    while s.saved.len() > saved_start {
-        let (obj, old) = s.saved.pop().expect("saved_start bounds the stack");
-        s.sigma[obj as usize] = old;
+    flat_node_exit(s, bc, &pass);
+}
+
+/// One worker's arena for the parallel flat traversal: a [`KdScratch`] for
+/// the subtree's recursion plus a full-length output staging buffer (only
+/// the subtree's own slots are zeroed and read, so the buffer is reused
+/// without a full clear). Pooled in a [`KdWorkerPool`].
+#[derive(Debug, Default)]
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+pub struct KdWorkerScratch {
+    scratch: KdScratch,
+    out: Vec<f64>,
+}
+
+#[cfg(feature = "parallel")]
+impl KdWorkerScratch {
+    /// Prepares the arena for a subtree over `n` points: σ and the candidate
+    /// stack are seeded from the parent's exact snapshot, the undo stacks are
+    /// emptied, and the staging buffer is grown to cover every point id.
+    fn prepare(&mut self, n: usize, sigma: &[f64], cand: &[u32]) {
+        let s = &mut self.scratch;
+        s.sigma.clear();
+        s.sigma.extend_from_slice(sigma);
+        s.cand.clear();
+        s.cand.extend_from_slice(cand);
+        s.saved.clear();
+        s.qbounds.clear();
+        s.in_node.clear();
+        s.in_node.resize(n, false);
+        if self.out.len() < n {
+            self.out.resize(n, 0.0);
+        }
     }
-    bc.beta = beta_before;
-    bc.chi = chi_before;
-    s.cand.truncate(cstart);
+}
+
+/// A stealable stack of [`KdWorkerScratch`] arenas shared by the subtree
+/// tasks of the parallel flat traversal. [`crate::engine::ArspEngine`] owns
+/// one per session, so warmed-up parallel queries (and `run_batch` sweeps)
+/// stop allocating arena memory per subtree; free-function callers get a throwaway pool
+/// per call, which still reuses arenas across that call's subtrees.
+pub type KdWorkerPool = crate::scratch::ScratchPool<KdWorkerScratch>;
+
+/// One subtree of the parallel flat traversal, on a pooled worker arena: σ,
+/// β, χ and the candidate list are seeded from the parent's exact snapshot
+/// (bitwise the state the sequential recursion would hand the same subtree)
+/// and the recursion writes into the arena's staging buffer. The arena is
+/// returned — not pooled — so the parent can merge the subtree's output
+/// slots straight out of the staging buffer (sibling subtrees cover
+/// disjoint ids, so merging cannot reorder anything) and return the arena
+/// itself; no per-subtree result vector is allocated.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn run_flat_subtree(
+    pts: &FlatScorePoints<'_>,
+    pool: &KdWorkerPool,
+    order: &mut [u32],
+    cand: &[u32],
+    sigma: &[f64],
+    beta: f64,
+    chi: usize,
+    depth: usize,
+    split: SplitKind,
+    levels: usize,
+    stats: Option<&CounterStats>,
+) -> KdWorkerScratch {
+    let mut worker = pool.take();
+    worker.prepare(pts.len(), sigma, cand);
+    // Zero exactly this subtree's output slots: pruned leaves must read as
+    // zero, and the pooled buffer may hold another subtree's stale values.
+    for &idx in order.iter() {
+        worker.out[idx as usize] = 0.0;
+    }
+    let mut bc = FlatBc { beta, chi };
+    let c1 = cand.len();
+    let KdWorkerScratch { scratch, out } = &mut worker;
+    fused_rec_flat_par(
+        pts, pool, scratch, &mut bc, order, 0, c1, depth, split, out, levels, stats,
+    );
+    worker
+}
+
+/// Merges one subtree's slots from its worker's staging buffer into the
+/// shared output and parks the worker back in the pool.
+#[cfg(feature = "parallel")]
+fn merge_flat_subtree(
+    pool: &KdWorkerPool,
+    worker: KdWorkerScratch,
+    order: &[u32],
+    out: &mut [f64],
+) {
+    for &idx in order.iter() {
+        out[idx as usize] = worker.out[idx as usize];
+    }
+    pool.put(worker);
+}
+
+/// The parallel twin of [`fused_rec_flat`]: node processing is identical,
+/// but while parallel `levels` remain, child subtrees are dispatched through
+/// [`rayon::join`] (kd splits) or a parallel iterator (quad groups) onto
+/// pooled worker arenas seeded with exact state snapshots. Because
+/// [`flat_node_exit`] restores state exactly, the snapshot a child receives
+/// is bitwise the state the sequential recursion would hand it, so outputs
+/// cannot differ.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn fused_rec_flat_par(
+    pts: &FlatScorePoints<'_>,
+    pool: &KdWorkerPool,
+    s: &mut KdScratch,
+    bc: &mut FlatBc,
+    order: &mut [u32],
+    c0: usize,
+    c1: usize,
+    depth: usize,
+    split: SplitKind,
+    out: &mut [f64],
+    levels: usize,
+    stats: Option<&CounterStats>,
+) {
+    if levels == 0 || order.len() < MIN_PARALLEL_NODE {
+        fused_rec_flat(pts, s, bc, order, c0, c1, depth, split, out, stats);
+        return;
+    }
+    let dim = pts.dim;
+    let bstart = depth * 2 * dim;
+    let pass = flat_node_enter(pts, s, bc, order, c0, c1, bstart, stats);
+
+    if order.len() == 1 {
+        let iu = order[0] as usize;
+        out[iu] = flat_leaf_probability(&s.sigma, bc, pts.objects[iu] as usize, pts.probs[iu]);
+    } else if s.bounds[bstart..bstart + dim] == s.bounds[bstart + dim..bstart + 2 * dim] {
+        let (sigma, node_mass) = (&s.sigma, &mut s.node_mass);
+        emit_coincident_flat(pts, order, sigma, bc, node_mass, out);
+    } else if bc.chi == 0 {
+        let grouped = match split {
+            SplitKind::Kd => None,
+            SplitKind::Quad => flat_quad_group(pts, s, order, bstart),
+        };
+        match grouped {
+            Some(qb0) => {
+                // Carve `order` into its per-group sub-slices (disjoint, in
+                // ascending mask order), then run every group on a worker.
+                let group_count = s.qbounds.len() - qb0;
+                let mut slices: Vec<&mut [u32]> = Vec::with_capacity(group_count);
+                let mut rest: &mut [u32] = &mut *order;
+                let mut gstart = 0usize;
+                for g in 0..group_count {
+                    let gend = s.qbounds[qb0 + g] as usize;
+                    let (head, tail) = rest.split_at_mut(gend - gstart);
+                    slices.push(head);
+                    rest = tail;
+                    gstart = gend;
+                }
+                let sigma: &[f64] = &s.sigma;
+                let cand: &[u32] = &s.cand[pass.cstart..pass.cend];
+                let (beta, chi) = (bc.beta, bc.chi);
+                use rayon::prelude::*;
+                let workers: Vec<KdWorkerScratch> = slices
+                    .into_par_iter()
+                    .map(|group| {
+                        run_flat_subtree(
+                            pts,
+                            pool,
+                            group,
+                            cand,
+                            sigma,
+                            beta,
+                            chi,
+                            depth + 1,
+                            split,
+                            levels - 1,
+                            stats,
+                        )
+                    })
+                    .collect();
+                let mut gstart = 0usize;
+                for (g, worker) in workers.into_iter().enumerate() {
+                    let gend = s.qbounds[qb0 + g] as usize;
+                    merge_flat_subtree(pool, worker, &order[gstart..gend], out);
+                    gstart = gend;
+                }
+                s.qbounds.truncate(qb0);
+            }
+            None => {
+                // Kd split, or the quad mask-collision fallback.
+                let mid = flat_kd_partition(pts, order, depth);
+                let (left, right) = order.split_at_mut(mid);
+                let sigma: &[f64] = &s.sigma;
+                let cand: &[u32] = &s.cand[pass.cstart..pass.cend];
+                let (beta, chi) = (bc.beta, bc.chi);
+                let (lworker, rworker) = rayon::join(
+                    || {
+                        run_flat_subtree(
+                            pts,
+                            pool,
+                            left,
+                            cand,
+                            sigma,
+                            beta,
+                            chi,
+                            depth + 1,
+                            split,
+                            levels - 1,
+                            stats,
+                        )
+                    },
+                    || {
+                        run_flat_subtree(
+                            pts,
+                            pool,
+                            right,
+                            cand,
+                            sigma,
+                            beta,
+                            chi,
+                            depth + 1,
+                            split,
+                            levels - 1,
+                            stats,
+                        )
+                    },
+                );
+                merge_flat_subtree(pool, lworker, &order[..mid], out);
+                merge_flat_subtree(pool, rworker, &order[mid..], out);
+            }
+        }
+    }
+
+    flat_node_exit(s, bc, &pass);
 }
 
 /// The flat twin of [`prebuilt_rec`]: same prebuilt kd-tree, same traversal,
@@ -1322,9 +1619,10 @@ fn prebuilt_rec_flat(
 
 /// The flat columnar kd-ASP\* entry point: [`kd_asp_engine`] over a
 /// [`FlatScorePoints`] view with all working memory drawn from a reusable
-/// [`KdScratch`]. Sequential only (the parallel twins run the `ScorePoint`
-/// path, which is bitwise identical); results are bitwise identical to
-/// [`kd_asp_engine`] on the equivalent `ScorePoint` slice.
+/// [`KdScratch`]. Runs on the calling thread — see
+/// [`kd_asp_flat_engine_parallel`] for the worker-pool twin. Results are
+/// bitwise identical to [`kd_asp_engine`] on the equivalent `ScorePoint`
+/// slice.
 pub fn kd_asp_flat_engine(
     pts: FlatScorePoints<'_>,
     num_objects: usize,
@@ -1374,6 +1672,74 @@ pub fn kd_asp_flat_engine(
         }
     }
     out
+}
+
+/// The parallel twin of [`kd_asp_flat_engine`]: the same flat columnar fused
+/// traversal, with sibling subtrees of the first few recursion levels
+/// dispatched to worker threads on pooled [`KdWorkerScratch`] arenas.
+/// Exact-snapshot state restore makes the result **bitwise identical** to
+/// the sequential flat engine (and hence to every `ScorePoint` path). The
+/// prebuilt (KDTT) traversal stays sequential by design, exactly as in
+/// [`kd_asp_engine`] — it exists to measure the construction overhead the
+/// fused variants remove. Pass `None` for `pool` to use a throwaway pool
+/// (arenas still reused across this call's subtrees); the engine passes its
+/// session-owned pool. Without the `parallel` feature this is
+/// [`kd_asp_flat_engine`].
+pub fn kd_asp_flat_engine_parallel(
+    pts: FlatScorePoints<'_>,
+    num_objects: usize,
+    num_instances: usize,
+    variant: KdVariant,
+    stats: Option<&CounterStats>,
+    scratch: &mut KdScratch,
+    pool: Option<&KdWorkerPool>,
+) -> Vec<f64> {
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = pool;
+        kd_asp_flat_engine(pts, num_objects, num_instances, variant, stats, scratch)
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let split = match variant {
+            KdVariant::Prebuilt => {
+                return kd_asp_flat_engine(
+                    pts,
+                    num_objects,
+                    num_instances,
+                    variant,
+                    stats,
+                    scratch,
+                );
+            }
+            KdVariant::FusedKd => SplitKind::Kd,
+            KdVariant::FusedQuad => SplitKind::Quad,
+        };
+        let levels = crate::parallel::fan_out_levels();
+        if levels == 0 || pts.len() < MIN_PARALLEL_NODE {
+            return kd_asp_flat_engine(pts, num_objects, num_instances, variant, stats, scratch);
+        }
+        crate::parallel::with_pool(|| {
+            let mut out = vec![0.0; num_instances];
+            let n = pts.len();
+            scratch.prepare(num_objects, n);
+            let owned_pool;
+            let pool = match pool {
+                Some(p) => p,
+                None => {
+                    owned_pool = KdWorkerPool::new();
+                    &owned_pool
+                }
+            };
+            let mut bc = FlatBc { beta: 1.0, chi: 0 };
+            let mut order = std::mem::take(&mut scratch.order);
+            fused_rec_flat_par(
+                &pts, pool, scratch, &mut bc, &mut order, 0, n, 0, split, &mut out, levels, stats,
+            );
+            scratch.order = order;
+            out
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1640,6 +2006,19 @@ mod tests {
         variant: KdVariant,
         scratch: &mut KdScratch,
     ) -> Vec<f64> {
+        let (dim, coords, objects, probs) = flat_columns(points);
+        let pts = FlatScorePoints {
+            dim,
+            coords: &coords,
+            objects: &objects,
+            probs: &probs,
+        };
+        kd_asp_flat_engine(pts, num_objects, num_instances, variant, None, scratch)
+    }
+
+    /// Stages a `ScorePoint` slice's columns for a [`FlatScorePoints`] view
+    /// (ids must equal positions, as the score-space mapping guarantees).
+    fn flat_columns(points: &[ScorePoint]) -> (usize, Vec<f64>, Vec<u32>, Vec<f64>) {
         let dim = points.first().map_or(0, |p| p.coords.len());
         let mut coords = Vec::with_capacity(points.len() * dim);
         let mut objects = Vec::with_capacity(points.len());
@@ -1650,13 +2029,7 @@ mod tests {
             objects.push(sp.object as u32);
             probs.push(sp.prob);
         }
-        let pts = FlatScorePoints {
-            dim,
-            coords: &coords,
-            objects: &objects,
-            probs: &probs,
-        };
-        kd_asp_flat_engine(pts, num_objects, num_instances, variant, None, scratch)
+        (dim, coords, objects, probs)
     }
 
     #[test]
@@ -1746,6 +2119,103 @@ mod tests {
             let seq_quad = quad_asp_fused(&pts, num_objects, n);
             let par_quad = quad_asp_fused_parallel(&pts, num_objects, n);
             assert_eq!(seq_quad, par_quad, "quad traversal diverged (seed {seed})");
+        }
+        crate::parallel::set_num_threads(0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_flat_traversal_is_bitwise_identical_to_sequential_flat() {
+        let _guard = crate::parallel::knob_lock();
+        // One scratch and one worker pool reused across every run: the
+        // second pass per configuration exercises warm-arena reuse on top of
+        // the bitwise agreement.
+        let mut scratch = KdScratch::new();
+        let pool = KdWorkerPool::new();
+        for threads in [2usize, 4] {
+            crate::parallel::set_num_threads(threads);
+            for (seed, dim) in [(101u64, 2usize), (102, 3), (103, 4)] {
+                let (pts, num_objects, n) = large_random_points(seed, dim);
+                assert!(n > MIN_PARALLEL_NODE, "must cross the parallel threshold");
+                let (d, coords, objects, probs) = flat_columns(&pts);
+                let view = FlatScorePoints {
+                    dim: d,
+                    coords: &coords,
+                    objects: &objects,
+                    probs: &probs,
+                };
+                for variant in [
+                    KdVariant::FusedKd,
+                    KdVariant::FusedQuad,
+                    KdVariant::Prebuilt,
+                ] {
+                    let seq = kd_asp_flat_engine(view, num_objects, n, variant, None, &mut scratch);
+                    for _ in 0..2 {
+                        let par = kd_asp_flat_engine_parallel(
+                            view,
+                            num_objects,
+                            n,
+                            variant,
+                            None,
+                            &mut scratch,
+                            Some(&pool),
+                        );
+                        assert_eq!(
+                            seq, par,
+                            "parallel flat {variant:?} diverged \
+                             (seed {seed}, dim {dim}, threads {threads})"
+                        );
+                    }
+                }
+            }
+        }
+        crate::parallel::set_num_threads(0);
+        assert!(
+            pool.hits() > 0,
+            "repeated parallel runs must reuse pooled worker arenas"
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_flat_traversal_reports_identical_stats() {
+        let _guard = crate::parallel::knob_lock();
+        crate::parallel::set_num_threads(4);
+        let (pts, num_objects, n) = large_random_points(104, 3);
+        let (d, coords, objects, probs) = flat_columns(&pts);
+        let view = FlatScorePoints {
+            dim: d,
+            coords: &coords,
+            objects: &objects,
+            probs: &probs,
+        };
+        let mut scratch = KdScratch::new();
+        for variant in [KdVariant::FusedKd, KdVariant::FusedQuad] {
+            let seq_stats = CounterStats::new();
+            let seq = kd_asp_flat_engine(
+                view,
+                num_objects,
+                n,
+                variant,
+                Some(&seq_stats),
+                &mut scratch,
+            );
+            let par_stats = CounterStats::new();
+            let par = kd_asp_flat_engine_parallel(
+                view,
+                num_objects,
+                n,
+                variant,
+                Some(&par_stats),
+                &mut scratch,
+                None,
+            );
+            assert_eq!(seq, par);
+            assert_eq!(
+                seq_stats.snapshot(),
+                par_stats.snapshot(),
+                "work counters must not depend on the execution mode ({variant:?})"
+            );
         }
         crate::parallel::set_num_threads(0);
     }

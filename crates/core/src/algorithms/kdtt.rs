@@ -14,7 +14,7 @@
 use super::kd_asp;
 pub use super::kd_asp::KdVariant;
 use crate::result::ArspResult;
-use crate::scorespace::{FlatScorePoints, ScoreMatrix, ScorePoint};
+use crate::scorespace::{FlatScorePoints, ScoreMatrix};
 use crate::stats::CounterStats;
 use arsp_data::{FlatStore, UncertainDataset};
 use arsp_geometry::fdom::LinearFDominance;
@@ -117,61 +117,45 @@ pub fn arsp_kdtt_engine(
     ArspResult::from_probs(probs)
 }
 
-/// [`arsp_kdtt_engine`] fed from a cached [`ScoreMatrix`] instead of
-/// recomputing the score-space mapping: the `ScorePoint` slice the
-/// (parallel-capable) traversal needs is rebuilt by *copying* matrix rows —
-/// bitwise the same coordinates, no dot products. This is what the engine's
-/// parallel KDTT-family queries run, so a warm session's parallel sweeps pay
-/// the projection once rather than per query.
-pub fn arsp_kdtt_engine_from_scores(
+/// The flat columnar KDTT-family entry point used by
+/// [`crate::engine::ArspEngine`] under **every** execution mode: the
+/// score-space mapping is already materialised as a cached [`ScoreMatrix`]
+/// (one vectorizable pass, shared across queries and algorithms) and the
+/// traversal runs allocation-free over the columnar view with a reusable
+/// [`kd_asp::KdScratch`]. With `parallel` set, sibling subtrees run on
+/// worker threads drawing arenas from `pool` (see
+/// [`kd_asp::kd_asp_flat_engine_parallel`]); results are bitwise identical
+/// to [`arsp_kdtt_engine`] in every combination.
+pub fn arsp_kdtt_flat_engine(
     flat: &FlatStore,
     scores: &ScoreMatrix,
     variant: KdVariant,
     parallel: bool,
     stats: Option<&CounterStats>,
-) -> ArspResult {
-    let points: Vec<ScorePoint> = (0..flat.num_instances())
-        .map(|id| ScorePoint {
-            id,
-            object: flat.object_of(id),
-            prob: flat.prob(id),
-            coords: scores.row(id).to_vec(),
-        })
-        .collect();
-    let probs = kd_asp::kd_asp_engine(
-        &points,
-        flat.num_objects(),
-        flat.num_instances(),
-        variant,
-        parallel,
-        stats,
-    );
-    ArspResult::from_probs(probs)
-}
-
-/// The flat columnar KDTT-family entry point used by
-/// [`crate::engine::ArspEngine`] for sequential queries: the score-space
-/// mapping is already materialised as a cached [`ScoreMatrix`] (one
-/// vectorizable pass, shared across queries and algorithms) and the traversal
-/// runs allocation-free over the columnar view with a reusable
-/// [`kd_asp::KdScratch`]. Results are bitwise identical to
-/// [`arsp_kdtt_engine`].
-pub fn arsp_kdtt_flat_engine(
-    flat: &FlatStore,
-    scores: &ScoreMatrix,
-    variant: KdVariant,
-    stats: Option<&CounterStats>,
     scratch: &mut kd_asp::KdScratch,
+    pool: Option<&kd_asp::KdWorkerPool>,
 ) -> ArspResult {
     let pts = FlatScorePoints::new(flat, scores);
-    let probs = kd_asp::kd_asp_flat_engine(
-        pts,
-        flat.num_objects(),
-        flat.num_instances(),
-        variant,
-        stats,
-        scratch,
-    );
+    let probs = if parallel {
+        kd_asp::kd_asp_flat_engine_parallel(
+            pts,
+            flat.num_objects(),
+            flat.num_instances(),
+            variant,
+            stats,
+            scratch,
+            pool,
+        )
+    } else {
+        kd_asp::kd_asp_flat_engine(
+            pts,
+            flat.num_objects(),
+            flat.num_instances(),
+            variant,
+            stats,
+            scratch,
+        )
+    };
     ArspResult::from_probs(probs)
 }
 

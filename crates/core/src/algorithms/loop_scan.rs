@@ -286,9 +286,11 @@ pub fn instance_order_from_scores(scores: &ScoreMatrix) -> InstanceOrder {
 /// dominance comparison of two precomputed [`ScoreMatrix`] rows (Theorem 2)
 /// instead of `d'` recomputed dot products, and the instance columns stream
 /// out of the [`FlatStore`]. With a warm [`LoopScratch`] the sequential scan
-/// performs no heap allocation beyond the result vector. Results are bitwise
-/// identical to [`arsp_loop_engine`] (the projected scores are bitwise equal,
-/// so every dominance decision agrees).
+/// performs no heap allocation beyond the result vector; under `parallel`
+/// each worker chunk draws its σ arena from `pool` (a fresh arena per chunk
+/// when absent), so warmed-up parallel sweeps allocate nothing per task
+/// either. Results are bitwise identical to [`arsp_loop_engine`] (the
+/// projected scores are bitwise equal, so every dominance decision agrees).
 pub fn arsp_loop_flat_engine(
     flat: &FlatStore,
     scores: &ScoreMatrix,
@@ -296,6 +298,7 @@ pub fn arsp_loop_flat_engine(
     parallel: bool,
     stats: Option<&CounterStats>,
     scratch: Option<&mut LoopScratch>,
+    pool: Option<&crate::scratch::ScratchPool<LoopScratch>>,
 ) -> ArspResult {
     let n = flat.num_instances();
     let mut result = ArspResult::zeros(n);
@@ -315,7 +318,8 @@ pub fn arsp_loop_flat_engine(
                 chunks
                     .into_par_iter()
                     .map(|range| {
-                        let mut scratch = LoopScratch::new(flat.num_objects());
+                        let mut scratch = pool.map_or_else(LoopScratch::default, |p| p.take());
+                        scratch.prepare(flat.num_objects());
                         let mut tests = 0u64;
                         let probs = range
                             .map(|pos| {
@@ -330,6 +334,9 @@ pub fn arsp_loop_flat_engine(
                                 (ord.order[pos], prob)
                             })
                             .collect();
+                        if let Some(p) = pool {
+                            p.put(scratch);
+                        }
                         (probs, tests)
                     })
                     .collect()
@@ -348,6 +355,8 @@ pub fn arsp_loop_flat_engine(
     }
     #[cfg(not(feature = "parallel"))]
     let _ = parallel;
+    #[cfg(not(feature = "parallel"))]
+    let _ = pool;
 
     let mut owned;
     let scratch = match scratch {
@@ -604,6 +613,7 @@ mod tests {
                 false,
                 Some(&stats_flat),
                 Some(&mut scratch),
+                None,
             );
             assert_eq!(reference.probs(), got.probs());
             assert_eq!(
@@ -612,15 +622,27 @@ mod tests {
                 "flat scan must perform the same number of dominance tests"
             );
         }
-        let no_scratch = arsp_loop_flat_engine(&flat, &scores, &order, false, None, None);
+        let no_scratch = arsp_loop_flat_engine(&flat, &scores, &order, false, None, None, None);
         assert_eq!(reference.probs(), no_scratch.probs());
 
-        // The parallel flat scan agrees too.
+        // The parallel flat scan agrees too — with and without a worker
+        // pool, which must be reused across repeated sweeps.
         let _guard = crate::parallel::knob_lock();
         crate::parallel::set_num_threads(4);
-        let par = arsp_loop_flat_engine(&flat, &scores, &order, true, None, None);
+        let par = arsp_loop_flat_engine(&flat, &scores, &order, true, None, None, None);
+        let pool = crate::scratch::ScratchPool::<LoopScratch>::new();
+        for _ in 0..2 {
+            let pooled =
+                arsp_loop_flat_engine(&flat, &scores, &order, true, None, None, Some(&pool));
+            assert_eq!(reference.probs(), pooled.probs());
+        }
         crate::parallel::set_num_threads(0);
         assert_eq!(reference.probs(), par.probs());
+        #[cfg(feature = "parallel")]
+        assert!(
+            pool.hits() > 0,
+            "the second pooled sweep must reuse the first sweep's arenas"
+        );
     }
 
     /// Helper so synthetic tests can vary the seed tersely.

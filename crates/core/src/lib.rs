@@ -88,7 +88,7 @@ pub use asp::skyline_probabilities;
 pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
 pub use result::ArspResult;
 pub use scorespace::{FlatScorePoints, ScoreMatrix};
-pub use scratch::QueryScratch;
+pub use scratch::{QueryScratch, ScratchPool};
 pub use stats::QueryCounters;
 
 /// Commonly used items, re-exported for convenient glob import.

@@ -14,12 +14,20 @@
 //!   traversal itself stays sequential),
 //! * **B&B** parallelises the per-object window queries of each popped
 //!   instance; the probability product is then folded in object order,
+//! * **DUAL** parallelises over instance chunks: each instance's probability
+//!   is an independent fold over the (read-only) per-object forests,
 //! * **ENUM** stays sequential: its per-instance sums over possible worlds
 //!   are order-sensitive under floating point, so chunked summation would
 //!   change results. It is an exponential toy baseline either way.
 //!
+//! The engine's [`crate::engine::Execution::Parallel`] queries run the same
+//! strategies as **flat twins** over the cached columnar structures, with
+//! per-worker arenas drawn from pooled [`crate::scratch::ScratchPool`]
+//! stacks — same bitwise guarantee, no per-task arena allocation at steady
+//! state.
+//!
 //! The determinism guarantee is checked end-to-end by the
-//! `parallel_agreement` integration test.
+//! `parallel_agreement` and `engine_agreement` integration tests.
 //!
 //! ## Thread-count knob
 //!
@@ -27,6 +35,13 @@
 //! process-wide; `0` (the default) means "use all available cores". Because
 //! parallel and sequential paths agree bitwise, changing the knob never
 //! changes any result — only the wall-clock time.
+//!
+//! The `ARSP_NUM_THREADS` environment variable provides the knob's initial
+//! value (read once, on first use): running a binary or a test suite under
+//! `ARSP_NUM_THREADS=2` behaves exactly as if `set_num_threads(2)` had been
+//! called at startup, and `set_num_threads(0)` restores that environment
+//! default rather than "all cores". CI uses this to exercise every parallel
+//! twin deterministically on every push.
 //!
 //! Without the `parallel` cargo feature every parallel entry point simply
 //! delegates to its sequential twin and [`num_threads`] reports `1`.
@@ -37,17 +52,44 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Bounds the number of worker threads used by the parallel ARSP entry
-/// points. `0` restores the default (all available cores). Takes effect for
+/// points. `0` restores the default (the `ARSP_NUM_THREADS` environment
+/// value when set, otherwise all available cores). Takes effect for
 /// computations started after the call.
 pub fn set_num_threads(n: usize) {
     NUM_THREADS.store(n, Ordering::SeqCst);
 }
 
+/// Parses an `ARSP_NUM_THREADS` value: a positive integer bounds the worker
+/// count, everything else (unset, empty, `0`, garbage) means "no bound".
+fn parse_thread_env(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// The `ARSP_NUM_THREADS` environment default, read once on first use.
+fn env_num_threads() -> usize {
+    static ENV_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_THREADS.get_or_init(|| parse_thread_env(std::env::var("ARSP_NUM_THREADS").ok().as_deref()))
+}
+
+/// The effective knob value: the [`set_num_threads`] override when set,
+/// otherwise the `ARSP_NUM_THREADS` environment default; `0` = no bound.
+fn knob() -> usize {
+    let n = NUM_THREADS.load(Ordering::SeqCst);
+    if n > 0 {
+        n
+    } else {
+        env_num_threads()
+    }
+}
+
 /// The number of worker threads parallel entry points will fan out to:
-/// the [`set_num_threads`] override when set, otherwise all available cores.
+/// the [`set_num_threads`] override when set, otherwise the
+/// `ARSP_NUM_THREADS` environment default, otherwise all available cores.
 /// Always `1` when the `parallel` feature is disabled.
 pub fn num_threads() -> usize {
-    let n = NUM_THREADS.load(Ordering::SeqCst);
+    let n = knob();
     if n > 0 {
         return n;
     }
@@ -76,7 +118,7 @@ pub(crate) fn fan_out_levels() -> usize {
 /// applies); pool construction is only paid when the knob is active.
 #[cfg(feature = "parallel")]
 pub(crate) fn with_pool<R>(f: impl FnOnce() -> R) -> R {
-    let n = NUM_THREADS.load(Ordering::SeqCst);
+    let n = knob();
     if n == 0 {
         return f();
     }
@@ -121,6 +163,38 @@ pub(crate) fn knob_lock() -> std::sync::MutexGuard<'static, ()> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Fills `buf[i] = f(i)` for every slot, recursively splitting the buffer
+/// into `num_threads()` near-equal parts dispatched through [`rayon::join`]
+/// — so the work runs on the *ambient* rayon pool (honouring scoped
+/// per-query pools, unlike raw thread spawns) and allocates nothing (unlike
+/// a parallel-iterator `collect`). The slot writes are disjoint and `f` is
+/// pure, so the buffer ends up exactly as the sequential loop would leave
+/// it. Used by B&B's per-instance window-sum staging with a
+/// scratch-resident buffer.
+#[cfg(feature = "parallel")]
+pub(crate) fn fill_slots(buf: &mut [f64], f: impl Fn(usize) -> f64 + Sync) {
+    let parts = num_threads().clamp(1, buf.len().max(1));
+    fill_slots_rec(buf, 0, &f, parts);
+}
+
+#[cfg(feature = "parallel")]
+fn fill_slots_rec<F: Fn(usize) -> f64 + Sync>(buf: &mut [f64], offset: usize, f: &F, parts: usize) {
+    if parts <= 1 {
+        for (k, slot) in buf.iter_mut().enumerate() {
+            *slot = f(offset + k);
+        }
+        return;
+    }
+    let left_parts = parts / 2;
+    // Proportional split keeps the leaf chunks near-equal.
+    let mid = buf.len() * left_parts / parts;
+    let (left, right) = buf.split_at_mut(mid);
+    rayon::join(
+        || fill_slots_rec(left, offset, f, left_parts),
+        || fill_slots_rec(right, offset + mid, f, parts - left_parts),
+    );
+}
+
 /// Splits `0..len` into at most `num_threads()` contiguous chunks (fewer when
 /// `len` is small), preserving order.
 #[cfg(feature = "parallel")]
@@ -151,6 +225,30 @@ mod tests {
         assert_eq!(num_threads(), 3);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(parse_thread_env(None), 0);
+        assert_eq!(parse_thread_env(Some("")), 0);
+        assert_eq!(parse_thread_env(Some("0")), 0);
+        assert_eq!(parse_thread_env(Some("garbage")), 0);
+        assert_eq!(parse_thread_env(Some("2")), 2);
+        assert_eq!(parse_thread_env(Some(" 8 ")), 8);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn fill_slots_matches_sequential_fill() {
+        let _guard = knob_lock();
+        set_num_threads(4);
+        for len in [0usize, 1, 3, 64, 257] {
+            let mut buf = vec![f64::NAN; len];
+            fill_slots(&mut buf, |i| (i * i) as f64);
+            let want: Vec<f64> = (0..len).map(|i| (i * i) as f64).collect();
+            assert_eq!(buf, want);
+        }
+        set_num_threads(0);
     }
 
     #[cfg(feature = "parallel")]

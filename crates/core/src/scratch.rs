@@ -1,4 +1,4 @@
-//! Reusable per-query working memory.
+//! Reusable per-query and per-worker working memory.
 //!
 //! The flat columnar algorithm paths keep every piece of per-query working
 //! state — candidate stacks, σ buffers, heap storage, score-vector staging —
@@ -8,13 +8,91 @@
 //! no heap allocation on the sequential hot paths beyond the result vector
 //! each query returns.
 //!
+//! [`ScratchPool`] generalises that pattern to *worker-level* arenas: the
+//! parallel twins hand out reusable arenas to their subtree / chunk tasks
+//! from a stealable stack, so intra-query fan-out and `run_batch` sweeps
+//! stop allocating arena memory per task once the pool has warmed to the
+//! session's concurrency high-water mark (only O(fan-out) dispatch
+//! bookkeeping remains). Pools count their hits (arena reused) and misses
+//! (arena created), surfaced through
+//! [`crate::engine::ArspEngine::cache_stats`] — a steady-state workload adds
+//! only hits.
+//!
 //! Scratch reuse is purely a memory-management concern: results are bitwise
 //! identical whether a scratch is fresh, reused, or absent (the algorithms
 //! fall back to a throwaway arena).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use crate::algorithms::bnb::BnbScratch;
 use crate::algorithms::kd_asp::KdScratch;
 use crate::algorithms::loop_scan::LoopScratch;
+
+/// A stealable stack of reusable arenas. `take` pops a warmed arena (or
+/// creates a fresh one when the pool is dry — concurrent tasks beyond the
+/// high-water mark, or the first use); `put` returns it for the next task.
+/// Shared by reference across worker threads (`&self` everywhere), with the
+/// stack behind one uncontended-in-practice mutex: tasks check out an arena
+/// once per subtree/chunk, not per element.
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    stack: Mutex<Vec<T>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self {
+            stack: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Checks an arena out of the pool, creating a fresh one when the pool
+    /// is empty. Counts a hit (reuse) or a miss (creation).
+    pub fn take(&self) -> T {
+        let popped = self.stack.lock().unwrap_or_else(|p| p.into_inner()).pop();
+        match popped {
+            Some(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                value
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                T::default()
+            }
+        }
+    }
+
+    /// Returns an arena to the pool for the next task.
+    pub fn put(&self, value: T) {
+        self.stack
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(value);
+    }
+
+    /// Number of take-calls served from a pooled arena.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of take-calls that had to create an arena — the number of
+    /// arenas ever built, i.e. the pool's growth. Constant across a
+    /// steady-state workload.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of arenas currently parked in the pool.
+    pub fn size(&self) -> usize {
+        self.stack.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
 
 /// The union of every algorithm's reusable buffers. One instance serves any
 /// sequence of queries (of any algorithm) against any dataset — buffers are
@@ -48,5 +126,41 @@ impl QueryScratch {
     /// The B&B buffers.
     pub fn bnb_mut(&mut self) -> &mut BnbScratch {
         &mut self.bnb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_arenas_and_counts_growth() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        assert_eq!(pool.size(), 0);
+
+        // First take: the pool is dry — one miss, one arena built.
+        let mut a = pool.take();
+        assert_eq!((pool.hits(), pool.misses()), (0, 1));
+        a.resize(64, 0);
+        pool.put(a);
+        assert_eq!(pool.size(), 1);
+
+        // Steady state: every further take is a hit, the arena keeps its
+        // capacity, and the pool never grows.
+        for _ in 0..5 {
+            let b = pool.take();
+            assert!(b.capacity() >= 64, "pooled arena lost its warm buffer");
+            pool.put(b);
+        }
+        assert_eq!((pool.hits(), pool.misses()), (5, 1));
+        assert_eq!(pool.size(), 1);
+
+        // Two concurrent checkouts: the pool grows exactly once more.
+        let a = pool.take();
+        let b = pool.take();
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.misses(), 2);
+        assert_eq!(pool.size(), 2);
     }
 }

@@ -8,8 +8,12 @@
 //! flat-store paths (cached [`arsp::core::ScoreMatrix`], arena indexes,
 //! reusable scratch) while the free functions execute the `Point`-based
 //! paths, and every comparison below is exact (`==` on the probability
-//! vectors, not a tolerance). The property tests at the bottom drive the same
-//! contract over randomly generated datasets and constraint sets.
+//! vectors, not a tolerance). That contract now covers
+//! [`Execution::Parallel`] too: the flat parallel twins of every algorithm
+//! (including DUAL) must be bitwise identical to the sequential flat path at
+//! every thread count, with cold and warm arena pools. The property tests at
+//! the bottom drive the same contract over randomly generated datasets and
+//! constraint sets.
 
 use arsp::core::engine::CacheStats;
 use arsp::prelude::*;
@@ -242,12 +246,75 @@ fn parallel_engine_queries_match_sequential() {
     }
 }
 
+#[test]
+fn parallel_flat_twins_match_sequential_above_the_fanout_threshold() {
+    // Large enough (~800 instances) that the kd-family flat twins genuinely
+    // fan subtrees out to worker threads rather than falling back to the
+    // sequential recursion; every algorithm (including DUAL, via the ratio
+    // query below) must stay exactly `==` at every thread count, cold and
+    // warm.
+    let engine = ArspEngine::new(
+        SyntheticConfig {
+            num_objects: 400,
+            max_instances: 3,
+            dim: 3,
+            region_length: 0.3,
+            phi: 0.1,
+            seed: 37,
+            ..SyntheticConfig::default()
+        }
+        .generate(),
+    );
+    let constraints = ConstraintSet::weak_ranking(3, 2);
+    for algorithm in [
+        QueryAlgorithm::Loop,
+        QueryAlgorithm::Kdtt,
+        QueryAlgorithm::KdttPlus,
+        QueryAlgorithm::QdttPlus,
+        QueryAlgorithm::BranchAndBound,
+    ] {
+        let seq = engine.query(&constraints).algorithm(algorithm).run();
+        for threads in [2, 4] {
+            for attempt in ["cold", "warm"] {
+                let par = engine
+                    .query(&constraints)
+                    .algorithm(algorithm)
+                    .execution(Execution::Parallel { threads })
+                    .run();
+                assert_eq!(
+                    seq.result().probs(),
+                    par.result().probs(),
+                    "{} parallel flat twin diverged ({attempt} arenas, {threads} threads)",
+                    seq.algorithm().name()
+                );
+            }
+        }
+    }
+
+    let ratio = WeightRatio::uniform(3, 0.5, 2.0);
+    let seq = engine.ratio_query(&ratio).run();
+    assert_eq!(seq.algorithm(), QueryAlgorithm::Dual);
+    for threads in [2, 4] {
+        let par = engine
+            .ratio_query(&ratio)
+            .execution(Execution::Parallel { threads })
+            .run();
+        assert_eq!(
+            seq.result().probs(),
+            par.result().probs(),
+            "DUAL parallel flat twin diverged ({threads} threads)"
+        );
+    }
+}
+
 proptest! {
     // Random-dataset agreement: the engine's flat columnar paths must agree
     // **bitwise** with the Point-based free functions on arbitrary datasets
-    // and constraint sets. A modest case count keeps the suite fast; every
-    // case covers LOOP, KDTT, KDTT+, QDTT+ and B&B, twice (cold + warm
-    // caches, so the second run also exercises scratch-arena reuse).
+    // and constraint sets — under sequential *and* parallel execution
+    // (threads ∈ {2, 4}). A modest case count keeps the suite fast; every
+    // case covers LOOP, KDTT, KDTT+, QDTT+ and B&B, cold + warm per
+    // execution mode, so warm runs also exercise scratch-arena and
+    // worker-pool reuse.
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
@@ -280,16 +347,27 @@ proptest! {
             ArspAlgorithm::BranchAndBound,
         ] {
             let free = algorithm.run(&dataset, &constraints);
-            for attempt in ["cold", "warm"] {
-                let outcome = engine.query(&constraints).algorithm(algorithm).run();
-                prop_assert_eq!(
-                    free.probs(),
-                    outcome.result().probs(),
-                    "{} flat path diverged ({} cache, seed {})",
-                    algorithm.name(),
-                    attempt,
-                    seed
-                );
+            for execution in [
+                Execution::Sequential,
+                Execution::Parallel { threads: 2 },
+                Execution::Parallel { threads: 4 },
+            ] {
+                for attempt in ["cold", "warm"] {
+                    let outcome = engine
+                        .query(&constraints)
+                        .algorithm(algorithm)
+                        .execution(execution)
+                        .run();
+                    prop_assert_eq!(
+                        free.probs(),
+                        outcome.result().probs(),
+                        "{} flat path diverged ({} cache, {:?}, seed {})",
+                        algorithm.name(),
+                        attempt,
+                        execution,
+                        seed
+                    );
+                }
             }
         }
     }
@@ -297,9 +375,11 @@ proptest! {
 }
 
 proptest! {
-    // The weight-ratio pipeline: DUAL (which does not use the flat layout)
-    // must keep agreeing with the flat general-constraint paths within float
-    // tolerance on random ratio boxes.
+    // The weight-ratio pipeline: the flat DUAL path must agree with the
+    // Point-based free function **bitwise** (same traversal, columnar
+    // layout), stay bitwise identical under parallel execution, and keep
+    // agreeing with the flat general-constraint paths within float tolerance
+    // on random ratio boxes.
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
@@ -321,6 +401,26 @@ proptest! {
         let ratio = WeightRatio::uniform(3, low, low + span);
         let engine = ArspEngine::new(dataset.clone());
         let dual = engine.ratio_query(&ratio).run();
+        let free = arsp_dual(&dataset, &ratio);
+        prop_assert_eq!(
+            free.probs(),
+            dual.result().probs(),
+            "flat DUAL diverged from the free function (seed {})",
+            seed
+        );
+        for threads in [2usize, 4] {
+            let par = engine
+                .ratio_query(&ratio)
+                .execution(Execution::Parallel { threads })
+                .run();
+            prop_assert_eq!(
+                dual.result().probs(),
+                par.result().probs(),
+                "parallel DUAL diverged (seed {}, {} threads)",
+                seed,
+                threads
+            );
+        }
         let kdtt = engine
             .ratio_query(&ratio)
             .algorithm(ArspAlgorithm::KdttPlus)
