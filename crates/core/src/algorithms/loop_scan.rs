@@ -144,6 +144,18 @@ pub fn arsp_loop_engine(
     result
 }
 
+/// The cold sort comparison of every LOOP order: ascending key, ties broken
+/// by ascending id. This single definition is shared by [`instance_order`],
+/// [`instance_order_from_scores`] **and** the dynamic engine's delta merges
+/// (`crate::dynamic`), whose bitwise-equal-to-cold guarantee rests on all of
+/// them ordering ties identically.
+#[inline]
+pub(crate) fn cmp_key_id<I: Ord + Copy>(a: (f64, I), b: (f64, I)) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.1.cmp(&b.1))
+}
+
 /// The instance sort order LOOP scans in: instance ids sorted ascending by
 /// their score under the first vertex of the preference region, plus the
 /// scores themselves. Reusable across every query whose preference region
@@ -158,7 +170,10 @@ pub struct InstanceOrder {
 
 /// Sorts instance ids by their score under the first vertex; anything that
 /// F-dominates an instance must have a score ≤ the instance's score under
-/// every vertex, in particular this one.
+/// every vertex, in particular this one. Equal keys are ordered by instance
+/// id, making the order a pure function of `(keys, ids)` — which is what
+/// lets the dynamic engine *merge* a sorted delta into a cached order and
+/// land on exactly the order a cold sort would produce.
 pub fn instance_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> InstanceOrder {
     let omega = &fdom.vertices()[0];
     let mut order: Vec<usize> = (0..dataset.num_instances()).collect();
@@ -167,11 +182,7 @@ pub fn instance_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> In
         .iter()
         .map(|inst| arsp_geometry::point::score(&inst.coords, omega))
         .collect();
-    order.sort_unstable_by(|&a, &b| {
-        keys[a]
-            .partial_cmp(&keys[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_unstable_by(|&a, &b| cmp_key_id((keys[a], a), (keys[b], b)));
     InstanceOrder { order, keys }
 }
 
@@ -179,11 +190,12 @@ pub fn instance_order(dataset: &UncertainDataset, fdom: &LinearFDominance) -> In
 /// dominating mass plus the list of objects touched for the current
 /// instance (reset between instances, so each iteration is
 /// O(#dominators) rather than O(m)). Reusable across queries via
-/// [`crate::scratch::QueryScratch`].
+/// [`crate::scratch::QueryScratch`]; the dynamic engine's delta-merge scan
+/// (`crate::dynamic`) shares the same buffers.
 #[derive(Debug, Default)]
 pub struct LoopScratch {
-    sigma: Vec<f64>,
-    touched: Vec<usize>,
+    pub(crate) sigma: Vec<f64>,
+    pub(crate) touched: Vec<usize>,
 }
 
 impl LoopScratch {
@@ -196,7 +208,7 @@ impl LoopScratch {
 
     /// Sizes (or re-sizes) the buffers for a dataset with `num_objects`
     /// objects, keeping existing allocations.
-    fn prepare(&mut self, num_objects: usize) {
+    pub(crate) fn prepare(&mut self, num_objects: usize) {
         self.sigma.clear();
         self.sigma.resize(num_objects, 0.0);
         self.touched.clear();
@@ -273,11 +285,7 @@ pub fn instance_order_from_scores(scores: &ScoreMatrix) -> InstanceOrder {
     let d = scores.score_dim();
     let keys: Vec<f64> = (0..n).map(|i| scores.values()[i * d]).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_unstable_by(|&a, &b| {
-        keys[a]
-            .partial_cmp(&keys[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_unstable_by(|&a, &b| cmp_key_id((keys[a], a), (keys[b], b)));
     InstanceOrder { order, keys }
 }
 

@@ -213,10 +213,13 @@ pub fn auto_select(
     }
 }
 
-/// Aggregate cache effectiveness counters (see [`ArspEngine::cache_stats`]).
+/// Aggregate cache effectiveness counters (see [`ArspEngine::cache_stats`]
+/// and [`crate::dynamic::DynamicArspEngine::cache_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from a cached structure.
+    /// Lookups answered from a cached structure (for the dynamic engine this
+    /// includes structures *patched* forward to the current version — a
+    /// patch reuses the cached artifact, it does not rebuild it).
     pub hits: u64,
     /// Lookups that had to build the structure.
     pub misses: u64,
@@ -228,6 +231,18 @@ pub struct CacheStats {
     /// workload (zero arena growth), which is what the pool-reuse tests
     /// assert.
     pub scratch_misses: u64,
+    /// Cached structures dropped because a dataset mutation made them
+    /// unpatchable (the bulk-loaded instance R-tree, the materialised
+    /// snapshot dataset, dirty per-object DUAL trees). Always 0 for the
+    /// static [`ArspEngine`].
+    pub caches_invalidated: u64,
+    /// Delta-tail rows fused into query scans by the dynamic LOOP
+    /// delta-merge path. Always 0 for the static [`ArspEngine`].
+    pub delta_rows_scanned: u64,
+    /// Logarithmic-method merges performed: versioned-store compactions plus
+    /// per-object forest rebuilds/catch-up folds into the arena trees.
+    /// Always 0 for the static [`ArspEngine`].
+    pub merges_performed: u64,
 }
 
 /// The shared structures, all built lazily on first use.
@@ -322,8 +337,9 @@ impl EngineCaches {
     }
 }
 
-/// Bit-exact fingerprint of a constraint set, used as the fdom cache key.
-fn constraint_key(constraints: &ConstraintSet) -> Vec<u64> {
+/// Bit-exact fingerprint of a constraint set, used as the fdom cache key
+/// (shared with the dynamic engine).
+pub(crate) fn constraint_key(constraints: &ConstraintSet) -> Vec<u64> {
     let mut key = Vec::with_capacity(2 + constraints.len() * (constraints.dim() + 1));
     key.push(constraints.dim() as u64);
     key.push(constraints.len() as u64);
@@ -335,14 +351,15 @@ fn constraint_key(constraints: &ConstraintSet) -> Vec<u64> {
 }
 
 /// Bit-exact fingerprint of a preference-region vertex, used as the LOOP
-/// order cache key.
-fn omega_key(omega: &[f64]) -> Vec<u64> {
+/// order cache key (shared with the dynamic engine).
+pub(crate) fn omega_key(omega: &[f64]) -> Vec<u64> {
     omega.iter().map(|w| w.to_bits()).collect()
 }
 
 /// Bit-exact fingerprint of a whole vertex set, used as the score-matrix
-/// cache key (the matrix depends on every vertex, not just the first).
-fn vertices_key(fdom: &LinearFDominance) -> Vec<u64> {
+/// cache key (the matrix depends on every vertex, not just the first;
+/// shared with the dynamic engine).
+pub(crate) fn vertices_key(fdom: &LinearFDominance) -> Vec<u64> {
     let mut key = Vec::with_capacity(1 + fdom.num_vertices() * fdom.vertices()[0].len());
     key.push(fdom.num_vertices() as u64);
     for v in fdom.vertices() {
@@ -445,6 +462,11 @@ impl ArspEngine {
             scratch_misses: caches.scratch_pool.misses()
                 + caches.kd_pool.misses()
                 + caches.loop_pool.misses(),
+            // A frozen dataset never invalidates, scans no delta, merges
+            // nothing — these counters belong to the dynamic engine.
+            caches_invalidated: 0,
+            delta_rows_scanned: 0,
+            merges_performed: 0,
         }
     }
 

@@ -59,6 +59,7 @@
 pub mod aggregate;
 pub mod algorithms;
 pub mod asp;
+pub mod dynamic;
 pub mod eclipse;
 pub mod effectiveness;
 pub mod engine;
@@ -85,6 +86,7 @@ pub use algorithms::loop_scan::{
 };
 pub use algorithms::ArspAlgorithm;
 pub use asp::skyline_probabilities;
+pub use dynamic::{DynamicArspEngine, DynamicOutcome, DynamicQuery};
 pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
 pub use result::ArspResult;
 pub use scorespace::{FlatScorePoints, ScoreMatrix};
@@ -96,6 +98,7 @@ pub mod prelude {
     pub use crate::aggregate::aggregated_rskyline;
     pub use crate::algorithms::ArspAlgorithm;
     pub use crate::asp::skyline_probabilities;
+    pub use crate::dynamic::{DynamicArspEngine, DynamicOutcome};
     pub use crate::eclipse::{eclipse_dual_s, eclipse_quad};
     pub use crate::effectiveness::{rskyline_ranking, skyline_ranking};
     pub use crate::engine::{ArspEngine, ArspOutcome, Execution, QueryAlgorithm};
@@ -107,6 +110,7 @@ pub mod prelude {
         arsp_kdtt_plus_parallel, arsp_loop, arsp_loop_parallel, arsp_qdtt_plus,
         arsp_qdtt_plus_parallel, DualMs2d,
     };
-    pub use arsp_data::{SyntheticConfig, UncertainDataset};
+    pub use arsp_data::{InstanceHandle, SyntheticConfig, UncertainDataset, VersionedStore};
     pub use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
+    pub use arsp_index::DeltaPolicy;
 }

@@ -98,6 +98,17 @@ impl ScoreMatrix {
         Self { score_dim, values }
     }
 
+    /// Assembles a matrix from precomputed row-major values — the dynamic
+    /// engine's patch path: rows surviving a dataset mutation are copied out
+    /// of the previous matrix bit-for-bit and only delta rows are freshly
+    /// projected, so the patched matrix is bitwise identical to a full
+    /// [`ScoreMatrix::compute`] over the new snapshot.
+    pub fn from_values(score_dim: usize, values: Vec<f64>) -> Self {
+        debug_assert!(score_dim >= 1);
+        debug_assert_eq!(values.len() % score_dim, 0);
+        Self { score_dim, values }
+    }
+
     /// Score-space dimensionality `d'`.
     #[inline]
     pub fn score_dim(&self) -> usize {

@@ -68,6 +68,44 @@ impl FlatStore {
         }
     }
 
+    /// Assembles a flat store directly from its columns — the constructor
+    /// [`crate::VersionedStore::snapshot_flat`] uses to materialise a
+    /// canonical snapshot without an intermediate [`UncertainDataset`]. The
+    /// caller guarantees the canonical layout: instances of one object
+    /// contiguous, `object_start` the cumulative instance counts.
+    ///
+    /// # Panics
+    /// Debug-asserts the structural invariants; release builds trust the
+    /// caller (the versioned store is the only producer).
+    pub fn from_parts(
+        dim: usize,
+        coords: Vec<f64>,
+        probs: Vec<f64>,
+        objects: Vec<u32>,
+        object_start: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(coords.len(), probs.len() * dim);
+        debug_assert_eq!(objects.len(), probs.len());
+        debug_assert_eq!(object_start.first().copied(), Some(0));
+        debug_assert_eq!(
+            object_start.last().copied().unwrap_or(0) as usize,
+            probs.len()
+        );
+        debug_assert!(objects
+            .iter()
+            .enumerate()
+            .all(|(id, &obj)| (object_start[obj as usize] as usize
+                ..object_start[obj as usize + 1] as usize)
+                .contains(&id)));
+        Self {
+            dim,
+            coords,
+            probs,
+            objects,
+            object_start,
+        }
+    }
+
     /// Dataset dimensionality `d`.
     #[inline]
     pub fn dim(&self) -> usize {

@@ -6,6 +6,10 @@
 //! * [`flat`] — the columnar [`FlatStore`] twin of the dataset: one
 //!   contiguous dim-strided coordinate array plus parallel probability and
 //!   object columns, the layout every hot loop streams.
+//! * [`versioned`] — the mutable [`VersionedStore`]: delta rows appended to
+//!   the columnar tail, deletions as a tombstone bitmap, a monotonically
+//!   increasing version, stable instance handles and logarithmic-method
+//!   compaction — the substrate of the dynamic engine.
 //! * [`possible_world`] — possible-world enumeration (equation 1), used by
 //!   the ENUM baseline and as the ground-truth oracle in tests.
 //! * [`synthetic`] — the synthetic generator of §V-A: IND / ANTI / CORR
@@ -23,6 +27,7 @@ pub mod flat;
 pub mod possible_world;
 pub mod real;
 pub mod synthetic;
+pub mod versioned;
 
 pub use constraints_gen::{im_constraints, weak_ranking_constraints};
 pub use dataset::{
@@ -31,3 +36,4 @@ pub use dataset::{
 pub use flat::FlatStore;
 pub use possible_world::{enumerate_possible_worlds, PossibleWorld};
 pub use synthetic::{Distribution, SyntheticConfig};
+pub use versioned::{InstanceHandle, VersionedStore};

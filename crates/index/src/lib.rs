@@ -17,6 +17,11 @@
 //!   instances sorted by angle around a reference instance with per-object
 //!   prefix sums, answering (possibly wrapping) angular range queries.
 //!
+//! For dynamic datasets the [`delta`] module adds the glue between mutating
+//! stores and these frozen arenas: the logarithmic-method [`DeltaPolicy`]
+//! (when to fold an unindexed delta range back into the arenas) and the
+//! incrementally maintained per-object [`DeltaForest`].
+//!
 //! The indexes know nothing about uncertain objects or rskyline semantics;
 //! they operate on point entries (id, object id, weight, coordinates) and
 //! downward-closed query regions. The static trees store their entries in the
@@ -27,12 +32,14 @@
 
 pub mod aggregate_rtree;
 pub mod angular;
+pub mod delta;
 pub mod kdtree;
 pub mod region;
 pub mod rtree;
 
 pub use aggregate_rtree::AggregateRTree;
 pub use angular::AngularSweepIndex;
+pub use delta::{DeltaForest, DeltaPolicy};
 pub use kdtree::KdTree;
 pub use region::{DominanceRegion, FDominatorsOf, WindowTo};
 pub use rtree::{NodeContent, NodeId, RTree};

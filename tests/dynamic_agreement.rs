@@ -1,0 +1,420 @@
+//! The dynamic engine's contract: after **any** interleaving of inserts,
+//! deletes, overwrites, retirements, compactions and queries, a query at the
+//! current version returns results **exactly equal** (`==` on the probability
+//! vectors, no tolerance) to a cold [`ArspEngine`] rebuilt from scratch on
+//! the equivalent snapshot dataset — for every algorithm, under sequential
+//! and parallel execution.
+//!
+//! The snapshot semantics are validated independently: a *mirror model* (a
+//! plain `Vec`-of-`Vec`s re-implementation of the documented mutation
+//! semantics, sharing no code with [`VersionedStore`]) applies the same
+//! operation sequence and materialises the expected dataset itself; the cold
+//! engine is built on the mirror's dataset, so any disagreement between the
+//! store's bookkeeping and the documented semantics fails the test just as
+//! loudly as a float divergence would.
+
+use arsp::core::dynamic::DynamicArspEngine;
+use arsp::core::engine::{ArspEngine, Execution, QueryAlgorithm};
+use arsp::index::DeltaPolicy;
+use arsp::prelude::*;
+use arsp_data::{InstanceHandle, VersionedStore};
+use proptest::prelude::*;
+
+const ALGOS: [QueryAlgorithm; 5] = [
+    QueryAlgorithm::Loop,
+    QueryAlgorithm::Kdtt,
+    QueryAlgorithm::KdttPlus,
+    QueryAlgorithm::QdttPlus,
+    QueryAlgorithm::BranchAndBound,
+];
+
+const EXECUTIONS: [Execution; 2] = [Execution::Sequential, Execution::Parallel { threads: 2 }];
+
+// ---------------------------------------------------------------------------
+// The mirror model: an independent implementation of the documented mutation
+// semantics. Objects in creation order; an object's live instances in
+// logical order (removals keep the rest in order, inserts append, overwrites
+// move to the tail); retired or emptied objects are absent from the dataset.
+// ---------------------------------------------------------------------------
+
+struct MirrorObject {
+    retired: bool,
+    /// `(coords, prob, handle)` per live instance, in logical order.
+    instances: Vec<(Vec<f64>, f64, InstanceHandle)>,
+}
+
+struct Mirror {
+    dim: usize,
+    objects: Vec<MirrorObject>,
+}
+
+impl Mirror {
+    /// Mirrors a freshly bulk-loaded store (handles are the seed row ids).
+    fn from_seed(store: &VersionedStore, dataset: &UncertainDataset) -> Self {
+        let mut objects = Vec::new();
+        for obj in dataset.objects() {
+            let instances = obj
+                .instance_ids
+                .iter()
+                .map(|&id| {
+                    let inst = dataset.instance(id);
+                    (inst.coords.clone(), inst.prob, store.handle_of_row(id))
+                })
+                .collect();
+            objects.push(MirrorObject {
+                retired: false,
+                instances,
+            });
+        }
+        Self {
+            dim: dataset.dim(),
+            objects,
+        }
+    }
+
+    /// The expected snapshot dataset, built by the mirror alone.
+    fn dataset(&self) -> UncertainDataset {
+        let mut dataset = UncertainDataset::new(self.dim);
+        for obj in &self.objects {
+            if obj.instances.is_empty() {
+                continue;
+            }
+            dataset.push_object(
+                obj.instances
+                    .iter()
+                    .map(|(coords, prob, _)| (coords.clone(), *prob))
+                    .collect(),
+            );
+        }
+        dataset
+    }
+
+    fn total_prob(&self, object: usize) -> f64 {
+        self.objects[object]
+            .instances
+            .iter()
+            .map(|(_, p, _)| p)
+            .sum()
+    }
+
+    /// Every `(object, position)` currently holding a live instance.
+    fn live_slots(&self) -> Vec<(usize, usize)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .flat_map(|(o, obj)| (0..obj.instances.len()).map(move |i| (o, i)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operation interpretation: raw sampled tuples are turned into *valid*
+// mutations against the current mirror state (so every generated case is a
+// legal workload — invalid raw ops degrade to the nearest legal one).
+// ---------------------------------------------------------------------------
+
+/// One raw sampled operation: (kind, selector, coords, fraction).
+type RawOp = (u8, u16, (f64, f64, f64), f64);
+
+fn coords_vec(dim: usize, raw: (f64, f64, f64)) -> Vec<f64> {
+    [raw.0, raw.1, raw.2][..dim].to_vec()
+}
+
+/// Applies one raw operation to both sides; returns a short tag for failure
+/// messages.
+fn apply_op(
+    engine: &mut DynamicArspEngine,
+    mirror: &mut Mirror,
+    op: RawOp,
+    dim: usize,
+) -> &'static str {
+    let (kind, selector, raw_coords, fraction) = op;
+    let coords = coords_vec(dim, raw_coords);
+    match kind % 6 {
+        // Insert a new object (two instances splitting the sampled mass).
+        0 => {
+            let mass = 0.2 + 0.75 * fraction;
+            let second = coords.iter().map(|c| (c * 0.7 + 0.1).min(1.0)).collect();
+            let instances = vec![(coords, mass * 0.6), (second, mass * 0.4)];
+            let object = engine.insert_object(None, instances.clone());
+            assert_eq!(
+                object,
+                mirror.objects.len(),
+                "object ids are creation-ordered"
+            );
+            // The mirror keeps its own copy of the data; only the handles
+            // come from the store (its rows list the instances in insertion
+            // order, matching `instances`).
+            let handles: Vec<InstanceHandle> = engine
+                .store()
+                .object_rows(object)
+                .iter()
+                .map(|&r| engine.store().handle_of_row(r as usize))
+                .collect();
+            mirror.objects.push(MirrorObject {
+                retired: false,
+                instances: instances
+                    .into_iter()
+                    .zip(handles)
+                    .map(|((c, p), h)| (c, p, h))
+                    .collect(),
+            });
+            "insert_object"
+        }
+        // Insert an instance into an existing object with probability slack.
+        1 | 2 => {
+            let candidates: Vec<usize> = mirror
+                .objects
+                .iter()
+                .enumerate()
+                .filter(|(o, obj)| !obj.retired && mirror.total_prob(*o) < 0.85)
+                .map(|(o, _)| o)
+                .collect();
+            if candidates.is_empty() {
+                return "skip";
+            }
+            let object = candidates[selector as usize % candidates.len()];
+            let slack = 1.0 - mirror.total_prob(object);
+            let prob = (slack * (0.1 + 0.8 * fraction)).max(1e-3);
+            let handle = engine.insert_instance(object, &coords, prob);
+            mirror.objects[object]
+                .instances
+                .push((coords, prob, handle));
+            "insert_instance"
+        }
+        // Remove an instance.
+        3 => {
+            let slots = mirror.live_slots();
+            if slots.len() <= 2 {
+                return "skip";
+            }
+            let (object, position) = slots[selector as usize % slots.len()];
+            let handle = mirror.objects[object].instances.remove(position).2;
+            engine.remove_instance(handle);
+            "remove_instance"
+        }
+        // Overwrite an instance (moves to its object's logical tail).
+        4 => {
+            let slots = mirror.live_slots();
+            if slots.is_empty() {
+                return "skip";
+            }
+            let (object, position) = slots[selector as usize % slots.len()];
+            let old = mirror.objects[object].instances.remove(position);
+            let others = mirror.total_prob(object);
+            let prob = ((1.0 - others) * (0.1 + 0.8 * fraction)).max(1e-3);
+            engine.update_instance(old.2, &coords, prob);
+            mirror.objects[object].instances.push((coords, prob, old.2));
+            "update_instance"
+        }
+        // Retire an object (kept rare by the selector guard) or compact.
+        _ => {
+            if selector % 3 == 0 {
+                let candidates: Vec<usize> = mirror
+                    .objects
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, obj)| !obj.retired)
+                    .map(|(o, _)| o)
+                    .collect();
+                if candidates.len() <= 3 {
+                    return "skip";
+                }
+                let object = candidates[selector as usize % candidates.len()];
+                engine.retire_object(object);
+                mirror.objects[object].retired = true;
+                mirror.objects[object].instances.clear();
+                "retire_object"
+            } else {
+                engine.merge_now();
+                "merge_now"
+            }
+        }
+    }
+}
+
+/// Asserts exact agreement between the dynamic engine and a cold rebuild on
+/// the mirror's dataset, for the given algorithms and both execution modes.
+fn assert_exact(
+    engine: &DynamicArspEngine,
+    mirror: &Mirror,
+    constraints: &ConstraintSet,
+    ratio: &WeightRatio,
+    algorithms: &[QueryAlgorithm],
+    check_dual: bool,
+    context: &str,
+) {
+    let expected = mirror.dataset();
+    // The store's own snapshot must be the mirror's dataset, structurally.
+    let snapshot = engine.snapshot_dataset();
+    assert_eq!(
+        snapshot.num_objects(),
+        expected.num_objects(),
+        "snapshot object count diverged from the mirror ({context})"
+    );
+    assert_eq!(snapshot.num_instances(), expected.num_instances());
+    for (a, b) in snapshot.instances().iter().zip(expected.instances()) {
+        assert_eq!(
+            a.object, b.object,
+            "snapshot structure diverged ({context})"
+        );
+        assert_eq!(a.coords, b.coords);
+        assert_eq!(a.prob.to_bits(), b.prob.to_bits());
+    }
+
+    let cold = ArspEngine::new(expected);
+    for &algorithm in algorithms {
+        let reference = cold.query(constraints).algorithm(algorithm).run();
+        for execution in EXECUTIONS {
+            let got = engine
+                .query(constraints)
+                .algorithm(algorithm)
+                .execution(execution)
+                .run();
+            assert_eq!(
+                reference.result().probs(),
+                got.result().probs(),
+                "{} diverged from the cold rebuild ({execution:?}, {context})",
+                algorithm.name(),
+            );
+        }
+    }
+    if check_dual {
+        let reference = cold.ratio_query(ratio).run();
+        for execution in EXECUTIONS {
+            let got = engine.ratio_query(ratio).execution(execution).run();
+            assert_eq!(got.algorithm(), QueryAlgorithm::Dual);
+            assert_eq!(
+                reference.result().probs(),
+                got.result().probs(),
+                "DUAL diverged from the cold rebuild ({execution:?}, {context})"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Random mutation/query interleavings. Each case seeds a small dataset,
+    // applies a random op sequence, and after *every* op checks exact
+    // equality against a cold rebuild for a rotating algorithm (both
+    // execution modes) — then sweeps all five algorithms plus DUAL at the
+    // end. Three delta policies rotate across cases so the un-merged,
+    // threshold-merged and eagerly-merged paths all see coverage.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn dynamic_engine_is_exactly_a_cold_rebuild_at_every_version(
+        seed in 0u64..1_000_000,
+        shape in (4usize..9, 1usize..4, 2usize..4),
+        ops in proptest::collection::vec(
+            (0u8..12, 0u16..4096, (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 0.0f64..1.0),
+            6..14),
+        policy_pick in 0u8..3,
+    ) {
+        let (num_objects, max_instances, dim) = shape;
+        let dataset = SyntheticConfig {
+            num_objects,
+            max_instances,
+            dim,
+            region_length: 0.4,
+            phi: 0.5,
+            seed,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(dim, dim - 1);
+        let ratio = WeightRatio::uniform(dim, 0.5, 2.0);
+
+        let store = VersionedStore::from_dataset(&dataset);
+        let mut mirror = Mirror::from_seed(&store, &dataset);
+        let mut engine = DynamicArspEngine::from_store(store);
+        engine.set_delta_policy(match policy_pick {
+            0 => DeltaPolicy::manual(),
+            1 => DeltaPolicy::eager(),
+            _ => DeltaPolicy { min_pending: 4, max_fraction: 0.05 },
+        });
+
+        for (step, &op) in ops.iter().enumerate() {
+            let tag = apply_op(&mut engine, &mut mirror, op, dim);
+            // One rotating algorithm per step keeps the per-case cost sane
+            // while every algorithm sees mid-sequence versions across steps
+            // and cases; DUAL joins every third step.
+            let algorithm = ALGOS[step % ALGOS.len()];
+            assert_exact(
+                &engine,
+                &mirror,
+                &constraints,
+                &ratio,
+                &[algorithm],
+                step % 3 == 0,
+                &format!("seed {seed}, step {step}: {tag}"),
+            );
+        }
+
+        // Final full sweep: all five algorithms × both execution modes plus
+        // DUAL, against the final version.
+        assert_exact(
+            &engine,
+            &mirror,
+            &constraints,
+            &ratio,
+            &ALGOS,
+            true,
+            &format!("seed {seed}, final sweep"),
+        );
+    }
+}
+
+/// A deterministic end-to-end script (no proptest) that drives every
+/// mutation kind, crosses the merge threshold, and checks the full algorithm
+/// sweep at every version — the suite's fast smoke path.
+#[test]
+fn scripted_interleaving_stays_exact_under_the_default_policy() {
+    let dataset = SyntheticConfig {
+        num_objects: 12,
+        max_instances: 3,
+        dim: 3,
+        region_length: 0.35,
+        phi: 0.5,
+        seed: 77,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let constraints = ConstraintSet::weak_ranking(3, 2);
+    let ratio = WeightRatio::uniform(3, 0.5, 2.0);
+    let store = VersionedStore::from_dataset(&dataset);
+    let mut mirror = Mirror::from_seed(&store, &dataset);
+    let mut engine = DynamicArspEngine::from_store(store);
+    engine.set_delta_policy(DeltaPolicy {
+        min_pending: 6,
+        max_fraction: 0.1,
+    });
+
+    let script: [RawOp; 10] = [
+        (1, 7, (0.21, 0.84, 0.33), 0.5),
+        (4, 3, (0.55, 0.12, 0.71), 0.4),
+        (3, 11, (0.0, 0.0, 0.0), 0.0),
+        (0, 0, (0.9, 0.05, 0.62), 0.8),
+        (5, 0, (0.0, 0.0, 0.0), 0.0), // retire
+        (2, 2, (0.14, 0.33, 0.95), 0.6),
+        (4, 9, (0.44, 0.47, 0.05), 0.7),
+        (5, 1, (0.0, 0.0, 0.0), 0.0), // merge_now
+        (1, 5, (0.66, 0.22, 0.18), 0.3),
+        (3, 4, (0.0, 0.0, 0.0), 0.0),
+    ];
+    for (step, &op) in script.iter().enumerate() {
+        let tag = apply_op(&mut engine, &mut mirror, op, 3);
+        assert_exact(
+            &engine,
+            &mirror,
+            &constraints,
+            &ratio,
+            &ALGOS,
+            true,
+            &format!("scripted step {step}: {tag}"),
+        );
+    }
+    // The default-policy pressure valve must have fired at least once given
+    // the tiny threshold above.
+    assert!(engine.cache_stats().merges_performed >= 1);
+}
