@@ -1,0 +1,180 @@
+//! Serving-layer throughput: N reader threads querying pinned snapshots
+//! while one writer churns mutation batches and publishes new versions.
+//!
+//! Usage:
+//!   cargo run --release -p arsp-bench --bin service_throughput
+//!
+//! Sweeps the reader count and reports aggregate query throughput, writer
+//! publish rate, and the serving-cache accounting (shared builds, coalesced
+//! joins, hits) for each configuration. Every query runs the same exact
+//! algorithms as the single-threaded engine — the stress suite asserts the
+//! results are bitwise identical to cold rebuilds, so this binary only
+//! times them.
+//!
+//! Knobs (environment):
+//!   ARSP_BENCH_SERVICE_MS       per-configuration measurement window
+//!                               (default 500 ms)
+//!   ARSP_BENCH_SERVICE_READERS  comma-separated reader counts
+//!                               (default "1,2,4,8")
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use arsp_core::engine::QueryAlgorithm;
+use arsp_core::service::ArspService;
+use arsp_data::SyntheticConfig;
+use arsp_geometry::ConstraintSet;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+const DIM: usize = 3;
+
+fn window() -> Duration {
+    let ms = std::env::var("ARSP_BENCH_SERVICE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(500);
+    Duration::from_millis(ms)
+}
+
+fn reader_counts() -> Vec<usize> {
+    std::env::var("ARSP_BENCH_SERVICE_READERS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|p| p.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    let dataset = SyntheticConfig {
+        num_objects: 300,
+        max_instances: 4,
+        dim: DIM,
+        region_length: 0.3,
+        phi: 0.5,
+        seed: 41,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let window = window();
+    // Two constraint sets: one stays cache-hot, the second forces a fresh
+    // score-matrix build on every published version — the coalescing path.
+    let palette = [
+        ConstraintSet::weak_ranking(DIM, DIM - 1),
+        ConstraintSet::weak_ranking(DIM, 1),
+    ];
+
+    println!(
+        "service_throughput: {} objects / {} instances, dim {DIM}, window {:?} per config",
+        dataset.num_objects(),
+        dataset.num_instances(),
+        window
+    );
+    println!(
+        "{:>7} | {:>12} {:>12} | {:>9} {:>10} | {:>12} {:>10} {:>10}",
+        "readers", "queries/s", "queries", "publishes", "pub/s", "shared_blds", "coalesced", "hits"
+    );
+
+    for readers in reader_counts() {
+        let (service, mut writer) = ArspService::from_dataset(&dataset);
+        service.warm_scratch(readers);
+        let done = Arc::new(AtomicBool::new(false));
+        let start = Arc::new(Barrier::new(readers + 2));
+        let queries = Arc::new(AtomicU64::new(0));
+
+        let publishes = thread::scope(|scope| {
+            for r in 0..readers {
+                let service = service.clone();
+                let done = Arc::clone(&done);
+                let start = Arc::clone(&start);
+                let queries = Arc::clone(&queries);
+                let palette = palette.clone();
+                scope.spawn(move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(1000 + r as u64);
+                    start.wait();
+                    let mut local = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let pin = service.pin();
+                        let constraints = &palette[rng.gen_range(0..palette.len())];
+                        let outcome = pin
+                            .query(constraints)
+                            .algorithm(QueryAlgorithm::KdttPlus)
+                            .run();
+                        std::hint::black_box(outcome.result().probs());
+                        local += 1;
+                    }
+                    queries.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+
+            // The writer: small overwrite batches, publish after each.
+            let writer_handle = scope.spawn({
+                let done = Arc::clone(&done);
+                let start = Arc::clone(&start);
+                move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(7);
+                    let rows: Vec<_> = writer.store().canonical_rows().collect();
+                    let handles: Vec<_> = rows
+                        .iter()
+                        .map(|&row| (writer.store().handle_of_row(row), writer.store().prob(row)))
+                        .collect();
+                    start.wait();
+                    let mut published = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        for _ in 0..8 {
+                            let (handle, prob) = handles[rng.gen_range(0..handles.len())];
+                            let coords: Vec<f64> =
+                                (0..DIM).map(|_| rng.gen_range(0.0..1.0)).collect();
+                            writer.update_instance(handle, &coords, prob);
+                        }
+                        writer.publish();
+                        published += 1;
+                        // Pace the churn: a publish every ~millisecond is
+                        // already far beyond a live-serving update rate, and
+                        // an unthrottled writer would just measure publish
+                        // overhead instead of reader throughput.
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    published
+                }
+            });
+
+            start.wait();
+            let t0 = Instant::now();
+            thread::sleep(window);
+            done.store(true, Ordering::Relaxed);
+            let publishes = writer_handle.join().expect("writer thread panicked");
+            (publishes, t0.elapsed())
+        });
+        let (publishes, elapsed) = publishes;
+
+        let total = queries.load(Ordering::Relaxed);
+        let stats = service.serving_stats();
+        let secs = elapsed.as_secs_f64();
+        println!(
+            "{:>7} | {:>12.0} {:>12} | {:>9} {:>10.1} | {:>12} {:>10} {:>10}",
+            readers,
+            total as f64 / secs,
+            total,
+            publishes,
+            publishes as f64 / secs,
+            stats.shared_builds,
+            stats.coalesced_builds,
+            stats.cache_hits,
+        );
+        assert_eq!(stats.active_pins, 0, "every reader released its pins");
+        assert_eq!(
+            stats.snapshots_retired,
+            stats.snapshots_published - 1,
+            "reclamation must close out once the run ends"
+        );
+    }
+}

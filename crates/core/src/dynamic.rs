@@ -545,6 +545,54 @@ impl DynamicArspEngine {
             caches_invalidated: caches.invalidated.load(Ordering::Relaxed),
             delta_rows_scanned: caches.delta_scanned.load(Ordering::Relaxed),
             merges_performed: caches.merges.load(Ordering::Relaxed),
+            // Coalescing and epoch pinning live one layer up, in the serving
+            // layer (`crate::service`); a single-caller dynamic engine has
+            // neither.
+            inflight: 0,
+            coalesced_builds: 0,
+            snapshots_retired: 0,
+            active_pins: 0,
+        }
+    }
+
+    /// Exports the engine's synchronised snapshot state at the store's
+    /// current version as a bundle of shared handles — what the serving
+    /// layer's publish step (`crate::service::ServiceWriter::publish`) turns
+    /// into an immutable [`ServingSnapshot`](crate::service) for lock-free
+    /// readers.
+    ///
+    /// The export is *cheap snapshot cloning*: every artifact comes out as an
+    /// `Arc` clone of the engine's cached structure (the caches are first
+    /// delta-patched forward to the current version, the same fold a query
+    /// would trigger), so artifacts that survived the latest mutations —
+    /// including the version-independent vertex enumerations — are shared
+    /// with the new snapshot rather than rebuilt. Each exported score matrix
+    /// and order is bitwise the cold build at this version (the standing
+    /// delta-patch guarantee), so readers running the flat engines over the
+    /// export agree bitwise with a cold rebuild.
+    pub fn export_snapshot(&self) -> SnapshotExport {
+        let mut snap = lock(&self.caches.snap);
+        self.advance_snap(&mut snap);
+        let fdoms = lock(&self.caches.fdom)
+            .iter()
+            .map(|(key, fdom)| (key.clone(), Arc::clone(fdom)))
+            .collect();
+        SnapshotExport {
+            version: snap.version,
+            flat: Arc::clone(&snap.flat),
+            fdoms,
+            scores: snap
+                .scores
+                .values()
+                .map(|entry| (Arc::clone(&entry.fdom), Arc::clone(&entry.matrix)))
+                .collect(),
+            orders: snap
+                .orders
+                .values()
+                .map(|entry| (entry.omega.clone(), Arc::clone(&entry.order)))
+                .collect(),
+            dataset: snap.dataset.clone(),
+            rtree: snap.rtree.clone(),
         }
     }
 
@@ -1154,6 +1202,30 @@ impl DynamicArspEngine {
         }
         prob
     }
+}
+
+/// One version's cached artifacts, exported as shared handles (see
+/// [`DynamicArspEngine::export_snapshot`]). Everything in here is immutable
+/// and in snapshot-id space at `version`; `dataset` and `rtree` are present
+/// only when the engine had them cached (they are lazily built, so an engine
+/// that never ran B&B/ENUM has none to share).
+pub struct SnapshotExport {
+    /// The store version the artifacts describe.
+    pub version: u64,
+    /// The columnar snapshot — bitwise `FlatStore::from_dataset` of the
+    /// snapshot dataset.
+    pub flat: Arc<FlatStore>,
+    /// Version-independent vertex enumerations, keyed by the constraint-set
+    /// fingerprint the engine caches them under.
+    pub fdoms: Vec<(Vec<u64>, Arc<LinearFDominance>)>,
+    /// Per-constraint score matrices (with the enumeration that keys each).
+    pub scores: Vec<(Arc<LinearFDominance>, Arc<ScoreMatrix>)>,
+    /// Per-vertex LOOP orders (with the vertex that keys each).
+    pub orders: Vec<(Vec<f64>, Arc<InstanceOrder>)>,
+    /// The row-oriented snapshot dataset, when cached.
+    pub dataset: Option<Arc<UncertainDataset>>,
+    /// The B&B instance R-tree, when cached.
+    pub rtree: Option<SharedRTree>,
 }
 
 /// The constraints a dynamic query was built from.

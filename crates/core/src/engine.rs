@@ -243,6 +243,21 @@ pub struct CacheStats {
     /// per-object forest rebuilds/catch-up folds into the arena trees.
     /// Always 0 for the static [`ArspEngine`].
     pub merges_performed: u64,
+    /// Queries in flight *right now*. Always 0 for the single-caller static
+    /// and dynamic engines; live only for the concurrent serving layer
+    /// (`crate::service::ArspService`).
+    pub inflight: u64,
+    /// Cache lookups that joined another thread's in-progress build instead
+    /// of duplicating it (the serving layer's batch coalescing). Always 0
+    /// for the static and dynamic engines, whose keyed caches race
+    /// duplicate builds and discard the losers.
+    pub coalesced_builds: u64,
+    /// Superseded snapshots whose cached artifacts were reclaimed after
+    /// their last epoch pin dropped. Always 0 outside the serving layer.
+    pub snapshots_retired: u64,
+    /// Epoch pins currently outstanding across all snapshot versions.
+    /// Always 0 outside the serving layer.
+    pub active_pins: u64,
 }
 
 /// The shared structures, all built lazily on first use.
@@ -463,10 +478,16 @@ impl ArspEngine {
                 + caches.kd_pool.misses()
                 + caches.loop_pool.misses(),
             // A frozen dataset never invalidates, scans no delta, merges
-            // nothing — these counters belong to the dynamic engine.
+            // nothing — these counters belong to the dynamic engine — and a
+            // single-caller engine neither coalesces nor pins snapshots —
+            // those belong to the serving layer.
             caches_invalidated: 0,
             delta_rows_scanned: 0,
             merges_performed: 0,
+            inflight: 0,
+            coalesced_builds: 0,
+            snapshots_retired: 0,
+            active_pins: 0,
         }
     }
 

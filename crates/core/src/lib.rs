@@ -51,6 +51,9 @@
 //!   bitwise-deterministic parallel twins of the algorithms
 //!   ([`ArspAlgorithm::run_parallel`], [`arsp_kdtt_plus_parallel`], …),
 //! * the all-skyline-probabilities special case [`skyline_probabilities`],
+//! * the dynamic-dataset engine ([`dynamic`]) and the concurrent MVCC
+//!   serving layer on top of it ([`service`]): epoch-pinned snapshot
+//!   isolation for any number of reader threads beside one writer,
 //! * the aggregated rskyline and effectiveness helpers used by the paper's
 //!   §V-B study ([`aggregate`], [`effectiveness`]),
 //! * eclipse queries on certain datasets ([`eclipse`]),
@@ -68,6 +71,7 @@ pub mod parallel;
 pub mod result;
 pub mod scorespace;
 pub mod scratch;
+pub mod service;
 pub mod stats;
 
 pub use algorithms::bnb::{
@@ -91,6 +95,9 @@ pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
 pub use result::ArspResult;
 pub use scorespace::{FlatScorePoints, ScoreMatrix};
 pub use scratch::{QueryScratch, ScratchPool};
+pub use service::{
+    ArspService, ServiceOutcome, ServiceQuery, ServiceWriter, ServingStats, SnapshotPin,
+};
 pub use stats::QueryCounters;
 
 /// Commonly used items, re-exported for convenient glob import.
@@ -104,6 +111,7 @@ pub mod prelude {
     pub use crate::engine::{ArspEngine, ArspOutcome, Execution, QueryAlgorithm};
     pub use crate::parallel::{num_threads, set_num_threads};
     pub use crate::result::ArspResult;
+    pub use crate::service::{ArspService, ServiceOutcome, ServiceWriter, SnapshotPin};
     pub use crate::stats::QueryCounters;
     pub use crate::{
         arsp_bnb, arsp_bnb_parallel, arsp_dual, arsp_enum, arsp_kdtt, arsp_kdtt_plus,

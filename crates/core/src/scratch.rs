@@ -68,6 +68,20 @@ impl<T: Default> ScratchPool<T> {
         }
     }
 
+    /// Grows the pool to at least `n` parked arenas, building the shortfall
+    /// up front. Each arena built counts a miss — the invariant "misses =
+    /// arenas ever built" survives warming — but the build happens at a
+    /// moment of the caller's choosing (e.g. before admitting reader
+    /// threads, see `crate::service::ArspService::warm_scratch`) instead of
+    /// on the first queries' critical path.
+    pub fn warm(&self, n: usize) {
+        let shortfall = n.saturating_sub(self.size());
+        for _ in 0..shortfall {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.put(T::default());
+        }
+    }
+
     /// Returns an arena to the pool for the next task.
     pub fn put(&self, value: T) {
         self.stack
@@ -162,5 +176,23 @@ mod tests {
         pool.put(b);
         assert_eq!(pool.misses(), 2);
         assert_eq!(pool.size(), 2);
+    }
+
+    #[test]
+    fn warming_builds_the_shortfall_and_counts_it() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        pool.warm(3);
+        assert_eq!(pool.size(), 3);
+        assert_eq!((pool.hits(), pool.misses()), (0, 3));
+
+        // Warming to a smaller (or equal) target is a no-op.
+        pool.warm(2);
+        assert_eq!(pool.size(), 3);
+        assert_eq!(pool.misses(), 3);
+
+        // Warmed arenas are real hits afterwards.
+        let a = pool.take();
+        assert_eq!((pool.hits(), pool.misses()), (1, 3));
+        pool.put(a);
     }
 }

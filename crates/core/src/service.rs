@@ -1,0 +1,1287 @@
+//! The concurrent MVCC serving layer: many lock-free readers, one writer.
+//!
+//! [`crate::dynamic::DynamicArspEngine`] made the dataset mutable, but its
+//! API boundary is still a single `&mut` engine — mutations and queries
+//! serialise. [`ArspService`] splits that boundary in two:
+//!
+//! * **Readers** hold an [`ArspService`] handle (cheaply cloneable) and call
+//!   [`ArspService::pin`] to pin the current version. A [`SnapshotPin`] is an
+//!   immutable view: the columnar [`FlatStore`], the per-constraint
+//!   [`ScoreMatrix`]s, vertex enumerations and index arenas of that version,
+//!   all behind `Arc`s. Queries on a pin never take the writer's locks and
+//!   never observe a later version (snapshot isolation) — they are bitwise
+//!   equal to a cold single-threaded engine rebuilt on the pinned version's
+//!   dataset, the same exactness contract every other layer of this repo
+//!   honours (enforced by `tests/service_stress.rs` under real concurrency).
+//! * **The writer** owns a [`ServiceWriter`]: mutations go through the
+//!   underlying dynamic engine (`&mut self`, invisible to readers), and
+//!   [`ServiceWriter::publish`] atomically swaps in a new snapshot built from
+//!   the engine's delta-patched caches ([`DynamicArspEngine::export_snapshot`]
+//!   — artifacts that survived the mutations are *shared* with the new
+//!   snapshot, not rebuilt).
+//!
+//! ## Epoch-based reclamation
+//!
+//! Every pin registers with an [`EpochPinRegistry`]. When a publish
+//! supersedes a snapshot that still has pins, the snapshot moves to a
+//! graveyard instead of being dropped; the **last** pin's release retires it
+//! (drops its cached arenas). Registration and release happen under the same
+//! lock as the publish swap, so a pin can never race a retirement: only the
+//! current snapshot can gain new pins, and a snapshot with pins is never
+//! dropped. A leaked pin (one that is never dropped) keeps its snapshot alive
+//! forever — conservative by construction, no unsafe code anywhere.
+//!
+//! ## Batch coalescing
+//!
+//! The static and dynamic engines let concurrent cache misses race and
+//! discard the losing builds. Under serving-level concurrency that wastes
+//! real work: ten readers arriving with the same new constraint set would
+//! project ten identical score matrices. The serving caches therefore
+//! *coalesce*: the first requester claims the build, later requesters with
+//! the same key block on a condvar and share the published artifact
+//! ([`ServingStats::coalesced_builds`] counts the joins). Distinct keys never
+//! wait on each other. The `#[doc(hidden)]`
+//! [`ArspService::set_coalescing_rendezvous`] knob makes a builder wait for a
+//! fixed number of joiners before publishing — deterministic-test machinery,
+//! not a production setting.
+//!
+//! ```
+//! use arsp_core::service::ArspService;
+//! use arsp_geometry::constraints::ConstraintSet;
+//!
+//! let (service, mut writer) = ArspService::from_dataset(&arsp_data::paper_running_example());
+//! let constraints = ConstraintSet::weak_ranking(2, 1);
+//!
+//! // A reader pins version 0 …
+//! let pin = service.pin();
+//!
+//! // … the writer revises an instance and publishes version 1 …
+//! let handle = writer.store().handle_of_row(2);
+//! writer.update_instance(handle, &[3.0, 4.0], 0.05);
+//! writer.publish();
+//!
+//! // … and the pinned reader still answers at version 0, while a fresh pin
+//! // sees version 1.
+//! assert_eq!(pin.version(), 0);
+//! assert_eq!(service.pin().version(), 1);
+//! let v0 = pin.query(&constraints).run();
+//! assert_eq!(v0.version(), 0);
+//! drop(pin); // releases the epoch pin; version 0's caches may now retire
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::algorithms::bnb::{arsp_bnb_engine, build_instance_rtree};
+use crate::algorithms::dual::{arsp_dual_flat_engine, build_dual_index};
+use crate::algorithms::enumerate::arsp_enum;
+use crate::algorithms::kd_asp::{KdVariant, KdWorkerPool};
+use crate::algorithms::kdtt::arsp_kdtt_flat_engine;
+use crate::algorithms::loop_scan::{
+    arsp_loop_flat_engine, instance_order_from_scores, InstanceOrder, LoopScratch,
+};
+use crate::dynamic::{DynamicArspEngine, SnapshotExport};
+use crate::engine::{
+    auto_select, constraint_key, omega_key, vertices_key, CacheStats, Execution, QueryAlgorithm,
+};
+use crate::result::ArspResult;
+use crate::scorespace::ScoreMatrix;
+use crate::scratch::{QueryScratch, ScratchPool};
+use crate::stats::{CounterStats, PeakGauge, QueryCounters};
+use arsp_data::{EpochPinRegistry, FlatStore, InstanceHandle, UncertainDataset, VersionedStore};
+use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
+use arsp_geometry::fdom::LinearFDominance;
+use arsp_index::{SharedAggregateForest, SharedRTree};
+
+/// How long a rendezvous-holding builder waits for its joiners before
+/// publishing anyway — a liveness backstop for the deterministic-test knob,
+/// never hit when the knob is off (the default).
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The cache key of the per-snapshot singleton artifacts (dataset, R-tree,
+/// DUAL forest): one entry per snapshot, no constraint dependence.
+const SINGLETON_KEY: &[u64] = &[];
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Service-wide coalescing counters, shared by every [`CoalescingCache`] the
+/// service ever creates — they survive snapshot retirement, so the stats
+/// describe the whole session.
+#[derive(Debug, Default)]
+struct CoalesceCounters {
+    /// Lookups answered from a ready artifact.
+    hits: AtomicU64,
+    /// Builds actually performed (exactly one per distinct missing key).
+    builds: AtomicU64,
+    /// Lookups that joined another thread's in-progress build.
+    coalesced: AtomicU64,
+}
+
+struct CoalescingInner<V> {
+    /// Published artifacts.
+    ready: HashMap<Vec<u64>, V>,
+    /// In-progress builds: key → number of joiners waiting on it.
+    inflight: HashMap<Vec<u64>, usize>,
+}
+
+/// A build-coalescing cache: concurrent lookups of the *same* missing key
+/// produce **one** build — the first requester claims it (outside the lock),
+/// later requesters wait on the condvar and share the published value.
+/// Lookups of distinct keys proceed independently. Panic-safe: a builder
+/// that unwinds un-claims the key and wakes the waiters, the first of which
+/// becomes the new builder.
+struct CoalescingCache<V> {
+    inner: Mutex<CoalescingInner<V>>,
+    cv: Condvar,
+    counters: Arc<CoalesceCounters>,
+    /// Joiners a builder waits for before publishing (0 = publish
+    /// immediately; see [`ArspService::set_coalescing_rendezvous`]).
+    rendezvous: Arc<AtomicUsize>,
+}
+
+/// Un-claims an in-flight build when the builder unwinds, so waiters retry
+/// instead of blocking forever.
+struct Unclaim<'a, V> {
+    cache: &'a CoalescingCache<V>,
+    key: &'a [u64],
+    armed: bool,
+}
+
+impl<V> Drop for Unclaim<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(&self.cache.inner).inflight.remove(self.key);
+            self.cache.cv.notify_all();
+        }
+    }
+}
+
+impl<V: Clone> CoalescingCache<V> {
+    fn new(counters: &Arc<CoalesceCounters>, rendezvous: &Arc<AtomicUsize>) -> Self {
+        Self {
+            inner: Mutex::new(CoalescingInner {
+                ready: HashMap::new(),
+                inflight: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            counters: Arc::clone(counters),
+            rendezvous: Arc::clone(rendezvous),
+        }
+    }
+
+    /// Publishes an already-built artifact (publish-time seeding from the
+    /// writer's caches); counts neither a hit nor a build. Keeps an existing
+    /// entry — seeded artifacts and built artifacts are interchangeable
+    /// bitwise, so first-published wins.
+    fn seed(&self, key: Vec<u64>, value: V) {
+        lock(&self.inner).ready.entry(key).or_insert(value);
+        self.cv.notify_all();
+    }
+
+    /// The coalescing lookup. `build` runs outside the lock, at most once
+    /// per missing key across all concurrent callers.
+    fn get_or_build(&self, key: &[u64], build: impl FnOnce() -> V) -> V {
+        {
+            let mut inner = lock(&self.inner);
+            loop {
+                if let Some(value) = inner.ready.get(key) {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return value.clone();
+                }
+                if let Some(joiners) = inner.inflight.get_mut(key) {
+                    // Someone is building this key: join rather than race.
+                    *joiners += 1;
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    // A rendezvous-holding builder counts joiners — wake it.
+                    self.cv.notify_all();
+                    loop {
+                        inner = self
+                            .cv
+                            .wait(inner)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        if inner.ready.contains_key(key) || !inner.inflight.contains_key(key) {
+                            break;
+                        }
+                    }
+                    // Ready → returned by the outer re-check; in-flight gone
+                    // without a publish (builder unwound) → the re-check
+                    // claims the build for this thread.
+                    continue;
+                }
+                break;
+            }
+            inner.inflight.insert(key.to_vec(), 0);
+            self.counters.builds.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let unclaim = Unclaim {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let value = build();
+
+        let mut inner = lock(&self.inner);
+        let want = self.rendezvous.load(Ordering::Relaxed);
+        if want > 0 {
+            // Test-only determinism: hold the publish until `want` joiners
+            // have registered (or the liveness backstop fires).
+            let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+            while inner.inflight.get(key).copied().unwrap_or(usize::MAX) < want {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                inner = guard;
+            }
+        }
+        inner.inflight.remove(key);
+        inner.ready.insert(key.to_vec(), value.clone());
+        std::mem::forget(unclaim); // published normally — nothing to undo
+        drop(inner);
+        self.cv.notify_all();
+        value
+    }
+}
+
+/// One published version: the immutable artifact set every query on a pin of
+/// this version runs against. Construction-time artifacts come out of the
+/// writer's delta-patched caches (shared, not rebuilt); anything else is
+/// built lazily — and coalesced — by the first readers to need it.
+struct ServingSnapshot {
+    version: u64,
+    flat: Arc<FlatStore>,
+    scores: CoalescingCache<Arc<ScoreMatrix>>,
+    orders: CoalescingCache<Arc<InstanceOrder>>,
+    dataset: CoalescingCache<Arc<UncertainDataset>>,
+    rtree: CoalescingCache<SharedRTree>,
+    dual: CoalescingCache<SharedAggregateForest>,
+}
+
+impl ServingSnapshot {
+    fn from_export(
+        export: SnapshotExport,
+        counters: &Arc<CoalesceCounters>,
+        rendezvous: &Arc<AtomicUsize>,
+    ) -> Self {
+        let snapshot = Self {
+            version: export.version,
+            flat: export.flat,
+            scores: CoalescingCache::new(counters, rendezvous),
+            orders: CoalescingCache::new(counters, rendezvous),
+            dataset: CoalescingCache::new(counters, rendezvous),
+            rtree: CoalescingCache::new(counters, rendezvous),
+            dual: CoalescingCache::new(counters, rendezvous),
+        };
+        for (fdom, matrix) in export.scores {
+            snapshot.scores.seed(vertices_key(&fdom), matrix);
+        }
+        for (omega, order) in export.orders {
+            snapshot.orders.seed(omega_key(&omega), order);
+        }
+        if let Some(dataset) = export.dataset {
+            snapshot.dataset.seed(SINGLETON_KEY.to_vec(), dataset);
+        }
+        if let Some(rtree) = export.rtree {
+            snapshot.rtree.seed(SINGLETON_KEY.to_vec(), rtree);
+        }
+        snapshot
+    }
+}
+
+/// Rebuilds the row-oriented dataset from the columnar snapshot. The flat
+/// store is a bit-for-bit copy of the snapshot dataset (canonical order), so
+/// the rebuild round-trips every coordinate and probability exactly — labels
+/// are dropped, which no algorithm reads.
+fn dataset_from_flat(flat: &FlatStore) -> UncertainDataset {
+    let mut dataset = UncertainDataset::new(flat.dim());
+    for object in 0..flat.num_objects() {
+        let instances = flat
+            .object_instances(object)
+            .map(|id| (flat.coords_of(id).to_vec(), flat.prob(id)))
+            .collect();
+        dataset.push_object(instances);
+    }
+    dataset
+}
+
+/// Monotone service counters.
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    queries: AtomicU64,
+    published: AtomicU64,
+    retired: AtomicU64,
+}
+
+/// The swap point: the current snapshot plus the superseded-but-still-pinned
+/// ones. Pin registration/release and the publish swap all run under this
+/// one mutex, which is what makes "a pinned snapshot is never retired" a
+/// lock-ordering fact rather than a best-effort race.
+struct ServiceState {
+    current: Arc<ServingSnapshot>,
+    /// Superseded snapshots that still have pins, by version. An entry drops
+    /// (retires) when its last pin releases.
+    graveyard: HashMap<u64, Arc<ServingSnapshot>>,
+}
+
+/// Everything readers and writer share.
+struct ServiceShared {
+    state: Mutex<ServiceState>,
+    pins: EpochPinRegistry,
+    /// Version-independent vertex enumerations — shared across *all*
+    /// snapshots (constraints never go stale), coalesced like every serving
+    /// cache.
+    fdoms: CoalescingCache<Arc<LinearFDominance>>,
+    scratch_pool: ScratchPool<QueryScratch>,
+    loop_pool: ScratchPool<LoopScratch>,
+    kd_pool: KdWorkerPool,
+    coalesce: Arc<CoalesceCounters>,
+    rendezvous: Arc<AtomicUsize>,
+    gauge: PeakGauge,
+    counters: ServiceCounters,
+}
+
+/// The reader half of the serving layer: cheap to clone (an `Arc` inside),
+/// shareable across any number of threads. See the [module docs](self).
+#[derive(Clone)]
+pub struct ArspService {
+    shared: Arc<ServiceShared>,
+}
+
+impl ArspService {
+    /// Builds a service over a frozen dataset (the bulk load becomes
+    /// version 0, published immediately). Returns the reader handle and the
+    /// single writer.
+    pub fn from_dataset(dataset: &UncertainDataset) -> (Self, ServiceWriter) {
+        Self::from_store(VersionedStore::from_dataset(dataset))
+    }
+
+    /// Builds a service over an existing versioned store (its current
+    /// version is published immediately).
+    pub fn from_store(store: VersionedStore) -> (Self, ServiceWriter) {
+        Self::from_engine(DynamicArspEngine::from_store(store))
+    }
+
+    /// Wraps an existing dynamic engine — its warmed caches seed the first
+    /// published snapshot.
+    pub fn from_engine(engine: DynamicArspEngine) -> (Self, ServiceWriter) {
+        let coalesce = Arc::new(CoalesceCounters::default());
+        let rendezvous = Arc::new(AtomicUsize::new(0));
+        let export = engine.export_snapshot();
+        let fdoms = CoalescingCache::new(&coalesce, &rendezvous);
+        for (key, fdom) in &export.fdoms {
+            fdoms.seed(key.clone(), Arc::clone(fdom));
+        }
+        let current = Arc::new(ServingSnapshot::from_export(export, &coalesce, &rendezvous));
+        let shared = Arc::new(ServiceShared {
+            state: Mutex::new(ServiceState {
+                current,
+                graveyard: HashMap::new(),
+            }),
+            pins: EpochPinRegistry::new(),
+            fdoms,
+            scratch_pool: ScratchPool::new(),
+            loop_pool: ScratchPool::new(),
+            kd_pool: KdWorkerPool::default(),
+            coalesce,
+            rendezvous,
+            gauge: PeakGauge::new(),
+            counters: ServiceCounters::default(),
+        });
+        shared.counters.published.fetch_add(1, Ordering::Relaxed);
+        let service = Self {
+            shared: Arc::clone(&shared),
+        };
+        (service, ServiceWriter { engine, shared })
+    }
+
+    /// Pins the currently published version: the returned [`SnapshotPin`]
+    /// keeps answering at that version — its caches cannot be retired —
+    /// until it is dropped. Registration is atomic with the publish swap, so
+    /// a pin always lands on a snapshot that is current at registration
+    /// time.
+    pub fn pin(&self) -> SnapshotPin {
+        let shared = &self.shared;
+        let state = lock(&shared.state);
+        let snapshot = Arc::clone(&state.current);
+        shared.pins.register(snapshot.version);
+        drop(state);
+        SnapshotPin {
+            snapshot,
+            shared: Arc::clone(shared),
+        }
+    }
+
+    /// The currently published version.
+    pub fn current_version(&self) -> u64 {
+        lock(&self.shared.state).current.version
+    }
+
+    /// Pre-builds `readers` reusable per-query scratch arenas (and as many
+    /// parallel-worker arenas), so admission of the first wave of reader
+    /// threads does not pay arena construction on the query path. Purely an
+    /// allocation-timing knob — results never depend on scratch state.
+    pub fn warm_scratch(&self, readers: usize) {
+        self.shared.scratch_pool.warm(readers);
+        self.shared.loop_pool.warm(readers);
+    }
+
+    /// **Deterministic-test knob** — makes every cache builder wait for `n`
+    /// joiners (or a liveness timeout) before publishing its artifact, so a
+    /// test can *prove* a join happened rather than winning a race. `0`
+    /// (the default) publishes immediately. Not a production setting: it
+    /// trades latency for determinism.
+    #[doc(hidden)]
+    pub fn set_coalescing_rendezvous(&self, n: usize) {
+        self.shared.rendezvous.store(n, Ordering::Relaxed);
+    }
+
+    /// Serving-layer runtime statistics. Monotone counters describe the
+    /// whole session; `inflight`, `active_pins` and `pinned_snapshots` are
+    /// live gauges.
+    pub fn serving_stats(&self) -> ServingStats {
+        let shared = &self.shared;
+        ServingStats {
+            inflight: shared.gauge.current(),
+            peak_inflight: shared.gauge.peak(),
+            queries_served: shared.counters.queries.load(Ordering::Relaxed),
+            shared_builds: shared.coalesce.builds.load(Ordering::Relaxed),
+            coalesced_builds: shared.coalesce.coalesced.load(Ordering::Relaxed),
+            cache_hits: shared.coalesce.hits.load(Ordering::Relaxed),
+            snapshots_published: shared.counters.published.load(Ordering::Relaxed),
+            snapshots_retired: shared.counters.retired.load(Ordering::Relaxed),
+            active_pins: shared.pins.active_pins(),
+            pinned_snapshots: shared.pins.pinned_versions().len() as u64,
+        }
+    }
+
+    /// The serving layer's cache counters in the engine-wide [`CacheStats`]
+    /// shape: `hits`/`misses` are coalescing-cache lookups (a join counts
+    /// under [`CacheStats::coalesced_builds`], not as a miss), the scratch
+    /// counters aggregate the shared pools, and the serving-only fields
+    /// (`inflight`, `coalesced_builds`, `snapshots_retired`, `active_pins`)
+    /// are live. The writer's engine keeps its own
+    /// [`DynamicArspEngine::cache_stats`].
+    pub fn cache_stats(&self) -> CacheStats {
+        let shared = &self.shared;
+        CacheStats {
+            hits: shared.coalesce.hits.load(Ordering::Relaxed),
+            misses: shared.coalesce.builds.load(Ordering::Relaxed),
+            scratch_hits: shared.scratch_pool.hits()
+                + shared.loop_pool.hits()
+                + shared.kd_pool.hits(),
+            scratch_misses: shared.scratch_pool.misses()
+                + shared.loop_pool.misses()
+                + shared.kd_pool.misses(),
+            caches_invalidated: 0,
+            delta_rows_scanned: 0,
+            merges_performed: 0,
+            inflight: shared.gauge.current(),
+            coalesced_builds: shared.coalesce.coalesced.load(Ordering::Relaxed),
+            snapshots_retired: shared.counters.retired.load(Ordering::Relaxed),
+            active_pins: shared.pins.active_pins(),
+        }
+    }
+}
+
+/// Serving-layer runtime statistics (see [`ArspService::serving_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Queries in flight right now.
+    pub inflight: u64,
+    /// Highest concurrent in-flight query count ever observed.
+    pub peak_inflight: u64,
+    /// Queries served (monotone).
+    pub queries_served: u64,
+    /// Artifact builds actually performed across all serving caches —
+    /// exactly one per distinct missing key, however many readers asked.
+    pub shared_builds: u64,
+    /// Lookups that joined another thread's in-progress build instead of
+    /// duplicating it.
+    pub coalesced_builds: u64,
+    /// Lookups answered from an already-published artifact.
+    pub cache_hits: u64,
+    /// Snapshots published (the constructor's initial snapshot counts).
+    pub snapshots_published: u64,
+    /// Superseded snapshots reclaimed after their last pin dropped (or that
+    /// had no pins at publish time).
+    pub snapshots_retired: u64,
+    /// Epoch pins currently outstanding.
+    pub active_pins: u64,
+    /// Distinct versions currently pinned.
+    pub pinned_snapshots: u64,
+}
+
+/// The writer half: owns the dynamic engine. Mutations are invisible to
+/// readers until [`ServiceWriter::publish`].
+pub struct ServiceWriter {
+    engine: DynamicArspEngine,
+    shared: Arc<ServiceShared>,
+}
+
+impl ServiceWriter {
+    /// Publishes the engine's current version: builds a serving snapshot
+    /// from the engine's delta-patched caches and atomically swaps it in.
+    /// The superseded snapshot retires immediately when unpinned, or moves
+    /// to the graveyard until its last pin drops. A no-op (returning the
+    /// already-published version) when nothing changed since the last
+    /// publish. Returns the published version.
+    pub fn publish(&mut self) -> u64 {
+        let shared = &self.shared;
+        {
+            let state = lock(&shared.state);
+            if state.current.version == self.engine.version() {
+                return state.current.version;
+            }
+        }
+        let export = self.engine.export_snapshot();
+        let version = export.version;
+        for (key, fdom) in &export.fdoms {
+            shared.fdoms.seed(key.clone(), Arc::clone(fdom));
+        }
+        let snapshot = Arc::new(ServingSnapshot::from_export(
+            export,
+            &shared.coalesce,
+            &shared.rendezvous,
+        ));
+        let mut state = lock(&shared.state);
+        let old = std::mem::replace(&mut state.current, snapshot);
+        shared.counters.published.fetch_add(1, Ordering::Relaxed);
+        if shared.pins.pin_count(old.version) > 0 {
+            state.graveyard.insert(old.version, old);
+        } else {
+            // Unpinned at the swap: retire (drop the caches) right away. New
+            // pins can no longer land on it — pinning is under this lock.
+            shared.counters.retired.fetch_add(1, Ordering::Relaxed);
+        }
+        version
+    }
+
+    /// Adds a new uncertain object; returns its store object id. (Invisible
+    /// to readers until [`ServiceWriter::publish`], like every mutation.)
+    pub fn insert_object(
+        &mut self,
+        label: Option<String>,
+        instances: Vec<(Vec<f64>, f64)>,
+    ) -> usize {
+        self.engine.insert_object(label, instances)
+    }
+
+    /// Appends an instance to an object; returns its stable handle.
+    pub fn insert_instance(&mut self, object: usize, coords: &[f64], prob: f64) -> InstanceHandle {
+        self.engine.insert_instance(object, coords, prob)
+    }
+
+    /// Overwrites one instance (revised coordinates and/or probability).
+    pub fn update_instance(&mut self, handle: InstanceHandle, coords: &[f64], prob: f64) {
+        self.engine.update_instance(handle, coords, prob)
+    }
+
+    /// Deletes one instance (tombstone).
+    pub fn remove_instance(&mut self, handle: InstanceHandle) {
+        self.engine.remove_instance(handle)
+    }
+
+    /// Retires a whole object.
+    pub fn retire_object(&mut self, object: usize) {
+        self.engine.retire_object(object)
+    }
+
+    /// Compacts the store now (see [`DynamicArspEngine::merge_now`]).
+    /// Published snapshots are unaffected — they hold their own artifacts.
+    pub fn merge_now(&mut self) {
+        self.engine.merge_now()
+    }
+
+    /// Read access to the underlying versioned store.
+    pub fn store(&self) -> &VersionedStore {
+        self.engine.store()
+    }
+
+    /// The store's current (possibly unpublished) version.
+    pub fn version(&self) -> u64 {
+        self.engine.version()
+    }
+
+    /// The engine's current logical content as a frozen dataset — what a
+    /// cold rebuild at [`ServiceWriter::version`] would be seeded with.
+    pub fn snapshot_dataset(&self) -> UncertainDataset {
+        self.engine.snapshot_dataset()
+    }
+
+    /// The underlying dynamic engine (for writer-side queries or stats).
+    pub fn engine(&self) -> &DynamicArspEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying dynamic engine — for mutation
+    /// batches driven through the [`DynamicArspEngine`] API (e.g. the shared
+    /// agreement-test harness). Readers still see nothing until
+    /// [`ServiceWriter::publish`].
+    pub fn engine_mut(&mut self) -> &mut DynamicArspEngine {
+        &mut self.engine
+    }
+
+    /// A fresh reader handle for this writer's service.
+    pub fn service(&self) -> ArspService {
+        ArspService {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A pinned, immutable view of one published version. Queries run lock-free
+/// against the snapshot's `Arc`'d artifacts; the pin's existence keeps those
+/// artifacts alive (epoch-based reclamation). Clone to add pins; drop to
+/// release — the last release of a superseded version retires it.
+pub struct SnapshotPin {
+    snapshot: Arc<ServingSnapshot>,
+    shared: Arc<ServiceShared>,
+}
+
+impl SnapshotPin {
+    /// The pinned version.
+    pub fn version(&self) -> u64 {
+        self.snapshot.version
+    }
+
+    /// Number of live instances in the pinned snapshot.
+    pub fn num_instances(&self) -> usize {
+        self.snapshot.flat.num_instances()
+    }
+
+    /// Number of objects in the pinned snapshot.
+    pub fn num_objects(&self) -> usize {
+        self.snapshot.flat.num_objects()
+    }
+
+    /// The pinned columnar snapshot.
+    pub fn flat(&self) -> &FlatStore {
+        &self.snapshot.flat
+    }
+
+    /// Starts a query under general linear constraints against the pinned
+    /// version (fluent, like [`crate::engine::ArspEngine::query`]).
+    pub fn query<'p, 'q>(&'p self, constraints: &'q ConstraintSet) -> ServiceQuery<'p, 'q> {
+        ServiceQuery::new(self, ServiceConstraints::Linear(constraints))
+    }
+
+    /// Starts a query under weight-ratio constraints (§IV); unlocks DUAL.
+    pub fn ratio_query<'p, 'q>(&'p self, ratio: &'q WeightRatio) -> ServiceQuery<'p, 'q> {
+        ServiceQuery::new(self, ServiceConstraints::Ratio(ratio))
+    }
+
+    // ---- pinned cached structures (coalesced) -----------------------------
+
+    fn fdom_for(&self, constraints: &ConstraintSet) -> Arc<LinearFDominance> {
+        self.shared
+            .fdoms
+            .get_or_build(&constraint_key(constraints), || {
+                Arc::new(LinearFDominance::from_constraints(constraints))
+            })
+    }
+
+    fn scores_for(&self, fdom: &Arc<LinearFDominance>) -> Arc<ScoreMatrix> {
+        let flat = &self.snapshot.flat;
+        self.snapshot.scores.get_or_build(&vertices_key(fdom), || {
+            Arc::new(ScoreMatrix::compute(flat, fdom))
+        })
+    }
+
+    fn order_for(&self, fdom: &LinearFDominance, scores: &ScoreMatrix) -> Arc<InstanceOrder> {
+        self.snapshot
+            .orders
+            .get_or_build(&omega_key(&fdom.vertices()[0]), || {
+                Arc::new(instance_order_from_scores(scores))
+            })
+    }
+
+    fn dataset(&self) -> Arc<UncertainDataset> {
+        let flat = &self.snapshot.flat;
+        self.snapshot
+            .dataset
+            .get_or_build(SINGLETON_KEY, || Arc::new(dataset_from_flat(flat)))
+    }
+
+    fn rtree(&self, dataset: &UncertainDataset) -> SharedRTree {
+        self.snapshot
+            .rtree
+            .get_or_build(SINGLETON_KEY, || Arc::new(build_instance_rtree(dataset)))
+    }
+
+    fn dual_index(&self, dataset: &UncertainDataset) -> SharedAggregateForest {
+        self.snapshot
+            .dual
+            .get_or_build(SINGLETON_KEY, || Arc::new(build_dual_index(dataset)))
+    }
+}
+
+impl Clone for SnapshotPin {
+    /// Another pin on the same version (registered with the reclamation
+    /// accounting, like a fresh [`ArspService::pin`] would be).
+    fn clone(&self) -> Self {
+        let _state = lock(&self.shared.state);
+        self.shared.pins.register(self.snapshot.version);
+        Self {
+            snapshot: Arc::clone(&self.snapshot),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for SnapshotPin {
+    fn drop(&mut self) {
+        let shared = &self.shared;
+        let mut state = lock(&shared.state);
+        let remaining = shared.pins.release(self.snapshot.version);
+        if remaining == 0 && state.graveyard.remove(&self.snapshot.version).is_some() {
+            // Last pin on a superseded version: its caches drop here.
+            shared.counters.retired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The constraints a service query was built from.
+enum ServiceConstraints<'q> {
+    Linear(&'q ConstraintSet),
+    Ratio(&'q WeightRatio),
+}
+
+/// A fluent query against a pinned snapshot — mirror of
+/// [`crate::engine::ArspQuery`]. Finish with [`ServiceQuery::run`].
+pub struct ServiceQuery<'p, 'q> {
+    pin: &'p SnapshotPin,
+    constraints: ServiceConstraints<'q>,
+    algorithm: QueryAlgorithm,
+    execution: Execution,
+    collect_stats: bool,
+}
+
+impl<'p, 'q> ServiceQuery<'p, 'q> {
+    fn new(pin: &'p SnapshotPin, constraints: ServiceConstraints<'q>) -> Self {
+        Self {
+            pin,
+            constraints,
+            algorithm: QueryAlgorithm::Auto,
+            execution: Execution::Sequential,
+            collect_stats: false,
+        }
+    }
+
+    /// Forces an algorithm (default: [`QueryAlgorithm::Auto`]).
+    ///
+    /// # Panics
+    /// `run()` panics if [`QueryAlgorithm::Dual`] is forced on a non-ratio
+    /// query.
+    pub fn algorithm(mut self, algorithm: impl Into<QueryAlgorithm>) -> Self {
+        self.algorithm = algorithm.into();
+        self
+    }
+
+    /// Chooses the execution mode (default: [`Execution::Sequential`]);
+    /// parallel execution is bitwise identical.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Collects work counters into [`ServiceOutcome::counters`].
+    pub fn collect_stats(mut self, on: bool) -> Self {
+        self.collect_stats = on;
+        self
+    }
+
+    /// Executes the query at the pinned version. Bitwise equal to a cold
+    /// single-threaded engine on the pinned version's snapshot dataset, for
+    /// every algorithm and execution mode.
+    pub fn run(self) -> ServiceOutcome {
+        let pin = self.pin;
+        let shared = &pin.shared;
+        let snapshot = &pin.snapshot;
+        let dim = match &self.constraints {
+            ServiceConstraints::Linear(cs) => cs.dim(),
+            ServiceConstraints::Ratio(r) => r.dim(),
+        };
+        assert_eq!(snapshot.flat.dim(), dim, "dimension mismatch");
+
+        let _inflight = shared.gauge.enter();
+        shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+
+        let sink = if self.collect_stats {
+            Some(CounterStats::new())
+        } else {
+            None
+        };
+        let stats = sink.as_ref();
+        let parallel = matches!(self.execution, Execution::Parallel { .. });
+
+        let (algorithm, selection_reason) = match self.algorithm {
+            QueryAlgorithm::Auto => match &self.constraints {
+                ServiceConstraints::Ratio(_) => {
+                    let (a, why) = auto_select(
+                        snapshot.flat.num_objects(),
+                        snapshot.flat.num_instances(),
+                        0,
+                        true,
+                    );
+                    (a, Some(why))
+                }
+                ServiceConstraints::Linear(cs) => {
+                    let fdom = pin.fdom_for(cs);
+                    let (a, why) = auto_select(
+                        snapshot.flat.num_objects(),
+                        snapshot.flat.num_instances(),
+                        fdom.num_vertices(),
+                        false,
+                    );
+                    (a, Some(why))
+                }
+            },
+            forced => (forced, None),
+        };
+
+        // Materialise the linear constraint set when a general algorithm
+        // runs a ratio query.
+        let derived;
+        let linear: Option<&ConstraintSet> = match (&self.constraints, algorithm) {
+            (_, QueryAlgorithm::Dual) => None,
+            (ServiceConstraints::Linear(cs), _) => Some(cs),
+            (ServiceConstraints::Ratio(r), _) => {
+                derived = r.to_constraint_set();
+                Some(&derived)
+            }
+        };
+
+        let execute = || match algorithm {
+            QueryAlgorithm::Auto => unreachable!("Auto was resolved above"),
+            QueryAlgorithm::Dual => {
+                let ratio = match &self.constraints {
+                    ServiceConstraints::Ratio(r) => *r,
+                    ServiceConstraints::Linear(_) => panic!(
+                        "the DUAL algorithm needs weight-ratio constraints; \
+                         build the query with SnapshotPin::ratio_query"
+                    ),
+                };
+                let dataset = pin.dataset();
+                let index = pin.dual_index(&dataset);
+                arsp_dual_flat_engine(&snapshot.flat, ratio, &index, parallel, stats)
+            }
+            QueryAlgorithm::Enum => {
+                let dataset = pin.dataset();
+                arsp_enum(
+                    &dataset,
+                    linear.expect("linear constraints materialised above"),
+                )
+            }
+            QueryAlgorithm::Loop => {
+                let constraints = linear.expect("linear constraints materialised above");
+                let fdom = pin.fdom_for(constraints);
+                let scores = pin.scores_for(&fdom);
+                let order = pin.order_for(&fdom, &scores);
+                let mut scratch = shared.scratch_pool.take();
+                let result = arsp_loop_flat_engine(
+                    &snapshot.flat,
+                    &scores,
+                    &order,
+                    parallel,
+                    stats,
+                    Some(scratch.loop_mut()),
+                    Some(&shared.loop_pool),
+                );
+                shared.scratch_pool.put(scratch);
+                result
+            }
+            QueryAlgorithm::Kdtt | QueryAlgorithm::KdttPlus | QueryAlgorithm::QdttPlus => {
+                let variant = match algorithm {
+                    QueryAlgorithm::Kdtt => KdVariant::Prebuilt,
+                    QueryAlgorithm::QdttPlus => KdVariant::FusedQuad,
+                    _ => KdVariant::FusedKd,
+                };
+                let constraints = linear.expect("linear constraints materialised above");
+                let fdom = pin.fdom_for(constraints);
+                let scores = pin.scores_for(&fdom);
+                let mut scratch = shared.scratch_pool.take();
+                let result = arsp_kdtt_flat_engine(
+                    &snapshot.flat,
+                    &scores,
+                    variant,
+                    parallel,
+                    stats,
+                    scratch.kd_mut(),
+                    Some(&shared.kd_pool),
+                );
+                shared.scratch_pool.put(scratch);
+                result
+            }
+            QueryAlgorithm::BranchAndBound => {
+                let constraints = linear.expect("linear constraints materialised above");
+                let fdom = pin.fdom_for(constraints);
+                let scores = pin.scores_for(&fdom);
+                let dataset = pin.dataset();
+                let rtree = pin.rtree(&dataset);
+                let mut scratch = shared.scratch_pool.take();
+                let result = arsp_bnb_engine(
+                    &dataset,
+                    &fdom,
+                    Some(&rtree),
+                    Some(&scores),
+                    parallel,
+                    stats,
+                    Some(scratch.bnb_mut()),
+                );
+                shared.scratch_pool.put(scratch);
+                result
+            }
+        };
+
+        let result = match self.execution {
+            #[cfg(feature = "parallel")]
+            Execution::Parallel { threads } if threads > 0 => {
+                crate::parallel::with_pool_sized(threads, execute)
+            }
+            _ => execute(),
+        };
+
+        ServiceOutcome {
+            result,
+            algorithm,
+            selection_reason,
+            version: snapshot.version,
+            counters: sink.map(|s| s.snapshot()),
+        }
+    }
+}
+
+/// The result of one pinned query: snapshot-space probabilities (instance id
+/// `i` = the `i`-th live instance of the pinned version in canonical order —
+/// exactly the ids a cold engine on that version's dataset would use) plus
+/// the version it answered at.
+pub struct ServiceOutcome {
+    result: ArspResult,
+    algorithm: QueryAlgorithm,
+    selection_reason: Option<&'static str>,
+    version: u64,
+    counters: Option<QueryCounters>,
+}
+
+impl ServiceOutcome {
+    /// The computed probabilities, in the pinned version's instance-id space.
+    pub fn result(&self) -> &ArspResult {
+        &self.result
+    }
+
+    /// Consumes the outcome, keeping only the probabilities.
+    pub fn into_result(self) -> ArspResult {
+        self.result
+    }
+
+    /// The algorithm that ran (never [`QueryAlgorithm::Auto`]).
+    pub fn algorithm(&self) -> QueryAlgorithm {
+        self.algorithm
+    }
+
+    /// `true` when the service picked the algorithm.
+    pub fn auto_selected(&self) -> bool {
+        self.selection_reason.is_some()
+    }
+
+    /// Why the service picked [`ServiceOutcome::algorithm`], when it did.
+    pub fn selection_reason(&self) -> Option<&'static str> {
+        self.selection_reason
+    }
+
+    /// The pinned version this outcome answered at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Rskyline probability of one snapshot instance.
+    pub fn instance_prob(&self, snapshot_id: usize) -> f64 {
+        self.result.instance_prob(snapshot_id)
+    }
+
+    /// Number of instances with non-zero rskyline probability.
+    pub fn result_size(&self) -> usize {
+        self.result.result_size()
+    }
+
+    /// Work counters, when requested via `collect_stats`.
+    pub fn counters(&self) -> Option<QueryCounters> {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ArspEngine;
+    use arsp_data::paper_running_example;
+    use std::sync::Barrier;
+
+    fn constraints() -> ConstraintSet {
+        ConstraintSet::weak_ranking(2, 1)
+    }
+
+    /// A mutation that changes the version without upsetting any probability
+    /// budget.
+    fn mutate_once(writer: &mut ServiceWriter) {
+        let handle = writer.store().handle_of_row(
+            writer
+                .store()
+                .canonical_rows()
+                .next()
+                .expect("non-empty store"),
+        );
+        let coords = writer
+            .store()
+            .coords_of(writer.store().row_of(handle).unwrap())
+            .to_vec();
+        let prob = writer.store().prob(writer.store().row_of(handle).unwrap());
+        writer.update_instance(handle, &coords, prob);
+    }
+
+    #[test]
+    fn unpinned_snapshots_retire_at_publish() {
+        let (service, mut writer) = ArspService::from_dataset(&paper_running_example());
+        assert_eq!(service.serving_stats().snapshots_published, 1);
+        assert_eq!(service.serving_stats().snapshots_retired, 0);
+
+        mutate_once(&mut writer);
+        writer.publish();
+        mutate_once(&mut writer);
+        writer.publish();
+
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_published, 3);
+        // No reader ever pinned: every superseded snapshot retired at the
+        // swap, the current one is alive.
+        assert_eq!(stats.snapshots_retired, 2);
+        assert_eq!(stats.active_pins, 0);
+        assert_eq!(stats.pinned_snapshots, 0);
+    }
+
+    #[test]
+    fn publish_without_mutations_is_a_no_op() {
+        let (service, mut writer) = ArspService::from_dataset(&paper_running_example());
+        assert_eq!(writer.publish(), 0);
+        assert_eq!(writer.publish(), 0);
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_published, 1);
+        assert_eq!(stats.snapshots_retired, 0);
+    }
+
+    #[test]
+    fn pinned_snapshot_retires_only_after_the_last_pin_drops() {
+        let (service, mut writer) = ArspService::from_dataset(&paper_running_example());
+        let pin = service.pin();
+        let pin2 = pin.clone();
+        assert_eq!(service.serving_stats().active_pins, 2);
+        assert_eq!(service.serving_stats().pinned_snapshots, 1);
+
+        mutate_once(&mut writer);
+        writer.publish();
+
+        // Superseded but pinned: not retired.
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_published, 2);
+        assert_eq!(stats.snapshots_retired, 0);
+
+        // The pinned view still answers at version 0, bitwise the cold
+        // engine on the version-0 dataset.
+        assert_eq!(pin.version(), 0);
+        let cold = ArspEngine::new(paper_running_example());
+        let reference = cold.query(&constraints()).run();
+        let got = pin.query(&constraints()).run();
+        assert_eq!(got.version(), 0);
+        assert_eq!(got.result().probs(), reference.result().probs());
+
+        // First release: still pinned, still alive.
+        drop(pin);
+        assert_eq!(service.serving_stats().snapshots_retired, 0);
+        assert_eq!(service.serving_stats().active_pins, 1);
+
+        // Last release: retired.
+        drop(pin2);
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_retired, 1);
+        assert_eq!(stats.active_pins, 0);
+        assert_eq!(stats.pinned_snapshots, 0);
+    }
+
+    #[test]
+    fn dropping_a_pin_on_the_current_version_retires_nothing() {
+        let (service, _writer) = ArspService::from_dataset(&paper_running_example());
+        let pin = service.pin();
+        drop(pin);
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_retired, 0);
+        assert_eq!(stats.active_pins, 0);
+    }
+
+    #[test]
+    fn a_leaked_pin_keeps_its_snapshot_alive() {
+        let (service, mut writer) = ArspService::from_dataset(&paper_running_example());
+        let pin = service.pin();
+        std::mem::forget(pin.clone()); // deliberately leaked reader
+        drop(pin);
+
+        for _ in 0..3 {
+            mutate_once(&mut writer);
+            writer.publish();
+        }
+
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_published, 4);
+        // Version 0 is leaked-pinned forever; the two other superseded
+        // snapshots retired normally.
+        assert_eq!(stats.snapshots_retired, 2);
+        assert_eq!(stats.active_pins, 1);
+        assert_eq!(stats.pinned_snapshots, 1);
+
+        // And the leaked version's caches are still fully queryable.
+        let leaked = service.pin(); // current, not the leaked one — sanity
+        assert_eq!(leaked.version(), 3);
+    }
+
+    #[test]
+    fn queries_count_and_gauge_settles_to_zero() {
+        let (service, _writer) = ArspService::from_dataset(&paper_running_example());
+        let pin = service.pin();
+        for _ in 0..3 {
+            let _ = pin.query(&constraints()).run();
+        }
+        let stats = service.serving_stats();
+        assert_eq!(stats.queries_served, 3);
+        assert_eq!(stats.inflight, 0);
+        assert!(stats.peak_inflight >= 1);
+        assert_eq!(service.cache_stats().inflight, 0);
+    }
+
+    #[test]
+    fn coalescing_cache_builds_once_per_key() {
+        let counters = Arc::new(CoalesceCounters::default());
+        let rendezvous = Arc::new(AtomicUsize::new(0));
+        let cache: CoalescingCache<u64> = CoalescingCache::new(&counters, &rendezvous);
+        assert_eq!(cache.get_or_build(&[1], || 10), 10);
+        assert_eq!(cache.get_or_build(&[1], || 99), 10); // hit, build not run
+        assert_eq!(cache.get_or_build(&[2], || 20), 20);
+        assert_eq!(counters.builds.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.coalesced.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn coalescing_cache_rendezvous_joins_deterministically() {
+        let counters = Arc::new(CoalesceCounters::default());
+        let rendezvous = Arc::new(AtomicUsize::new(1));
+        let cache: Arc<CoalescingCache<u64>> =
+            Arc::new(CoalescingCache::new(&counters, &rendezvous));
+        let barrier = Arc::new(Barrier::new(2));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_build(&[7], || 42)
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 42);
+        }
+        // Exactly one build; the other thread joined it (the rendezvous
+        // held the publish until the join registered).
+        assert_eq!(counters.builds.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.coalesced.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn coalescing_cache_survives_a_builder_panic() {
+        let counters = Arc::new(CoalesceCounters::default());
+        let rendezvous = Arc::new(AtomicUsize::new(0));
+        let cache: CoalescingCache<u64> = CoalescingCache::new(&counters, &rendezvous);
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(&[5], || panic!("builder died"))
+        }));
+        assert!(attempt.is_err());
+        // The key is un-claimed: the next caller builds it normally.
+        assert_eq!(cache.get_or_build(&[5], || 55), 55);
+        assert_eq!(counters.builds.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_a_cold_engine_on_the_pin() {
+        let (service, mut writer) = ArspService::from_dataset(&paper_running_example());
+        mutate_once(&mut writer);
+        let handle = writer.store().handle_of_row(2);
+        writer.update_instance(handle, &[2.5, 3.5], 0.2);
+        writer.publish();
+
+        let pin = service.pin();
+        let cold = ArspEngine::new(writer.snapshot_dataset());
+        let cs = constraints();
+        for algorithm in [
+            QueryAlgorithm::Enum,
+            QueryAlgorithm::Loop,
+            QueryAlgorithm::Kdtt,
+            QueryAlgorithm::KdttPlus,
+            QueryAlgorithm::QdttPlus,
+            QueryAlgorithm::BranchAndBound,
+        ] {
+            let reference = cold.query(&cs).algorithm(algorithm).run();
+            let got = pin.query(&cs).algorithm(algorithm).run();
+            assert_eq!(
+                got.result().probs(),
+                reference.result().probs(),
+                "{algorithm:?} disagrees with the cold rebuild"
+            );
+        }
+        let ratio = WeightRatio::uniform(2, 0.5, 2.0);
+        let reference = cold
+            .ratio_query(&ratio)
+            .algorithm(QueryAlgorithm::Dual)
+            .run();
+        let got = pin
+            .ratio_query(&ratio)
+            .algorithm(QueryAlgorithm::Dual)
+            .run();
+        assert_eq!(got.result().probs(), reference.result().probs());
+        assert!(!got.auto_selected());
+
+        // Auto selection matches the cold engine's choice (same inputs).
+        let auto_cold = cold.query(&cs).run();
+        let auto_got = pin.query(&cs).run();
+        assert_eq!(auto_got.algorithm(), auto_cold.algorithm());
+        assert!(auto_got.auto_selected());
+        assert!(auto_got.selection_reason().is_some());
+        assert_eq!(auto_got.result().probs(), auto_cold.result().probs());
+    }
+
+    #[test]
+    fn counters_and_scratch_warmup_flow_through() {
+        let (service, _writer) = ArspService::from_dataset(&paper_running_example());
+        service.warm_scratch(2);
+        let stats = service.cache_stats();
+        assert_eq!(stats.scratch_misses, 4); // 2 query arenas + 2 loop arenas
+        let pin = service.pin();
+        let outcome = pin
+            .query(&constraints())
+            .algorithm(QueryAlgorithm::KdttPlus)
+            .collect_stats(true)
+            .run();
+        assert!(outcome.counters().unwrap().nodes_visited > 0);
+        assert!(service.cache_stats().scratch_hits >= 1);
+        assert_eq!(outcome.result_size(), outcome.result().result_size());
+    }
+}

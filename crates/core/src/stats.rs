@@ -66,6 +66,55 @@ impl CounterStats {
     }
 }
 
+/// A concurrency gauge: tracks how many activities are *currently* in flight
+/// and the highest that figure has ever been. The serving layer
+/// (`crate::service`) wraps every query in a [`PeakGauge::enter`] guard, so
+/// `current()` is the live in-flight query count and `peak()` proves how much
+/// concurrency a run actually achieved (what the coalescing tests assert).
+/// Purely observational, like every counter in this module.
+#[derive(Debug, Default)]
+pub struct PeakGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl PeakGauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enters the gauged section; the returned guard exits it on drop (also
+    /// on panic, so a crashed activity never wedges the gauge).
+    pub fn enter(&self) -> PeakGaugeGuard<'_> {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        PeakGaugeGuard { gauge: self }
+    }
+
+    /// Activities in flight right now.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The highest concurrent in-flight count ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard of one gauged activity (see [`PeakGauge::enter`]).
+#[derive(Debug)]
+pub struct PeakGaugeGuard<'g> {
+    gauge: &'g PeakGauge,
+}
+
+impl Drop for PeakGaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.current.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// A plain-value snapshot of [`CounterStats`], carried by
 /// [`crate::engine::ArspOutcome`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -106,6 +155,30 @@ mod tests {
             }
         );
         assert_eq!(snap.total(), 10);
+    }
+
+    #[test]
+    fn peak_gauge_tracks_current_and_peak() {
+        let gauge = PeakGauge::new();
+        assert_eq!((gauge.current(), gauge.peak()), (0, 0));
+        {
+            let _a = gauge.enter();
+            assert_eq!((gauge.current(), gauge.peak()), (1, 1));
+            {
+                let _b = gauge.enter();
+                assert_eq!((gauge.current(), gauge.peak()), (2, 2));
+            }
+            assert_eq!((gauge.current(), gauge.peak()), (1, 2));
+        }
+        assert_eq!((gauge.current(), gauge.peak()), (0, 2));
+
+        // A panic inside the gauged section still exits it.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = gauge.enter();
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(gauge.current(), 0);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`versioned`] — the mutable [`VersionedStore`]: delta rows appended to
 //!   the columnar tail, deletions as a tombstone bitmap, a monotonically
 //!   increasing version, stable instance handles and logarithmic-method
-//!   compaction — the substrate of the dynamic engine.
+//!   compaction — the substrate of the dynamic engine. Also home of the
+//!   [`EpochPinRegistry`] and [`SnapshotCache`] the concurrent serving layer
+//!   builds its epoch-based snapshot reclamation on.
 //! * [`possible_world`] — possible-world enumeration (equation 1), used by
 //!   the ENUM baseline and as the ground-truth oracle in tests.
 //! * [`synthetic`] — the synthetic generator of §V-A: IND / ANTI / CORR
@@ -36,4 +38,4 @@ pub use dataset::{
 pub use flat::FlatStore;
 pub use possible_world::{enumerate_possible_worlds, PossibleWorld};
 pub use synthetic::{Distribution, SyntheticConfig};
-pub use versioned::{InstanceHandle, VersionedStore};
+pub use versioned::{EpochPinRegistry, InstanceHandle, SnapshotCache, VersionedStore};

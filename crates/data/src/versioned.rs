@@ -39,6 +39,10 @@
 //! [`InstanceHandle`] survives merges *and* overwrites (an overwrite
 //! re-points the handle at the replacement row).
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
 use crate::dataset::UncertainDataset;
 use crate::flat::FlatStore;
 
@@ -596,6 +600,160 @@ impl VersionedStore {
     }
 }
 
+/// A thread-safe registry of *epoch pins*: readers that are holding on to the
+/// logical content of one store version. The registry is pure accounting — it
+/// never blocks a writer — but it is the ground truth an MVCC serving layer
+/// (see `arsp_core::service`) consults before reclaiming the cached artifacts
+/// of a superseded version: a snapshot may be dropped only once
+/// [`EpochPinRegistry::pin_count`] for its version reaches zero.
+///
+/// Registration and release are symmetric; a pin that is registered and never
+/// released (a leaked reader) keeps its version pinned forever, which is
+/// exactly the conservative behaviour reclamation wants.
+#[derive(Debug, Default)]
+pub struct EpochPinRegistry {
+    /// version → number of outstanding pins (entries are removed at zero, so
+    /// the map size is the number of distinct pinned versions).
+    pins: Mutex<HashMap<u64, u64>>,
+    /// Total pins ever registered (monotone).
+    registered: AtomicU64,
+    /// Total pins released (monotone; `registered - released` = active pins).
+    released: AtomicU64,
+}
+
+impl EpochPinRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<u64, u64>> {
+        self.pins.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers one pin on `version`; returns the version's new pin count.
+    pub fn register(&self, version: u64) -> u64 {
+        self.registered.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map();
+        let count = map.entry(version).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// Releases one pin on `version`; returns the version's remaining pin
+    /// count (zero means the version is now unpinned and may be reclaimed).
+    ///
+    /// # Panics
+    /// Panics if the version has no outstanding pin — a release without a
+    /// matching register is an accounting bug worth failing fast on.
+    pub fn release(&self, version: u64) -> u64 {
+        let mut map = self.map();
+        let count = map
+            .get_mut(&version)
+            .unwrap_or_else(|| panic!("version {version} has no outstanding pin"));
+        *count -= 1;
+        let remaining = *count;
+        if remaining == 0 {
+            map.remove(&version);
+        }
+        self.released.fetch_add(1, Ordering::Relaxed);
+        remaining
+    }
+
+    /// Number of outstanding pins on one version.
+    pub fn pin_count(&self, version: u64) -> u64 {
+        self.map().get(&version).copied().unwrap_or(0)
+    }
+
+    /// Total outstanding pins across all versions.
+    pub fn active_pins(&self) -> u64 {
+        self.registered.load(Ordering::Relaxed) - self.released.load(Ordering::Relaxed)
+    }
+
+    /// Total pins ever registered.
+    pub fn total_registered(&self) -> u64 {
+        self.registered.load(Ordering::Relaxed)
+    }
+
+    /// The distinct pinned versions, ascending.
+    pub fn pinned_versions(&self) -> Vec<u64> {
+        let mut versions: Vec<u64> = self.map().keys().copied().collect();
+        versions.sort_unstable();
+        versions
+    }
+
+    /// The oldest pinned version (`None` when nothing is pinned) — the
+    /// horizon below which every snapshot is reclaimable.
+    pub fn min_pinned(&self) -> Option<u64> {
+        self.map().keys().copied().min()
+    }
+}
+
+/// A memoised snapshot materialiser: repeated snapshot requests at an
+/// unchanged `(version, epoch)` hand out the *same* `Arc` instead of
+/// re-gathering the columns — the cheap snapshot cloning the serving layer's
+/// publish path and any cold-rebuild verifier lean on. The cache never
+/// returns stale content: any mutation or merge changes the key and forces a
+/// fresh gather.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    flat: Mutex<Option<(u64, u64, Arc<FlatStore>)>>,
+    dataset: Mutex<Option<(u64, u64, Arc<UncertainDataset>)>>,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The store's current [`VersionedStore::snapshot_flat`], shared: bitwise
+    /// the cold gather, one gather per `(version, epoch)`.
+    pub fn flat(&self, store: &VersionedStore) -> Arc<FlatStore> {
+        let key = (store.version(), store.epoch());
+        let mut guard = self.flat.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((v, e, flat)) = guard.as_ref() {
+            if (*v, *e) == key {
+                return Arc::clone(flat);
+            }
+        }
+        let flat = Arc::new(store.snapshot_flat());
+        *guard = Some((key.0, key.1, Arc::clone(&flat)));
+        flat
+    }
+
+    /// The store's current [`VersionedStore::snapshot_dataset`], shared: one
+    /// materialisation per `(version, epoch)`.
+    pub fn dataset(&self, store: &VersionedStore) -> Arc<UncertainDataset> {
+        let key = (store.version(), store.epoch());
+        let mut guard = self.dataset.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((v, e, dataset)) = guard.as_ref() {
+            if (*v, *e) == key {
+                return Arc::clone(dataset);
+            }
+        }
+        let dataset = Arc::new(store.snapshot_dataset());
+        *guard = Some((key.0, key.1, Arc::clone(&dataset)));
+        dataset
+    }
+}
+
+impl Clone for SnapshotCache {
+    /// Cloning shares the cached `Arc`s (cheap), not the mutexes: the clone
+    /// starts with the same memoised snapshots and diverges independently.
+    fn clone(&self) -> Self {
+        Self {
+            flat: Mutex::new(self.flat.lock().unwrap_or_else(|p| p.into_inner()).clone()),
+            dataset: Mutex::new(
+                self.dataset
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .clone(),
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,5 +952,96 @@ mod tests {
         // 0.9 → 0.95 is fine because the old mass is released first.
         let _ = store.update_instance(h, &[0.1, 0.2], 0.95);
         assert!((store.live_total_prob(a) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pin_registry_counts_exactly() {
+        let pins = EpochPinRegistry::new();
+        assert_eq!(pins.active_pins(), 0);
+        assert_eq!(pins.min_pinned(), None);
+
+        assert_eq!(pins.register(3), 1);
+        assert_eq!(pins.register(3), 2);
+        assert_eq!(pins.register(7), 1);
+        assert_eq!(pins.pin_count(3), 2);
+        assert_eq!(pins.pin_count(7), 1);
+        assert_eq!(pins.pin_count(99), 0);
+        assert_eq!(pins.active_pins(), 3);
+        assert_eq!(pins.total_registered(), 3);
+        assert_eq!(pins.pinned_versions(), vec![3, 7]);
+        assert_eq!(pins.min_pinned(), Some(3));
+
+        assert_eq!(pins.release(3), 1);
+        assert_eq!(pins.release(3), 0);
+        assert_eq!(pins.pin_count(3), 0);
+        assert_eq!(pins.pinned_versions(), vec![7]);
+        assert_eq!(pins.min_pinned(), Some(7));
+        assert_eq!(pins.release(7), 0);
+        assert_eq!(pins.active_pins(), 0);
+        assert_eq!(pins.total_registered(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn releasing_an_unpinned_version_panics() {
+        let pins = EpochPinRegistry::new();
+        pins.register(1);
+        pins.release(1);
+        pins.release(1);
+    }
+
+    #[test]
+    fn pin_registry_is_shareable_across_threads() {
+        let pins = Arc::new(EpochPinRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pins = Arc::clone(&pins);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        pins.register(t % 2);
+                        pins.release(t % 2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pins.active_pins(), 0);
+        assert_eq!(pins.total_registered(), 400);
+        assert_eq!(pins.pinned_versions(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn snapshot_cache_shares_until_the_store_moves() {
+        let mut store = slack_store();
+        let cache = SnapshotCache::new();
+
+        let f1 = cache.flat(&store);
+        let f2 = cache.flat(&store);
+        assert!(Arc::ptr_eq(&f1, &f2), "unchanged version re-gathered");
+        assert_eq!(flat_bits(&f1), flat_bits(&store.snapshot_flat()));
+        let d1 = cache.dataset(&store);
+        assert!(Arc::ptr_eq(&d1, &cache.dataset(&store)));
+
+        // Clones share the memoised snapshot, then diverge independently.
+        let clone = cache.clone();
+        assert!(Arc::ptr_eq(&f1, &clone.flat(&store)));
+
+        // A mutation changes the version: fresh gather, fresh Arc.
+        let h = store.insert_instance(0, &[1.5, 1.5], 0.0001);
+        let f3 = cache.flat(&store);
+        assert!(!Arc::ptr_eq(&f1, &f3));
+        assert_eq!(flat_bits(&f3), flat_bits(&store.snapshot_flat()));
+        assert!(!Arc::ptr_eq(&d1, &cache.dataset(&store)));
+
+        // A merge keeps the version but bumps the epoch: also a fresh gather
+        // (row ids moved), still bitwise the cold snapshot.
+        store.remove_instance(h);
+        let f4 = cache.flat(&store);
+        store.merge();
+        let f5 = cache.flat(&store);
+        assert!(!Arc::ptr_eq(&f4, &f5));
+        assert_eq!(flat_bits(&f5), flat_bits(&store.snapshot_flat()));
     }
 }

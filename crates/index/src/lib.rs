@@ -53,6 +53,13 @@ pub type SharedRTree = std::sync::Arc<RTree>;
 /// layout the DUAL algorithm queries: one tree per uncertain object).
 pub type SharedAggregateForest = std::sync::Arc<Vec<AggregateRTree>>;
 
+/// A shareable, immutable handle to a bulk-loaded [`KdTree`]. Like
+/// [`SharedRTree`], the arena tree is frozen after construction: every node
+/// and entry lives in flat arrays that are only ever read, so an MVCC
+/// snapshot can hand the same handle to any number of concurrent readers and
+/// retire it (drop the arenas) only once the last reader lets go.
+pub type SharedKdTree = std::sync::Arc<KdTree>;
+
 /// A point stored in an index: an instance id, the id of the uncertain object
 /// it belongs to, its weight (existence probability) and its coordinates.
 #[derive(Clone, Debug, PartialEq)]

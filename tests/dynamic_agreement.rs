@@ -15,6 +15,7 @@
 
 use arsp::core::dynamic::DynamicArspEngine;
 use arsp::core::engine::{ArspEngine, Execution, QueryAlgorithm};
+use arsp::core::service::{ArspService, SnapshotPin};
 use arsp::index::DeltaPolicy;
 use arsp::prelude::*;
 use arsp_data::{InstanceHandle, VersionedStore};
@@ -362,6 +363,93 @@ proptest! {
             true,
             &format!("seed {seed}, final sweep"),
         );
+    }
+}
+
+proptest! {
+    // The serving layer's snapshot-isolation contract, interleaved with
+    // writer batches: pins taken at each published version keep answering at
+    // *their* version — bitwise equal to a cold rebuild on the dataset the
+    // mirror materialised at pin time — no matter how many later batches the
+    // writer applies and publishes, and unpublished mutations are invisible
+    // to new pins. All five general algorithms sweep every pinned version
+    // after every batch.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn service_pins_are_snapshot_isolated_across_writer_batches(
+        seed in 0u64..1_000_000,
+        shape in (4usize..9, 1usize..4, 2usize..4),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..12, 0u16..4096, (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 0.0f64..1.0),
+                1..4),
+            3..6),
+    ) {
+        let (num_objects, max_instances, dim) = shape;
+        let dataset = SyntheticConfig {
+            num_objects,
+            max_instances,
+            dim,
+            region_length: 0.4,
+            phi: 0.5,
+            seed,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let constraints = ConstraintSet::weak_ranking(dim, dim - 1);
+
+        let store = VersionedStore::from_dataset(&dataset);
+        let mut mirror = Mirror::from_seed(&store, &dataset);
+        let (service, mut writer) = ArspService::from_store(store);
+
+        // Every published version, paired with the dataset the mirror says
+        // that version holds. The pins stay live across all later batches.
+        let mut pinned: Vec<(SnapshotPin, UncertainDataset)> =
+            vec![(service.pin(), mirror.dataset())];
+
+        for (round, batch) in batches.iter().enumerate() {
+            let published = service.current_version();
+            for &op in batch {
+                apply_op(writer.engine_mut(), &mut mirror, op, dim);
+            }
+            // Unpublished mutations are invisible: the service still serves
+            // the last published version, and a fresh pin lands on it.
+            prop_assert_eq!(service.current_version(), published);
+            prop_assert_eq!(service.pin().version(), published);
+
+            writer.publish();
+            pinned.push((service.pin(), mirror.dataset()));
+
+            // Every pin ever taken still answers at its own version.
+            for (p, (pin, expected)) in pinned.iter().enumerate() {
+                let cold = ArspEngine::new(expected.clone());
+                for &algorithm in &ALGOS {
+                    let reference = cold.query(&constraints).algorithm(algorithm).run();
+                    let got = pin.query(&constraints).algorithm(algorithm).run();
+                    prop_assert_eq!(
+                        got.version(),
+                        pin.version(),
+                        "outcome version mismatch (seed {}, round {round}, pin {p})",
+                        seed
+                    );
+                    prop_assert_eq!(
+                        reference.result().probs(),
+                        got.result().probs(),
+                        "{:?} diverged at pin {p} (seed {}, round {round})",
+                        algorithm,
+                        seed
+                    );
+                }
+            }
+        }
+
+        // Reclamation closes out once the pins go away: everything but the
+        // currently served snapshot retires.
+        drop(pinned);
+        let stats = service.serving_stats();
+        prop_assert_eq!(stats.active_pins, 0);
+        prop_assert_eq!(stats.snapshots_retired, stats.snapshots_published - 1);
     }
 }
 
