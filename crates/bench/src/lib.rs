@@ -12,6 +12,8 @@
 //!   the limit at one sweep point is reported as `INF` and skipped for the
 //!   larger points of that sweep, mirroring the paper's 3,600 s timeout.
 
+#![deny(unsafe_code)]
+
 use std::collections::HashSet;
 use std::time::Instant;
 

@@ -60,8 +60,9 @@
 //! [`InstanceOrder`]: crate::algorithms::loop_scan::InstanceOrder
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{lock, Arc, Mutex};
 
 use crate::algorithms::bnb::{arsp_bnb_engine, build_instance_rtree};
 use crate::algorithms::enumerate::arsp_enum;
@@ -256,12 +257,6 @@ impl DynCaches {
     fn invalidate(&self) {
         self.invalidated.fetch_add(1, Ordering::Relaxed);
     }
-}
-
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// `true` when `a` sorts strictly before `b` under the cold `(key, id)`

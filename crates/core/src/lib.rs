@@ -59,9 +59,12 @@
 //! * eclipse queries on certain datasets ([`eclipse`]),
 //! * the Orthogonal-Vectors hardness reduction ([`hardness`]).
 
+#![deny(unsafe_code)]
+
 pub mod aggregate;
 pub mod algorithms;
 pub mod asp;
+pub mod coalesce;
 pub mod dynamic;
 pub mod eclipse;
 pub mod effectiveness;
@@ -73,6 +76,7 @@ pub mod scorespace;
 pub mod scratch;
 pub mod service;
 pub mod stats;
+pub mod sync;
 
 pub use algorithms::bnb::{
     arsp_bnb, arsp_bnb_parallel, arsp_bnb_parallel_with_fdom, arsp_bnb_with_fdom,

@@ -22,8 +22,8 @@
 //! identical whether a scratch is fresh, reused, or absent (the algorithms
 //! fall back to a throwaway arena).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{lock, Mutex};
 
 use crate::algorithms::bnb::BnbScratch;
 use crate::algorithms::kd_asp::KdScratch;
@@ -55,7 +55,7 @@ impl<T: Default> ScratchPool<T> {
     /// Checks an arena out of the pool, creating a fresh one when the pool
     /// is empty. Counts a hit (reuse) or a miss (creation).
     pub fn take(&self) -> T {
-        let popped = self.stack.lock().unwrap_or_else(|p| p.into_inner()).pop();
+        let popped = lock(&self.stack).pop();
         match popped {
             Some(value) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -84,10 +84,7 @@ impl<T: Default> ScratchPool<T> {
 
     /// Returns an arena to the pool for the next task.
     pub fn put(&self, value: T) {
-        self.stack
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .push(value);
+        lock(&self.stack).push(value);
     }
 
     /// Number of take-calls served from a pooled arena.
@@ -104,7 +101,7 @@ impl<T: Default> ScratchPool<T> {
 
     /// Number of arenas currently parked in the pool.
     pub fn size(&self) -> usize {
-        self.stack.lock().unwrap_or_else(|p| p.into_inner()).len()
+        lock(&self.stack).len()
     }
 }
 

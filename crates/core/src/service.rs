@@ -70,9 +70,6 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
 
 use crate::algorithms::bnb::{arsp_bnb_engine, build_instance_rtree};
 use crate::algorithms::dual::{arsp_dual_flat_engine, build_dual_index};
@@ -82,6 +79,7 @@ use crate::algorithms::kdtt::arsp_kdtt_flat_engine;
 use crate::algorithms::loop_scan::{
     arsp_loop_flat_engine, instance_order_from_scores, InstanceOrder, LoopScratch,
 };
+use crate::coalesce::{CoalesceCounters, CoalescingCache};
 use crate::dynamic::{DynamicArspEngine, SnapshotExport};
 use crate::engine::{
     auto_select, constraint_key, omega_key, vertices_key, CacheStats, Execution, QueryAlgorithm,
@@ -90,169 +88,16 @@ use crate::result::ArspResult;
 use crate::scorespace::ScoreMatrix;
 use crate::scratch::{QueryScratch, ScratchPool};
 use crate::stats::{CounterStats, PeakGauge, QueryCounters};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{lock, Arc, Mutex};
 use arsp_data::{EpochPinRegistry, FlatStore, InstanceHandle, UncertainDataset, VersionedStore};
 use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
 use arsp_geometry::fdom::LinearFDominance;
 use arsp_index::{SharedAggregateForest, SharedRTree};
 
-/// How long a rendezvous-holding builder waits for its joiners before
-/// publishing anyway — a liveness backstop for the deterministic-test knob,
-/// never hit when the knob is off (the default).
-const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(2);
-
 /// The cache key of the per-snapshot singleton artifacts (dataset, R-tree,
 /// DUAL forest): one entry per snapshot, no constraint dependence.
 const SINGLETON_KEY: &[u64] = &[];
-
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-/// Service-wide coalescing counters, shared by every [`CoalescingCache`] the
-/// service ever creates — they survive snapshot retirement, so the stats
-/// describe the whole session.
-#[derive(Debug, Default)]
-struct CoalesceCounters {
-    /// Lookups answered from a ready artifact.
-    hits: AtomicU64,
-    /// Builds actually performed (exactly one per distinct missing key).
-    builds: AtomicU64,
-    /// Lookups that joined another thread's in-progress build.
-    coalesced: AtomicU64,
-}
-
-struct CoalescingInner<V> {
-    /// Published artifacts.
-    ready: HashMap<Vec<u64>, V>,
-    /// In-progress builds: key → number of joiners waiting on it.
-    inflight: HashMap<Vec<u64>, usize>,
-}
-
-/// A build-coalescing cache: concurrent lookups of the *same* missing key
-/// produce **one** build — the first requester claims it (outside the lock),
-/// later requesters wait on the condvar and share the published value.
-/// Lookups of distinct keys proceed independently. Panic-safe: a builder
-/// that unwinds un-claims the key and wakes the waiters, the first of which
-/// becomes the new builder.
-struct CoalescingCache<V> {
-    inner: Mutex<CoalescingInner<V>>,
-    cv: Condvar,
-    counters: Arc<CoalesceCounters>,
-    /// Joiners a builder waits for before publishing (0 = publish
-    /// immediately; see [`ArspService::set_coalescing_rendezvous`]).
-    rendezvous: Arc<AtomicUsize>,
-}
-
-/// Un-claims an in-flight build when the builder unwinds, so waiters retry
-/// instead of blocking forever.
-struct Unclaim<'a, V> {
-    cache: &'a CoalescingCache<V>,
-    key: &'a [u64],
-    armed: bool,
-}
-
-impl<V> Drop for Unclaim<'_, V> {
-    fn drop(&mut self) {
-        if self.armed {
-            lock(&self.cache.inner).inflight.remove(self.key);
-            self.cache.cv.notify_all();
-        }
-    }
-}
-
-impl<V: Clone> CoalescingCache<V> {
-    fn new(counters: &Arc<CoalesceCounters>, rendezvous: &Arc<AtomicUsize>) -> Self {
-        Self {
-            inner: Mutex::new(CoalescingInner {
-                ready: HashMap::new(),
-                inflight: HashMap::new(),
-            }),
-            cv: Condvar::new(),
-            counters: Arc::clone(counters),
-            rendezvous: Arc::clone(rendezvous),
-        }
-    }
-
-    /// Publishes an already-built artifact (publish-time seeding from the
-    /// writer's caches); counts neither a hit nor a build. Keeps an existing
-    /// entry — seeded artifacts and built artifacts are interchangeable
-    /// bitwise, so first-published wins.
-    fn seed(&self, key: Vec<u64>, value: V) {
-        lock(&self.inner).ready.entry(key).or_insert(value);
-        self.cv.notify_all();
-    }
-
-    /// The coalescing lookup. `build` runs outside the lock, at most once
-    /// per missing key across all concurrent callers.
-    fn get_or_build(&self, key: &[u64], build: impl FnOnce() -> V) -> V {
-        {
-            let mut inner = lock(&self.inner);
-            loop {
-                if let Some(value) = inner.ready.get(key) {
-                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    return value.clone();
-                }
-                if let Some(joiners) = inner.inflight.get_mut(key) {
-                    // Someone is building this key: join rather than race.
-                    *joiners += 1;
-                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-                    // A rendezvous-holding builder counts joiners — wake it.
-                    self.cv.notify_all();
-                    loop {
-                        inner = self
-                            .cv
-                            .wait(inner)
-                            .unwrap_or_else(|poisoned| poisoned.into_inner());
-                        if inner.ready.contains_key(key) || !inner.inflight.contains_key(key) {
-                            break;
-                        }
-                    }
-                    // Ready → returned by the outer re-check; in-flight gone
-                    // without a publish (builder unwound) → the re-check
-                    // claims the build for this thread.
-                    continue;
-                }
-                break;
-            }
-            inner.inflight.insert(key.to_vec(), 0);
-            self.counters.builds.fetch_add(1, Ordering::Relaxed);
-        }
-
-        let unclaim = Unclaim {
-            cache: self,
-            key,
-            armed: true,
-        };
-        let value = build();
-
-        let mut inner = lock(&self.inner);
-        let want = self.rendezvous.load(Ordering::Relaxed);
-        if want > 0 {
-            // Test-only determinism: hold the publish until `want` joiners
-            // have registered (or the liveness backstop fires).
-            let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
-            while inner.inflight.get(key).copied().unwrap_or(usize::MAX) < want {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (guard, _) = self
-                    .cv
-                    .wait_timeout(inner, deadline - now)
-                    .unwrap_or_else(|poisoned| poisoned.into_inner());
-                inner = guard;
-            }
-        }
-        inner.inflight.remove(key);
-        inner.ready.insert(key.to_vec(), value.clone());
-        std::mem::forget(unclaim); // published normally — nothing to undo
-        drop(inner);
-        self.cv.notify_all();
-        value
-    }
-}
 
 /// One published version: the immutable artifact set every query on a pin of
 /// this version runs against. Construction-time artifacts come out of the
@@ -455,9 +300,9 @@ impl ArspService {
             inflight: shared.gauge.current(),
             peak_inflight: shared.gauge.peak(),
             queries_served: shared.counters.queries.load(Ordering::Relaxed),
-            shared_builds: shared.coalesce.builds.load(Ordering::Relaxed),
-            coalesced_builds: shared.coalesce.coalesced.load(Ordering::Relaxed),
-            cache_hits: shared.coalesce.hits.load(Ordering::Relaxed),
+            shared_builds: shared.coalesce.builds(),
+            coalesced_builds: shared.coalesce.coalesced(),
+            cache_hits: shared.coalesce.hits(),
             snapshots_published: shared.counters.published.load(Ordering::Relaxed),
             snapshots_retired: shared.counters.retired.load(Ordering::Relaxed),
             active_pins: shared.pins.active_pins(),
@@ -475,8 +320,8 @@ impl ArspService {
     pub fn cache_stats(&self) -> CacheStats {
         let shared = &self.shared;
         CacheStats {
-            hits: shared.coalesce.hits.load(Ordering::Relaxed),
-            misses: shared.coalesce.builds.load(Ordering::Relaxed),
+            hits: shared.coalesce.hits(),
+            misses: shared.coalesce.builds(),
             scratch_hits: shared.scratch_pool.hits()
                 + shared.loop_pool.hits()
                 + shared.kd_pool.hits(),
@@ -487,7 +332,7 @@ impl ArspService {
             delta_rows_scanned: 0,
             merges_performed: 0,
             inflight: shared.gauge.current(),
-            coalesced_builds: shared.coalesce.coalesced.load(Ordering::Relaxed),
+            coalesced_builds: shared.coalesce.coalesced(),
             snapshots_retired: shared.counters.retired.load(Ordering::Relaxed),
             active_pins: shared.pins.active_pins(),
         }
@@ -1026,7 +871,6 @@ mod tests {
     use super::*;
     use crate::engine::ArspEngine;
     use arsp_data::paper_running_example;
-    use std::sync::Barrier;
 
     fn constraints() -> ConstraintSet {
         ConstraintSet::weak_ranking(2, 1)
@@ -1042,11 +886,12 @@ mod tests {
                 .next()
                 .expect("non-empty store"),
         );
-        let coords = writer
+        let row = writer
             .store()
-            .coords_of(writer.store().row_of(handle).unwrap())
-            .to_vec();
-        let prob = writer.store().prob(writer.store().row_of(handle).unwrap());
+            .row_of(handle)
+            .expect("handle taken from a live row above");
+        let coords = writer.store().coords_of(row).to_vec();
+        let prob = writer.store().prob(row);
         writer.update_instance(handle, &coords, prob);
     }
 
@@ -1168,59 +1013,6 @@ mod tests {
     }
 
     #[test]
-    fn coalescing_cache_builds_once_per_key() {
-        let counters = Arc::new(CoalesceCounters::default());
-        let rendezvous = Arc::new(AtomicUsize::new(0));
-        let cache: CoalescingCache<u64> = CoalescingCache::new(&counters, &rendezvous);
-        assert_eq!(cache.get_or_build(&[1], || 10), 10);
-        assert_eq!(cache.get_or_build(&[1], || 99), 10); // hit, build not run
-        assert_eq!(cache.get_or_build(&[2], || 20), 20);
-        assert_eq!(counters.builds.load(Ordering::Relaxed), 2);
-        assert_eq!(counters.hits.load(Ordering::Relaxed), 1);
-        assert_eq!(counters.coalesced.load(Ordering::Relaxed), 0);
-    }
-
-    #[test]
-    fn coalescing_cache_rendezvous_joins_deterministically() {
-        let counters = Arc::new(CoalesceCounters::default());
-        let rendezvous = Arc::new(AtomicUsize::new(1));
-        let cache: Arc<CoalescingCache<u64>> =
-            Arc::new(CoalescingCache::new(&counters, &rendezvous));
-        let barrier = Arc::new(Barrier::new(2));
-        let threads: Vec<_> = (0..2)
-            .map(|_| {
-                let cache = Arc::clone(&cache);
-                let barrier = Arc::clone(&barrier);
-                std::thread::spawn(move || {
-                    barrier.wait();
-                    cache.get_or_build(&[7], || 42)
-                })
-            })
-            .collect();
-        for t in threads {
-            assert_eq!(t.join().unwrap(), 42);
-        }
-        // Exactly one build; the other thread joined it (the rendezvous
-        // held the publish until the join registered).
-        assert_eq!(counters.builds.load(Ordering::Relaxed), 1);
-        assert_eq!(counters.coalesced.load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn coalescing_cache_survives_a_builder_panic() {
-        let counters = Arc::new(CoalesceCounters::default());
-        let rendezvous = Arc::new(AtomicUsize::new(0));
-        let cache: CoalescingCache<u64> = CoalescingCache::new(&counters, &rendezvous);
-        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache.get_or_build(&[5], || panic!("builder died"))
-        }));
-        assert!(attempt.is_err());
-        // The key is un-claimed: the next caller builds it normally.
-        assert_eq!(cache.get_or_build(&[5], || 55), 55);
-        assert_eq!(counters.builds.load(Ordering::Relaxed), 2);
-    }
-
-    #[test]
     fn all_algorithms_agree_with_a_cold_engine_on_the_pin() {
         let (service, mut writer) = ArspService::from_dataset(&paper_running_example());
         mutate_once(&mut writer);
@@ -1280,7 +1072,13 @@ mod tests {
             .algorithm(QueryAlgorithm::KdttPlus)
             .collect_stats(true)
             .run();
-        assert!(outcome.counters().unwrap().nodes_visited > 0);
+        assert!(
+            outcome
+                .counters()
+                .expect("collect_stats(true) was requested")
+                .nodes_visited
+                > 0
+        );
         assert!(service.cache_stats().scratch_hits >= 1);
         assert_eq!(outcome.result_size(), outcome.result().result_size());
     }

@@ -14,7 +14,7 @@
 //! instance, per node pass) to keep the hot loops free of per-test atomic
 //! traffic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A thread-safe sink for algorithm work counters.
 #[derive(Debug, Default)]
@@ -191,7 +191,7 @@ mod tests {
             })
             .collect();
         for h in handles {
-            h.join().unwrap();
+            h.join().expect("counter thread panicked");
         }
         assert_eq!(sink.snapshot().nodes_visited, 400);
     }

@@ -23,11 +23,14 @@
 //! * [`constraints_gen`] — the WR and IM constraint generators of §V-A and
 //!   helpers for weight-ratio ranges.
 
+#![deny(unsafe_code)]
+
 pub mod constraints_gen;
 pub mod dataset;
 pub mod flat;
 pub mod possible_world;
 pub mod real;
+pub mod sync;
 pub mod synthetic;
 pub mod versioned;
 

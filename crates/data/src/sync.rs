@@ -1,0 +1,29 @@
+//! The synchronization façade for this crate's concurrent structures —
+//! the `arsp-data` twin of `arsp_core::sync`.
+//!
+//! [`crate::versioned`]'s `EpochPinRegistry` and `SnapshotCache` import
+//! their primitives from here instead of `std::sync` directly (`cargo
+//! xtask lint` enforces it). Normal builds re-export `std::sync`; under
+//! `--cfg arsp_model_check` (set by `cargo xtask model-check`) the names
+//! resolve to the vendored `interleave` model checker's deterministic
+//! twins, so the serving layer's pin/publish/retire protocol can be proven
+//! over all interleavings in `tests/model_check.rs`.
+
+#[cfg(not(arsp_model_check))]
+pub use std::sync::atomic;
+#[cfg(not(arsp_model_check))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(arsp_model_check)]
+pub use interleave::sync::atomic;
+#[cfg(arsp_model_check)]
+pub use interleave::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks a mutex, riding through poisoning — see `arsp_core::sync::lock`
+/// for the rationale. The only sanctioned way to lock in
+/// [`crate::versioned`].
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

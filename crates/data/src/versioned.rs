@@ -40,8 +40,9 @@
 //! re-points the handle at the replacement row).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{lock, Arc, Mutex, MutexGuard};
 
 use crate::dataset::UncertainDataset;
 use crate::flat::FlatStore;
@@ -627,8 +628,8 @@ impl EpochPinRegistry {
         Self::default()
     }
 
-    fn map(&self) -> std::sync::MutexGuard<'_, HashMap<u64, u64>> {
-        self.pins.lock().unwrap_or_else(|p| p.into_inner())
+    fn map(&self) -> MutexGuard<'_, HashMap<u64, u64>> {
+        lock(&self.pins)
     }
 
     /// Registers one pin on `version`; returns the version's new pin count.
@@ -711,7 +712,7 @@ impl SnapshotCache {
     /// the cold gather, one gather per `(version, epoch)`.
     pub fn flat(&self, store: &VersionedStore) -> Arc<FlatStore> {
         let key = (store.version(), store.epoch());
-        let mut guard = self.flat.lock().unwrap_or_else(|p| p.into_inner());
+        let mut guard = lock(&self.flat);
         if let Some((v, e, flat)) = guard.as_ref() {
             if (*v, *e) == key {
                 return Arc::clone(flat);
@@ -726,7 +727,7 @@ impl SnapshotCache {
     /// materialisation per `(version, epoch)`.
     pub fn dataset(&self, store: &VersionedStore) -> Arc<UncertainDataset> {
         let key = (store.version(), store.epoch());
-        let mut guard = self.dataset.lock().unwrap_or_else(|p| p.into_inner());
+        let mut guard = lock(&self.dataset);
         if let Some((v, e, dataset)) = guard.as_ref() {
             if (*v, *e) == key {
                 return Arc::clone(dataset);
@@ -743,13 +744,8 @@ impl Clone for SnapshotCache {
     /// starts with the same memoised snapshots and diverges independently.
     fn clone(&self) -> Self {
         Self {
-            flat: Mutex::new(self.flat.lock().unwrap_or_else(|p| p.into_inner()).clone()),
-            dataset: Mutex::new(
-                self.dataset
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .clone(),
-            ),
+            flat: Mutex::new(lock(&self.flat).clone()),
+            dataset: Mutex::new(lock(&self.dataset).clone()),
         }
     }
 }
@@ -1005,7 +1001,7 @@ mod tests {
             })
             .collect();
         for h in handles {
-            h.join().unwrap();
+            h.join().expect("pin thread panicked");
         }
         assert_eq!(pins.active_pins(), 0);
         assert_eq!(pins.total_registered(), 400);

@@ -23,6 +23,8 @@
 //! [`EPS`], and only where geometric degeneracy actually matters (singular
 //! systems, feasibility of computed vertices, hyperplane side tests).
 
+#![deny(unsafe_code)]
+
 pub mod constraints;
 pub mod fdom;
 pub mod hyperplane;

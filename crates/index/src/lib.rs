@@ -30,6 +30,8 @@
 //! children are `(start, len)` ranges into a single shared index array — no
 //! per-node heap allocations, so traversals stream contiguous memory.
 
+#![deny(unsafe_code)]
+
 pub mod aggregate_rtree;
 pub mod angular;
 pub mod delta;

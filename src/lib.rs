@@ -46,6 +46,8 @@
 //! assert!(direct.approx_eq(outcome.result(), 0.0));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use arsp_core as core;
 pub use arsp_data as data;
 pub use arsp_geometry as geometry;

@@ -1,0 +1,147 @@
+//! Direct agreement tests for every `*_flat_engine*` entry point.
+//!
+//! The flat engines are the columnar hot paths behind `ArspEngine`; each one
+//! promises results **bitwise identical** to its point-path reference. The
+//! engine-level agreement suites exercise them indirectly — this suite calls
+//! each public flat entry point *directly* on hand-built inputs, so a
+//! signature or semantics drift is caught even if the engine dispatch moves
+//! off a function. `cargo xtask lint` enforces the coupling: every public
+//! `*_flat_engine*` function must be named in a test under `tests/`.
+
+use arsp_core::algorithms::dual::{arsp_dual, arsp_dual_flat_engine, build_dual_index};
+use arsp_core::algorithms::kd_asp::{
+    kd_asp_flat_engine, kd_asp_flat_engine_parallel, KdScratch, KdVariant, KdWorkerPool,
+};
+use arsp_core::algorithms::kdtt::{
+    arsp_kdtt_flat_engine, arsp_kdtt_plus_with_fdom, arsp_kdtt_with_fdom, arsp_qdtt_plus_with_fdom,
+};
+use arsp_core::algorithms::loop_scan::{
+    arsp_loop_flat_engine, arsp_loop_with_fdom, instance_order_from_scores,
+};
+use arsp_core::{FlatScorePoints, ScoreMatrix};
+use arsp_data::{paper_running_example, FlatStore, SyntheticConfig, UncertainDataset};
+use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
+use arsp_geometry::fdom::LinearFDominance;
+
+fn synthetic() -> UncertainDataset {
+    SyntheticConfig {
+        num_objects: 40,
+        max_instances: 4,
+        dim: 3,
+        region_length: 0.3,
+        phi: 0.15,
+        seed: 11,
+        ..SyntheticConfig::default()
+    }
+    .generate()
+}
+
+fn datasets() -> Vec<UncertainDataset> {
+    vec![paper_running_example(), synthetic()]
+}
+
+fn fdom_for(dataset: &UncertainDataset) -> LinearFDominance {
+    LinearFDominance::from_constraints(&ConstraintSet::weak_ranking(dataset.dim(), 1))
+}
+
+type PointPath = fn(&UncertainDataset, &LinearFDominance) -> arsp_core::ArspResult;
+
+#[test]
+fn loop_flat_engine_matches_point_path_bitwise() {
+    for dataset in datasets() {
+        let fdom = fdom_for(&dataset);
+        let reference = arsp_loop_with_fdom(&dataset, &fdom);
+
+        let flat = FlatStore::from_dataset(&dataset);
+        let scores = ScoreMatrix::compute(&flat, &fdom);
+        let order = instance_order_from_scores(&scores);
+        let got = arsp_loop_flat_engine(&flat, &scores, &order, false, None, None, None);
+        assert_eq!(got.probs(), reference.probs(), "arsp_loop_flat_engine");
+    }
+}
+
+#[test]
+fn kdtt_flat_engine_matches_point_path_in_every_variant() {
+    for dataset in datasets() {
+        let fdom = fdom_for(&dataset);
+        let flat = FlatStore::from_dataset(&dataset);
+        let scores = ScoreMatrix::compute(&flat, &fdom);
+        let mut scratch = KdScratch::new();
+        // Each variant is bitwise identical to its *own* point path (the
+        // variants differ from each other by summation order, so only
+        // same-variant comparisons are exact).
+        let cases: [(KdVariant, PointPath); 3] = [
+            (KdVariant::Prebuilt, arsp_kdtt_with_fdom),
+            (KdVariant::FusedKd, arsp_kdtt_plus_with_fdom),
+            (KdVariant::FusedQuad, arsp_qdtt_plus_with_fdom),
+        ];
+        for (variant, reference) in cases {
+            let want = reference(&dataset, &fdom);
+            let got =
+                arsp_kdtt_flat_engine(&flat, &scores, variant, false, None, &mut scratch, None);
+            assert_eq!(
+                got.probs(),
+                want.probs(),
+                "arsp_kdtt_flat_engine/{variant:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kd_asp_flat_engine_parallel_twin_is_bitwise_identical() {
+    for dataset in datasets() {
+        let fdom = fdom_for(&dataset);
+        let flat = FlatStore::from_dataset(&dataset);
+        let scores = ScoreMatrix::compute(&flat, &fdom);
+        let pool = KdWorkerPool::default();
+        for variant in [
+            KdVariant::Prebuilt,
+            KdVariant::FusedKd,
+            KdVariant::FusedQuad,
+        ] {
+            let mut scratch = KdScratch::new();
+            let sequential = kd_asp_flat_engine(
+                FlatScorePoints::new(&flat, &scores),
+                flat.num_objects(),
+                flat.num_instances(),
+                variant,
+                None,
+                &mut scratch,
+            );
+            let mut scratch = KdScratch::new();
+            let parallel = kd_asp_flat_engine_parallel(
+                FlatScorePoints::new(&flat, &scores),
+                flat.num_objects(),
+                flat.num_instances(),
+                variant,
+                None,
+                &mut scratch,
+                Some(&pool),
+            );
+            assert_eq!(
+                parallel, sequential,
+                "kd_asp_flat_engine_parallel/{variant:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dual_flat_engine_matches_point_path_bitwise() {
+    for dataset in datasets() {
+        let ratio = WeightRatio::uniform(dataset.dim(), 0.5, 2.0);
+        let reference = arsp_dual(&dataset, &ratio);
+
+        let flat = FlatStore::from_dataset(&dataset);
+        let agg = build_dual_index(&dataset);
+        for parallel in [false, true] {
+            let got = arsp_dual_flat_engine(&flat, &ratio, &agg, parallel, None);
+            assert_eq!(
+                got.probs(),
+                reference.probs(),
+                "arsp_dual_flat_engine parallel={parallel}"
+            );
+        }
+    }
+}

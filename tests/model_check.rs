@@ -1,0 +1,463 @@
+//! Model-checked protocol tests for the MVCC serving layer.
+//!
+//! Compiled only under `--cfg arsp_model_check` (run via `cargo xtask
+//! model-check`), where the `arsp_core::sync` / `arsp_data::sync` façades
+//! resolve to the vendored `interleave` model checker. Every test body runs
+//! under a deterministic cooperative scheduler that explores a different
+//! thread interleaving per run — exhaustively, or bounded by a preemption
+//! budget where the state space demands it — so the assertions hold over
+//! *all* explored schedules, not the ones the OS happened to produce.
+//!
+//! Three protocols are proven, plus the counter satellites:
+//!
+//! 1. **pin/publish/retire** — a superseded snapshot is never retired while
+//!    pinned and never leaked once unpinned (2 readers × 1 writer on the
+//!    real [`ArspService`], plus a distilled graveyard protocol whose
+//!    deliberately-broken variant the checker must catch);
+//! 2. **CoalescingCache claim/join/wait** — identical keys get exactly one
+//!    build, waiters always wake, a builder panic releases waiters;
+//! 3. **publish-vs-pin races** at the registry lock boundary.
+//!
+//! Run `cargo xtask model-check` to execute with `--nocapture`: each test
+//! prints the interleaving count it explored (EXPERIMENTS.md records them).
+
+#![cfg(arsp_model_check)]
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use arsp_core::coalesce::{CoalesceCounters, CoalescingCache};
+use arsp_core::service::{ArspService, ServiceWriter};
+use arsp_core::stats::PeakGauge;
+use arsp_core::sync::atomic::AtomicUsize;
+use arsp_core::sync::{lock, Arc, Condvar, Mutex};
+use arsp_data::{paper_running_example, EpochPinRegistry};
+use interleave::{thread, Builder, FailureKind};
+
+/// A version-changing mutation (same shape as the service stress tests);
+/// `step` varies the coordinates so successive mutations are never no-ops.
+/// Updates tombstone their row, so re-resolve a live row every time.
+fn mutate_once(writer: &mut ServiceWriter, step: f64) {
+    let row = writer
+        .store()
+        .canonical_rows()
+        .next()
+        .expect("the running example has live rows");
+    let handle = writer.store().handle_of_row(row);
+    writer.update_instance(handle, &[3.0 + step, 4.0], 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol (a): pin/publish/retire on the real service
+// ---------------------------------------------------------------------------
+
+/// 2 readers (pin, read, clone, drop) × 1 writer (mutate + publish, twice)
+/// on the real [`ArspService`]: in every interleaving, every superseded
+/// snapshot is retired exactly once, no pin outlives the run, and nothing
+/// is left in the graveyard.
+#[test]
+fn pin_publish_retire_two_readers_one_writer() {
+    let dataset = paper_running_example();
+    let instances = dataset.num_instances();
+    let report = Builder::new().preemption_bound(2).check(move || {
+        let (service, mut writer) = ArspService::from_dataset(&dataset);
+        let (s1, s2) = (service.clone(), service.clone());
+        let r1 = thread::spawn(move || {
+            let pin = s1.pin();
+            let v = pin.version();
+            // While pinned, the snapshot's caches must stay fully usable —
+            // a cloned pin answers at the same version.
+            let pin2 = pin.clone();
+            assert_eq!(pin2.version(), v, "cloned pin changed version");
+            drop(pin);
+            assert_eq!(pin2.num_instances(), instances);
+            drop(pin2);
+            v
+        });
+        let r2 = thread::spawn(move || {
+            let pin = s2.pin();
+            let v = pin.version();
+            assert_eq!(pin.num_instances(), instances);
+            drop(pin);
+            v
+        });
+        mutate_once(&mut writer, 1.0);
+        writer.publish();
+        mutate_once(&mut writer, 2.0);
+        writer.publish();
+        let v1 = r1.join().expect("reader 1 panicked");
+        let v2 = r2.join().expect("reader 2 panicked");
+        assert!(v1 <= 2 && v2 <= 2, "impossible pinned versions {v1}/{v2}");
+
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_published, 3);
+        assert_eq!(stats.active_pins, 0, "a pin leaked");
+        assert_eq!(stats.pinned_snapshots, 0);
+        // Exactly the two superseded snapshots retired: none double-retired
+        // (> 2 would mean retiring the current or a pinned one counted
+        // twice), none leaked in the graveyard (< 2).
+        assert_eq!(stats.snapshots_retired, 2);
+    });
+    println!(
+        "pin_publish_retire_two_readers_one_writer: {} interleavings explored",
+        report.schedules
+    );
+    assert!(
+        report.schedules >= 1_000,
+        "expected >= 1000 distinct schedules, explored {}",
+        report.schedules
+    );
+}
+
+/// The distilled pin/publish/retire protocol — the exact lock discipline of
+/// `service.rs` (register/release and the publish swap under one mutex,
+/// graveyard for pinned supersedees) on a payload the test can watch
+/// through a `Weak`. Proves both halves of the reclamation contract:
+/// *never retired while pinned* (the reader's upgrade must succeed) and
+/// *never leaked once unpinned* (the weak must be dead at the end).
+fn graveyard_protocol(broken_retire_while_pinned: bool) {
+    struct Proto {
+        version: u64,
+        current: Arc<u64>,
+        graveyard: HashMap<u64, Arc<u64>>,
+    }
+    let registry = Arc::new(EpochPinRegistry::new());
+    let state = Arc::new(Mutex::new(Proto {
+        version: 0,
+        current: Arc::new(0),
+        graveyard: HashMap::new(),
+    }));
+    let weak0 = Arc::downgrade(&lock(&state).current);
+
+    let (reg_r, st_r) = (Arc::clone(&registry), Arc::clone(&state));
+    let reader = thread::spawn(move || {
+        // Pin whatever is current — atomically with the version read, under
+        // the same lock the publisher swaps under.
+        let (version, weak) = {
+            let st = lock(&st_r);
+            reg_r.register(st.version);
+            (st.version, Arc::downgrade(&st.current))
+        };
+        // Re-acquiring the lock is a real scheduling point, so the publish
+        // can land between the pin and this check — which is exactly the
+        // window the graveyard must cover. THE invariant: as long as the
+        // pin is held, the snapshot is alive.
+        let mut st = lock(&st_r);
+        assert!(
+            weak.upgrade().is_some(),
+            "snapshot v{version} retired while pinned"
+        );
+        if reg_r.release(version) == 0 {
+            st.graveyard.remove(&version);
+        }
+    });
+
+    // The publisher (main thread): swap in version 1, graveyarding the old
+    // snapshot iff it is pinned — or, in the broken variant, dropping it
+    // unconditionally (the seeded regression the checker must catch).
+    {
+        let mut st = lock(&state);
+        st.version = 1;
+        let old = std::mem::replace(&mut st.current, Arc::new(1));
+        if !broken_retire_while_pinned && registry.pin_count(0) > 0 {
+            st.graveyard.insert(0, old);
+        }
+        // else: `old` drops here — correct only if unpinned.
+    }
+
+    reader.join().expect("reader panicked");
+    let st = lock(&state);
+    assert!(st.graveyard.is_empty(), "graveyard leaked a snapshot");
+    assert_eq!(registry.active_pins(), 0);
+    drop(st);
+    // Unpinned and superseded: the v0 payload must be gone (no leak).
+    assert!(
+        weak0.upgrade().is_none(),
+        "superseded snapshot leaked after unpin"
+    );
+}
+
+#[test]
+fn graveyard_protocol_holds_in_every_interleaving() {
+    let report = interleave::model(|| graveyard_protocol(false));
+    println!(
+        "graveyard_protocol_holds_in_every_interleaving: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 10);
+}
+
+/// Mutation test: retiring while pinned (the graveyard check removed) MUST
+/// be caught by the checker — this is what proves the model checker would
+/// fail the build on a real regression in the reclamation protocol.
+#[test]
+fn mutation_retire_while_pinned_is_caught() {
+    let failure = Builder::new()
+        .check_result(|| graveyard_protocol(true))
+        .expect_err("the checker missed a retire-while-pinned regression");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("retired while pinned"),
+        "unexpected failure: {failure}"
+    );
+    println!(
+        "mutation_retire_while_pinned_is_caught: failing schedule #{}",
+        failure.schedule
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol (b): CoalescingCache claim/join/wait
+// ---------------------------------------------------------------------------
+
+fn fresh_cache() -> (Arc<CoalesceCounters>, Arc<CoalescingCache<u64>>) {
+    let counters = Arc::new(CoalesceCounters::new());
+    let rendezvous = Arc::new(AtomicUsize::new(0));
+    let cache = Arc::new(CoalescingCache::new(&counters, &rendezvous));
+    (counters, cache)
+}
+
+/// Two threads looking up the same missing key: exactly one build ever
+/// runs, the other thread either joins it (waits and wakes) or hits the
+/// published value, and both observe the identical artifact.
+#[test]
+fn coalescing_identical_keys_build_once() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let (counters, cache) = fresh_cache();
+        let c1 = Arc::clone(&cache);
+        let t = thread::spawn(move || c1.get_or_build(&[7], || 41));
+        let v_main = cache.get_or_build(&[7], || 41);
+        let v_thread = t.join().expect("lookup thread panicked");
+        assert_eq!((v_main, v_thread), (41, 41));
+        assert_eq!(counters.builds(), 1, "identical keys must build once");
+        // The non-building lookup always exits through the ready artifact
+        // (one hit), after having joined the in-flight build iff it arrived
+        // while the build was still running.
+        assert_eq!(counters.hits(), 1);
+        assert!(counters.coalesced() <= 1, "a lookup joined twice");
+    });
+    println!(
+        "coalescing_identical_keys_build_once: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 50);
+}
+
+/// Distinct keys never wait on each other: both build, nobody joins.
+#[test]
+fn coalescing_distinct_keys_never_coalesce() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let (counters, cache) = fresh_cache();
+        let c1 = Arc::clone(&cache);
+        let t = thread::spawn(move || c1.get_or_build(&[1], || 10));
+        let v_main = cache.get_or_build(&[2], || 20);
+        let v_thread = t.join().expect("lookup thread panicked");
+        assert_eq!((v_main, v_thread), (20, 10));
+        assert_eq!(counters.builds(), 2);
+        assert_eq!(counters.coalesced(), 0, "distinct keys must not join");
+        assert_eq!(counters.hits(), 0);
+    });
+    println!(
+        "coalescing_distinct_keys_never_coalesce: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 50);
+}
+
+/// A builder that panics releases its claim and wakes the waiters — in
+/// every interleaving somebody completes the build and both threads end up
+/// with the artifact (no deadlocked waiter, no poisoned key).
+#[test]
+fn coalescing_builder_panic_releases_waiters() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let (counters, cache) = fresh_cache();
+        let c1 = Arc::clone(&cache);
+        let t = thread::spawn(move || {
+            // This thread's builder always dies; its lookup must still
+            // complete — via a hit on the other thread's build, or by
+            // re-claiming after its own panic and building for real.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                c1.get_or_build(&[9], || panic!("seeded builder panic"))
+            }));
+            match attempt {
+                Ok(value) => value, // someone else built it; this was a join/hit
+                Err(_) => c1.get_or_build(&[9], || 55),
+            }
+        });
+        let v_main = cache.get_or_build(&[9], || 55);
+        let v_thread = t.join().expect("panicking-builder thread deadlocked");
+        assert_eq!((v_main, v_thread), (55, 55));
+        assert!(counters.builds() >= 1);
+    });
+    println!(
+        "coalescing_builder_panic_releases_waiters: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 50);
+}
+
+/// Mutation test: a wait protocol whose publisher forgets to notify MUST be
+/// reported as a lost wakeup — proves waiter liveness is actually checked
+/// (this is the bug class the coalescing condvar discipline guards
+/// against).
+#[test]
+fn mutation_lost_wakeup_is_caught() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s = Arc::clone(&state);
+            let publisher = thread::spawn(move || {
+                *lock(&s.0) = true; // publishes, but forgets notify_all()
+            });
+            let mut ready = lock(&state.0);
+            while !*ready {
+                ready = state
+                    .1
+                    .wait(ready)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            drop(ready);
+            publisher.join().expect("publisher panicked");
+        })
+        .expect_err("the checker missed a lost wakeup");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    println!(
+        "mutation_lost_wakeup_is_caught: failing schedule #{}",
+        failure.schedule
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol (c): publish-vs-pin races at the registry lock boundary
+// ---------------------------------------------------------------------------
+
+/// One reader pinning/unpinning around one publish: whatever the
+/// interleaving, the pin lands on a coherent version (0 or 1), and after
+/// both finish the superseded snapshot is retired exactly once — through
+/// the graveyard when the pin straddled the publish, immediately when not.
+#[test]
+fn publish_vs_pin_race_retires_exactly_once() {
+    let dataset = paper_running_example();
+    let report = Builder::new().preemption_bound(2).check(move || {
+        let (service, mut writer) = ArspService::from_dataset(&dataset);
+        let s1 = service.clone();
+        let reader = thread::spawn(move || {
+            let pin = s1.pin();
+            let v = pin.version();
+            drop(pin);
+            v
+        });
+        mutate_once(&mut writer, 1.0);
+        let published = writer.publish();
+        assert_eq!(published, 1);
+        let pinned = reader.join().expect("reader panicked");
+        assert!(pinned <= 1, "pin observed impossible version {pinned}");
+
+        let stats = service.serving_stats();
+        assert_eq!(stats.snapshots_published, 2);
+        assert_eq!(stats.snapshots_retired, 1);
+        assert_eq!(stats.active_pins, 0);
+        assert_eq!(stats.pinned_snapshots, 0);
+    });
+    println!(
+        "publish_vs_pin_race_retires_exactly_once: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 100);
+}
+
+/// Concurrent register/release from two threads on the bare
+/// [`EpochPinRegistry`]: counts stay exact in every interleaving (no lost
+/// or double-counted pin at the lock boundary).
+#[test]
+fn registry_counts_stay_exact_under_races() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let registry = Arc::new(EpochPinRegistry::new());
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let reg = Arc::clone(&registry);
+                thread::spawn(move || {
+                    reg.register(0);
+                    assert!(reg.pin_count(0) >= 1, "own pin not visible");
+                    reg.release(0);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("pin thread panicked");
+        }
+        assert_eq!(registry.pin_count(0), 0);
+        assert_eq!(registry.active_pins(), 0);
+        assert_eq!(registry.total_registered(), 2);
+    });
+    println!(
+        "registry_counts_stay_exact_under_races: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 10);
+}
+
+// ---------------------------------------------------------------------------
+// Satellites: PeakGauge and CoalesceCounters under the model checker
+// ---------------------------------------------------------------------------
+
+/// Two concurrent `enter`/drop pairs: the gauge can never underflow (a
+/// wrapped u64 would explode the assertions), always settles to zero, and
+/// across the explored schedules both peak=1 (serialized) and peak=2
+/// (overlapping) are observed — evidence the exploration actually varies
+/// the overlap.
+#[test]
+fn peak_gauge_never_underflows_or_double_counts() {
+    let peaks = std::sync::Arc::new(std::sync::Mutex::new(std::collections::BTreeSet::new()));
+    let sink = std::sync::Arc::clone(&peaks);
+    let report = interleave::model(move || {
+        let gauge = Arc::new(PeakGauge::new());
+        let g = Arc::clone(&gauge);
+        let t = thread::spawn(move || {
+            let _entered = g.enter();
+        });
+        {
+            let _entered = gauge.enter();
+        }
+        t.join().expect("gauged thread panicked");
+        assert_eq!(gauge.current(), 0, "gauge did not settle (underflow?)");
+        let peak = gauge.peak();
+        assert!((1..=2).contains(&peak), "impossible peak {peak}");
+        sink.lock().expect("peak sink").insert(peak);
+    });
+    let seen = peaks.lock().expect("peak sink");
+    assert_eq!(
+        *seen,
+        std::collections::BTreeSet::from([1, 2]),
+        "exploration missed a peak shape"
+    );
+    println!(
+        "peak_gauge_never_underflows_or_double_counts: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 10);
+}
+
+/// Two concurrent hits on a seeded key: the relaxed counters count each
+/// lookup exactly once in every interleaving (no lost increment, no
+/// double-count).
+#[test]
+fn coalesce_counters_count_exactly_under_races() {
+    let report = interleave::model(|| {
+        let (counters, cache) = fresh_cache();
+        cache.seed(vec![3], 30);
+        let c1 = Arc::clone(&cache);
+        let t = thread::spawn(move || c1.get_or_build(&[3], || 99));
+        let v_main = cache.get_or_build(&[3], || 99);
+        assert_eq!(v_main, 30);
+        assert_eq!(t.join().expect("hit thread panicked"), 30);
+        assert_eq!(counters.hits(), 2, "hit lost or double-counted");
+        assert_eq!(counters.builds(), 0);
+        assert_eq!(counters.coalesced(), 0);
+    });
+    println!(
+        "coalesce_counters_count_exactly_under_races: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 10);
+}

@@ -13,6 +13,8 @@
 //! `cargo bench` runs short. Swapping this stub for the registry package is a
 //! `Cargo.toml`-only change.
 
+#![deny(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

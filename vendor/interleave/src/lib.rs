@@ -1,0 +1,534 @@
+//! # interleave — a deterministic interleaving model checker
+//!
+//! A vendored, offline subset of the idea behind [`loom`]: run a closed
+//! multi-threaded test body many times under a *deterministic cooperative
+//! scheduler*, exploring a different thread interleaving on every run, and
+//! fail loudly — with a reproducible report — on the first schedule that
+//! panics, deadlocks, or loses a wakeup.
+//!
+//! [`loom`]: https://docs.rs/loom
+//!
+//! ```
+//! use interleave::sync::atomic::{AtomicU64, Ordering};
+//! use interleave::sync::Arc;
+//!
+//! let report = interleave::model(|| {
+//!     let counter = Arc::new(AtomicU64::new(0));
+//!     let c = Arc::clone(&counter);
+//!     let t = interleave::thread::spawn(move || {
+//!         c.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     counter.fetch_add(1, Ordering::SeqCst);
+//!     t.join().expect("worker panicked");
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.schedules >= 2); // several distinct interleavings explored
+//! ```
+//!
+//! ## How it works
+//!
+//! The test body and every thread it spawns run on real OS threads, but the
+//! scheduler keeps **exactly one of them runnable at a time**. Every
+//! synchronization operation — [`sync::Mutex::lock`], unlock (guard drop),
+//! [`sync::Condvar`] wait/notify, every [`sync::atomic`] access,
+//! [`thread::spawn`] and [`thread::JoinHandle::join`] — is a *scheduling
+//! point*: the scheduler picks which thread performs its next operation.
+//! Each pick is a branch in a depth-first search over the whole schedule
+//! tree; [`Builder::check`] reruns the body until every branch is exhausted
+//! and reports how many distinct schedules it explored.
+//!
+//! Because only one thread runs at a time, the shared data itself can live
+//! in ordinary `std::sync` primitives that are never contended — the crate
+//! contains **no unsafe code**. The trade-off is that the checker explores
+//! *sequentially consistent* interleavings only: weak-memory reorderings
+//! (`Relaxed` loads observing stale values, and so on) are out of scope,
+//! which matches how the arsp workspace uses atomics (counters whose totals,
+//! not intermediate views, are asserted).
+//!
+//! ## Bounded exhaustiveness
+//!
+//! Exhaustive exploration is exponential in the number of operations. The
+//! [`Builder::preemption_bound`] knob caps the number of *preemptions* —
+//! context switches away from a thread that could have kept running —
+//! per schedule, the CHESS result being that almost all concurrency bugs
+//! manifest within two preemptions. Switches at blocking points (lock
+//! contention, condvar waits, joins) are never preemptions and are always
+//! fully explored, so deadlocks and lost wakeups stay reachable at any
+//! bound.
+//!
+//! ## Failure detection
+//!
+//! * **Panics** in any model thread (assertion failures included) abort the
+//!   run and are reported with the failing schedule number.
+//! * **Deadlock / lost wakeup**: when no thread is runnable and at least one
+//!   is blocked, the run fails with every thread's blocked state. A thread
+//!   parked in [`sync::Condvar::wait_timeout`] is instead woken with a
+//!   timeout (the timeout is modelled as a liveness backstop: it fires only
+//!   when nothing else can make progress).
+//!
+//! ## Modelling notes
+//!
+//! * Condvars never wake spuriously; `notify_one` explores every choice of
+//!   waiter as its own branch.
+//! * Mutexes are barging (a woken waiter re-competes for the lock), like
+//!   `std`'s; poisoning is not modelled — `lock()` always returns `Ok`.
+//! * All synchronization objects must be **created and used inside the model
+//!   body**: the body runs once per schedule, and state carried across
+//!   schedules through captured objects would make the replay
+//!   nondeterministic. Using an `interleave` primitive outside a model run
+//!   panics with a clear message.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sync;
+pub mod thread;
+
+mod rt;
+
+pub use rt::{Failure, FailureKind, Report};
+
+use rt::{path_is_exhausted, Runtime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Configures a model-checking run. The default explores exhaustively with
+/// generous safety limits; see [`Builder::preemption_bound`] for the knob
+/// that makes larger bodies tractable.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum preemptive context switches per schedule (`None` =
+    /// unbounded, i.e. truly exhaustive). Non-preemptive switches — at
+    /// blocking operations — are always fully explored.
+    pub preemption_bound: Option<usize>,
+    /// Abort with [`FailureKind::ScheduleLimit`] after this many schedules —
+    /// a guard against state-space explosion, not a sampling knob.
+    pub max_schedules: u64,
+    /// Abort a single schedule with [`FailureKind::OpLimit`] after this many
+    /// scheduling points — a guard against livelocks in the body.
+    pub max_ops: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            max_schedules: 10_000_000,
+            max_ops: 1_000_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A default builder (exhaustive exploration).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets [`Builder::preemption_bound`].
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Sets [`Builder::max_schedules`].
+    pub fn max_schedules(mut self, limit: u64) -> Self {
+        self.max_schedules = limit;
+        self
+    }
+
+    /// Explores every schedule of `body` within the configured bounds.
+    ///
+    /// # Panics
+    /// Panics with the full [`Failure`] report on the first schedule that
+    /// fails (body panic, deadlock, lost wakeup, or an exceeded limit).
+    pub fn check<F>(&self, body: F) -> Report
+    where
+        F: Fn(),
+    {
+        match self.check_result(body) {
+            Ok(report) => report,
+            Err(failure) => panic!("interleave: model check failed\n{failure}"),
+        }
+    }
+
+    /// Like [`Builder::check`], but returns the failure instead of
+    /// panicking — the entry point for mutation tests that *expect* the
+    /// checker to catch a seeded bug.
+    pub fn check_result<F>(&self, body: F) -> Result<Report, Failure>
+    where
+        F: Fn(),
+    {
+        rt::install_panic_hook();
+        let mut path = Vec::new();
+        let mut schedules: u64 = 0;
+        loop {
+            schedules += 1;
+            if schedules > self.max_schedules {
+                return Err(Failure::limit(
+                    FailureKind::ScheduleLimit,
+                    format!(
+                        "exceeded the schedule limit of {} runs; raise \
+                         Builder::max_schedules or lower the preemption bound",
+                        self.max_schedules
+                    ),
+                    schedules,
+                ));
+            }
+            let runtime = Arc::new(Runtime::new(path, self.preemption_bound, self.max_ops));
+            match run_one_schedule(&runtime, &body) {
+                Ok(()) => {}
+                Err(failure) => return Err(failure.at_schedule(schedules)),
+            }
+            path = runtime.take_path();
+            if path_is_exhausted(&mut path) {
+                return Ok(Report { schedules });
+            }
+        }
+    }
+}
+
+/// Runs the body once under the given runtime, returning the failure (if
+/// any) after every real thread has exited.
+fn run_one_schedule<F: Fn()>(runtime: &Arc<Runtime>, body: &F) -> Result<(), Failure> {
+    rt::enter_model(runtime);
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    match outcome {
+        Ok(()) => runtime.finish_main_and_wait(),
+        Err(payload) => {
+            if !rt::is_abort_signal(&payload) {
+                runtime.thread_panicked(0, rt::panic_message(&payload));
+            }
+        }
+    }
+    runtime.join_real_threads();
+    rt::exit_model();
+    match runtime.take_abort() {
+        Some(failure) => Err(failure),
+        None => Ok(()),
+    }
+}
+
+/// Exhaustively explores every interleaving of `body` (no preemption
+/// bound). See [`Builder`] for knobs and [`Report`] for what comes back.
+///
+/// # Panics
+/// Panics on the first failing schedule, like [`Builder::check`].
+pub fn model<F: Fn()>(body: F) -> Report {
+    Builder::new().check(body)
+}
+
+/// Explores every interleaving of `body` with at most `bound` preemptive
+/// context switches per schedule — the tractable mode for bodies with more
+/// than a handful of synchronization operations.
+///
+/// # Panics
+/// Panics on the first failing schedule, like [`Builder::check`].
+pub fn model_bounded<F: Fn()>(bound: usize, body: F) -> Report {
+    Builder::new().preemption_bound(bound).check(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn single_threaded_body_runs_once() {
+        let report = model(|| {
+            let x = AtomicU64::new(1);
+            x.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(x.load(Ordering::SeqCst), 2);
+        });
+        assert_eq!(report.schedules, 1);
+    }
+
+    #[test]
+    fn exhaustive_exploration_finds_both_orders_of_two_increments() {
+        // Two threads each do load-then-store (a racy read-modify-write).
+        // Exhaustive exploration must observe both the serialized outcome
+        // (2) and the lost-update outcome (1).
+        let outcomes = std::sync::Arc::new(StdMutex::new(BTreeSet::new()));
+        let sink = std::sync::Arc::clone(&outcomes);
+        let report = model(move || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let threads: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let seen = c.load(Ordering::SeqCst);
+                        c.store(seen + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().expect("incrementer panicked");
+            }
+            let total = counter.load(Ordering::SeqCst);
+            assert!(total == 1 || total == 2, "impossible count {total}");
+            sink.lock().expect("sink lock").insert(total);
+        });
+        assert!(report.schedules >= 3, "explored {}", report.schedules);
+        let seen = outcomes.lock().expect("sink lock");
+        assert_eq!(*seen, BTreeSet::from([1, 2]), "missed an interleaving");
+    }
+
+    #[test]
+    fn preemption_bound_prunes_but_keeps_blocking_switches() {
+        let count = |bound: Option<usize>| {
+            let mut b = Builder::new();
+            b.preemption_bound = bound;
+            b.check(|| {
+                let counter = Arc::new(AtomicU64::new(0));
+                let threads: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&counter);
+                        thread::spawn(move || {
+                            c.fetch_add(1, Ordering::SeqCst);
+                            c.fetch_add(1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().expect("worker panicked");
+                }
+                assert_eq!(counter.load(Ordering::SeqCst), 4);
+            })
+            .schedules
+        };
+        let bounded = count(Some(0));
+        let exhaustive = count(None);
+        assert!(
+            bounded < exhaustive,
+            "bound 0 ({bounded}) should explore fewer schedules than \
+             exhaustive ({exhaustive})"
+        );
+        assert!(bounded >= 1);
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion_across_all_schedules() {
+        let report = model(|| {
+            let shared = Arc::new(Mutex::new((0u64, false)));
+            let threads: Vec<_> = (0..2)
+                .map(|_| {
+                    let s = Arc::clone(&shared);
+                    thread::spawn(move || {
+                        let mut guard = s.lock().expect("model mutexes never poison");
+                        assert!(!guard.1, "two threads inside the critical section");
+                        guard.1 = true;
+                        guard.0 += 1;
+                        guard.1 = false;
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().expect("worker panicked");
+            }
+            assert_eq!(shared.lock().expect("lock").0, 2);
+        });
+        assert!(report.schedules >= 2);
+    }
+
+    #[test]
+    fn condvar_handoff_works_in_every_schedule() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = (&p.0, &p.1);
+                let mut ready = lock.lock().expect("lock");
+                *ready = true;
+                cv.notify_all();
+                drop(ready);
+            });
+            let (lock, cv) = (&pair.0, &pair.1);
+            let mut ready = lock.lock().expect("lock");
+            while !*ready {
+                ready = cv.wait(ready).expect("wait");
+            }
+            drop(ready);
+            t.join().expect("setter panicked");
+        });
+    }
+
+    #[test]
+    fn lost_wakeup_is_detected_as_a_deadlock() {
+        // The setter flips the flag but never notifies: any schedule where
+        // the waiter parks first deadlocks, and the checker must find one.
+        let failure = Builder::new()
+            .check_result(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let p = Arc::clone(&pair);
+                let t = thread::spawn(move || {
+                    *p.0.lock().expect("lock") = true; // no notify: seeded bug
+                });
+                let (lock, cv) = (&pair.0, &pair.1);
+                let mut ready = lock.lock().expect("lock");
+                while !*ready {
+                    ready = cv.wait(ready).expect("wait");
+                }
+                drop(ready);
+                t.join().expect("setter panicked");
+            })
+            .expect_err("the lost wakeup must be caught");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+        assert!(failure.to_string().contains("condvar"), "{failure}");
+    }
+
+    #[test]
+    fn abba_lock_ordering_deadlock_is_detected() {
+        let failure = Builder::new()
+            .check_result(|| {
+                let a = Arc::new(Mutex::new(0u32));
+                let b = Arc::new(Mutex::new(0u32));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _b = b2.lock().expect("lock b");
+                    let _a = a2.lock().expect("lock a");
+                });
+                let _a = a.lock().expect("lock a");
+                let _b = b.lock().expect("lock b");
+                drop(_b);
+                drop(_a);
+                t.join().expect("worker panicked");
+            })
+            .expect_err("the ABBA deadlock must be caught");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn a_panicking_schedule_is_reported_with_its_message() {
+        let failure = Builder::new()
+            .check_result(|| {
+                let x = Arc::new(AtomicU64::new(0));
+                let x2 = Arc::clone(&x);
+                let t = thread::spawn(move || {
+                    x2.store(1, Ordering::SeqCst);
+                });
+                // Fails only in schedules where the writer ran first.
+                assert_eq!(x.load(Ordering::SeqCst), 0, "writer ran first");
+                t.join().expect("worker panicked");
+            })
+            .expect_err("the racy assertion must be caught");
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.to_string().contains("writer ran first"),
+            "{failure}"
+        );
+    }
+
+    #[test]
+    fn wait_timeout_fires_as_a_liveness_backstop_instead_of_deadlocking() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let guard = pair.0.lock().expect("lock");
+            // Nobody will ever notify: the modelled timeout must fire.
+            let (_guard, timeout) = pair
+                .1
+                .wait_timeout(guard, std::time::Duration::from_millis(1))
+                .expect("wait_timeout");
+            assert!(timeout.timed_out());
+        });
+    }
+
+    #[test]
+    fn notify_one_wakes_exactly_one_of_two_waiters() {
+        // Two waiters, a notifier that calls notify_one exactly once: one
+        // waiter must stay parked forever, and the checker must report it.
+        let failure = Builder::new()
+            .preemption_bound(2)
+            .check_result(|| {
+                let state = Arc::new((Mutex::new(false), Condvar::new()));
+                let waiters: Vec<_> = (0..2)
+                    .map(|_| {
+                        let s = Arc::clone(&state);
+                        thread::spawn(move || {
+                            let mut ready = s.0.lock().expect("lock");
+                            while !*ready {
+                                ready = s.1.wait(ready).expect("wait");
+                            }
+                        })
+                    })
+                    .collect();
+                let s = Arc::clone(&state);
+                thread::spawn(move || {
+                    *s.0.lock().expect("lock") = true;
+                    s.1.notify_one(); // wakes one; the other is stranded
+                })
+                .join()
+                .expect("notifier");
+                for w in waiters {
+                    w.join().expect("waiter");
+                }
+            })
+            .expect_err("the stranded second waiter must be caught");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn notify_one_plus_notify_all_terminates_in_every_bounded_schedule() {
+        // Same shape but the notifier follows up with notify_all: no
+        // schedule may deadlock, across a preemption-bounded exploration.
+        let report = Builder::new().preemption_bound(2).check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let s = Arc::clone(&state);
+                    thread::spawn(move || {
+                        let mut ready = s.0.lock().expect("lock");
+                        while !*ready {
+                            ready = s.1.wait(ready).expect("wait");
+                        }
+                    })
+                })
+                .collect();
+            let s = Arc::clone(&state);
+            let notifier = thread::spawn(move || {
+                *s.0.lock().expect("lock") = true;
+                s.1.notify_one();
+                s.1.notify_all();
+            });
+            notifier.join().expect("notifier");
+            for w in waiters {
+                w.join().expect("waiter");
+            }
+        });
+        assert!(report.schedules >= 10, "explored {}", report.schedules);
+    }
+
+    #[test]
+    fn join_passes_results_and_atomics_cover_rmw_ops() {
+        model(|| {
+            let x = Arc::new(AtomicUsize::new(7));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || x2.fetch_add(5, Ordering::SeqCst));
+            let before = t.join().expect("worker panicked");
+            assert_eq!(before, 7);
+            assert_eq!(x.load(Ordering::SeqCst), 12);
+            let y = AtomicU64::new(3);
+            assert_eq!(y.fetch_max(9, Ordering::SeqCst), 3);
+            assert_eq!(y.fetch_sub(1, Ordering::SeqCst), 9);
+            assert_eq!(y.swap(2, Ordering::SeqCst), 8);
+            assert_eq!(y.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn sync_primitives_outside_a_model_run_panic_clearly() {
+        let err = std::panic::catch_unwind(|| {
+            let m = Mutex::new(0u32);
+            let _ = m.lock();
+        })
+        .expect_err("must panic outside model()");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("outside"), "unexpected message: {msg}");
+    }
+}

@@ -1,0 +1,727 @@
+//! The deterministic cooperative runtime behind the model checker.
+//!
+//! One [`Runtime`] exists per *schedule* (one execution of the test body).
+//! Real OS threads carry the model threads, but `RtState.active` names the
+//! single thread allowed to run; everyone else parks on `Runtime.cv`. Every
+//! synchronization operation funnels through [`Runtime::yield_turn`], which
+//! consults the recorded [`Path`] to decide — deterministically — which
+//! thread runs next. After the schedule finishes, [`advance`] flips the last
+//! non-exhausted branch, driving a depth-first search over the whole tree.
+
+#![allow(clippy::module_name_repetitions)]
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+/// Why a model-checking run failed. Carried by [`Failure`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure included).
+    Panic,
+    /// No thread was runnable and at least one was blocked — a deadlock or
+    /// a lost wakeup.
+    Deadlock,
+    /// [`crate::Builder::max_schedules`] was exceeded.
+    ScheduleLimit,
+    /// [`crate::Builder::max_ops`] was exceeded within one schedule —
+    /// usually a livelock (a spin loop with no blocking operation).
+    OpLimit,
+}
+
+/// A failed model-checking run: the kind, a human-readable message with the
+/// per-thread blocked states where relevant, and which schedule (1-based)
+/// tripped it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Human-readable diagnosis, including per-thread states for deadlocks.
+    pub message: String,
+    /// 1-based index of the failing schedule in exploration order.
+    pub schedule: u64,
+}
+
+impl Failure {
+    pub(crate) fn limit(kind: FailureKind, message: String, schedule: u64) -> Self {
+        Self {
+            kind,
+            message,
+            schedule,
+        }
+    }
+
+    pub(crate) fn at_schedule(mut self, schedule: u64) -> Self {
+        if self.schedule == 0 {
+            self.schedule = schedule;
+        }
+        self
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} at schedule #{}: {}",
+            self.kind, self.schedule, self.message
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// A successful model-checking run.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// How many distinct schedules (thread interleavings) were explored.
+    pub schedules: u64,
+}
+
+/// One scheduling decision: the runnable options offered (thread ids in a
+/// deterministic order) and which index was taken this run.
+#[derive(Clone, Debug)]
+pub(crate) struct Branch {
+    options: Vec<usize>,
+    index: usize,
+}
+
+/// The recorded decision path for one schedule. Re-running with the same
+/// prefix replays it; `advance` flips the last non-exhausted branch.
+pub(crate) type Path = Vec<Branch>;
+
+/// Advances `path` to the next schedule in DFS order. Returns `true` when
+/// the whole tree is exhausted.
+pub(crate) fn path_is_exhausted(path: &mut Path) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.index + 1 < last.options.len() {
+            last.index += 1;
+            return false;
+        }
+        path.pop();
+    }
+    true
+}
+
+/// What a model thread is currently blocked on (or not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Wait {
+    /// Ready to perform its next operation.
+    Runnable,
+    /// Blocked acquiring the mutex with this object id.
+    Mutex(u64),
+    /// Parked on a condvar, will re-acquire `mutex` when woken. `timed`
+    /// waits are eligible for the timeout liveness backstop.
+    Condvar { cv: u64, mutex: u64, timed: bool },
+    /// Blocked joining the thread with this id.
+    Join(usize),
+    /// The thread body returned (or aborted).
+    Finished,
+}
+
+impl Wait {
+    fn describe(&self) -> String {
+        match self {
+            Wait::Runnable => "runnable".to_string(),
+            Wait::Mutex(id) => format!("blocked locking mutex #{id}"),
+            Wait::Condvar { cv, mutex, timed } => format!(
+                "parked on condvar #{cv} (mutex #{mutex}{})",
+                if *timed { ", timed" } else { "" }
+            ),
+            Wait::Join(tid) => format!("joining thread {tid}"),
+            Wait::Finished => "finished".to_string(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    wait: Wait,
+    /// Set when a timed condvar wait was woken by the timeout backstop
+    /// rather than a notification.
+    timed_out: bool,
+}
+
+struct RtState {
+    threads: Vec<ThreadState>,
+    /// Index of the one thread allowed to run. While that thread executes
+    /// non-synchronizing code, everyone else parks.
+    active: usize,
+    path: Path,
+    /// Next branch in `path` to consume (replay) or append (explore).
+    cursor: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    abort: Option<Failure>,
+    /// Set once the main thread has finished and every other thread is done.
+    complete: bool,
+    mutex_owners: HashMap<u64, usize>,
+    real: Vec<std::thread::JoinHandle<()>>,
+    ops: u64,
+    max_ops: u64,
+}
+
+/// The per-schedule runtime: shared state plus the condvar every parked
+/// real thread sleeps on.
+pub(crate) struct Runtime {
+    state: StdMutex<RtState>,
+    cv: StdCondvar,
+}
+
+impl Runtime {
+    pub(crate) fn new(path: Path, bound: Option<usize>, max_ops: u64) -> Self {
+        Self {
+            state: StdMutex::new(RtState {
+                threads: vec![ThreadState {
+                    wait: Wait::Runnable,
+                    timed_out: false,
+                }],
+                active: 0,
+                path,
+                cursor: 0,
+                preemptions: 0,
+                bound,
+                abort: None,
+                complete: false,
+                mutex_owners: HashMap::new(),
+                real: Vec::new(),
+                ops: 0,
+                max_ops,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn locked(&self) -> StdMutexGuard<'_, RtState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Picks the next thread to run and stores it in `state.active`.
+    /// Called with the state lock held, by a thread that has just recorded
+    /// its own wait state. Wakes all parked threads; only the chosen one
+    /// proceeds past its park loop.
+    fn schedule_next(&self, state: &mut RtState) {
+        if state.abort.is_some() || state.complete {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = state
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.wait == Wait::Runnable)
+            .map(|(tid, _)| tid)
+            .collect();
+        if runnable.is_empty() {
+            // No one can run. All finished → the schedule is complete.
+            // A timed condvar waiter → fire its timeout (liveness
+            // backstop). Otherwise it's a real deadlock / lost wakeup.
+            if state.threads.iter().all(|t| t.wait == Wait::Finished) {
+                state.complete = true;
+                self.cv.notify_all();
+                return;
+            }
+            let timed_waiter = state
+                .threads
+                .iter()
+                .position(|t| matches!(t.wait, Wait::Condvar { timed: true, .. }));
+            if let Some(tid) = timed_waiter {
+                state.threads[tid].timed_out = true;
+                state.threads[tid].wait = match state.threads[tid].wait {
+                    Wait::Condvar { mutex, .. } => Wait::Mutex(mutex),
+                    _ => unreachable!("position() matched a condvar wait"),
+                };
+                // The mutex it must re-acquire may be free right now.
+                self.reconsider_mutex_waiters(state);
+                self.schedule_next(state);
+                return;
+            }
+            let states: Vec<String> = state
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.wait != Wait::Finished)
+                .map(|(tid, t)| format!("  thread {tid}: {}", t.wait.describe()))
+                .collect();
+            state.abort = Some(Failure {
+                kind: FailureKind::Deadlock,
+                message: format!(
+                    "no runnable threads — deadlock or lost wakeup:\n{}",
+                    states.join("\n")
+                ),
+                schedule: 0,
+            });
+            self.cv.notify_all();
+            return;
+        }
+
+        let current = state.active;
+        let current_runnable = runnable.contains(&current);
+        let budget_spent = state.bound.is_some_and(|b| state.preemptions >= b);
+        let options: Vec<usize> = if current_runnable && budget_spent {
+            // Out of preemption budget: must keep running the current
+            // thread (switching away from a runnable thread would be a
+            // preemption). Blocking switches remain free below.
+            vec![current]
+        } else if current_runnable {
+            // Current-first so index 0 (the first-explored child) is the
+            // no-preemption continuation.
+            let mut opts = vec![current];
+            opts.extend(runnable.iter().copied().filter(|&t| t != current));
+            opts
+        } else {
+            runnable
+        };
+
+        let chosen = self.choose(state, options);
+        if current_runnable && chosen != current {
+            state.preemptions += 1;
+        }
+        state.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Consumes (replay) or appends (explore) the branch at `cursor`,
+    /// returning the chosen thread id.
+    fn choose(&self, state: &mut RtState, options: Vec<usize>) -> usize {
+        let cursor = state.cursor;
+        state.cursor += 1;
+        if let Some(branch) = state.path.get(cursor) {
+            assert_eq!(
+                branch.options, options,
+                "interleave: nondeterministic replay at branch {cursor} — the \
+                 model body must be closed (create all interleave primitives \
+                 inside it, and keep its own control flow deterministic)"
+            );
+            return branch.options[branch.index];
+        }
+        let chosen = options[0];
+        state.path.push(Branch { options, index: 0 });
+        chosen
+    }
+
+    /// The heart of every synchronization op: give the scheduler a chance
+    /// to switch threads *before* the op's effect, then park until chosen.
+    fn yield_turn(&self, tid: usize) {
+        let mut state = self.locked();
+        state.ops += 1;
+        if state.ops > state.max_ops {
+            let limit = state.max_ops;
+            state.abort.get_or_insert(Failure {
+                kind: FailureKind::OpLimit,
+                message: format!(
+                    "exceeded {limit} synchronization operations in one \
+                     schedule — livelock (a spin loop without blocking), or \
+                     raise Builder::max_ops"
+                ),
+                schedule: 0,
+            });
+            self.cv.notify_all();
+            drop(state);
+            bail();
+            return;
+        }
+        debug_assert_eq!(state.active, tid, "a non-active thread reached an op");
+        self.schedule_next(&mut state);
+        self.park_until_active(state, tid);
+    }
+
+    /// Parks until this thread is the active one (or the run aborts).
+    fn park_until_active(&self, mut state: StdMutexGuard<'_, RtState>, tid: usize) {
+        loop {
+            if state.abort.is_some() {
+                drop(state);
+                bail();
+                return;
+            }
+            if state.active == tid && state.threads[tid].wait == Wait::Runnable {
+                return;
+            }
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// After a mutex is released (or a timed-out condvar waiter needs it),
+    /// promote blocked waiters whose mutex is now free back to Runnable.
+    /// Barging semantics: all such waiters become runnable and re-compete;
+    /// whoever is scheduled first re-checks availability in its lock loop.
+    fn reconsider_mutex_waiters(&self, state: &mut RtState) {
+        let free: Vec<usize> = state
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, t)| match t.wait {
+                Wait::Mutex(m) if !state.mutex_owners.contains_key(&m) => Some(tid),
+                _ => None,
+            })
+            .collect();
+        for tid in free {
+            state.threads[tid].wait = Wait::Runnable;
+        }
+    }
+
+    // ---- operations called from sync primitives -------------------------
+
+    /// Registers a new model thread; returns its thread id. Called by
+    /// `thread::spawn` from the spawning (active) thread.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut state = self.locked();
+        state.threads.push(ThreadState {
+            // Starts Runnable immediately: the spawn op itself is the
+            // scheduling point where the child may first be chosen.
+            wait: Wait::Runnable,
+            timed_out: false,
+        });
+        state.threads.len() - 1
+    }
+
+    pub(crate) fn add_real_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.locked().real.push(handle);
+    }
+
+    /// Parks a freshly spawned child until the scheduler first picks it.
+    pub(crate) fn first_park(&self, tid: usize) {
+        let state = self.locked();
+        self.park_until_active(state, tid);
+    }
+
+    /// A spawn is a scheduling point for the parent (the child may run
+    /// immediately or the parent may continue).
+    pub(crate) fn spawn_point(&self, tid: usize) {
+        self.yield_turn(tid);
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, mutex: u64) {
+        self.yield_turn(tid);
+        loop {
+            let mut state = self.locked();
+            match state.mutex_owners.entry(mutex) {
+                Entry::Vacant(slot) => {
+                    slot.insert(tid);
+                    return;
+                }
+                Entry::Occupied(owner) => assert_ne!(
+                    *owner.get(),
+                    tid,
+                    "interleave: thread {tid} re-locked mutex #{mutex} it already \
+                     holds (the model Mutex is not reentrant)"
+                ),
+            }
+            state.threads[tid].wait = Wait::Mutex(mutex);
+            self.schedule_next(&mut state);
+            self.park_until_active(state, tid);
+        }
+    }
+
+    /// Unlock happens *after* its scheduling point: by the time another
+    /// thread runs, the real data mutex has already been released by the
+    /// caller, so promoting waiters here is safe.
+    pub(crate) fn mutex_unlock(&self, tid: usize, mutex: u64) {
+        self.yield_turn(tid);
+        let mut state = self.locked();
+        let owner = state.mutex_owners.remove(&mutex);
+        debug_assert_eq!(owner, Some(tid), "unlock by non-owner");
+        self.reconsider_mutex_waiters(&mut state);
+    }
+
+    /// Atomically releases `mutex` and parks on `cv`. Returns whether the
+    /// wake came from the timeout backstop (only possible when `timed`).
+    pub(crate) fn condvar_wait(&self, tid: usize, cv: u64, mutex: u64, timed: bool) -> bool {
+        self.yield_turn(tid);
+        let timed_out;
+        {
+            let mut state = self.locked();
+            let owner = state.mutex_owners.remove(&mutex);
+            debug_assert_eq!(owner, Some(tid), "condvar wait without the lock");
+            state.threads[tid].wait = Wait::Condvar { cv, mutex, timed };
+            state.threads[tid].timed_out = false;
+            self.reconsider_mutex_waiters(&mut state);
+            self.schedule_next(&mut state);
+            self.park_until_active(state, tid);
+            // Woken (notified or timed out): we are Runnable again and must
+            // re-acquire the mutex below, competing like any other locker.
+            let mut state = self.locked();
+            timed_out = state.threads[tid].timed_out;
+            state.threads[tid].timed_out = false;
+        }
+        loop {
+            let mut state = self.locked();
+            if let Entry::Vacant(slot) = state.mutex_owners.entry(mutex) {
+                slot.insert(tid);
+                return timed_out;
+            }
+            state.threads[tid].wait = Wait::Mutex(mutex);
+            self.schedule_next(&mut state);
+            self.park_until_active(state, tid);
+        }
+    }
+
+    /// Wakes every thread parked on `cv` (they move to re-acquiring the
+    /// mutex, i.e. `Wait::Mutex`, and become runnable if it is free).
+    pub(crate) fn condvar_notify_all(&self, tid: usize, cv: u64) {
+        self.yield_turn(tid);
+        let mut state = self.locked();
+        for t in state.threads.iter_mut() {
+            if let Wait::Condvar { cv: c, mutex, .. } = t.wait {
+                if c == cv {
+                    t.wait = Wait::Mutex(mutex);
+                }
+            }
+        }
+        self.reconsider_mutex_waiters(&mut state);
+    }
+
+    /// Wakes one thread parked on `cv`; *which* one is a scheduling branch
+    /// of its own, so every choice of waiter is explored.
+    pub(crate) fn condvar_notify_one(&self, tid: usize, cv: u64) {
+        self.yield_turn(tid);
+        let mut state = self.locked();
+        let waiters: Vec<usize> = state
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.wait, Wait::Condvar { cv: c, .. } if c == cv))
+            .map(|(t, _)| t)
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        let chosen = if waiters.len() == 1 {
+            waiters[0]
+        } else {
+            self.choose(&mut state, waiters)
+        };
+        if let Wait::Condvar { mutex, .. } = state.threads[chosen].wait {
+            state.threads[chosen].wait = Wait::Mutex(mutex);
+        }
+        self.reconsider_mutex_waiters(&mut state);
+    }
+
+    /// An atomic access is a plain scheduling point; the real effect is the
+    /// wrapped std atomic op performed by the caller afterwards, which is
+    /// safe because only one thread runs at a time (SeqCst exploration).
+    pub(crate) fn atomic_point(&self, tid: usize) {
+        self.yield_turn(tid);
+    }
+
+    /// Blocks `tid` until `target` finishes.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        self.yield_turn(tid);
+        let mut state = self.locked();
+        if state.threads[target].wait == Wait::Finished {
+            return;
+        }
+        state.threads[tid].wait = Wait::Join(target);
+        self.schedule_next(&mut state);
+        self.park_until_active(state, tid);
+    }
+
+    /// Marks `tid` finished and wakes its joiners.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut state = self.locked();
+        state.threads[tid].wait = Wait::Finished;
+        for t in state.threads.iter_mut() {
+            if t.wait == Wait::Join(tid) {
+                t.wait = Wait::Runnable;
+            }
+        }
+        self.schedule_next(&mut state);
+    }
+
+    /// Called on the driver thread after the body returns: marks the main
+    /// model thread finished, then blocks until every model thread is done
+    /// (complete) or the run aborted.
+    pub(crate) fn finish_main_and_wait(&self) {
+        let mut state = self.locked();
+        state.threads[0].wait = Wait::Finished;
+        for t in state.threads.iter_mut() {
+            if t.wait == Wait::Join(0) {
+                t.wait = Wait::Runnable;
+            }
+        }
+        self.schedule_next(&mut state);
+        while !(state.complete || state.abort.is_some()) {
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Records a real panic from model thread `tid` as the run's failure
+    /// (first one wins) and releases everyone.
+    pub(crate) fn thread_panicked(&self, tid: usize, message: String) {
+        let mut state = self.locked();
+        state.threads[tid].wait = Wait::Finished;
+        state.abort.get_or_insert(Failure {
+            kind: FailureKind::Panic,
+            message: format!("thread {tid} panicked: {message}"),
+            schedule: 0,
+        });
+        self.cv.notify_all();
+    }
+
+    /// Marks a thread finished during abort teardown without scheduling.
+    pub(crate) fn finish_thread_aborted(&self, tid: usize) {
+        let mut state = self.locked();
+        state.threads[tid].wait = Wait::Finished;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn join_real_threads(&self) {
+        let handles = std::mem::take(&mut self.locked().real);
+        for h in handles {
+            // A model thread's wrapper catches its panics; a panicking join
+            // here would mean the wrapper itself failed, which is a checker
+            // bug — surface it.
+            h.join()
+                .expect("interleave: runtime thread wrapper panicked");
+        }
+    }
+
+    pub(crate) fn take_abort(&self) -> Option<Failure> {
+        self.locked().abort.take()
+    }
+
+    pub(crate) fn take_path(&self) -> Path {
+        std::mem::take(&mut self.locked().path)
+    }
+}
+
+// ---- thread-local context ----------------------------------------------
+
+thread_local! {
+    /// The runtime + model thread id of the current real thread, when it is
+    /// executing inside a model run.
+    static CONTEXT: RefCell<Option<(Arc<Runtime>, usize)>> = const { RefCell::new(None) };
+    /// Set while this thread is unwinding out of a model run via
+    /// [`AbortSignal`]; ops become no-ops (silent) or re-raise.
+    static BAILING: Cell<bool> = const { Cell::new(false) };
+    /// Set on any thread currently inside a model run — used by the panic
+    /// hook to suppress duplicate backtrace spam for expected panics.
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sentinel panic payload used to unwind model threads when a schedule
+/// aborts. Never user-visible: the wrapper and driver catch it.
+pub(crate) struct AbortSignal;
+
+pub(crate) fn is_abort_signal(payload: &Box<dyn Any + Send>) -> bool {
+    payload.is::<AbortSignal>()
+}
+
+pub(crate) fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Begins unwinding this model thread after a schedule abort. When called
+/// while already unwinding (an op reached from a `Drop` during a panic),
+/// panicking again would abort the process — mark BAILING and return
+/// instead; subsequent ops short-circuit via [`bail_mode`].
+pub(crate) fn bail() {
+    BAILING.with(|b| b.set(true));
+    if !std::thread::panicking() {
+        panic_any(AbortSignal);
+    }
+}
+
+/// True when this thread is tearing down out of an aborted schedule.
+pub(crate) fn bailing() -> bool {
+    BAILING.with(Cell::get)
+}
+
+/// Re-raises the abort on a bailing thread unless it is mid-unwind (in
+/// which case the caller must return a dummy silently). Used by *blocking*
+/// ops (wait/join/spawn) so user code that caught an [`AbortSignal`] in a
+/// `catch_unwind` cannot spin forever in a wait loop.
+pub(crate) fn reraise_if_bailing() {
+    if bailing() && !std::thread::panicking() {
+        panic_any(AbortSignal);
+    }
+}
+
+/// The current (runtime, model thread id), panicking with a usable message
+/// when an interleave primitive is touched outside a model run.
+pub(crate) fn context() -> (Arc<Runtime>, usize) {
+    CONTEXT.with(|c| {
+        c.borrow().clone().unwrap_or_else(|| {
+            panic!(
+                "interleave primitives are only usable inside a model run \
+                 (interleave::model / Builder::check); this call happened \
+                 outside one"
+            )
+        })
+    })
+}
+
+/// Like [`context`] but `None` outside a model run — for ops that must stay
+/// silent during teardown (Drop paths).
+pub(crate) fn try_context() -> Option<(Arc<Runtime>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_context(rt: Arc<Runtime>, tid: usize) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+    IN_MODEL.with(|m| m.set(true));
+    BAILING.with(|b| b.set(false));
+}
+
+pub(crate) fn clear_context() {
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+    IN_MODEL.with(|m| m.set(false));
+    BAILING.with(|b| b.set(false));
+}
+
+/// Enters model mode on the driver thread (model thread id 0).
+pub(crate) fn enter_model(rt: &Arc<Runtime>) {
+    set_context(Arc::clone(rt), 0);
+}
+
+/// Leaves model mode on the driver thread.
+pub(crate) fn exit_model() {
+    clear_context();
+}
+
+/// Process-wide counter for synchronization-object identities. Object ids
+/// are only used as map keys *within* one schedule, so a global monotone
+/// counter keeps them unique without any per-runtime bookkeeping (and
+/// avoids collisions when primitives leak across runs via statics).
+static NEXT_OBJECT: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_object_id() -> u64 {
+    NEXT_OBJECT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" printout for panics raised inside a model run: those
+/// are either the [`AbortSignal`] sentinel or an expected failure that the
+/// checker transports and reports itself.
+pub(crate) fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model = IN_MODEL.with(Cell::get);
+            if !in_model {
+                previous(info);
+            }
+        }));
+    });
+}

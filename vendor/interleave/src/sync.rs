@@ -1,0 +1,406 @@
+//! Model-checked twins of the `std::sync` primitives.
+//!
+//! Drop-in shaped: `lock()` returns a `LockResult` (always `Ok` — poisoning
+//! is not modelled), `Condvar::wait` takes and returns the guard, atomics
+//! take `Ordering` arguments. The shared data itself lives in ordinary
+//! `std::sync` primitives that the model scheduler guarantees are never
+//! contended, so this module contains no unsafe code:
+//!
+//! * [`Mutex<T>`] stores `T` in a real `std::sync::Mutex` "cell". Model-level
+//!   ownership (who may hold the cell) is decided by the scheduler; the cell
+//!   lock itself is therefore always uncontended. On guard drop the real
+//!   cell guard is released *before* the model unlock bookkeeping, so no
+//!   newly scheduled thread can ever block on the cell.
+//! * Atomics wrap real std atomics accessed `SeqCst` internally; every
+//!   access is a scheduling point, which explores all sequentially
+//!   consistent interleavings (weak-memory reordering is out of scope).
+
+use crate::rt;
+use std::sync::Condvar as StdCondvar;
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
+use std::sync::{LockResult, OnceLock};
+use std::time::Duration;
+
+pub use std::sync::Arc;
+
+/// A mutual-exclusion primitive whose lock-acquisition order is driven by
+/// the model scheduler. Poisoning is not modelled: `lock` always returns
+/// `Ok`, even after another thread panicked while holding it.
+pub struct Mutex<T> {
+    id: OnceLock<u64>,
+    cell: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new model mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            cell: StdMutex::new(value),
+        }
+    }
+
+    fn id(&self) -> u64 {
+        *self.id.get_or_init(rt::next_object_id)
+    }
+
+    fn lock_cell(&self) -> StdMutexGuard<'_, T> {
+        // The cell can only be poisoned by a model thread that panicked
+        // while holding it — the data is still the state the protocol
+        // produced, and the checker reports the panic itself.
+        self.cell
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Exclusive access without locking — `&mut self` proves no other
+    /// reference exists, so this is not a scheduling point (mirrors
+    /// `std::sync::Mutex::get_mut`; always `Ok`, poisoning is not modelled).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self
+            .cell
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()))
+    }
+
+    /// Acquires the mutex at a scheduling point, parking this model thread
+    /// while another holds it.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if rt::bailing() {
+            // Teardown fast path (e.g. reached from a `Drop` while the
+            // schedule aborts): skip model bookkeeping entirely.
+            return Ok(MutexGuard {
+                inner: Some(self.lock_cell()),
+                mutex: self,
+                modelled: false,
+            });
+        }
+        let (runtime, tid) = rt::context();
+        runtime.mutex_lock(tid, self.id());
+        Ok(MutexGuard {
+            inner: Some(self.lock_cell()),
+            mutex: self,
+            modelled: true,
+        })
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("cell", &self.cell).finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it (drop) is a scheduling point.
+pub struct MutexGuard<'a, T> {
+    /// `Option` so `Drop` can release the real cell guard *before* the
+    /// model unlock bookkeeping runs.
+    inner: Option<StdMutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+    /// Whether model-level ownership was taken (false on teardown paths).
+    modelled: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard cell released before drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard cell released before drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real cell first: model ownership still names this
+        // thread until mutex_unlock completes, so no other thread can
+        // reach the cell in between.
+        drop(self.inner.take());
+        if !self.modelled || rt::bailing() {
+            return;
+        }
+        if let Some((runtime, tid)) = rt::try_context() {
+            runtime.mutex_unlock(tid, self.mutex.id());
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Whether a [`Condvar::wait_timeout`] returned because its (modelled)
+/// timeout fired rather than because of a notification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wake came from the timeout, not a notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with model-scheduled wakeups: no spurious wakes,
+/// `notify_one` explores every choice of waiter as its own branch, and
+/// timed waits time out only as a liveness backstop (when nothing else in
+/// the model can make progress).
+pub struct Condvar {
+    id: OnceLock<u64>,
+    _real: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new model condvar.
+    pub const fn new() -> Self {
+        Self {
+            id: OnceLock::new(),
+            _real: StdCondvar::new(),
+        }
+    }
+
+    fn id(&self) -> u64 {
+        *self.id.get_or_init(rt::next_object_id)
+    }
+
+    fn wait_impl<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timed: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        if rt::bailing() {
+            rt::reraise_if_bailing();
+            // Mid-unwind (op reached from a Drop): pretend a notification
+            // happened so the caller's loop re-checks and unwinds onward.
+            return (guard, false);
+        }
+        let (runtime, tid) = rt::context();
+        let mutex = guard.mutex;
+        // Release the real cell before the model releases ownership; the
+        // model still names this thread as owner until condvar_wait runs.
+        drop(guard.inner.take());
+        guard.modelled = false; // this guard's drop must do nothing more
+        let mutex_id = mutex.id();
+        let cv_id = self.id();
+        drop(guard);
+        let timed_out = runtime.condvar_wait(tid, cv_id, mutex_id, timed);
+        // condvar_wait returned with model ownership re-acquired; take the
+        // (necessarily free) cell back.
+        (
+            MutexGuard {
+                inner: Some(mutex.lock_cell()),
+                mutex,
+                modelled: true,
+            },
+            timed_out,
+        )
+    }
+
+    /// Atomically releases the guard and parks until notified. Never wakes
+    /// spuriously.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (guard, _) = self.wait_impl(guard, false);
+        Ok(guard)
+    }
+
+    /// Like [`Condvar::wait`], but the wait is also eligible for the
+    /// modelled timeout: it fires only when no model thread is runnable,
+    /// standing in for "the timeout elapses eventually" without letting a
+    /// timeout mask a reachable wakeup. The `Duration` is ignored.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (guard, timed_out) = self.wait_impl(guard, true);
+        Ok((guard, WaitTimeoutResult { timed_out }))
+    }
+
+    /// Wakes one waiter; which one is an explored scheduling branch.
+    pub fn notify_one(&self) {
+        if rt::bailing() {
+            return;
+        }
+        let (runtime, tid) = rt::context();
+        runtime.condvar_notify_one(tid, self.id());
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if rt::bailing() {
+            return;
+        }
+        let (runtime, tid) = rt::context();
+        runtime.condvar_notify_all(tid, self.id());
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Model-checked atomic integer and boolean types.
+///
+/// Every access is a scheduling point; the stored value lives in a real
+/// std atomic accessed `SeqCst` internally (the model explores sequentially
+/// consistent interleavings regardless of the `Ordering` passed — callers
+/// keep their real orderings for the `std` build of the façade).
+pub mod atomic {
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    /// Scheduling point shared by every atomic op. Ops reached from `Drop`
+    /// during an abort teardown stay silent (no model bookkeeping) so
+    /// guards can unwind cleanly.
+    fn point() {
+        if rt::bailing() {
+            return;
+        }
+        let (runtime, tid) = rt::context();
+        runtime.atomic_point(tid);
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ident, $int:ty) => {
+            /// A model-checked atomic integer; see the module docs.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                real: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(value: $int) -> Self {
+                    Self {
+                        real: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                /// Loads the value (scheduling point).
+                pub fn load(&self, _order: Ordering) -> $int {
+                    point();
+                    self.real.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value (scheduling point).
+                pub fn store(&self, value: $int, _order: Ordering) {
+                    point();
+                    self.real.store(value, Ordering::SeqCst);
+                }
+
+                /// Atomically adds, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_add(&self, value: $int, _order: Ordering) -> $int {
+                    point();
+                    self.real.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Atomically subtracts, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_sub(&self, value: $int, _order: Ordering) -> $int {
+                    point();
+                    self.real.fetch_sub(value, Ordering::SeqCst)
+                }
+
+                /// Atomically stores the maximum, returning the previous
+                /// value (scheduling point).
+                pub fn fetch_max(&self, value: $int, _order: Ordering) -> $int {
+                    point();
+                    self.real.fetch_max(value, Ordering::SeqCst)
+                }
+
+                /// Atomically stores the minimum, returning the previous
+                /// value (scheduling point).
+                pub fn fetch_min(&self, value: $int, _order: Ordering) -> $int {
+                    point();
+                    self.real.fetch_min(value, Ordering::SeqCst)
+                }
+
+                /// Atomically swaps, returning the previous value
+                /// (scheduling point).
+                pub fn swap(&self, value: $int, _order: Ordering) -> $int {
+                    point();
+                    self.real.swap(value, Ordering::SeqCst)
+                }
+
+                /// Atomically compares and exchanges (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    point();
+                    self.real
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicU64, AtomicU64, u64);
+    model_atomic!(AtomicUsize, AtomicUsize, usize);
+    model_atomic!(AtomicU32, AtomicU32, u32);
+
+    /// A model-checked atomic boolean; see the module docs.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        real: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic bool with the given initial value.
+        pub const fn new(value: bool) -> Self {
+            Self {
+                real: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Loads the value (scheduling point).
+        pub fn load(&self, _order: Ordering) -> bool {
+            point();
+            self.real.load(Ordering::SeqCst)
+        }
+
+        /// Stores a value (scheduling point).
+        pub fn store(&self, value: bool, _order: Ordering) {
+            point();
+            self.real.store(value, Ordering::SeqCst);
+        }
+
+        /// Atomically swaps, returning the previous value (scheduling
+        /// point).
+        pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+            point();
+            self.real.swap(value, Ordering::SeqCst)
+        }
+    }
+}

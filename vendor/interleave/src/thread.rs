@@ -1,0 +1,122 @@
+//! Model-checked thread spawn/join.
+//!
+//! [`spawn`] starts a real OS thread whose model identity and turn-taking
+//! are controlled by the scheduler; both the spawn itself and every
+//! [`JoinHandle::join`] are scheduling points.
+
+use crate::rt;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// The result of joining a model thread, shaped like
+/// `std::thread::Result`: `Err` carries the panic payload.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Owned permission to join a model thread, shaped like
+/// `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (at a scheduling point) until the thread finishes, returning
+    /// its result — `Err(payload)` if it panicked.
+    pub fn join(self) -> Result<T> {
+        rt::reraise_if_bailing();
+        if rt::bailing() {
+            // Mid-unwind teardown: the schedule is aborting, nobody will
+            // look at this result.
+            return Err(Box::new("interleave: schedule aborted"));
+        }
+        let (runtime, tid) = rt::context();
+        runtime.join_thread(tid, self.tid);
+        self.slot
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+            .ok_or_else(|| -> Box<dyn Any + Send> {
+                Box::new("interleave: joined thread left no result (aborted schedule)")
+            })?
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+/// Spawns a model thread running `f`. A scheduling point for the spawner:
+/// the child may run immediately or the parent may continue first.
+///
+/// # Panics
+/// Panics when called outside a model run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    rt::reraise_if_bailing();
+    if rt::bailing() {
+        // Mid-unwind teardown: don't start new work in an aborting run.
+        return JoinHandle {
+            tid: usize::MAX,
+            slot: Arc::new(StdMutex::new(None)),
+        };
+    }
+    let (runtime, tid) = rt::context();
+    let child = runtime.register_thread();
+    let slot: Arc<StdMutex<Option<Result<T>>>> = Arc::new(StdMutex::new(None));
+    let wrapper_slot = Arc::clone(&slot);
+    let wrapper_rt = Arc::clone(&runtime);
+    let handle = std::thread::Builder::new()
+        .name(format!("interleave-{child}"))
+        .spawn(move || {
+            rt::set_context(Arc::clone(&wrapper_rt), child);
+            // first_park is inside the catch_unwind: an abort while parked
+            // unwinds with the AbortSignal sentinel and must be caught here.
+            let park_rt = Arc::clone(&wrapper_rt);
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                park_rt.first_park(child);
+                f()
+            }));
+            match outcome {
+                Ok(value) => {
+                    *wrapper_slot
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(Ok(value));
+                    wrapper_rt.finish_thread(child);
+                }
+                Err(payload) => {
+                    if rt::is_abort_signal(&payload) || rt::bailing() {
+                        wrapper_rt.finish_thread_aborted(child);
+                    } else {
+                        let message = rt::panic_message(&payload);
+                        *wrapper_slot
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(Err(payload));
+                        wrapper_rt.thread_panicked(child, message);
+                    }
+                }
+            }
+            rt::clear_context();
+        })
+        .expect("interleave: failed to spawn an OS thread for a model thread");
+    runtime.add_real_handle(handle);
+    runtime.spawn_point(tid);
+    JoinHandle { tid: child, slot }
+}
+
+/// A voluntary scheduling point with no other effect — lets the scheduler
+/// explore a context switch here, like `std::thread::yield_now`.
+pub fn yield_now() {
+    if rt::bailing() {
+        return;
+    }
+    let (runtime, tid) = rt::context();
+    runtime.atomic_point(tid);
+}

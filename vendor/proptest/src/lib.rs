@@ -18,6 +18,8 @@
 //! the test. Swapping this stub for the registry package is a
 //! `Cargo.toml`-only change.
 
+#![deny(unsafe_code)]
+
 /// Commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::strategy::Strategy;

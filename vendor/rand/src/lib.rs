@@ -15,6 +15,8 @@
 //! bit-identical to the upstream implementations; nothing in this workspace
 //! depends on the upstream streams.
 
+#![deny(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Commonly used traits, mirroring `rand::prelude`.

@@ -7,6 +7,8 @@
 //! deterministic per seed but not guaranteed to be bit-identical to the
 //! upstream crate's stream ordering.
 
+#![deny(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 /// A ChaCha random number generator with 8 rounds.

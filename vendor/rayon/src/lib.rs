@@ -18,6 +18,8 @@
 //! The API shapes mirror the real crate so that swapping this stub for the
 //! registry package is a `Cargo.toml`-only change.
 
+#![deny(unsafe_code)]
+
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::Arc;

@@ -1,0 +1,705 @@
+//! Repo-specific static analysis (`cargo xtask lint`).
+//!
+//! A dependency-free token scan over the workspace sources enforcing the
+//! concurrency-correctness conventions that rustc cannot:
+//!
+//! 1. **sync-facade** — the serving/reclamation modules must reach their
+//!    sync primitives through `arsp_core::sync` / `arsp_data::sync` (so the
+//!    `interleave` model checker can swap them in), never
+//!    `std::sync::{Mutex, Condvar, RwLock}` or `std::sync::atomic` directly.
+//! 2. **lock-unwrap** — no `.unwrap()` in those modules: lock results go
+//!    through the poisoning-aware `sync::lock` helper, everything else
+//!    through `expect` with an invariant message.
+//! 3. **kernel-purity** — the flat algorithm kernels stay free of
+//!    `Instant::now` (timing belongs to the engine wrapper) and
+//!    allocation-prone `.collect()` (the kernels draw working memory from
+//!    scratch arenas).
+//! 4. **safety-comments** — every `unsafe` token is preceded by a
+//!    `// SAFETY:` comment (the workspace denies `unsafe_code`, so this
+//!    guards any future, deliberately-allowed exception).
+//! 5. **flat-engine-agreement** — every public `*flat_engine*` function in
+//!    `arsp-core` is named in an integration test under `tests/`, keeping
+//!    the bitwise-agreement suites coupled to the public flat API.
+//!
+//! The scanner strips comments and string/char literals first, so banned
+//! tokens in docs or messages never trigger, and the fixture snippets in
+//! this file's unit tests can quote violations safely.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Serving/reclamation modules that must use the sync façades (rules 1–2).
+const SYNC_SCOPE: &[&str] = &[
+    "crates/core/src/service.rs",
+    "crates/core/src/coalesce.rs",
+    "crates/core/src/stats.rs",
+    "crates/core/src/scratch.rs",
+    "crates/core/src/dynamic.rs",
+    "crates/data/src/versioned.rs",
+];
+
+/// Direct-std tokens banned inside [`SYNC_SCOPE`] (rule 1). `Arc` and
+/// `Barrier` are deliberately absent: the façades re-export `Arc`
+/// unchanged, and `Barrier` only appears in tests as a start-line gate.
+const SYNC_BANNED: &[&str] = &[
+    "std::sync::Mutex",
+    "std::sync::Condvar",
+    "std::sync::RwLock",
+    "std::sync::atomic",
+];
+
+/// Flat algorithm kernels that must stay timing- and allocation-free
+/// (rule 3): file → the functions scanned in it.
+const KERNEL_SCOPE: &[(&str, &[&str])] = &[
+    (
+        "crates/core/src/algorithms/kd_asp.rs",
+        &[
+            "fused_rec_flat",
+            "prebuilt_rec_flat",
+            "flat_candidate_pass",
+            "flat_node_enter",
+            "flat_node_exit",
+            "flat_sky_add",
+            "flat_leaf_probability",
+            "emit_coincident_flat",
+            "flat_corners",
+            "flat_kd_partition",
+            "flat_quad_group",
+        ],
+    ),
+    (
+        "crates/core/src/algorithms/loop_scan.rs",
+        &["instance_probability_flat"],
+    ),
+    (
+        "crates/core/src/algorithms/dual.rs",
+        &["dual_instance_prob"],
+    ),
+    (
+        "crates/core/src/algorithms/bnb.rs",
+        &["fold_window_products", "is_pruned", "expand_node"],
+    ),
+];
+
+/// Source roots scanned for rule 4 (and walked when loading files).
+const SAFETY_ROOTS: &[&str] = &[
+    "src",
+    "tests",
+    "crates",
+    "xtask/src",
+    "vendor/interleave/src",
+];
+
+/// One finding; `file` is repo-relative, `line` 1-based.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Entry point for `cargo xtask lint`.
+pub fn run() -> ExitCode {
+    let root = repo_root();
+    match lint_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("xtask lint: ok");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask lint: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+/// Runs every rule over the tree rooted at `root`.
+fn lint_tree(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+
+    // Rules 1–2 over the façade-scoped modules.
+    for rel in SYNC_SCOPE {
+        let source = read(root, rel)?;
+        let stripped = strip_code(&source);
+        violations.extend(check_sync_facade(rel, &stripped));
+        violations.extend(check_lock_unwrap(rel, &stripped));
+    }
+
+    // Rule 3 over the flat kernels.
+    for (rel, kernels) in KERNEL_SCOPE {
+        let source = read(root, rel)?;
+        let stripped = strip_code(&source);
+        violations.extend(check_kernel_purity(rel, &stripped, kernels));
+    }
+
+    // Rule 4 over every first-party source file.
+    for dir in SAFETY_ROOTS {
+        for path in rust_files(&root.join(dir)) {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+            violations.extend(check_safety_comments(&rel, &source));
+        }
+    }
+
+    // Rule 5: public flat-engine API ↔ integration tests.
+    let mut core_stripped = Vec::new();
+    for path in rust_files(&root.join("crates/core/src")) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+        core_stripped.push((rel, strip_code(&source)));
+    }
+    let mut tests_text = String::new();
+    for path in rust_files(&root.join("tests")) {
+        tests_text.push_str(
+            &fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?,
+        );
+        tests_text.push('\n');
+    }
+    for (rel, stripped) in &core_stripped {
+        violations.extend(check_flat_engine_agreement(rel, stripped, &tests_text));
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, String> {
+    fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))
+}
+
+/// All `.rs` files under `dir`, recursively (empty when `dir` is absent).
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return files;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            files.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+// ---------------------------------------------------------------------------
+// Lexer: blank out comments and string/char literals, preserving layout
+// ---------------------------------------------------------------------------
+
+/// Returns `source` with comments (line, nested block) and string/char
+/// literals replaced by spaces. Newlines survive, so byte offsets and line
+/// numbers in the result match the original.
+fn strip_code(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                // r"..." / r#"..."# / r##"..."## — skip to the matching
+                // closer with the same hash count.
+                let start = i;
+                i += 1;
+                let mut hashes = 0;
+                while bytes.get(i) == Some(&b'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                while let Some(&b) = bytes.get(i) {
+                    if b == b'"' && (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#')) {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'\'' if is_char_literal(bytes, i) => {
+                let start = i;
+                i += 1;
+                if bytes.get(i) == Some(&b'\\') {
+                    i += 2;
+                    // \u{...} escapes run to the closing quote.
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+                i += 1; // closing quote
+                blank(&mut out, start, i.min(bytes.len()));
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("blanking ASCII bytes keeps the source UTF-8")
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    let to = to.min(out.len());
+    for b in &mut out[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"` or `r#...#"` beginning a raw string, not the tail of an
+    // identifier (`for r in ..` has no quote after the `r`).
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Distinguishes `'x'` / `'\n'` char literals from `'a` lifetimes.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn line_of(text: &str, offset: usize) -> usize {
+    text[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: sync-facade
+// ---------------------------------------------------------------------------
+
+fn check_sync_facade(file: &str, stripped: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for banned in SYNC_BANNED {
+        let mut from = 0;
+        while let Some(pos) = stripped[from..].find(banned) {
+            let offset = from + pos;
+            violations.push(Violation {
+                file: file.to_string(),
+                line: line_of(stripped, offset),
+                rule: "sync-facade",
+                message: format!(
+                    "direct `{banned}` in a serving/reclamation module; go through \
+                     the crate `sync` façade so the model checker can intercept it"
+                ),
+            });
+            from = offset + banned.len();
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: lock-unwrap
+// ---------------------------------------------------------------------------
+
+fn check_lock_unwrap(file: &str, stripped: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (idx, line) in stripped.lines().enumerate() {
+        let condensed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        if condensed.contains(".unwrap()") {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: "lock-unwrap",
+                message: "`.unwrap()` in a serving/reclamation module; use the \
+                          poisoning-aware `sync::lock` helper for locks, or `expect` \
+                          with an invariant message"
+                    .to_string(),
+            });
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: kernel-purity
+// ---------------------------------------------------------------------------
+
+fn check_kernel_purity(file: &str, stripped: &str, kernels: &[&str]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for kernel in kernels {
+        let Some((body_start, body_end)) = function_body(stripped, kernel) else {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: 1,
+                rule: "kernel-purity",
+                message: format!(
+                    "watched kernel `fn {kernel}` not found; update the lint's \
+                     KERNEL_SCOPE to follow the rename"
+                ),
+            });
+            continue;
+        };
+        let body = &stripped[body_start..body_end];
+        for banned in ["Instant::now", ".collect("] {
+            let mut from = 0;
+            while let Some(pos) = body[from..].find(banned) {
+                let offset = body_start + from + pos;
+                violations.push(Violation {
+                    file: file.to_string(),
+                    line: line_of(stripped, offset),
+                    rule: "kernel-purity",
+                    message: format!(
+                        "`{banned}` inside flat kernel `{kernel}`: kernels must stay \
+                         timing-free and allocation-free (use the scratch arenas)"
+                    ),
+                });
+                from += pos + banned.len();
+            }
+        }
+    }
+    violations
+}
+
+/// Byte range of `fn name`'s body (between its outermost braces), matching
+/// the name exactly (not as a prefix of a longer identifier).
+fn function_body(stripped: &str, name: &str) -> Option<(usize, usize)> {
+    let bytes = stripped.as_bytes();
+    let needle = format!("fn {name}");
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(&needle) {
+        let start = from + pos;
+        let after = start + needle.len();
+        from = after;
+        // Reject `fn foo_bar` when looking for `fn foo`.
+        if bytes.get(after).copied().is_some_and(is_ident_byte) {
+            continue;
+        }
+        let open = stripped[after..].find('{')? + after;
+        let mut depth = 0usize;
+        for (i, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open, i + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: safety-comments
+// ---------------------------------------------------------------------------
+
+fn check_safety_comments(file: &str, source: &str) -> Vec<Violation> {
+    let stripped = strip_code(source);
+    let original_lines: Vec<&str> = source.lines().collect();
+    let mut violations = Vec::new();
+    let bytes = stripped.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find("unsafe") {
+        let offset = from + pos;
+        from = offset + "unsafe".len();
+        let before_ok = offset == 0 || !is_ident_byte(bytes[offset - 1]);
+        let after_ok = bytes
+            .get(offset + "unsafe".len())
+            .map_or(true, |&b| !is_ident_byte(b));
+        if !(before_ok && after_ok) {
+            continue; // part of `unsafe_code` or a similar identifier
+        }
+        let line = line_of(&stripped, offset);
+        let documented = original_lines[line.saturating_sub(4)..line - 1]
+            .iter()
+            .any(|l| l.contains("SAFETY:"));
+        if !documented {
+            violations.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "safety-comments",
+                message: "`unsafe` without a `// SAFETY:` comment on the preceding \
+                          lines stating the invariant that makes it sound"
+                    .to_string(),
+            });
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: flat-engine-agreement
+// ---------------------------------------------------------------------------
+
+fn check_flat_engine_agreement(file: &str, stripped: &str, tests_text: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (offset, name) in public_fns(stripped) {
+        if name.contains("flat_engine") && !tests_text.contains(&name) {
+            violations.push(Violation {
+                file: file.to_string(),
+                line: line_of(stripped, offset),
+                rule: "flat-engine-agreement",
+                message: format!(
+                    "public flat engine `{name}` is not named in any integration \
+                     test under tests/; add it to the bitwise-agreement suite \
+                     (tests/flat_engine_agreement.rs)"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// `(offset, name)` of every `pub fn` in stripped source.
+fn public_fns(stripped: &str) -> Vec<(usize, String)> {
+    let bytes = stripped.as_bytes();
+    let mut fns = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find("pub fn ") {
+        let offset = from + pos;
+        let name_start = offset + "pub fn ".len();
+        let name_end = bytes[name_start..]
+            .iter()
+            .position(|&b| !is_ident_byte(b))
+            .map_or(bytes.len(), |p| name_start + p);
+        if name_end > name_start {
+            fns.push((offset, stripped[name_start..name_end].to_string()));
+        }
+        from = name_end;
+    }
+    fns
+}
+
+// ---------------------------------------------------------------------------
+// Fixture tests: each rule must fire on a violating snippet and stay quiet
+// on the idiomatic one.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_blanks_comments_and_strings_but_keeps_layout() {
+        let src = "let a = 1; // std::sync::Mutex in a comment\n\
+                   let b = \"std::sync::Mutex in a string\";\n\
+                   /* block\nstd::sync::Mutex\n*/ let c = 'x';\n\
+                   let d = r#\"raw std::sync::Mutex\"#;\n";
+        let stripped = strip_code(src);
+        assert!(!stripped.contains("std::sync::Mutex"));
+        assert_eq!(stripped.lines().count(), src.lines().count());
+        assert!(stripped.contains("let a = 1;"));
+        assert!(stripped.contains("let d ="));
+    }
+
+    #[test]
+    fn lexer_keeps_lifetimes_but_blanks_char_literals() {
+        let stripped = strip_code("fn f<'a>(x: &'a str) -> char { 'y' }");
+        assert!(stripped.contains("<'a>"), "lifetime was eaten: {stripped}");
+        assert!(!stripped.contains("'y'"));
+    }
+
+    #[test]
+    fn sync_facade_fires_on_direct_std_and_passes_the_facade() {
+        let bad = strip_code("use std::sync::Mutex;\nuse std::sync::atomic::AtomicU64;\n");
+        let violations = check_sync_facade("f.rs", &bad);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].line, 1);
+        assert_eq!(violations[1].line, 2);
+
+        let good = strip_code(
+            "use crate::sync::{lock, Arc, Mutex};\nuse crate::sync::atomic::AtomicU64;\n\
+             use std::sync::Barrier; // allowed: test start-line gate\n",
+        );
+        assert!(check_sync_facade("f.rs", &good).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_fires_on_unwrap_and_passes_expect_and_unwrap_or_else() {
+        let bad = strip_code("let g = self.inner.lock().unwrap();\nlet v = row . unwrap () ;\n");
+        let violations = check_lock_unwrap("f.rs", &bad);
+        assert_eq!(violations.len(), 2);
+
+        let good = strip_code(
+            "let g = lock(&self.inner);\n\
+             let v = row.expect(\"handle taken from a live row\");\n\
+             let w = m.get_mut().unwrap_or_else(|p| p.into_inner());\n",
+        );
+        assert!(check_lock_unwrap("f.rs", &good).is_empty());
+    }
+
+    #[test]
+    fn kernel_purity_fires_inside_watched_kernels_only() {
+        let src = strip_code(
+            "fn flat_sky_add(x: u64) { let t = Instant::now(); }\n\
+             fn unwatched() { let v: Vec<u64> = it.collect(); }\n",
+        );
+        let violations = check_kernel_purity("f.rs", &src, &["flat_sky_add"]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("Instant::now"));
+
+        let clean = strip_code("fn flat_sky_add(x: u64) -> u64 { x + 1 }\n");
+        assert!(check_kernel_purity("f.rs", &clean, &["flat_sky_add"]).is_empty());
+    }
+
+    #[test]
+    fn kernel_purity_fires_on_collect_and_matches_names_exactly() {
+        let src = strip_code(
+            "fn flat_corners_par() { let v: Vec<u64> = it.collect(); }\n\
+             fn flat_corners() { let y = 1; }\n",
+        );
+        // `flat_corners` is clean; `flat_corners_par` must NOT be matched
+        // when looking for `flat_corners`.
+        assert!(check_kernel_purity("f.rs", &src, &["flat_corners"]).is_empty());
+
+        let bad = strip_code("fn flat_corners() { let v: Vec<u64> = it.collect(); }\n");
+        let violations = check_kernel_purity("f.rs", &bad, &["flat_corners"]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains(".collect"));
+    }
+
+    #[test]
+    fn kernel_purity_reports_a_vanished_kernel() {
+        let violations = check_kernel_purity("f.rs", "fn other() {}", &["flat_sky_add"]);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("not found"));
+    }
+
+    #[test]
+    fn safety_comments_fire_without_a_safety_comment() {
+        let bad = "fn f() {\n    unsafe { do_thing() }\n}\n";
+        let violations = check_safety_comments("f.rs", bad);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].line, 2);
+
+        let good = "fn f() {\n    // SAFETY: the pointer outlives the call.\n    unsafe { do_thing() }\n}\n";
+        assert!(check_safety_comments("f.rs", good).is_empty());
+    }
+
+    #[test]
+    fn safety_comments_ignore_the_unsafe_code_lint_name_and_comments() {
+        let src = "#![deny(unsafe_code)]\n// mentioning unsafe in a comment is fine\n";
+        assert!(check_safety_comments("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flat_engine_agreement_requires_a_test_mention() {
+        let core = strip_code("pub fn demo_flat_engine(x: u64) -> u64 { x }\n");
+        let violations = check_flat_engine_agreement("f.rs", &core, "fn other_test() {}");
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("demo_flat_engine"));
+
+        let mentioned = "fn agreement() { let _ = demo_flat_engine(1); }";
+        assert!(check_flat_engine_agreement("f.rs", &core, mentioned).is_empty());
+
+        // Private helpers and non-flat functions are out of scope.
+        let private = strip_code("fn helper_flat_engine() {}\npub fn not_flat() {}\n");
+        assert!(check_flat_engine_agreement("f.rs", &private, "").is_empty());
+    }
+
+    #[test]
+    fn the_repository_tree_is_clean() {
+        let root = repo_root();
+        let violations = lint_tree(&root).expect("lint walks the tree");
+        assert!(
+            violations.is_empty(),
+            "lint violations in the tree:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
