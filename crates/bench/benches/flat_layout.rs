@@ -129,8 +129,17 @@ fn bench_flat_layout(c: &mut Criterion) {
             fdoms
                 .iter()
                 .map(|f| {
-                    arsp_bnb_engine(black_box(&data), f, Some(&rtree), None, false, None, None)
-                        .result_size()
+                    arsp_bnb_engine(
+                        black_box(&data),
+                        f,
+                        Some(&rtree),
+                        None,
+                        false,
+                        None,
+                        None,
+                        None,
+                    )
+                    .result_size()
                 })
                 .sum::<usize>()
         })

@@ -183,8 +183,17 @@ fn bench_parallel_flat(c: &mut Criterion) {
                 fdoms
                     .iter()
                     .map(|f| {
-                        arsp_bnb_engine(black_box(&data), f, Some(&rtree), None, true, None, None)
-                            .result_size()
+                        arsp_bnb_engine(
+                            black_box(&data),
+                            f,
+                            Some(&rtree),
+                            None,
+                            true,
+                            None,
+                            None,
+                            None,
+                        )
+                        .result_size()
                     })
                     .sum::<usize>()
             })

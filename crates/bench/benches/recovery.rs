@@ -1,0 +1,207 @@
+//! Micro-benchmark: restart via snapshot + WAL replay vs a cold rebuild.
+//!
+//! The crash-consistent persistence layer exists so a restarted process can
+//! recover the versioned store from disk instead of replaying its whole
+//! mutation history against the source data. This bench times both sides:
+//!
+//! * **open** — `DurableStore::open`: read + checksum the snapshot, decode
+//!   the store, replay the WAL tail, at WAL depths of 0 (checkpoint-fresh),
+//!   16 and 64 batches;
+//! * **cold_rebuild** — the restartless alternative: rebuild the store from
+//!   the original dataset (`VersionedStore::from_dataset`) and re-apply the
+//!   same mutation batches from the application's own log;
+//! * **checkpoint** — what an explicit checkpoint costs (atomic snapshot
+//!   write + fsync + WAL reset), i.e. the price of keeping the replay tail
+//!   short.
+//!
+//! The crash-recovery suite proves the recovered store is bitwise equal to
+//! the applied-batch prefix; this bench only times the recovery. Numbers
+//! are recorded in `BENCH_recovery.json` and EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+use arsp_data::{DurableStore, MutationOp, SyntheticConfig, UncertainDataset, VersionedStore};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn dataset() -> UncertainDataset {
+    SyntheticConfig {
+        num_objects: 300,
+        max_instances: 5,
+        dim: 3,
+        region_length: 0.3,
+        phi: 0.5, // probability slack so revisions always fit the budget
+        seed: 41,
+        ..SyntheticConfig::default()
+    }
+    .generate()
+}
+
+/// Deterministic mutation batches, validated against a shadow store so each
+/// op fits the owner's probability budget at the version it applies to.
+fn batches(base: &UncertainDataset, count: usize, per_batch: usize) -> Vec<Vec<MutationOp>> {
+    let mut shadow = VersionedStore::from_dataset(base);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut ops = Vec::with_capacity(per_batch);
+        for _ in 0..per_batch {
+            let live: Vec<usize> = (0..shadow.num_rows())
+                .filter(|&r| shadow.is_live(r))
+                .collect();
+            let row = live[rng.gen_range(0..live.len())];
+            let handle = shadow.handle_of_row(row).index() as u64;
+            let coords: Vec<f64> = shadow
+                .coords_of(row)
+                .iter()
+                .map(|c| (c + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0))
+                .collect();
+            let object = shadow.object_of(row);
+            let slack = 1.0 - (shadow.live_total_prob(object) - shadow.prob(row));
+            let prob = (shadow.prob(row) * rng.gen_range(0.7..1.2)).clamp(1e-4, slack.max(1e-4));
+            let op = MutationOp::UpdateInstance {
+                handle,
+                coords,
+                prob,
+            };
+            op.apply_to(&mut shadow);
+            ops.push(op);
+        }
+        out.push(ops);
+    }
+    out
+}
+
+/// Scratch directory under the workspace `target/` (never `/tmp`).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/recovery-bench")
+        .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+
+    let base = dataset();
+    const PER_BATCH: usize = 16;
+
+    for wal_depth in [0usize, 16, 64] {
+        // Setup (unmeasured): a durable store with a fresh checkpoint and
+        // `wal_depth` logged batches behind it.
+        let dir = scratch_dir(&format!("wal{wal_depth}"));
+        let tail = batches(&base, wal_depth, PER_BATCH);
+        {
+            let mut durable = DurableStore::create(&dir, VersionedStore::from_dataset(&base))
+                .expect("create durable store");
+            durable.checkpoint().expect("checkpoint");
+            for ops in &tail {
+                durable.apply_batch(ops).expect("apply batch");
+            }
+        }
+
+        // Restart: snapshot read + WAL replay.
+        group.bench_function(format!("open/wal{wal_depth}"), |b| {
+            b.iter(|| {
+                let (durable, report) = DurableStore::open(&dir).expect("open");
+                assert_eq!(report.records_replayed as usize, wal_depth);
+                black_box(durable.store().version())
+            })
+        });
+
+        // The restartless alternative: rebuild from the source dataset and
+        // re-apply the same batches from an application-side log.
+        group.bench_function(format!("cold_rebuild/wal{wal_depth}"), |b| {
+            b.iter(|| {
+                let mut store = VersionedStore::from_dataset(&base);
+                for ops in &tail {
+                    for op in ops {
+                        op.apply_to(&mut store);
+                    }
+                }
+                black_box(store.version())
+            })
+        });
+
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    // Long-history case: the checkpoint bounds restart work to the 64-batch
+    // WAL tail no matter how much history precedes it, while a cold rebuild
+    // replays the whole 1024-batch history. This is the crossover the
+    // snapshot exists for — the shallow-history pairs above favour the cold
+    // side only because the source dataset is already in memory.
+    {
+        const HISTORY: usize = 1024;
+        const TAIL: usize = 64;
+        let dir = scratch_dir("history");
+        // A compaction every 32 batches (as the logarithmic-method policy
+        // would) keeps the tombstone population — and so the snapshot —
+        // bounded; `Merge` is logged, so the cold side replays it too.
+        let mut history = Vec::new();
+        for (i, ops) in batches(&base, HISTORY, PER_BATCH).into_iter().enumerate() {
+            history.push(ops);
+            if (i + 1) % 32 == 0 {
+                history.push(vec![MutationOp::Merge]);
+            }
+        }
+        {
+            let mut durable = DurableStore::create(&dir, VersionedStore::from_dataset(&base))
+                .expect("create durable store");
+            for (i, ops) in history.iter().enumerate() {
+                durable.apply_batch(ops).expect("apply batch");
+                if i + 1 == history.len() - TAIL {
+                    durable.checkpoint().expect("checkpoint");
+                }
+            }
+        }
+        group.bench_function(format!("open/history{HISTORY}_wal{TAIL}"), |b| {
+            b.iter(|| {
+                let (durable, report) = DurableStore::open(&dir).expect("open");
+                assert_eq!(report.records_replayed as usize, TAIL);
+                black_box(durable.store().version())
+            })
+        });
+        group.bench_function(format!("cold_rebuild/history{HISTORY}"), |b| {
+            b.iter(|| {
+                let mut store = VersionedStore::from_dataset(&base);
+                for ops in &history {
+                    for op in ops {
+                        op.apply_to(&mut store);
+                    }
+                }
+                black_box(store.version())
+            })
+        });
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    // Checkpoint cost: atomic snapshot write + fsync + WAL reset, from a
+    // state with a 16-batch WAL tail to fold in.
+    {
+        let dir = scratch_dir("checkpoint");
+        let tail = batches(&base, 16, PER_BATCH);
+        let mut durable = DurableStore::create(&dir, VersionedStore::from_dataset(&base))
+            .expect("create durable store");
+        group.bench_function("checkpoint/wal16", |b| {
+            b.iter(|| {
+                for ops in &tail {
+                    durable.apply_batch(ops).expect("apply batch");
+                }
+                durable.checkpoint().expect("checkpoint");
+                black_box(durable.store().version())
+            })
+        });
+        drop(durable);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -45,14 +45,14 @@ pub fn arsp_bnb(dataset: &UncertainDataset, constraints: &ConstraintSet) -> Arsp
 /// B&B with a pre-built F-dominance test; `use_pruning_set = false` disables
 /// the Theorem-4 pruning set (used by the ablation benchmark).
 pub fn arsp_bnb_with_fdom(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, None, None, true, false, None, None)
+    arsp_bnb_impl(dataset, fdom, None, None, true, false, None, None, None)
 }
 
 /// B&B without the pruning set `P` — every instance pays its window queries.
 /// Exposed for the ablation study of the design choice called out in
 /// DESIGN.md; not part of the paper's evaluated configurations.
 pub fn arsp_bnb_without_pruning(dataset: &UncertainDataset, fdom: &LinearFDominance) -> ArspResult {
-    arsp_bnb_impl(dataset, fdom, None, None, false, false, None, None)
+    arsp_bnb_impl(dataset, fdom, None, None, false, false, None, None, None)
 }
 
 /// Builds the static R-tree over a dataset's instances that B&B traverses —
@@ -73,6 +73,7 @@ pub fn build_instance_rtree(dataset: &UncertainDataset) -> RTree {
 /// score-space mapping — same bits, no per-instance work), execution mode,
 /// optional work-counter sink, optional reusable [`BnbScratch`]. Results are
 /// bitwise identical across every option combination.
+#[allow(clippy::too_many_arguments)]
 pub fn arsp_bnb_engine(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
@@ -81,14 +82,19 @@ pub fn arsp_bnb_engine(
     parallel: bool,
     stats: Option<&CounterStats>,
     scratch: Option<&mut BnbScratch>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> ArspResult {
     #[cfg(feature = "parallel")]
     if parallel {
         return crate::parallel::with_pool(|| {
-            arsp_bnb_impl(dataset, fdom, rtree, scores, true, true, stats, scratch)
+            arsp_bnb_impl(
+                dataset, fdom, rtree, scores, true, true, stats, scratch, budget,
+            )
         });
     }
-    arsp_bnb_impl(dataset, fdom, rtree, scores, true, parallel, stats, scratch)
+    arsp_bnb_impl(
+        dataset, fdom, rtree, scores, true, parallel, stats, scratch, budget,
+    )
 }
 
 /// B&B with each popped instance's per-object window queries fanned out over
@@ -109,7 +115,7 @@ pub fn arsp_bnb_parallel_with_fdom(
     dataset: &UncertainDataset,
     fdom: &LinearFDominance,
 ) -> ArspResult {
-    arsp_bnb_engine(dataset, fdom, None, None, true, None, None)
+    arsp_bnb_engine(dataset, fdom, None, None, true, None, None, None)
 }
 
 /// Computes `prob · Π_j (1 − σ[j])` over the non-empty aggregated R-trees,
@@ -243,6 +249,7 @@ fn arsp_bnb_impl(
     parallel: bool,
     stats: Option<&CounterStats>,
     scratch: Option<&mut BnbScratch>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> ArspResult {
     let n = dataset.num_instances();
     let m = dataset.num_objects();
@@ -332,6 +339,7 @@ fn arsp_bnb_impl(
     }
 
     while let Some(item) = heap.pop() {
+        crate::fault::poll(budget);
         match item.kind {
             ItemKind::Node(node_id) => {
                 nodes_popped += 1;
@@ -784,6 +792,7 @@ mod tests {
                 false,
                 None,
                 Some(&mut scratch),
+                None,
             );
             assert_eq!(reference.probs(), got.probs());
 
@@ -799,6 +808,7 @@ mod tests {
                 false,
                 None,
                 Some(&mut scratch),
+                None,
             );
             assert_eq!(other_ref.probs(), other_got.probs());
         }
@@ -813,6 +823,7 @@ mod tests {
             false,
             Some(&stats_lazy),
             None,
+            None,
         );
         let stats_flat = CounterStats::new();
         let _ = arsp_bnb_engine(
@@ -823,6 +834,7 @@ mod tests {
             false,
             Some(&stats_flat),
             Some(&mut scratch),
+            None,
         );
         assert_eq!(
             stats_lazy.snapshot().window_queries,

@@ -150,6 +150,7 @@ pub fn arsp_dual_flat_engine(
     agg: &[AggregateRTree],
     parallel: bool,
     stats: Option<&CounterStats>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> ArspResult {
     assert_eq!(flat.dim(), ratio.dim(), "dimension mismatch");
     debug_assert_eq!(
@@ -178,7 +179,10 @@ pub fn arsp_dual_flat_engine(
                         let start = range.start;
                         let mut queries = 0u64;
                         let probs = range
-                            .map(|id| dual_instance_prob(flat, fdom, agg, id, &mut queries))
+                            .map(|id| {
+                                crate::fault::poll(budget);
+                                dual_instance_prob(flat, fdom, agg, id, &mut queries)
+                            })
                             .collect();
                         (start, probs, queries)
                     })
@@ -201,6 +205,7 @@ pub fn arsp_dual_flat_engine(
 
     let mut window_queries = 0u64;
     for id in 0..n {
+        crate::fault::poll(budget);
         let prob = dual_instance_prob(flat, &fdom, agg, id, &mut window_queries);
         result.set(id, prob);
     }
@@ -513,7 +518,7 @@ mod tests {
             let stats_point = CounterStats::new();
             let reference = arsp_dual_engine(&d, &ratio, Some(&agg), Some(&stats_point));
             let stats_flat = CounterStats::new();
-            let got = arsp_dual_flat_engine(&flat, &ratio, &agg, false, Some(&stats_flat));
+            let got = arsp_dual_flat_engine(&flat, &ratio, &agg, false, Some(&stats_flat), None);
             assert_eq!(
                 reference.probs(),
                 got.probs(),
@@ -543,14 +548,14 @@ mod tests {
         let agg = build_dual_index(&d);
         let ratio = WeightRatio::uniform(3, 0.5, 2.0);
         let seq_stats = CounterStats::new();
-        let seq = arsp_dual_flat_engine(&flat, &ratio, &agg, false, Some(&seq_stats));
+        let seq = arsp_dual_flat_engine(&flat, &ratio, &agg, false, Some(&seq_stats), None);
         // Force a fan-out even on single-core machines; the lock keeps
         // knob-value assertions in other tests from observing the transient
         // setting.
         let _guard = crate::parallel::knob_lock();
         crate::parallel::set_num_threads(4);
         let par_stats = CounterStats::new();
-        let par = arsp_dual_flat_engine(&flat, &ratio, &agg, true, Some(&par_stats));
+        let par = arsp_dual_flat_engine(&flat, &ratio, &agg, true, Some(&par_stats), None);
         crate::parallel::set_num_threads(0);
         assert_eq!(seq.probs(), par.probs());
         assert_eq!(
@@ -566,7 +571,7 @@ mod tests {
         let flat = FlatStore::from_dataset(&d);
         let agg = build_dual_index(&d);
         let ratio = WeightRatio::uniform(2, 0.5, 2.0);
-        let result = arsp_dual_flat_engine(&flat, &ratio, &agg, false, None);
+        let result = arsp_dual_flat_engine(&flat, &ratio, &agg, false, None, None);
         assert!(result.is_empty());
     }
 }

@@ -1237,7 +1237,9 @@ fn fused_rec_flat(
     split: SplitKind,
     out: &mut [f64],
     stats: Option<&CounterStats>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) {
+    crate::fault::poll(budget);
     let dim = pts.dim;
     let bstart = depth * 2 * dim;
     let pass = flat_node_enter(pts, s, bc, order, c0, c1, bstart, stats);
@@ -1272,6 +1274,7 @@ fn fused_rec_flat(
                         split,
                         out,
                         stats,
+                        budget,
                     );
                     gstart = gend;
                 }
@@ -1281,7 +1284,19 @@ fn fused_rec_flat(
                 // Kd split, or the quad mask-collision fallback.
                 let mid = flat_kd_partition(pts, order, depth);
                 let (left, right) = order.split_at_mut(mid);
-                fused_rec_flat(pts, s, bc, left, cstart, cend, depth + 1, split, out, stats);
+                fused_rec_flat(
+                    pts,
+                    s,
+                    bc,
+                    left,
+                    cstart,
+                    cend,
+                    depth + 1,
+                    split,
+                    out,
+                    stats,
+                    budget,
+                );
                 fused_rec_flat(
                     pts,
                     s,
@@ -1293,6 +1308,7 @@ fn fused_rec_flat(
                     split,
                     out,
                     stats,
+                    budget,
                 );
             }
         }
@@ -1364,6 +1380,7 @@ fn run_flat_subtree(
     split: SplitKind,
     levels: usize,
     stats: Option<&CounterStats>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> KdWorkerScratch {
     let mut worker = pool.take();
     worker.prepare(pts.len(), sigma, cand);
@@ -1376,7 +1393,7 @@ fn run_flat_subtree(
     let c1 = cand.len();
     let KdWorkerScratch { scratch, out } = &mut worker;
     fused_rec_flat_par(
-        pts, pool, scratch, &mut bc, order, 0, c1, depth, split, out, levels, stats,
+        pts, pool, scratch, &mut bc, order, 0, c1, depth, split, out, levels, stats, budget,
     );
     worker
 }
@@ -1418,11 +1435,13 @@ fn fused_rec_flat_par(
     out: &mut [f64],
     levels: usize,
     stats: Option<&CounterStats>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) {
     if levels == 0 || order.len() < MIN_PARALLEL_NODE {
-        fused_rec_flat(pts, s, bc, order, c0, c1, depth, split, out, stats);
+        fused_rec_flat(pts, s, bc, order, c0, c1, depth, split, out, stats, budget);
         return;
     }
+    crate::fault::poll(budget);
     let dim = pts.dim;
     let bstart = depth * 2 * dim;
     let pass = flat_node_enter(pts, s, bc, order, c0, c1, bstart, stats);
@@ -1472,6 +1491,7 @@ fn fused_rec_flat_par(
                             split,
                             levels - 1,
                             stats,
+                            budget,
                         )
                     })
                     .collect();
@@ -1504,6 +1524,7 @@ fn fused_rec_flat_par(
                             split,
                             levels - 1,
                             stats,
+                            budget,
                         )
                     },
                     || {
@@ -1519,6 +1540,7 @@ fn fused_rec_flat_par(
                             split,
                             levels - 1,
                             stats,
+                            budget,
                         )
                     },
                 );
@@ -1544,7 +1566,9 @@ fn prebuilt_rec_flat(
     c1: usize,
     out: &mut [f64],
     stats: Option<&CounterStats>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) {
+    crate::fault::poll(budget);
     let dim = pts.dim;
     let n = tree.node(node);
     // The node corners come from the prebuilt tree; stage them in the shared
@@ -1601,8 +1625,8 @@ fn prebuilt_rec_flat(
                 emit_coincident_flat(pts, &members, sigma, bc, node_mass, out);
                 s.members = members;
             } else if bc.chi == 0 {
-                prebuilt_rec_flat(pts, tree, left, s, bc, cstart, cend, out, stats);
-                prebuilt_rec_flat(pts, tree, right, s, bc, cstart, cend, out, stats);
+                prebuilt_rec_flat(pts, tree, left, s, bc, cstart, cend, out, stats, budget);
+                prebuilt_rec_flat(pts, tree, right, s, bc, cstart, cend, out, stats, budget);
             }
             // χ ≥ 1: prune the traversal (the tree itself was already built).
         }
@@ -1630,6 +1654,7 @@ pub fn kd_asp_flat_engine(
     variant: KdVariant,
     stats: Option<&CounterStats>,
     scratch: &mut KdScratch,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> Vec<f64> {
     let mut out = vec![0.0; num_instances];
     if pts.is_empty() {
@@ -1656,7 +1681,9 @@ pub fn kd_asp_flat_engine(
             // The prebuilt traversal stages corners at the top of the bounds
             // arena; start empty.
             scratch.bounds.clear();
-            prebuilt_rec_flat(&pts, &tree, root, scratch, &mut bc, 0, n, &mut out, stats);
+            prebuilt_rec_flat(
+                &pts, &tree, root, scratch, &mut bc, 0, n, &mut out, stats, budget,
+            );
         }
         KdVariant::FusedKd | KdVariant::FusedQuad => {
             let split = if variant == KdVariant::FusedKd {
@@ -1666,7 +1693,7 @@ pub fn kd_asp_flat_engine(
             };
             let mut order = std::mem::take(&mut scratch.order);
             fused_rec_flat(
-                &pts, scratch, &mut bc, &mut order, 0, n, 0, split, &mut out, stats,
+                &pts, scratch, &mut bc, &mut order, 0, n, 0, split, &mut out, stats, budget,
             );
             scratch.order = order;
         }
@@ -1685,6 +1712,7 @@ pub fn kd_asp_flat_engine(
 /// (arenas still reused across this call's subtrees); the engine passes its
 /// session-owned pool. Without the `parallel` feature this is
 /// [`kd_asp_flat_engine`].
+#[allow(clippy::too_many_arguments)]
 pub fn kd_asp_flat_engine_parallel(
     pts: FlatScorePoints<'_>,
     num_objects: usize,
@@ -1693,11 +1721,20 @@ pub fn kd_asp_flat_engine_parallel(
     stats: Option<&CounterStats>,
     scratch: &mut KdScratch,
     pool: Option<&KdWorkerPool>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> Vec<f64> {
     #[cfg(not(feature = "parallel"))]
     {
         let _ = pool;
-        kd_asp_flat_engine(pts, num_objects, num_instances, variant, stats, scratch)
+        kd_asp_flat_engine(
+            pts,
+            num_objects,
+            num_instances,
+            variant,
+            stats,
+            scratch,
+            budget,
+        )
     }
     #[cfg(feature = "parallel")]
     {
@@ -1710,6 +1747,7 @@ pub fn kd_asp_flat_engine_parallel(
                     variant,
                     stats,
                     scratch,
+                    budget,
                 );
             }
             KdVariant::FusedKd => SplitKind::Kd,
@@ -1717,7 +1755,15 @@ pub fn kd_asp_flat_engine_parallel(
         };
         let levels = crate::parallel::fan_out_levels();
         if levels == 0 || pts.len() < MIN_PARALLEL_NODE {
-            return kd_asp_flat_engine(pts, num_objects, num_instances, variant, stats, scratch);
+            return kd_asp_flat_engine(
+                pts,
+                num_objects,
+                num_instances,
+                variant,
+                stats,
+                scratch,
+                budget,
+            );
         }
         crate::parallel::with_pool(|| {
             let mut out = vec![0.0; num_instances];
@@ -1735,6 +1781,7 @@ pub fn kd_asp_flat_engine_parallel(
             let mut order = std::mem::take(&mut scratch.order);
             fused_rec_flat_par(
                 &pts, pool, scratch, &mut bc, &mut order, 0, n, 0, split, &mut out, levels, stats,
+                budget,
             );
             scratch.order = order;
             out
@@ -2013,7 +2060,15 @@ mod tests {
             objects: &objects,
             probs: &probs,
         };
-        kd_asp_flat_engine(pts, num_objects, num_instances, variant, None, scratch)
+        kd_asp_flat_engine(
+            pts,
+            num_objects,
+            num_instances,
+            variant,
+            None,
+            scratch,
+            None,
+        )
     }
 
     /// Stages a `ScorePoint` slice's columns for a [`FlatScorePoints`] view
@@ -2063,7 +2118,9 @@ mod tests {
             objects: &[],
             probs: &[],
         };
-        assert!(kd_asp_flat_engine(pts, 0, 0, KdVariant::FusedKd, None, &mut scratch).is_empty());
+        assert!(
+            kd_asp_flat_engine(pts, 0, 0, KdVariant::FusedKd, None, &mut scratch, None).is_empty()
+        );
         // Coincident points across objects (the un-splittable node path).
         let pts = vec![
             point(0, 0, 1.0, vec![0.5, 0.5]),
@@ -2149,7 +2206,8 @@ mod tests {
                     KdVariant::FusedQuad,
                     KdVariant::Prebuilt,
                 ] {
-                    let seq = kd_asp_flat_engine(view, num_objects, n, variant, None, &mut scratch);
+                    let seq =
+                        kd_asp_flat_engine(view, num_objects, n, variant, None, &mut scratch, None);
                     for _ in 0..2 {
                         let par = kd_asp_flat_engine_parallel(
                             view,
@@ -2159,6 +2217,7 @@ mod tests {
                             None,
                             &mut scratch,
                             Some(&pool),
+                            None,
                         );
                         assert_eq!(
                             seq, par,
@@ -2199,6 +2258,7 @@ mod tests {
                 variant,
                 Some(&seq_stats),
                 &mut scratch,
+                None,
             );
             let par_stats = CounterStats::new();
             let par = kd_asp_flat_engine_parallel(
@@ -2208,6 +2268,7 @@ mod tests {
                 variant,
                 Some(&par_stats),
                 &mut scratch,
+                None,
                 None,
             );
             assert_eq!(seq, par);

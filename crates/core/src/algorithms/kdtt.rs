@@ -126,6 +126,7 @@ pub fn arsp_kdtt_engine(
 /// worker threads drawing arenas from `pool` (see
 /// [`kd_asp::kd_asp_flat_engine_parallel`]); results are bitwise identical
 /// to [`arsp_kdtt_engine`] in every combination.
+#[allow(clippy::too_many_arguments)]
 pub fn arsp_kdtt_flat_engine(
     flat: &FlatStore,
     scores: &ScoreMatrix,
@@ -134,6 +135,7 @@ pub fn arsp_kdtt_flat_engine(
     stats: Option<&CounterStats>,
     scratch: &mut kd_asp::KdScratch,
     pool: Option<&kd_asp::KdWorkerPool>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> ArspResult {
     let pts = FlatScorePoints::new(flat, scores);
     let probs = if parallel {
@@ -145,6 +147,7 @@ pub fn arsp_kdtt_flat_engine(
             stats,
             scratch,
             pool,
+            budget,
         )
     } else {
         kd_asp::kd_asp_flat_engine(
@@ -154,6 +157,7 @@ pub fn arsp_kdtt_flat_engine(
             variant,
             stats,
             scratch,
+            budget,
         )
     };
     ArspResult::from_probs(probs)

@@ -299,6 +299,7 @@ pub fn instance_order_from_scores(scores: &ScoreMatrix) -> InstanceOrder {
 /// when absent), so warmed-up parallel sweeps allocate nothing per task
 /// either. Results are bitwise identical to [`arsp_loop_engine`] (the
 /// projected scores are bitwise equal, so every dominance decision agrees).
+#[allow(clippy::too_many_arguments)]
 pub fn arsp_loop_flat_engine(
     flat: &FlatStore,
     scores: &ScoreMatrix,
@@ -307,6 +308,7 @@ pub fn arsp_loop_flat_engine(
     stats: Option<&CounterStats>,
     scratch: Option<&mut LoopScratch>,
     pool: Option<&crate::scratch::ScratchPool<LoopScratch>>,
+    budget: Option<&crate::fault::QueryBudget>,
 ) -> ArspResult {
     let n = flat.num_instances();
     let mut result = ArspResult::zeros(n);
@@ -331,6 +333,7 @@ pub fn arsp_loop_flat_engine(
                         let mut tests = 0u64;
                         let probs = range
                             .map(|pos| {
+                                crate::fault::poll(budget);
                                 let prob = instance_probability_flat(
                                     flat,
                                     scores,
@@ -379,6 +382,7 @@ pub fn arsp_loop_flat_engine(
     };
     let mut tests = 0u64;
     for (pos, &t_id) in ord.order.iter().enumerate() {
+        crate::fault::poll(budget);
         let prob = instance_probability_flat(flat, scores, ord, pos, scratch, &mut tests);
         result.set(t_id, prob);
     }
@@ -622,6 +626,7 @@ mod tests {
                 Some(&stats_flat),
                 Some(&mut scratch),
                 None,
+                None,
             );
             assert_eq!(reference.probs(), got.probs());
             assert_eq!(
@@ -630,18 +635,19 @@ mod tests {
                 "flat scan must perform the same number of dominance tests"
             );
         }
-        let no_scratch = arsp_loop_flat_engine(&flat, &scores, &order, false, None, None, None);
+        let no_scratch =
+            arsp_loop_flat_engine(&flat, &scores, &order, false, None, None, None, None);
         assert_eq!(reference.probs(), no_scratch.probs());
 
         // The parallel flat scan agrees too — with and without a worker
         // pool, which must be reused across repeated sweeps.
         let _guard = crate::parallel::knob_lock();
         crate::parallel::set_num_threads(4);
-        let par = arsp_loop_flat_engine(&flat, &scores, &order, true, None, None, None);
+        let par = arsp_loop_flat_engine(&flat, &scores, &order, true, None, None, None, None);
         let pool = crate::scratch::ScratchPool::<LoopScratch>::new();
         for _ in 0..2 {
             let pooled =
-                arsp_loop_flat_engine(&flat, &scores, &order, true, None, None, Some(&pool));
+                arsp_loop_flat_engine(&flat, &scores, &order, true, None, None, Some(&pool), None);
             assert_eq!(reference.probs(), pooled.probs());
         }
         crate::parallel::set_num_threads(0);

@@ -58,6 +58,27 @@ impl CoalesceCounters {
     }
 }
 
+/// Typed outcome of a [`CoalescingCache::get_or_build_deadline`] join whose
+/// deadline elapsed while another thread's build was still in flight. The
+/// service layer maps this to [`crate::fault::QueryError::BuildTimeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinTimeout {
+    /// How long the joiner waited before detaching.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for JoinTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "timed out after {:?} waiting to join an in-flight cache build",
+            self.waited
+        )
+    }
+}
+
+impl std::error::Error for JoinTimeout {}
+
 struct CoalescingInner<V> {
     /// Published artifacts.
     ready: HashMap<Vec<u64>, V>,
@@ -124,12 +145,33 @@ impl<V: Clone> CoalescingCache<V> {
     /// The coalescing lookup. `build` runs outside the lock, at most once
     /// per missing key across all concurrent callers.
     pub fn get_or_build(&self, key: &[u64], build: impl FnOnce() -> V) -> V {
+        match self.get_or_build_deadline(key, None, build) {
+            Ok(value) => value,
+            Err(_) => unreachable!("joins without a deadline never time out"),
+        }
+    }
+
+    /// [`get_or_build`](Self::get_or_build) with a deadline on the *join*
+    /// path: a caller that would otherwise wait on another thread's
+    /// in-progress build waits at most until `deadline`, then detaches with
+    /// a typed [`JoinTimeout`] instead of hanging on a stuck or killed
+    /// builder forever. Only waiting is bounded — if this caller claims the
+    /// build itself, the build runs to completion (builds publish complete
+    /// artifacts or nothing). A detached joiner leaves the build untouched:
+    /// if the builder is alive it still publishes for future callers.
+    pub fn get_or_build_deadline(
+        &self,
+        key: &[u64],
+        deadline: Option<Instant>,
+        build: impl FnOnce() -> V,
+    ) -> Result<V, JoinTimeout> {
+        let wait_start = Instant::now();
         {
             let mut inner = lock(&self.inner);
             loop {
                 if let Some(value) = inner.ready.get(key) {
                     self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                    return value.clone();
+                    return Ok(value.clone());
                 }
                 if let Some(joiners) = inner.inflight.get_mut(key) {
                     // Someone is building this key: join rather than race.
@@ -138,12 +180,35 @@ impl<V: Clone> CoalescingCache<V> {
                     // A rendezvous-holding builder counts joiners — wake it.
                     self.cv.notify_all();
                     loop {
-                        inner = self
-                            .cv
-                            .wait(inner)
-                            .unwrap_or_else(|poisoned| poisoned.into_inner());
                         if inner.ready.contains_key(key) || !inner.inflight.contains_key(key) {
                             break;
+                        }
+                        match deadline {
+                            None => {
+                                inner = self
+                                    .cv
+                                    .wait(inner)
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                            }
+                            Some(d) => {
+                                let now = Instant::now();
+                                if now >= d {
+                                    // Detach: de-register from the joiner
+                                    // count (the rendezvous knob must not
+                                    // keep waiting for us) and give up.
+                                    if let Some(j) = inner.inflight.get_mut(key) {
+                                        *j = j.saturating_sub(1);
+                                    }
+                                    return Err(JoinTimeout {
+                                        waited: wait_start.elapsed(),
+                                    });
+                                }
+                                let (guard, _timed_out) = self
+                                    .cv
+                                    .wait_timeout(inner, d - now)
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                inner = guard;
+                            }
                         }
                     }
                     // Ready → returned by the outer re-check; in-flight gone
@@ -192,7 +257,7 @@ impl<V: Clone> CoalescingCache<V> {
         std::mem::forget(unclaim); // published normally — nothing to undo
         drop(inner);
         self.cv.notify_all();
-        value
+        Ok(value)
     }
 }
 
@@ -252,6 +317,51 @@ mod tests {
         // The key is un-claimed: the next caller builds it normally.
         assert_eq!(cache.get_or_build(&[5], || 55), 55);
         assert_eq!(counters.builds(), 2);
+    }
+
+    #[test]
+    fn joiner_deadline_detaches_instead_of_hanging() {
+        let counters = Arc::new(CoalesceCounters::new());
+        let rendezvous = Arc::new(AtomicUsize::new(0));
+        let cache: Arc<CoalescingCache<u64>> =
+            Arc::new(CoalescingCache::new(&counters, &rendezvous));
+
+        // A builder that blocks until released — stands in for a stuck or
+        // killed builder thread.
+        let release = Arc::new(Barrier::new(2));
+        let started = Arc::new(Barrier::new(2));
+        let builder = {
+            let cache = Arc::clone(&cache);
+            let release = Arc::clone(&release);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                cache.get_or_build(&[9], || {
+                    started.wait(); // build claimed and running
+                    release.wait(); // ...and stuck until released
+                    90
+                })
+            })
+        };
+        started.wait();
+
+        // A joiner with a deadline detaches with a typed timeout instead of
+        // waiting forever on the stuck build.
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let err = cache
+            .get_or_build_deadline(&[9], Some(deadline), || unreachable!("build is claimed"))
+            .expect_err("the stuck build must time the joiner out");
+        assert!(err.waited >= Duration::from_millis(50));
+
+        // The detached joiner left the build intact: once the builder is
+        // released it publishes normally and future callers hit the cache.
+        release.wait();
+        assert_eq!(builder.join().expect("builder thread panicked"), 90);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        assert_eq!(
+            cache.get_or_build_deadline(&[9], Some(deadline), || 99),
+            Ok(90)
+        );
+        assert_eq!(counters.builds(), 1);
     }
 
     #[test]

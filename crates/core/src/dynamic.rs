@@ -863,8 +863,8 @@ impl DynamicArspEngine {
                 // zero per-query copying.
                 let flat = Arc::clone(&snap.flat);
                 drop(snap);
-                let mut scratch = self.caches.scratch_pool.take();
-                let result = arsp_loop_flat_engine(
+                let mut scratch = self.caches.scratch_pool.lease();
+                return arsp_loop_flat_engine(
                     &flat,
                     &scores,
                     &order,
@@ -872,9 +872,8 @@ impl DynamicArspEngine {
                     stats,
                     Some(scratch.loop_mut()),
                     Some(&self.caches.delta_pool),
+                    None,
                 );
-                self.caches.scratch_pool.put(scratch);
-                return result;
             }
             self.build_merged(&snap, &rowmap, &fdom, &scores, &order)
         };
@@ -1026,8 +1025,8 @@ impl DynamicArspEngine {
             let scores = self.ensure_scores(&mut snap, &fdom);
             (Arc::clone(&snap.flat), scores)
         };
-        let mut scratch = self.caches.scratch_pool.take();
-        let result = arsp_kdtt_flat_engine(
+        let mut scratch = self.caches.scratch_pool.lease();
+        arsp_kdtt_flat_engine(
             &flat,
             &scores,
             variant,
@@ -1035,9 +1034,8 @@ impl DynamicArspEngine {
             stats,
             scratch.kd_mut(),
             Some(&self.caches.kd_pool),
-        );
-        self.caches.scratch_pool.put(scratch);
-        result
+            None,
+        )
     }
 
     /// B&B execution over the advanced snapshot: the instance R-tree is the
@@ -1057,8 +1055,8 @@ impl DynamicArspEngine {
             let rtree = self.ensure_rtree(&mut snap, &dataset);
             (dataset, rtree, scores)
         };
-        let mut scratch = self.caches.scratch_pool.take();
-        let result = arsp_bnb_engine(
+        let mut scratch = self.caches.scratch_pool.lease();
+        arsp_bnb_engine(
             &dataset,
             &fdom,
             Some(&rtree),
@@ -1066,9 +1064,8 @@ impl DynamicArspEngine {
             parallel,
             stats,
             Some(scratch.bnb_mut()),
-        );
-        self.caches.scratch_pool.put(scratch);
-        result
+            None,
+        )
     }
 
     /// ENUM over the advanced snapshot dataset (toy sizes only).

@@ -78,9 +78,10 @@ use crate::algorithms::loop_scan::{
     arsp_loop_flat_engine, instance_order_from_scores, InstanceOrder, LoopScratch,
 };
 use crate::algorithms::ArspAlgorithm;
+use crate::fault::{self, QueryBudget, QueryError};
 use crate::result::ArspResult;
 use crate::scorespace::ScoreMatrix;
-use crate::scratch::{QueryScratch, ScratchPool};
+use crate::scratch::{QueryScratch, ScratchLease, ScratchPool};
 use crate::stats::{CounterStats, QueryCounters};
 use arsp_data::{FlatStore, UncertainDataset};
 use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
@@ -532,16 +533,13 @@ impl ArspEngine {
             .once(&self.caches.rtree, || build_instance_rtree(&self.dataset))
     }
 
-    /// Checks a reusable scratch arena out of the pool (a fresh one when the
-    /// pool is empty — e.g. the first query, or concurrent queries exceeding
-    /// the number of arenas warmed so far).
-    fn take_scratch(&self) -> QueryScratch {
-        self.caches.scratch_pool.take()
-    }
-
-    /// Returns a scratch arena to the pool for the next query.
-    fn put_scratch(&self, scratch: QueryScratch) {
-        self.caches.scratch_pool.put(scratch);
+    /// Checks a reusable scratch arena out of the pool as an RAII lease (a
+    /// fresh arena when the pool is empty — e.g. the first query, or
+    /// concurrent queries exceeding the number of arenas warmed so far). The
+    /// lease returns the arena on drop even when the query unwinds, so a
+    /// cancelled or panicked query never shrinks the pool.
+    fn scratch_lease(&self) -> ScratchLease<'_, QueryScratch> {
+        self.caches.scratch_pool.lease()
     }
 
     /// The shared DUAL per-object index (built on first DUAL query).
@@ -567,6 +565,8 @@ pub struct ArspQuery<'e, 'q> {
     top_k: Option<usize>,
     min_prob: Option<f64>,
     collect_stats: bool,
+    deadline: Option<Duration>,
+    budget: Option<&'q QueryBudget>,
 }
 
 impl<'e, 'q> ArspQuery<'e, 'q> {
@@ -579,6 +579,8 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
             top_k: None,
             min_prob: None,
             collect_stats: false,
+            deadline: None,
+            budget: None,
         }
     }
 
@@ -623,8 +625,63 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
         self
     }
 
+    /// Sets a wall-clock deadline for the query. The flat kernels poll it
+    /// cooperatively (per node / per instance / per heap pop); when it
+    /// expires, [`try_run`](Self::try_run) returns
+    /// [`QueryError::DeadlineExceeded`] and every cache, pool and scratch
+    /// arena is left reusable and uncorrupted — the next identical query is
+    /// bitwise equal to a cold rebuild.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Attaches a caller-owned [`QueryBudget`], for external cancellation
+    /// (e.g. a client disconnect calling [`QueryBudget::cancel`] from
+    /// another thread) and/or a shared deadline across several queries.
+    /// Takes precedence over [`deadline`](Self::deadline).
+    pub fn budget(mut self, budget: &'q QueryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Executes the query and returns the outcome.
+    ///
+    /// # Panics
+    /// Panics if the query carries a deadline or budget that expires — use
+    /// [`try_run`](Self::try_run) for a typed error instead.
     pub fn run(self) -> ArspOutcome {
+        if self.deadline.is_some() || self.budget.is_some() {
+            return self.try_run().unwrap_or_else(|err| {
+                panic!("query failed: {err}; use try_run() for a typed error")
+            });
+        }
+        self.run_inner(None)
+    }
+
+    /// Executes the query with fault containment: deadline expiry and
+    /// cancellation surface as [`QueryError::DeadlineExceeded`], and any
+    /// panic inside the query is caught at this boundary and surfaced as
+    /// [`QueryError::Panicked`]. In every error case the engine remains
+    /// fully usable: RAII leases return scratch arenas, cache builds either
+    /// completed or were never published, and re-running the identical
+    /// query yields results bitwise equal to a cold engine.
+    pub fn try_run(mut self) -> Result<ArspOutcome, QueryError> {
+        let owned = self.deadline.take().map(QueryBudget::with_deadline);
+        let external = self.budget.take();
+        let budget = external.or(owned.as_ref());
+        // AssertUnwindSafe: the engine's shared state is only touched through
+        // unwind-safe structures — coalescing/once caches publish complete
+        // values or nothing, and scratch travels in an RAII lease — so
+        // observing it after a caught unwind cannot see a broken invariant.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner(budget)));
+        outcome.map_err(|payload| fault::classify_unwind(payload, budget))
+    }
+
+    /// The query body shared by [`run`](Self::run) and
+    /// [`try_run`](Self::try_run).
+    fn run_inner(self, budget: Option<&QueryBudget>) -> ArspOutcome {
         let total_start = Instant::now();
         let engine = self.engine;
         let dataset = &*engine.dataset;
@@ -694,10 +751,10 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
             }
         };
 
-        // Reusable per-query working memory, checked out of the engine's
-        // pool and returned after the query (warm pools make the sequential
-        // hot paths allocation-free).
-        let mut scratch = engine.take_scratch();
+        // Reusable per-query working memory, leased from the engine's pool
+        // and returned when the lease drops — including through an unwind
+        // (warm pools make the sequential hot paths allocation-free).
+        let mut scratch = engine.scratch_lease();
 
         // The algorithm body, run either directly or — for a per-query
         // thread bound — inside a dedicated scoped pool. A scoped pool never
@@ -721,7 +778,7 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
                     let index = engine.dual_index();
                     *build_time += build_start.elapsed();
                     run_start = Instant::now();
-                    arsp_dual_flat_engine(&flat, ratio, &index, parallel, stats)
+                    arsp_dual_flat_engine(&flat, ratio, &index, parallel, stats, budget)
                 }
                 QueryAlgorithm::Enum => {
                     let cs = linear.expect("linear constraints materialised above");
@@ -745,6 +802,7 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
                         stats,
                         Some(scratch.loop_mut()),
                         Some(&engine.caches.loop_pool),
+                        budget,
                     )
                 }
                 QueryAlgorithm::Kdtt | QueryAlgorithm::KdttPlus | QueryAlgorithm::QdttPlus => {
@@ -768,6 +826,7 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
                         stats,
                         scratch.kd_mut(),
                         Some(&engine.caches.kd_pool),
+                        budget,
                     )
                 }
                 QueryAlgorithm::BranchAndBound => {
@@ -786,6 +845,7 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
                         parallel,
                         stats,
                         Some(scratch.bnb_mut()),
+                        budget,
                     )
                 }
             };
@@ -799,7 +859,7 @@ impl<'e, 'q> ArspQuery<'e, 'q> {
             }
             _ => execute(&mut build_time, &mut scratch),
         };
-        engine.put_scratch(scratch);
+        drop(scratch);
 
         let top_objects = self.top_k.map(|k| result.top_k_objects(dataset, k));
         ArspOutcome {

@@ -69,6 +69,7 @@ pub mod dynamic;
 pub mod eclipse;
 pub mod effectiveness;
 pub mod engine;
+pub mod fault;
 pub mod hardness;
 pub mod parallel;
 pub mod result;
@@ -96,9 +97,10 @@ pub use algorithms::ArspAlgorithm;
 pub use asp::skyline_probabilities;
 pub use dynamic::{DynamicArspEngine, DynamicOutcome, DynamicQuery};
 pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
+pub use fault::{QueryBudget, QueryError, RetryPolicy};
 pub use result::ArspResult;
 pub use scorespace::{FlatScorePoints, ScoreMatrix};
-pub use scratch::{QueryScratch, ScratchPool};
+pub use scratch::{QueryScratch, ScratchLease, ScratchPool};
 pub use service::{
     ArspService, ServiceOutcome, ServiceQuery, ServiceWriter, ServingStats, SnapshotPin,
 };
@@ -113,6 +115,7 @@ pub mod prelude {
     pub use crate::eclipse::{eclipse_dual_s, eclipse_quad};
     pub use crate::effectiveness::{rskyline_ranking, skyline_ranking};
     pub use crate::engine::{ArspEngine, ArspOutcome, Execution, QueryAlgorithm};
+    pub use crate::fault::{QueryBudget, QueryError, RetryPolicy};
     pub use crate::parallel::{num_threads, set_num_threads};
     pub use crate::result::ArspResult;
     pub use crate::service::{ArspService, ServiceOutcome, ServiceWriter, SnapshotPin};

@@ -103,6 +103,50 @@ impl<T: Default> ScratchPool<T> {
     pub fn size(&self) -> usize {
         lock(&self.stack).len()
     }
+
+    /// Checks an arena out as an RAII lease: the arena returns to the pool
+    /// when the lease drops, **including during an unwind**. Query paths use
+    /// leases instead of bare `take`/`put` pairs so a cancelled or panicked
+    /// query can never strand an arena — pool accounting and reuse stay
+    /// intact across faults. (Arenas are not reset on return; every
+    /// algorithm re-prepares its buffers on checkout, so a lease returned
+    /// mid-computation is safe to reuse.)
+    pub fn lease(&self) -> ScratchLease<'_, T> {
+        ScratchLease {
+            pool: self,
+            item: Some(self.take()),
+        }
+    }
+}
+
+/// An RAII checkout from a [`ScratchPool`] — see [`ScratchPool::lease`].
+/// Derefs to the arena; Drop returns it to the pool even through a panic.
+#[derive(Debug)]
+pub struct ScratchLease<'p, T: Default> {
+    pool: &'p ScratchPool<T>,
+    item: Option<T>,
+}
+
+impl<T: Default> std::ops::Deref for ScratchLease<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.item.as_ref().expect("lease holds an arena until drop")
+    }
+}
+
+impl<T: Default> std::ops::DerefMut for ScratchLease<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.item.as_mut().expect("lease holds an arena until drop")
+    }
+}
+
+impl<T: Default> Drop for ScratchLease<'_, T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            self.pool.put(item);
+        }
+    }
 }
 
 /// The union of every algorithm's reusable buffers. One instance serves any
@@ -173,6 +217,26 @@ mod tests {
         pool.put(b);
         assert_eq!(pool.misses(), 2);
         assert_eq!(pool.size(), 2);
+    }
+
+    #[test]
+    fn lease_returns_arena_even_through_a_panic() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        {
+            let mut lease = pool.lease();
+            lease.resize(32, 0);
+        }
+        assert_eq!(pool.size(), 1, "normal drop parks the arena");
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _lease = pool.lease();
+            panic!("mid-query fault");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.size(), 1, "unwound lease still parks the arena");
+        let warm = pool.take();
+        assert!(warm.capacity() >= 32, "the warmed arena survived the fault");
+        pool.put(warm);
     }
 
     #[test]

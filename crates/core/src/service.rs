@@ -45,6 +45,23 @@
 //! fixed number of joiners before publishing — deterministic-test machinery,
 //! not a production setting.
 //!
+//! ## Fault tolerance
+//!
+//! Queries on a pin carry the same deadline/budget plumbing as the static
+//! engine ([`ServiceQuery::deadline`], [`ServiceQuery::try_run`]): expiry
+//! surfaces as a typed [`crate::fault::QueryError`], and — because scratch
+//! travels in RAII leases, epoch pins in RAII [`arsp_data::PinGuard`]s, and
+//! coalescing caches publish complete artifacts or nothing — the service
+//! stays fully usable afterwards; the next identical query is bitwise equal
+//! to a cold rebuild. [`ArspService::set_admission_limit`] bounds
+//! concurrently *executing* queries, shedding the excess with a typed
+//! [`Overloaded`](crate::fault::QueryError::Overloaded) error instead of
+//! queueing (pair with [`crate::fault::RetryPolicy`] for jittered backoff).
+//! A joiner whose deadline expires while waiting on another thread's
+//! in-flight cache build detaches with a typed
+//! [`BuildTimeout`](crate::fault::QueryError::BuildTimeout); the builder
+//! keeps going and still publishes for everyone else.
+//!
 //! ```
 //! use arsp_core::service::ArspService;
 //! use arsp_geometry::constraints::ConstraintSet;
@@ -70,6 +87,8 @@
 //! ```
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use crate::algorithms::bnb::{arsp_bnb_engine, build_instance_rtree};
 use crate::algorithms::dual::{arsp_dual_flat_engine, build_dual_index};
@@ -79,18 +98,21 @@ use crate::algorithms::kdtt::arsp_kdtt_flat_engine;
 use crate::algorithms::loop_scan::{
     arsp_loop_flat_engine, instance_order_from_scores, InstanceOrder, LoopScratch,
 };
-use crate::coalesce::{CoalesceCounters, CoalescingCache};
+use crate::coalesce::{CoalesceCounters, CoalescingCache, JoinTimeout};
 use crate::dynamic::{DynamicArspEngine, SnapshotExport};
 use crate::engine::{
     auto_select, constraint_key, omega_key, vertices_key, CacheStats, Execution, QueryAlgorithm,
 };
+use crate::fault::{self, BuildTimeoutUnwind, QueryBudget, QueryError};
 use crate::result::ArspResult;
 use crate::scorespace::ScoreMatrix;
 use crate::scratch::{QueryScratch, ScratchPool};
-use crate::stats::{CounterStats, PeakGauge, QueryCounters};
+use crate::stats::{CounterStats, PeakGauge, PeakGaugeGuard, QueryCounters};
 use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{lock, Arc, Mutex};
-use arsp_data::{EpochPinRegistry, FlatStore, InstanceHandle, UncertainDataset, VersionedStore};
+use arsp_data::{
+    EpochPinRegistry, FlatStore, InstanceHandle, PinGuard, UncertainDataset, VersionedStore,
+};
 use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
 use arsp_geometry::fdom::LinearFDominance;
 use arsp_index::{SharedAggregateForest, SharedRTree};
@@ -166,6 +188,20 @@ struct ServiceCounters {
     queries: AtomicU64,
     published: AtomicU64,
     retired: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Unwraps a deadline-aware coalescing join: a timed-out join detaches by
+/// unwinding with [`BuildTimeoutUnwind`], which [`ServiceQuery::try_run`]
+/// classifies as [`QueryError::BuildTimeout`]. Joins without a deadline
+/// never time out.
+fn join_or_unwind<V>(joined: Result<V, JoinTimeout>) -> V {
+    match joined {
+        Ok(value) => value,
+        Err(timeout) => std::panic::resume_unwind(Box::new(BuildTimeoutUnwind {
+            waited: timeout.waited,
+        })),
+    }
 }
 
 /// The swap point: the current snapshot plus the superseded-but-still-pinned
@@ -182,7 +218,9 @@ struct ServiceState {
 /// Everything readers and writer share.
 struct ServiceShared {
     state: Mutex<ServiceState>,
-    pins: EpochPinRegistry,
+    pins: Arc<EpochPinRegistry>,
+    /// Admission cap on concurrently executing queries; `0` = unlimited.
+    admission_limit: AtomicU64,
     /// Version-independent vertex enumerations — shared across *all*
     /// snapshots (constraints never go stale), coalesced like every serving
     /// cache.
@@ -233,7 +271,8 @@ impl ArspService {
                 current,
                 graveyard: HashMap::new(),
             }),
-            pins: EpochPinRegistry::new(),
+            pins: Arc::new(EpochPinRegistry::new()),
+            admission_limit: AtomicU64::new(0),
             fdoms,
             scratch_pool: ScratchPool::new(),
             loop_pool: ScratchPool::new(),
@@ -259,11 +298,12 @@ impl ArspService {
         let shared = &self.shared;
         let state = lock(&shared.state);
         let snapshot = Arc::clone(&state.current);
-        shared.pins.register(snapshot.version);
+        let guard = shared.pins.register_guarded(snapshot.version);
         drop(state);
         SnapshotPin {
             snapshot,
             shared: Arc::clone(shared),
+            guard,
         }
     }
 
@@ -291,6 +331,21 @@ impl ArspService {
         self.shared.rendezvous.store(n, Ordering::Relaxed);
     }
 
+    /// Caps the number of concurrently *executing* queries at `limit`:
+    /// beyond it, [`ServiceQuery::try_run`] sheds the query with a typed
+    /// [`QueryError::Overloaded`] instead of queueing it (pair with
+    /// [`crate::fault::RetryPolicy`] for jittered retry). `None` — the
+    /// default — admits everything. The bound is exact under every
+    /// interleaving: admission reserves the gauge slot optimistically and
+    /// undoes the reservation on shed, so `limit` is never exceeded even
+    /// momentarily by an admitted query. A shed query touches no cache,
+    /// scratch pool or snapshot state. `Some(0)` is treated as `None`.
+    pub fn set_admission_limit(&self, limit: Option<u64>) {
+        self.shared
+            .admission_limit
+            .store(limit.unwrap_or(0), Ordering::Relaxed);
+    }
+
     /// Serving-layer runtime statistics. Monotone counters describe the
     /// whole session; `inflight`, `active_pins` and `pinned_snapshots` are
     /// live gauges.
@@ -300,6 +355,7 @@ impl ArspService {
             inflight: shared.gauge.current(),
             peak_inflight: shared.gauge.peak(),
             queries_served: shared.counters.queries.load(Ordering::Relaxed),
+            queries_shed: shared.counters.shed.load(Ordering::Relaxed),
             shared_builds: shared.coalesce.builds(),
             coalesced_builds: shared.coalesce.coalesced(),
             cache_hits: shared.coalesce.hits(),
@@ -348,6 +404,9 @@ pub struct ServingStats {
     pub peak_inflight: u64,
     /// Queries served (monotone).
     pub queries_served: u64,
+    /// Queries shed by admission control ([`ArspService::set_admission_limit`])
+    /// without executing.
+    pub queries_shed: u64,
     /// Artifact builds actually performed across all serving caches —
     /// exactly one per distinct missing key, however many readers asked.
     pub shared_builds: u64,
@@ -492,6 +551,9 @@ impl ServiceWriter {
 pub struct SnapshotPin {
     snapshot: Arc<ServingSnapshot>,
     shared: Arc<ServiceShared>,
+    /// RAII epoch pin: releases exactly once even if a query on this pin
+    /// panics and the pin is dropped mid-unwind.
+    guard: PinGuard,
 }
 
 impl SnapshotPin {
@@ -526,48 +588,79 @@ impl SnapshotPin {
         ServiceQuery::new(self, ServiceConstraints::Ratio(ratio))
     }
 
-    // ---- pinned cached structures (coalesced) -----------------------------
+    // ---- pinned cached structures (coalesced, deadline-aware joins) -------
 
-    fn fdom_for(&self, constraints: &ConstraintSet) -> Arc<LinearFDominance> {
-        self.shared
-            .fdoms
-            .get_or_build(&constraint_key(constraints), || {
-                Arc::new(LinearFDominance::from_constraints(constraints))
-            })
+    fn fdom_for(
+        &self,
+        constraints: &ConstraintSet,
+        deadline: Option<Instant>,
+    ) -> Arc<LinearFDominance> {
+        join_or_unwind(self.shared.fdoms.get_or_build_deadline(
+            &constraint_key(constraints),
+            deadline,
+            || Arc::new(LinearFDominance::from_constraints(constraints)),
+        ))
     }
 
-    fn scores_for(&self, fdom: &Arc<LinearFDominance>) -> Arc<ScoreMatrix> {
+    fn scores_for(
+        &self,
+        fdom: &Arc<LinearFDominance>,
+        deadline: Option<Instant>,
+    ) -> Arc<ScoreMatrix> {
         let flat = &self.snapshot.flat;
-        self.snapshot.scores.get_or_build(&vertices_key(fdom), || {
-            Arc::new(ScoreMatrix::compute(flat, fdom))
-        })
+        join_or_unwind(self.snapshot.scores.get_or_build_deadline(
+            &vertices_key(fdom),
+            deadline,
+            || Arc::new(ScoreMatrix::compute(flat, fdom)),
+        ))
     }
 
-    fn order_for(&self, fdom: &LinearFDominance, scores: &ScoreMatrix) -> Arc<InstanceOrder> {
-        self.snapshot
-            .orders
-            .get_or_build(&omega_key(&fdom.vertices()[0]), || {
-                Arc::new(instance_order_from_scores(scores))
-            })
+    fn order_for(
+        &self,
+        fdom: &LinearFDominance,
+        scores: &ScoreMatrix,
+        deadline: Option<Instant>,
+    ) -> Arc<InstanceOrder> {
+        join_or_unwind(self.snapshot.orders.get_or_build_deadline(
+            &omega_key(&fdom.vertices()[0]),
+            deadline,
+            || Arc::new(instance_order_from_scores(scores)),
+        ))
     }
 
-    fn dataset(&self) -> Arc<UncertainDataset> {
+    fn dataset(&self, deadline: Option<Instant>) -> Arc<UncertainDataset> {
         let flat = &self.snapshot.flat;
-        self.snapshot
-            .dataset
-            .get_or_build(SINGLETON_KEY, || Arc::new(dataset_from_flat(flat)))
+        join_or_unwind(
+            self.snapshot
+                .dataset
+                .get_or_build_deadline(SINGLETON_KEY, deadline, || {
+                    Arc::new(dataset_from_flat(flat))
+                }),
+        )
     }
 
-    fn rtree(&self, dataset: &UncertainDataset) -> SharedRTree {
-        self.snapshot
-            .rtree
-            .get_or_build(SINGLETON_KEY, || Arc::new(build_instance_rtree(dataset)))
+    fn rtree(&self, dataset: &UncertainDataset, deadline: Option<Instant>) -> SharedRTree {
+        join_or_unwind(
+            self.snapshot
+                .rtree
+                .get_or_build_deadline(SINGLETON_KEY, deadline, || {
+                    Arc::new(build_instance_rtree(dataset))
+                }),
+        )
     }
 
-    fn dual_index(&self, dataset: &UncertainDataset) -> SharedAggregateForest {
-        self.snapshot
-            .dual
-            .get_or_build(SINGLETON_KEY, || Arc::new(build_dual_index(dataset)))
+    fn dual_index(
+        &self,
+        dataset: &UncertainDataset,
+        deadline: Option<Instant>,
+    ) -> SharedAggregateForest {
+        join_or_unwind(
+            self.snapshot
+                .dual
+                .get_or_build_deadline(SINGLETON_KEY, deadline, || {
+                    Arc::new(build_dual_index(dataset))
+                }),
+        )
     }
 }
 
@@ -576,10 +669,11 @@ impl Clone for SnapshotPin {
     /// accounting, like a fresh [`ArspService::pin`] would be).
     fn clone(&self) -> Self {
         let _state = lock(&self.shared.state);
-        self.shared.pins.register(self.snapshot.version);
+        let guard = self.shared.pins.register_guarded(self.snapshot.version);
         Self {
             snapshot: Arc::clone(&self.snapshot),
             shared: Arc::clone(&self.shared),
+            guard,
         }
     }
 }
@@ -588,7 +682,10 @@ impl Drop for SnapshotPin {
     fn drop(&mut self) {
         let shared = &self.shared;
         let mut state = lock(&shared.state);
-        let remaining = shared.pins.release(self.snapshot.version);
+        // Release explicitly under the state lock so the registry count and
+        // the graveyard decision are atomic with any concurrent publish; the
+        // guard's own Drop then no-ops (release is idempotent).
+        let remaining = self.guard.release();
         if remaining == 0 && state.graveyard.remove(&self.snapshot.version).is_some() {
             // Last pin on a superseded version: its caches drop here.
             shared.counters.retired.fetch_add(1, Ordering::Relaxed);
@@ -610,6 +707,8 @@ pub struct ServiceQuery<'p, 'q> {
     algorithm: QueryAlgorithm,
     execution: Execution,
     collect_stats: bool,
+    deadline: Option<Duration>,
+    budget: Option<&'q QueryBudget>,
 }
 
 impl<'p, 'q> ServiceQuery<'p, 'q> {
@@ -620,6 +719,8 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
             algorithm: QueryAlgorithm::Auto,
             execution: Execution::Sequential,
             collect_stats: false,
+            deadline: None,
+            budget: None,
         }
     }
 
@@ -646,21 +747,106 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
         self
     }
 
+    /// Sets a wall-clock deadline for the query, exactly like
+    /// [`crate::engine::ArspQuery::deadline`]: the flat kernels poll it
+    /// cooperatively, and expiry surfaces from
+    /// [`try_run`](Self::try_run) as [`QueryError::DeadlineExceeded`] — or
+    /// as [`QueryError::BuildTimeout`] when the deadline expires while
+    /// joining another reader's in-flight cache build. Either way the pin,
+    /// the snapshot caches and the scratch pools stay fully usable.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Attaches a caller-owned [`QueryBudget`] for external cancellation
+    /// and/or a deadline shared across queries. Takes precedence over
+    /// [`deadline`](Self::deadline).
+    pub fn budget(mut self, budget: &'q QueryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Admission control: reserves an in-flight slot, shedding the query
+    /// with [`QueryError::Overloaded`] when an admission limit is set and
+    /// already saturated.
+    fn admit(shared: &ServiceShared) -> Result<PeakGaugeGuard<'_>, QueryError> {
+        let limit = shared.admission_limit.load(Ordering::Relaxed);
+        if limit == 0 {
+            return Ok(shared.gauge.enter());
+        }
+        shared.gauge.try_enter(limit).ok_or_else(|| {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            QueryError::Overloaded {
+                inflight: shared.gauge.current(),
+                limit,
+            }
+        })
+    }
+
     /// Executes the query at the pinned version. Bitwise equal to a cold
     /// single-threaded engine on the pinned version's snapshot dataset, for
     /// every algorithm and execution mode.
+    ///
+    /// # Panics
+    /// Panics when the query carries a deadline or budget that expires, or
+    /// when admission control sheds it — use [`try_run`](Self::try_run) for
+    /// a typed error instead.
     pub fn run(self) -> ServiceOutcome {
+        if self.deadline.is_some() || self.budget.is_some() {
+            return self.try_run().unwrap_or_else(|err| {
+                panic!("query failed: {err}; use try_run() for a typed error")
+            });
+        }
+        let pin = self.pin;
+        let _inflight = Self::admit(&pin.shared)
+            .unwrap_or_else(|err| panic!("query failed: {err}; use try_run() for a typed error"));
+        self.run_inner(None)
+    }
+
+    /// Executes the query with fault containment, mirroring
+    /// [`crate::engine::ArspQuery::try_run`]: admission shedding surfaces as
+    /// [`QueryError::Overloaded`], deadline expiry and cancellation as
+    /// [`QueryError::DeadlineExceeded`], a timed-out join on another
+    /// reader's cache build as [`QueryError::BuildTimeout`], and any other
+    /// panic inside the query as [`QueryError::Panicked`]. In every error
+    /// case the pin and the service remain fully usable: scratch returns
+    /// through RAII leases, epoch pins release through RAII guards,
+    /// coalescing caches publish complete artifacts or nothing, and
+    /// re-running the identical query yields results bitwise equal to a
+    /// cold engine.
+    pub fn try_run(mut self) -> Result<ServiceOutcome, QueryError> {
+        let pin = self.pin;
+        let _inflight = Self::admit(&pin.shared)?;
+        let owned = self.deadline.take().map(QueryBudget::with_deadline);
+        let external = self.budget.take();
+        let budget = external.or(owned.as_ref());
+        // AssertUnwindSafe: shared service state is only touched through
+        // unwind-safe structures — coalescing caches publish complete
+        // artifacts or nothing (with unclaim-on-unwind), scratch travels in
+        // RAII leases, pins in RAII guards — so observing it after a caught
+        // unwind cannot see a broken invariant.
+        catch_unwind(AssertUnwindSafe(|| self.run_inner(budget)))
+            .map_err(|payload| fault::classify_unwind(payload, budget))
+    }
+
+    /// The query body shared by [`run`](Self::run) and
+    /// [`try_run`](Self::try_run). The in-flight slot is already held.
+    fn run_inner(self, budget: Option<&QueryBudget>) -> ServiceOutcome {
         let pin = self.pin;
         let shared = &pin.shared;
         let snapshot = &pin.snapshot;
+        let deadline = budget.and_then(|b| b.deadline_instant());
         let dim = match &self.constraints {
             ServiceConstraints::Linear(cs) => cs.dim(),
             ServiceConstraints::Ratio(r) => r.dim(),
         };
         assert_eq!(snapshot.flat.dim(), dim, "dimension mismatch");
 
-        let _inflight = shared.gauge.enter();
         shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+        // Surface an already-expired deadline (or external cancel) before
+        // touching any cache.
+        fault::poll(budget);
 
         let sink = if self.collect_stats {
             Some(CounterStats::new())
@@ -682,7 +868,7 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
                     (a, Some(why))
                 }
                 ServiceConstraints::Linear(cs) => {
-                    let fdom = pin.fdom_for(cs);
+                    let fdom = pin.fdom_for(cs, deadline);
                     let (a, why) = auto_select(
                         snapshot.flat.num_objects(),
                         snapshot.flat.num_instances(),
@@ -717,12 +903,12 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
                          build the query with SnapshotPin::ratio_query"
                     ),
                 };
-                let dataset = pin.dataset();
-                let index = pin.dual_index(&dataset);
-                arsp_dual_flat_engine(&snapshot.flat, ratio, &index, parallel, stats)
+                let dataset = pin.dataset(deadline);
+                let index = pin.dual_index(&dataset, deadline);
+                arsp_dual_flat_engine(&snapshot.flat, ratio, &index, parallel, stats, budget)
             }
             QueryAlgorithm::Enum => {
-                let dataset = pin.dataset();
+                let dataset = pin.dataset(deadline);
                 arsp_enum(
                     &dataset,
                     linear.expect("linear constraints materialised above"),
@@ -730,11 +916,11 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
             }
             QueryAlgorithm::Loop => {
                 let constraints = linear.expect("linear constraints materialised above");
-                let fdom = pin.fdom_for(constraints);
-                let scores = pin.scores_for(&fdom);
-                let order = pin.order_for(&fdom, &scores);
-                let mut scratch = shared.scratch_pool.take();
-                let result = arsp_loop_flat_engine(
+                let fdom = pin.fdom_for(constraints, deadline);
+                let scores = pin.scores_for(&fdom, deadline);
+                let order = pin.order_for(&fdom, &scores, deadline);
+                let mut scratch = shared.scratch_pool.lease();
+                arsp_loop_flat_engine(
                     &snapshot.flat,
                     &scores,
                     &order,
@@ -742,9 +928,8 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
                     stats,
                     Some(scratch.loop_mut()),
                     Some(&shared.loop_pool),
-                );
-                shared.scratch_pool.put(scratch);
-                result
+                    budget,
+                )
             }
             QueryAlgorithm::Kdtt | QueryAlgorithm::KdttPlus | QueryAlgorithm::QdttPlus => {
                 let variant = match algorithm {
@@ -753,10 +938,10 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
                     _ => KdVariant::FusedKd,
                 };
                 let constraints = linear.expect("linear constraints materialised above");
-                let fdom = pin.fdom_for(constraints);
-                let scores = pin.scores_for(&fdom);
-                let mut scratch = shared.scratch_pool.take();
-                let result = arsp_kdtt_flat_engine(
+                let fdom = pin.fdom_for(constraints, deadline);
+                let scores = pin.scores_for(&fdom, deadline);
+                let mut scratch = shared.scratch_pool.lease();
+                arsp_kdtt_flat_engine(
                     &snapshot.flat,
                     &scores,
                     variant,
@@ -764,18 +949,17 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
                     stats,
                     scratch.kd_mut(),
                     Some(&shared.kd_pool),
-                );
-                shared.scratch_pool.put(scratch);
-                result
+                    budget,
+                )
             }
             QueryAlgorithm::BranchAndBound => {
                 let constraints = linear.expect("linear constraints materialised above");
-                let fdom = pin.fdom_for(constraints);
-                let scores = pin.scores_for(&fdom);
-                let dataset = pin.dataset();
-                let rtree = pin.rtree(&dataset);
-                let mut scratch = shared.scratch_pool.take();
-                let result = arsp_bnb_engine(
+                let fdom = pin.fdom_for(constraints, deadline);
+                let scores = pin.scores_for(&fdom, deadline);
+                let dataset = pin.dataset(deadline);
+                let rtree = pin.rtree(&dataset, deadline);
+                let mut scratch = shared.scratch_pool.lease();
+                arsp_bnb_engine(
                     &dataset,
                     &fdom,
                     Some(&rtree),
@@ -783,9 +967,8 @@ impl<'p, 'q> ServiceQuery<'p, 'q> {
                     parallel,
                     stats,
                     Some(scratch.bnb_mut()),
-                );
-                shared.scratch_pool.put(scratch);
-                result
+                    budget,
+                )
             }
         };
 

@@ -92,6 +92,22 @@ impl PeakGauge {
         PeakGaugeGuard { gauge: self }
     }
 
+    /// Admission-controlled [`enter`](Self::enter): succeeds only while
+    /// fewer than `limit` activities are in flight, otherwise sheds the
+    /// caller with `None` and leaves the gauge untouched. The increment is
+    /// optimistic — fetch-add, check, undo — so the bound is exact: with
+    /// `limit = n`, no interleaving ever observes more than `n` admitted
+    /// activities at once.
+    pub fn try_enter(&self, limit: u64) -> Option<PeakGaugeGuard<'_>> {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        if now > limit {
+            self.current.fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        Some(PeakGaugeGuard { gauge: self })
+    }
+
     /// Activities in flight right now.
     pub fn current(&self) -> u64 {
         self.current.load(Ordering::Relaxed)
@@ -179,6 +195,20 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert_eq!(gauge.current(), 0);
+    }
+
+    #[test]
+    fn try_enter_sheds_exactly_beyond_the_limit() {
+        let gauge = PeakGauge::new();
+        let a = gauge.try_enter(2).expect("first admit");
+        let b = gauge.try_enter(2).expect("second admit");
+        assert!(gauge.try_enter(2).is_none(), "third caller is shed");
+        assert_eq!(gauge.current(), 2, "a shed caller leaves no residue");
+        drop(a);
+        let c = gauge.try_enter(2).expect("freed slot re-admits");
+        drop(b);
+        drop(c);
+        assert_eq!((gauge.current(), gauge.peak()), (0, 2));
     }
 
     #[test]

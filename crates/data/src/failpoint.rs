@@ -1,0 +1,284 @@
+//! Deterministic fail-point registry for crash and fault-injection tests.
+//!
+//! The persistence layer ([`crate::persist`]) names each point where a real
+//! process could die or an I/O call could fail — *fail-point sites* — and
+//! calls [`hit`] there. In normal operation a hit is a cheap no-op; a test
+//! (or the `ARSP_FAILPOINTS` environment variable) can *arm* a site with a
+//! [`FailAction`] to inject a panic, an I/O error, or a delay at exactly
+//! that point, deterministically. The crash-recovery suite iterates
+//! [`SITES`], kills the write path at every one of them, and proves
+//! recovery lands on an applied-batch prefix (`cargo xtask lint` enforces
+//! that every registered site appears in that test matrix).
+//!
+//! Sites sit on I/O paths only, so the bookkeeping cost of a hit (one
+//! uncontended mutex lock) is noise next to the syscalls around it. Hits
+//! are counted whether or not the site is armed, so tests can assert a
+//! path was actually exercised.
+//!
+//! The registry is process-global: tests that arm sites serialise
+//! themselves (see `tests/crash_recovery.rs`) and call [`reset`] before
+//! and after.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Every registered fail-point site. Arming an unknown site panics, and the
+/// lint's failpoint-coverage rule checks this list against both the
+/// [`hit`] call sites in [`crate::persist`] and the crash-recovery test
+/// matrix — a site added here without a matching test fails `cargo xtask
+/// lint`.
+pub const SITES: &[&str] = &[
+    "wal.append.header",
+    "wal.append.payload",
+    "wal.append.sync",
+    "snapshot.write",
+    "snapshot.sync",
+    "snapshot.rename",
+    "wal.reset",
+];
+
+/// What an armed fail-point does when hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a message naming the site — the in-process stand-in for a
+    /// process kill (the write path unwinds mid-operation, exactly like
+    /// `kill -9` freezes the file state mid-operation).
+    Panic,
+    /// Return an `std::io::Error` from [`hit`], modelling a failing syscall
+    /// (full disk, EIO) that the caller must surface as a typed error.
+    Error,
+    /// Sleep for the given duration, modelling a stall (slow disk, network
+    /// file system) for deadline tests.
+    Delay(Duration),
+}
+
+#[derive(Default)]
+struct SiteState {
+    /// Armed action, if any; one-shot (disarmed when it fires).
+    action: Option<FailAction>,
+    /// Hits to let pass before the action fires (`arm_after`).
+    skip: u64,
+    /// Total hits ever, armed or not.
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<&'static str, SiteState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, SiteState>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("ARSP_FAILPOINTS") {
+            arm_from_spec(&mut map, &spec);
+        }
+        Mutex::new(map)
+    })
+}
+
+/// Parses an `ARSP_FAILPOINTS` spec: `;`-separated `site=action` pairs,
+/// where `action` is `panic`, `error`, `delay:<ms>`, optionally suffixed
+/// `@<skip>` to let the first `<skip>` hits pass (`wal.append.sync=panic`,
+/// `snapshot.rename=error@2`). Malformed entries panic — a typo silently
+/// injecting nothing would make a crash test vacuous.
+fn arm_from_spec(map: &mut HashMap<&'static str, SiteState>, spec: &str) {
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let (site, action) = entry
+            .split_once('=')
+            .unwrap_or_else(|| panic!("ARSP_FAILPOINTS entry `{entry}` is not site=action"));
+        let (action, skip) = match action.split_once('@') {
+            Some((a, s)) => (
+                a,
+                s.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad skip count in `{entry}`")),
+            ),
+            None => (action, 0),
+        };
+        let action = match action.split_once(':') {
+            None if action == "panic" => FailAction::Panic,
+            None if action == "error" => FailAction::Error,
+            Some(("delay", ms)) => FailAction::Delay(Duration::from_millis(
+                ms.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad delay in `{entry}`")),
+            )),
+            _ => panic!("unknown fail action in `{entry}`"),
+        };
+        let state = map.entry(site_name(site.trim())).or_default();
+        state.action = Some(action);
+        state.skip = skip;
+    }
+}
+
+/// The canonical `&'static str` for a site, panicking on unknown names so
+/// typos fail fast instead of arming nothing.
+fn site_name(site: &str) -> &'static str {
+    SITES
+        .iter()
+        .copied()
+        .find(|&s| s == site)
+        .unwrap_or_else(|| panic!("unknown fail-point site `{site}` (see failpoint::SITES)"))
+}
+
+/// Arms `site` to fire `action` on its next hit. One-shot: the action
+/// disarms when it fires.
+pub fn arm(site: &str, action: FailAction) {
+    arm_after(site, action, 0);
+}
+
+/// Arms `site` to let `skip` hits pass, then fire `action` once. Lets a
+/// crash test target e.g. the third WAL append specifically.
+pub fn arm_after(site: &str, action: FailAction, skip: u64) {
+    let site = site_name(site);
+    let mut map = lock_registry();
+    let state = map.entry(site).or_default();
+    state.action = Some(action);
+    state.skip = skip;
+}
+
+/// Disarms `site` (hit counting continues).
+pub fn disarm(site: &str) {
+    let site = site_name(site);
+    if let Some(state) = lock_registry().get_mut(site) {
+        state.action = None;
+        state.skip = 0;
+    }
+}
+
+/// Disarms every site and zeroes every hit counter — test isolation.
+/// Note this also clears arms installed from `ARSP_FAILPOINTS`.
+pub fn reset() {
+    lock_registry().clear();
+}
+
+/// Total hits `site` has ever received (armed or not) since the last
+/// [`reset`] — how tests assert a code path was actually exercised.
+pub fn hit_count(site: &str) -> u64 {
+    let site = site_name(site);
+    lock_registry().get(site).map_or(0, |s| s.hits)
+}
+
+/// The fail-point itself: called by the persistence layer at each named
+/// site. Unarmed, it counts the hit and returns `Ok(())`. Armed, it fires
+/// the action once: [`FailAction::Panic`] unwinds, [`FailAction::Error`]
+/// returns an `std::io::Error` naming the site, [`FailAction::Delay`]
+/// sleeps then succeeds.
+pub fn hit(site: &str) -> std::io::Result<()> {
+    let site = site_name(site);
+    let fired = {
+        let mut map = lock_registry();
+        let state = map.entry(site).or_default();
+        state.hits += 1;
+        match state.action {
+            None => None,
+            Some(_) if state.skip > 0 => {
+                state.skip -= 1;
+                None
+            }
+            Some(action) => {
+                state.action = None; // one-shot
+                Some(action)
+            }
+        }
+    };
+    match fired {
+        None => Ok(()),
+        Some(FailAction::Panic) => panic!("fail-point `{site}` fired (injected crash)"),
+        Some(FailAction::Error) => Err(std::io::Error::other(format!(
+            "fail-point `{site}` fired (injected I/O error)"
+        ))),
+        Some(FailAction::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, HashMap<&'static str, SiteState>> {
+    registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Serialises tests that arm fail-points: the registry is process-global,
+/// so two tests arming sites concurrently would inject into each other.
+/// Hold the returned guard for the duration of the test (the guard rides
+/// through poisoning — a panicking fault test must not wedge the others).
+pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; these tests serialise on the
+    /// public gate (shared with `persist`'s fault tests).
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        exclusive()
+    }
+
+    #[test]
+    fn unarmed_hits_count_and_pass() {
+        let _gate = serial();
+        reset();
+        assert_eq!(hit_count("wal.reset"), 0);
+        hit("wal.reset").expect("unarmed hit passes");
+        hit("wal.reset").expect("unarmed hit passes");
+        assert_eq!(hit_count("wal.reset"), 2);
+        reset();
+    }
+
+    #[test]
+    fn armed_error_fires_once_after_the_skip() {
+        let _gate = serial();
+        reset();
+        arm_after("wal.append.sync", FailAction::Error, 2);
+        hit("wal.append.sync").expect("skipped");
+        hit("wal.append.sync").expect("skipped");
+        let err = hit("wal.append.sync").expect_err("third hit fires");
+        assert!(err.to_string().contains("wal.append.sync"));
+        hit("wal.append.sync").expect("one-shot: disarmed after firing");
+        assert_eq!(hit_count("wal.append.sync"), 4);
+        reset();
+    }
+
+    #[test]
+    fn armed_panic_unwinds_and_disarms() {
+        let _gate = serial();
+        reset();
+        arm("snapshot.rename", FailAction::Panic);
+        let caught = std::panic::catch_unwind(|| hit("snapshot.rename"));
+        assert!(caught.is_err());
+        hit("snapshot.rename").expect("disarmed after the injected crash");
+        reset();
+    }
+
+    #[test]
+    fn disarm_cancels_a_pending_action() {
+        let _gate = serial();
+        reset();
+        arm("snapshot.write", FailAction::Error);
+        disarm("snapshot.write");
+        hit("snapshot.write").expect("disarmed");
+        reset();
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_sites_fail_fast() {
+        arm("no.such.site", FailAction::Panic);
+    }
+
+    #[test]
+    fn env_spec_parsing_arms_sites() {
+        let _gate = serial();
+        let mut map = HashMap::new();
+        arm_from_spec(&mut map, "wal.reset=panic;snapshot.write=delay:7@2; ");
+        assert_eq!(map["wal.reset"].action, Some(FailAction::Panic));
+        assert_eq!(map["wal.reset"].skip, 0);
+        assert_eq!(
+            map["snapshot.write"].action,
+            Some(FailAction::Delay(Duration::from_millis(7)))
+        );
+        assert_eq!(map["snapshot.write"].skip, 2);
+    }
+}

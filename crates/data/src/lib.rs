@@ -18,6 +18,13 @@
 //!   object centres, per-object hyper-rectangles of edge length `~N(l/2, l/8)`,
 //!   instance counts uniform in `[1, cnt]`, and the `ϕ` fraction of objects
 //!   with total probability below one.
+//! * [`persist`] — crash-consistent persistence for the versioned store: a
+//!   checksummed write-ahead log of mutation batches, atomic snapshots, and
+//!   a recovery path that truncates torn tails and replays the WAL onto the
+//!   last snapshot ([`DurableStore`]).
+//! * [`failpoint`] — the deterministic fail-point registry the crash and
+//!   fault-injection suites drive: named sites on the persistence write
+//!   path that tests arm to inject panics, I/O errors or delays.
 //! * [`real`] — simulated stand-ins for the IIP, CAR and NBA datasets (see
 //!   DESIGN.md for the substitution rationale).
 //! * [`constraints_gen`] — the WR and IM constraint generators of §V-A and
@@ -27,7 +34,9 @@
 
 pub mod constraints_gen;
 pub mod dataset;
+pub mod failpoint;
 pub mod flat;
+pub mod persist;
 pub mod possible_world;
 pub mod real;
 pub mod sync;
@@ -39,6 +48,7 @@ pub use dataset::{
     paper_running_example, CertainDataset, Instance, UncertainDataset, UncertainObject,
 };
 pub use flat::FlatStore;
+pub use persist::{DurableStore, MutationOp, RecoveryReport};
 pub use possible_world::{enumerate_possible_worlds, PossibleWorld};
 pub use synthetic::{Distribution, SyntheticConfig};
-pub use versioned::{EpochPinRegistry, InstanceHandle, SnapshotCache, VersionedStore};
+pub use versioned::{EpochPinRegistry, InstanceHandle, PinGuard, SnapshotCache, VersionedStore};

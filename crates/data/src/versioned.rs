@@ -63,6 +63,15 @@ impl InstanceHandle {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a handle from its dense slot index — the inverse of
+    /// [`index`](Self::index). Crash recovery uses it to re-materialise the
+    /// handles a logged mutation batch named; a handle fabricated for a slot
+    /// the store never allocated simply names no row.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        InstanceHandle(index as u32)
+    }
 }
 
 /// A mutable uncertain dataset with delta-append storage, tombstone
@@ -544,6 +553,200 @@ impl VersionedStore {
         Ok(())
     }
 
+    // ---- state serialisation ---------------------------------------------
+
+    /// Serialises the complete store state — every column, map and counter,
+    /// floats as IEEE-754 bit patterns — such that
+    /// [`decode_state`](Self::decode_state) reconstructs a store
+    /// indistinguishable from this one (same version, epoch, rows, handles).
+    /// Two stores encode identically **iff** they are bitwise-equal, so the
+    /// byte string doubles as an equality witness in the crash-recovery
+    /// tests. The snapshot layer (`crate::persist`) wraps this payload in a
+    /// checksummed frame.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        push_u64(&mut out, self.dim as u64);
+        push_u64(&mut out, self.version);
+        push_u64(&mut out, self.epoch);
+        push_u64(&mut out, self.base_rows as u64);
+        push_u64(&mut out, self.dead_rows as u64);
+        push_u64(&mut out, self.coords.len() as u64);
+        for &c in &self.coords {
+            push_u64(&mut out, c.to_bits());
+        }
+        push_u64(&mut out, self.probs.len() as u64);
+        for &p in &self.probs {
+            push_u64(&mut out, p.to_bits());
+        }
+        push_u64(&mut out, self.objects.len() as u64);
+        for &o in &self.objects {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        push_u64(&mut out, self.alive.len() as u64);
+        out.extend(self.alive.iter().map(|&a| a as u8));
+        push_u64(&mut out, self.object_rows.len() as u64);
+        for rows in &self.object_rows {
+            push_u64(&mut out, rows.len() as u64);
+            for &r in rows {
+                out.extend_from_slice(&r.to_le_bytes());
+            }
+        }
+        push_u64(&mut out, self.object_retired.len() as u64);
+        out.extend(self.object_retired.iter().map(|&r| r as u8));
+        push_u64(&mut out, self.object_labels.len() as u64);
+        for label in &self.object_labels {
+            match label {
+                None => out.push(0),
+                Some(text) => {
+                    out.push(1);
+                    push_u64(&mut out, text.len() as u64);
+                    out.extend_from_slice(text.as_bytes());
+                }
+            }
+        }
+        push_u64(&mut out, self.handle_to_row.len() as u64);
+        for &h in &self.handle_to_row {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        push_u64(&mut out, self.row_to_handle.len() as u64);
+        for &h in &self.row_to_handle {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a store from [`encode_state`](Self::encode_state) bytes.
+    /// Returns a description of the first structural problem found — a
+    /// truncated or corrupted payload never yields a half-built store.
+    pub fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+        let mut cursor = StateCursor { bytes, at: 0 };
+        let dim = cursor.u64()? as usize;
+        if dim == 0 {
+            return Err("state declares a zero-dimensional store".into());
+        }
+        let version = cursor.u64()?;
+        let epoch = cursor.u64()?;
+        let base_rows = cursor.u64()? as usize;
+        let dead_rows = cursor.u64()? as usize;
+        let n_coords = cursor.len_prefix()?;
+        let mut coords = Vec::with_capacity(n_coords);
+        for _ in 0..n_coords {
+            coords.push(f64::from_bits(cursor.u64()?));
+        }
+        let n_probs = cursor.len_prefix()?;
+        let mut probs = Vec::with_capacity(n_probs);
+        for _ in 0..n_probs {
+            probs.push(f64::from_bits(cursor.u64()?));
+        }
+        let n_objects = cursor.len_prefix()?;
+        let mut objects = Vec::with_capacity(n_objects);
+        for _ in 0..n_objects {
+            objects.push(cursor.u32()?);
+        }
+        let n_alive = cursor.len_prefix()?;
+        let mut alive = Vec::with_capacity(n_alive);
+        for _ in 0..n_alive {
+            alive.push(cursor.u8()? != 0);
+        }
+        let n_object_rows = cursor.len_prefix()?;
+        let mut object_rows = Vec::with_capacity(n_object_rows);
+        for _ in 0..n_object_rows {
+            let n_rows = cursor.len_prefix()?;
+            let mut rows = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                rows.push(cursor.u32()?);
+            }
+            object_rows.push(rows);
+        }
+        let n_retired = cursor.len_prefix()?;
+        let mut object_retired = Vec::with_capacity(n_retired);
+        for _ in 0..n_retired {
+            object_retired.push(cursor.u8()? != 0);
+        }
+        let n_labels = cursor.len_prefix()?;
+        let mut object_labels = Vec::with_capacity(n_labels);
+        for _ in 0..n_labels {
+            object_labels.push(match cursor.u8()? {
+                0 => None,
+                1 => {
+                    let len = cursor.len_prefix()?;
+                    let raw = cursor.take(len)?;
+                    Some(
+                        String::from_utf8(raw.to_vec())
+                            .map_err(|_| "label is not valid UTF-8".to_string())?,
+                    )
+                }
+                other => return Err(format!("bad label tag {other}")),
+            });
+        }
+        let n_handles = cursor.len_prefix()?;
+        let mut handle_to_row = Vec::with_capacity(n_handles);
+        for _ in 0..n_handles {
+            handle_to_row.push(cursor.u32()?);
+        }
+        let n_row_handles = cursor.len_prefix()?;
+        let mut row_to_handle = Vec::with_capacity(n_row_handles);
+        for _ in 0..n_row_handles {
+            row_to_handle.push(cursor.u32()?);
+        }
+        if cursor.at != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after the store state",
+                bytes.len() - cursor.at
+            ));
+        }
+        // Index-validity checks up front, so `validate()` (and every later
+        // accessor) can index without panicking on a corrupt payload.
+        let total = probs.len();
+        if objects.len() != total
+            || alive.len() != total
+            || row_to_handle.len() != total
+            || coords.len() != total * dim
+        {
+            return Err("column lengths disagree".into());
+        }
+        if base_rows > total || dead_rows > total {
+            return Err("row counters exceed the physical row count".into());
+        }
+        if object_retired.len() != object_rows.len() || object_labels.len() != object_rows.len() {
+            return Err("object column lengths disagree".into());
+        }
+        if object_rows.iter().flatten().any(|&r| r as usize >= total) {
+            return Err("object lists a row beyond the store".into());
+        }
+        if row_to_handle
+            .iter()
+            .any(|&h| h as usize >= handle_to_row.len())
+        {
+            return Err("row names a handle slot beyond the table".into());
+        }
+        if handle_to_row
+            .iter()
+            .any(|&r| r != NO_ROW && r as usize >= total)
+        {
+            return Err("handle names a row beyond the store".into());
+        }
+        let store = Self {
+            dim,
+            coords,
+            probs,
+            objects,
+            alive,
+            base_rows,
+            dead_rows,
+            object_rows,
+            object_retired,
+            object_labels,
+            handle_to_row,
+            row_to_handle,
+            version,
+            epoch,
+        };
+        store.validate()?;
+        Ok(store)
+    }
+
     // ---- internals --------------------------------------------------------
 
     fn push_object_slot(&mut self, label: Option<String>) -> usize {
@@ -598,6 +801,50 @@ impl VersionedStore {
         self.handle_to_row[handle.index()] = NO_ROW;
         self.dead_rows += 1;
         position
+    }
+}
+
+/// Bounds-checked little-endian reader over an
+/// [`encode_state`](VersionedStore::encode_state) payload.
+struct StateCursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl StateCursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| format!("state truncated at byte {}", self.at))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    /// A length prefix, sanity-bounded by the bytes actually remaining so a
+    /// corrupt length can never trigger a huge allocation.
+    fn len_prefix(&mut self) -> Result<usize, String> {
+        let len = self.u64()? as usize;
+        if len > self.bytes.len() - self.at {
+            return Err(format!("length prefix {len} exceeds the payload"));
+        }
+        Ok(len)
     }
 }
 
@@ -687,6 +934,58 @@ impl EpochPinRegistry {
     /// horizon below which every snapshot is reclaimable.
     pub fn min_pinned(&self) -> Option<u64> {
         self.map().keys().copied().min()
+    }
+
+    /// Registers one pin on `version` and returns an RAII [`PinGuard`] that
+    /// releases it on drop — **including during an unwind**, so a reader that
+    /// panics mid-query can never pin a version forever. Callers that need
+    /// the release ordered against other state (e.g. under a lock) call
+    /// [`PinGuard::release`] explicitly; the drop is then a no-op.
+    pub fn register_guarded(self: &Arc<Self>, version: u64) -> PinGuard {
+        self.register(version);
+        PinGuard {
+            registry: Arc::clone(self),
+            version,
+            released: false,
+        }
+    }
+}
+
+/// An RAII epoch pin (see [`EpochPinRegistry::register_guarded`]): exactly
+/// one release per registration, on explicit [`release`](PinGuard::release)
+/// or on drop, whichever comes first — panics included.
+#[derive(Debug)]
+pub struct PinGuard {
+    registry: Arc<EpochPinRegistry>,
+    version: u64,
+    released: bool,
+}
+
+impl PinGuard {
+    /// The version this guard pins.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Releases the pin now and returns the version's remaining pin count.
+    /// Idempotent: a second call (or the eventual drop) does nothing and
+    /// reports the current count.
+    pub fn release(&mut self) -> u64 {
+        if self.released {
+            return self.registry.pin_count(self.version);
+        }
+        self.released = true;
+        self.registry.release(self.version)
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.registry.release(self.version);
+        }
     }
 }
 
@@ -1006,6 +1305,79 @@ mod tests {
         assert_eq!(pins.active_pins(), 0);
         assert_eq!(pins.total_registered(), 400);
         assert_eq!(pins.pinned_versions(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn pin_guard_releases_once_on_drop_or_explicitly() {
+        let pins = Arc::new(EpochPinRegistry::new());
+        {
+            let _guard = pins.register_guarded(5);
+            assert_eq!(pins.pin_count(5), 1);
+        }
+        assert_eq!(pins.pin_count(5), 0, "drop released the pin");
+
+        let mut guard = pins.register_guarded(6);
+        assert_eq!(guard.version(), 6);
+        assert_eq!(guard.release(), 0);
+        assert_eq!(guard.release(), 0, "release is idempotent");
+        drop(guard);
+        assert_eq!(pins.active_pins(), 0, "drop after release is a no-op");
+    }
+
+    #[test]
+    fn pin_guard_releases_through_a_panic() {
+        let pins = Arc::new(EpochPinRegistry::new());
+        let passenger = pins.register_guarded(9);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pins.register_guarded(9);
+            panic!("reader died mid-query");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(
+            pins.pin_count(9),
+            1,
+            "the unwound guard released its pin; the live one remains"
+        );
+        drop(passenger);
+        assert_eq!(pins.active_pins(), 0);
+    }
+
+    #[test]
+    fn state_roundtrips_bitwise_through_encode_decode() {
+        let mut store = slack_store();
+        let h = store.insert_instance(0, &[1.5, 1.5], 0.0001);
+        store.update_instance(h, &[1.25, 1.75], 0.0002);
+        store.remove_instance(store.handle_of_row(1));
+        store.retire_object(2);
+        store.merge();
+        let _ = store.insert_instance(0, &[9.0, 9.0], 0.0001);
+
+        let bytes = store.encode_state();
+        let decoded = VersionedStore::decode_state(&bytes).expect("state decodes");
+        assert_eq!(decoded.encode_state(), bytes, "round-trip is bitwise");
+        assert_eq!(decoded.version(), store.version());
+        assert_eq!(decoded.epoch(), store.epoch());
+        assert_eq!(
+            flat_bits(&decoded.snapshot_flat()),
+            flat_bits(&store.snapshot_flat())
+        );
+        // The decoded store is fully operational: handles keep working.
+        assert_eq!(decoded.row_of(h), store.row_of(h));
+    }
+
+    #[test]
+    fn truncated_or_corrupt_state_is_rejected_not_panicked() {
+        let store = slack_store();
+        let bytes = store.encode_state();
+        for cut in [0, 1, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                VersionedStore::decode_state(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be detected"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(VersionedStore::decode_state(&trailing).is_err());
     }
 
     #[test]

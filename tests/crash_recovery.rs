@@ -1,0 +1,269 @@
+//! The crash-recovery loop: kill the persistence write path at **every**
+//! registered fail-point site, recover from disk, and prove the recovered
+//! store is bitwise equal ([`VersionedStore::encode_state`]) to the store
+//! after *some prefix* of the applied mutation batches — and that query
+//! results on the recovered store are bitwise equal (`f64::to_bits`) to a
+//! cold engine rebuilt on that prefix's dataset.
+//!
+//! `cargo xtask lint` (the failpoint-coverage rule) checks that every site
+//! named in `arsp_data::failpoint::SITES` appears in [`CRASH_MATRIX`]
+//! below, so a fail-point added to the write path without a kill test here
+//! fails the lint, not just code review.
+
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use arsp::core::engine::{ArspEngine, QueryAlgorithm};
+use arsp::prelude::*;
+use arsp_data::failpoint::{self, FailAction};
+use arsp_data::{paper_running_example, DurableStore, MutationOp, VersionedStore};
+
+/// Every fail-point site this suite kills the write path at. Must stay in
+/// sync with `arsp_data::failpoint::SITES` (asserted below, linted by
+/// `cargo xtask lint`).
+const CRASH_MATRIX: &[&str] = &[
+    "wal.append.header",
+    "wal.append.payload",
+    "wal.append.sync",
+    "snapshot.write",
+    "snapshot.sync",
+    "snapshot.rename",
+    "wal.reset",
+];
+
+/// A unique scratch directory under the workspace `target/` (never `/tmp`).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target/crash-recovery-tests")
+        .join(format!(
+            "{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seed_store() -> VersionedStore {
+    VersionedStore::from_dataset(&paper_running_example())
+}
+
+/// One step of the crash workload: a durable mutation batch or a checkpoint
+/// (checkpoints exercise the snapshot.* and wal.reset sites).
+enum Step {
+    Apply(Vec<MutationOp>),
+    Checkpoint,
+}
+
+fn workload() -> Vec<Step> {
+    vec![
+        // Object 0's probability budget is exactly 1.0 in the paper example:
+        // free headroom before inserting.
+        Step::Apply(vec![
+            MutationOp::UpdateInstance {
+                handle: 0,
+                coords: vec![2.0, 9.0],
+                prob: 0.2,
+            },
+            MutationOp::InsertInstance {
+                object: 0,
+                coords: vec![1.5, 1.5],
+                prob: 0.1,
+            },
+        ]),
+        Step::Apply(vec![
+            MutationOp::InsertObject {
+                label: Some("late".into()),
+                instances: vec![(vec![5.0, 5.0], 0.6)],
+            },
+            MutationOp::UpdateInstance {
+                handle: 0,
+                coords: vec![2.5, 9.5],
+                prob: 0.05,
+            },
+        ]),
+        Step::Checkpoint,
+        Step::Apply(vec![MutationOp::Merge]),
+        Step::Apply(vec![
+            MutationOp::RemoveInstance { handle: 1 },
+            MutationOp::RetireObject { object: 1 },
+        ]),
+        Step::Checkpoint,
+    ]
+}
+
+/// The bitwise store state after each applied-batch prefix of the workload
+/// (index 0 = the seed store, checkpoints change no logical state).
+fn prefix_states() -> Vec<Vec<u8>> {
+    let mut store = seed_store();
+    let mut states = vec![store.encode_state()];
+    for step in workload() {
+        if let Step::Apply(ops) = step {
+            for op in &ops {
+                op.apply_to(&mut store);
+            }
+            states.push(store.encode_state());
+        }
+    }
+    states
+}
+
+fn bits(probs: &[f64]) -> Vec<u64> {
+    probs.iter().map(|p| p.to_bits()).collect()
+}
+
+#[test]
+fn the_crash_matrix_covers_every_registered_failpoint() {
+    assert_eq!(
+        CRASH_MATRIX,
+        arsp_data::failpoint::SITES,
+        "a fail-point site was added or renamed without updating the crash matrix"
+    );
+}
+
+#[test]
+fn a_kill_at_every_failpoint_recovers_to_an_applied_batch_prefix() {
+    let states = prefix_states();
+    let cs = ConstraintSet::weak_ranking(2, 1);
+    // The fail-point registry is process-global: hold the gate for the loop.
+    let _gate = failpoint::exclusive();
+    for &site in CRASH_MATRIX {
+        failpoint::reset();
+        let dir = scratch_dir(&site.replace('.', "-"));
+        let durable = DurableStore::create(&dir, seed_store()).expect("create");
+
+        // Arm after create (create also writes a snapshot) and kill the
+        // write path at this site, mid-workload.
+        failpoint::arm(site, FailAction::Panic);
+        let crashed = catch_unwind(AssertUnwindSafe(move || {
+            let mut durable = durable;
+            for step in workload() {
+                match step {
+                    Step::Apply(ops) => durable.apply_batch(&ops).expect("apply"),
+                    Step::Checkpoint => durable.checkpoint().expect("checkpoint"),
+                }
+            }
+        }));
+        assert!(
+            crashed.is_err(),
+            "site `{site}` never fired in the workload"
+        );
+        failpoint::reset();
+
+        // Recover from whatever the "killed process" left on disk.
+        let (recovered, report) =
+            DurableStore::open(&dir).unwrap_or_else(|err| panic!("site `{site}`: open: {err}"));
+        let got = recovered.store().encode_state();
+        let matched = states
+            .iter()
+            .position(|state| *state == got)
+            .unwrap_or_else(|| {
+                panic!(
+                    "site `{site}`: recovered state (version {}, {} torn bytes) \
+                     is not an applied-batch prefix",
+                    report.recovered_version, report.torn_bytes
+                )
+            });
+
+        // Query equality on the recovered store: bitwise equal to a cold
+        // engine rebuilt on the matched prefix's dataset.
+        let prefix_store =
+            VersionedStore::decode_state(&states[matched]).expect("prefix state decodes");
+        let cold = ArspEngine::new(prefix_store.snapshot_dataset());
+        let warm = ArspEngine::new(recovered.store().snapshot_dataset());
+        for algorithm in [QueryAlgorithm::Loop, QueryAlgorithm::KdttPlus] {
+            let reference = cold.query(&cs).algorithm(algorithm).run();
+            let answered = warm.query(&cs).algorithm(algorithm).run();
+            assert_eq!(
+                bits(answered.result().probs()),
+                bits(reference.result().probs()),
+                "site `{site}`: {algorithm:?} on the recovered store diverges \
+                 from the cold engine on prefix {matched}"
+            );
+        }
+
+        // The recovered store is fully usable: replay the rest of the
+        // workload's batches and land exactly on the full-sequence state.
+        let mut durable = recovered;
+        let remaining: Vec<Vec<MutationOp>> = workload()
+            .into_iter()
+            .filter_map(|step| match step {
+                Step::Apply(ops) => Some(ops),
+                Step::Checkpoint => None,
+            })
+            .skip(matched)
+            .collect();
+        for ops in &remaining {
+            durable
+                .apply_batch(ops)
+                .unwrap_or_else(|err| panic!("site `{site}`: post-recovery apply: {err}"));
+        }
+        assert_eq!(
+            durable.store().encode_state(),
+            *states.last().expect("non-empty"),
+            "site `{site}`: post-recovery batches diverge from the full sequence"
+        );
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+#[test]
+fn repeated_kills_at_the_same_site_still_converge() {
+    // A process that crashes at the same site on every restart (arm anew
+    // after each recovery) must still make progress once the fault clears —
+    // recovery never loses the intact prefix.
+    let states = prefix_states();
+    let _gate = failpoint::exclusive();
+    failpoint::reset();
+    let dir = scratch_dir("repeat");
+    let durable = DurableStore::create(&dir, seed_store()).expect("create");
+    drop(durable);
+
+    // Each round recovers, resumes the workload from the recovered prefix,
+    // and is killed again at the same site.
+    let batches: Vec<Vec<MutationOp>> = workload()
+        .into_iter()
+        .filter_map(|step| match step {
+            Step::Apply(ops) => Some(ops),
+            Step::Checkpoint => None,
+        })
+        .collect();
+    let matched_at = |dir: &Path| {
+        let (durable, _) = DurableStore::open(dir).expect("open");
+        let got = durable.store().encode_state();
+        states
+            .iter()
+            .position(|state| *state == got)
+            .expect("recovered state is an applied-batch prefix")
+    };
+    for round in 0..3 {
+        let matched = matched_at(&dir);
+        assert!(matched < batches.len(), "faulty rounds finished early");
+        failpoint::arm("wal.append.sync", FailAction::Panic);
+        let remaining = batches[matched..].to_vec();
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            let (mut durable, _) = DurableStore::open(&dir).expect("open");
+            for ops in &remaining {
+                durable.apply_batch(ops).expect("apply");
+            }
+        }));
+        assert!(
+            crashed.is_err(),
+            "round {round}: the armed site never fired"
+        );
+    }
+    failpoint::reset();
+
+    // Fault cleared: one clean run from the recovered prefix completes, and
+    // no progress was ever lost to the repeated crashes.
+    let matched = matched_at(&dir);
+    let (mut durable, _) = DurableStore::open(&dir).expect("open after faults");
+    for ops in &batches[matched..] {
+        durable.apply_batch(ops).expect("clean apply");
+    }
+    assert_eq!(durable.store().encode_state(), *states.last().expect("x"));
+    fs::remove_dir_all(&dir).expect("cleanup");
+}

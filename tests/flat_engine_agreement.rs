@@ -55,7 +55,7 @@ fn loop_flat_engine_matches_point_path_bitwise() {
         let flat = FlatStore::from_dataset(&dataset);
         let scores = ScoreMatrix::compute(&flat, &fdom);
         let order = instance_order_from_scores(&scores);
-        let got = arsp_loop_flat_engine(&flat, &scores, &order, false, None, None, None);
+        let got = arsp_loop_flat_engine(&flat, &scores, &order, false, None, None, None, None);
         assert_eq!(got.probs(), reference.probs(), "arsp_loop_flat_engine");
     }
 }
@@ -77,8 +77,16 @@ fn kdtt_flat_engine_matches_point_path_in_every_variant() {
         ];
         for (variant, reference) in cases {
             let want = reference(&dataset, &fdom);
-            let got =
-                arsp_kdtt_flat_engine(&flat, &scores, variant, false, None, &mut scratch, None);
+            let got = arsp_kdtt_flat_engine(
+                &flat,
+                &scores,
+                variant,
+                false,
+                None,
+                &mut scratch,
+                None,
+                None,
+            );
             assert_eq!(
                 got.probs(),
                 want.probs(),
@@ -108,6 +116,7 @@ fn kd_asp_flat_engine_parallel_twin_is_bitwise_identical() {
                 variant,
                 None,
                 &mut scratch,
+                None,
             );
             let mut scratch = KdScratch::new();
             let parallel = kd_asp_flat_engine_parallel(
@@ -118,6 +127,7 @@ fn kd_asp_flat_engine_parallel_twin_is_bitwise_identical() {
                 None,
                 &mut scratch,
                 Some(&pool),
+                None,
             );
             assert_eq!(
                 parallel, sequential,
@@ -136,7 +146,7 @@ fn dual_flat_engine_matches_point_path_bitwise() {
         let flat = FlatStore::from_dataset(&dataset);
         let agg = build_dual_index(&dataset);
         for parallel in [false, true] {
-            let got = arsp_dual_flat_engine(&flat, &ratio, &agg, parallel, None);
+            let got = arsp_dual_flat_engine(&flat, &ratio, &agg, parallel, None, None);
             assert_eq!(
                 got.probs(),
                 reference.probs(),

@@ -16,7 +16,10 @@
 //!    deliberately-broken variant the checker must catch);
 //! 2. **CoalescingCache claim/join/wait** — identical keys get exactly one
 //!    build, waiters always wake, a builder panic releases waiters;
-//! 3. **publish-vs-pin races** at the registry lock boundary.
+//! 3. **publish-vs-pin races** at the registry lock boundary;
+//! 4. **fault-path cleanup** — a query cancelled mid-race with a publish,
+//!    and a reader that panics while holding a pin, both release the pin in
+//!    every interleaving (the superseded snapshot still retires).
 //!
 //! Run `cargo xtask model-check` to execute with `--nocapture`: each test
 //! prints the interleaving count it explored (EXPERIMENTS.md records them).
@@ -27,11 +30,13 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use arsp_core::coalesce::{CoalesceCounters, CoalescingCache};
+use arsp_core::fault::{QueryBudget, QueryError};
 use arsp_core::service::{ArspService, ServiceWriter};
 use arsp_core::stats::PeakGauge;
 use arsp_core::sync::atomic::AtomicUsize;
 use arsp_core::sync::{lock, Arc, Condvar, Mutex};
 use arsp_data::{paper_running_example, EpochPinRegistry};
+use arsp_geometry::constraints::ConstraintSet;
 use interleave::{thread, Builder, FailureKind};
 
 /// A version-changing mutation (same shape as the service stress tests);
@@ -395,6 +400,94 @@ fn registry_counts_stay_exact_under_races() {
         report.schedules
     );
     assert!(report.schedules >= 10);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol (d): fault-path cleanup — cancellation and panics release pins
+// ---------------------------------------------------------------------------
+
+/// A query cancelled while a publish lands concurrently: in every
+/// interleaving the cancellation surfaces as a typed
+/// [`QueryError::DeadlineExceeded`], the reader's pin is released, the
+/// admission gauge settles, and the superseded snapshot retires exactly
+/// once — whether the pin straddled the publish (graveyard path) or not.
+#[test]
+fn cancel_vs_publish_race_releases_the_pin() {
+    let dataset = paper_running_example();
+    let report = Builder::new().preemption_bound(2).check(move || {
+        let (service, mut writer) = ArspService::from_dataset(&dataset);
+        let s1 = service.clone();
+        let reader = thread::spawn(move || {
+            let budget = QueryBudget::unbounded();
+            budget.cancel();
+            let pin = s1.pin();
+            let v = pin.version();
+            let err = pin
+                .query(&ConstraintSet::weak_ranking(2, 1))
+                .budget(&budget)
+                .try_run()
+                .err()
+                .expect("a cancelled budget must yield a typed error");
+            assert!(
+                matches!(err, QueryError::DeadlineExceeded { .. }),
+                "unexpected error: {err:?}"
+            );
+            drop(pin);
+            v
+        });
+        mutate_once(&mut writer, 1.0);
+        writer.publish();
+        let pinned = reader.join().expect("cancelled reader panicked");
+        assert!(pinned <= 1, "pin observed impossible version {pinned}");
+
+        let stats = service.serving_stats();
+        assert_eq!(stats.active_pins, 0, "a cancelled query leaked its pin");
+        assert_eq!(stats.pinned_snapshots, 0);
+        assert_eq!(stats.snapshots_retired, 1);
+        assert_eq!(stats.inflight, 0, "the admission gauge did not settle");
+    });
+    println!(
+        "cancel_vs_publish_race_releases_the_pin: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 50);
+}
+
+/// A reader that panics while holding a pin, racing a publish: the
+/// [`SnapshotPin`]'s RAII guard releases during unwinding in every
+/// interleaving, so no pin leaks and the superseded snapshot still retires
+/// exactly once.
+#[test]
+fn pin_guard_releases_on_reader_panic() {
+    let dataset = paper_running_example();
+    let report = Builder::new().preemption_bound(2).check(move || {
+        let (service, mut writer) = ArspService::from_dataset(&dataset);
+        let s1 = service.clone();
+        let reader = thread::spawn(move || {
+            let pin = s1.pin();
+            let v = pin.version();
+            let died = catch_unwind(AssertUnwindSafe(move || {
+                let _held = pin; // the pin unwinds with the panic
+                panic!("seeded reader panic");
+            }));
+            assert!(died.is_err(), "seeded panic vanished");
+            v
+        });
+        mutate_once(&mut writer, 1.0);
+        writer.publish();
+        let pinned = reader.join().expect("reader thread died outside the guard");
+        assert!(pinned <= 1, "pin observed impossible version {pinned}");
+
+        let stats = service.serving_stats();
+        assert_eq!(stats.active_pins, 0, "a panicked reader leaked its pin");
+        assert_eq!(stats.pinned_snapshots, 0);
+        assert_eq!(stats.snapshots_retired, 1);
+    });
+    println!(
+        "pin_guard_releases_on_reader_panic: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 50);
 }
 
 // ---------------------------------------------------------------------------

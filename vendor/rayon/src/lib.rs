@@ -69,7 +69,14 @@ where
             b()
         });
         let ra = a();
-        (ra, handle.join().expect("rayon::join worker panicked"))
+        // Re-raise the worker's original payload instead of replacing it
+        // with a join-failed message: cooperative-cancellation sentinels
+        // (and any real panic payload) must survive the join so the query
+        // boundary can classify them.
+        let rb = handle
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (ra, rb)
     })
 }
 
@@ -196,10 +203,14 @@ pub trait ParallelIterator: Sized + Send {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel iterator worker panicked"))
-                .collect()
+            // Join every worker before re-raising so no handle outlives the
+            // scope, then propagate the first worker's original payload.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let mut out = Vec::with_capacity(joined.len());
+            for result in joined {
+                out.push(result.unwrap_or_else(|payload| std::panic::resume_unwind(payload)));
+            }
+            out
         });
         chunks.into_iter().flatten().collect()
     }
@@ -452,6 +463,49 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 4950);
+    }
+
+    #[test]
+    fn join_propagates_original_panic_payload() {
+        struct Marker;
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                join(
+                    || 1,
+                    || -> i32 { std::panic::resume_unwind(Box::new(Marker)) },
+                )
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        assert!(
+            payload.downcast_ref::<Marker>().is_some(),
+            "join must re-raise the worker's own payload, not a join-failed string"
+        );
+    }
+
+    #[test]
+    fn collect_propagates_original_panic_payload() {
+        struct Marker;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let caught = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                let _: Vec<usize> = (0..64)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 63 {
+                            std::panic::resume_unwind(Box::new(Marker))
+                        }
+                        i
+                    })
+                    .collect();
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        assert!(
+            payload.downcast_ref::<Marker>().is_some(),
+            "collect must re-raise the worker's own payload"
+        );
     }
 
     #[test]

@@ -20,10 +20,18 @@
 //! 5. **flat-engine-agreement** — every public `*flat_engine*` function in
 //!    `arsp-core` is named in an integration test under `tests/`, keeping
 //!    the bitwise-agreement suites coupled to the public flat API.
+//! 6. **failpoint-coverage** — every fail-point site registered in
+//!    `arsp_data::failpoint::SITES` must appear (as a quoted literal) in
+//!    the crash-recovery kill matrix (`tests/crash_recovery.rs`), and every
+//!    `hit("...")` in the persistence write path must name a registered
+//!    site — so a fail-point added without a kill test, or a typo'd site
+//!    name that would silently never fire, fails the lint.
 //!
 //! The scanner strips comments and string/char literals first, so banned
 //! tokens in docs or messages never trigger, and the fixture snippets in
-//! this file's unit tests can quote violations safely.
+//! this file's unit tests can quote violations safely. Rule 6 is the one
+//! exception: the site names it cross-references *are* string literals, so
+//! it reads the raw sources.
 
 use std::fmt;
 use std::fs;
@@ -82,6 +90,12 @@ const KERNEL_SCOPE: &[(&str, &[&str])] = &[
         &["fold_window_products", "is_pruned", "expand_node"],
     ),
 ];
+
+/// Rule 6 inputs: the fail-point registry, the persistence write path that
+/// calls `hit(...)`, and the crash-recovery suite that must kill every site.
+const FAILPOINT_REGISTRY: &str = "crates/data/src/failpoint.rs";
+const FAILPOINT_WRITE_PATH: &str = "crates/data/src/persist.rs";
+const CRASH_SUITE: &str = "tests/crash_recovery.rs";
 
 /// Source roots scanned for rule 4 (and walked when loading files).
 const SAFETY_ROOTS: &[&str] = &[
@@ -194,6 +208,17 @@ fn lint_tree(root: &Path) -> Result<Vec<Violation>, String> {
     for (rel, stripped) in &core_stripped {
         violations.extend(check_flat_engine_agreement(rel, stripped, &tests_text));
     }
+
+    // Rule 6: fail-point registry ↔ crash-recovery kill matrix (raw
+    // sources — the cross-referenced site names are string literals).
+    let registry = read(root, FAILPOINT_REGISTRY)?;
+    let write_path = read(root, FAILPOINT_WRITE_PATH)?;
+    let crash_suite = read(root, CRASH_SUITE)?;
+    violations.extend(check_failpoint_coverage(
+        &registry,
+        &write_path,
+        &crash_suite,
+    ));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(violations)
@@ -562,6 +587,123 @@ fn public_fns(stripped: &str) -> Vec<(usize, String)> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6: failpoint-coverage
+// ---------------------------------------------------------------------------
+
+fn check_failpoint_coverage(
+    registry_source: &str,
+    write_path_source: &str,
+    crash_suite: &str,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let sites = failpoint_sites(registry_source);
+    if sites.is_empty() {
+        violations.push(Violation {
+            file: FAILPOINT_REGISTRY.to_string(),
+            line: 1,
+            rule: "failpoint-coverage",
+            message: "no `SITES` array with site literals found; update the lint's \
+                      failpoint parser to follow the registry's shape"
+                .to_string(),
+        });
+        return violations;
+    }
+
+    // Every registered site must be a quoted literal in the crash suite's
+    // kill matrix.
+    for (offset, site) in &sites {
+        if !crash_suite.contains(&format!("\"{site}\"")) {
+            violations.push(Violation {
+                file: FAILPOINT_REGISTRY.to_string(),
+                line: line_of(registry_source, *offset),
+                rule: "failpoint-coverage",
+                message: format!(
+                    "fail-point site `{site}` has no kill test: add it to \
+                     CRASH_MATRIX in {CRASH_SUITE}"
+                ),
+            });
+        }
+    }
+
+    // Every `hit("...")` in the write path must name a registered site (a
+    // typo'd name would compile yet never fire).
+    for (offset, site) in hit_literals(write_path_source) {
+        if !sites.iter().any(|(_, s)| *s == site) {
+            violations.push(Violation {
+                file: FAILPOINT_WRITE_PATH.to_string(),
+                line: line_of(write_path_source, offset),
+                rule: "failpoint-coverage",
+                message: format!(
+                    "`hit(\"{site}\")` names an unregistered fail-point site; \
+                     register it in failpoint::SITES (and the crash matrix)"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// `(offset, name)` of every string literal inside the `SITES` array of the
+/// raw registry source.
+fn failpoint_sites(registry_source: &str) -> Vec<(usize, String)> {
+    let Some(decl) = registry_source.find("SITES") else {
+        return Vec::new();
+    };
+    // Seek past the `=` so the `[` of the `&[&str]` type annotation is not
+    // mistaken for the array opener.
+    let Some(eq_rel) = registry_source[decl..].find('=') else {
+        return Vec::new();
+    };
+    let assign = decl + eq_rel;
+    let Some(open_rel) = registry_source[assign..].find('[') else {
+        return Vec::new();
+    };
+    let open = assign + open_rel;
+    let close = registry_source[open..]
+        .find(']')
+        .map_or(registry_source.len(), |p| open + p);
+    string_literals(&registry_source[open..close])
+        .into_iter()
+        .map(|(off, name)| (open + off, name))
+        .collect()
+}
+
+/// `(offset, name)` of the literal in every `hit("...")` call in raw source.
+fn hit_literals(source: &str) -> Vec<(usize, String)> {
+    let mut literals = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = source[from..].find("hit(\"") {
+        let offset = from + pos;
+        let rest = &source[offset + "hit(\"".len()..];
+        match rest.find('"') {
+            Some(end) => {
+                literals.push((offset, rest[..end].to_string()));
+                from = offset + "hit(\"".len() + end + 1;
+            }
+            None => break,
+        }
+    }
+    literals
+}
+
+/// `(offset, contents)` of every plain `"..."` literal in `text` (no escape
+/// handling — fail-point site names are bare dotted identifiers).
+fn string_literals(text: &str) -> Vec<(usize, String)> {
+    let mut literals = Vec::new();
+    let mut rest = text;
+    let mut base = 0;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(len) = after.find('"') else { break };
+        literals.push((base + start, after[..len].to_string()));
+        let consumed = start + 1 + len + 1;
+        base += consumed;
+        rest = &rest[consumed..];
+    }
+    literals
+}
+
+// ---------------------------------------------------------------------------
 // Fixture tests: each rule must fire on a violating snippet and stay quiet
 // on the idiomatic one.
 // ---------------------------------------------------------------------------
@@ -686,6 +828,49 @@ mod tests {
         // Private helpers and non-flat functions are out of scope.
         let private = strip_code("fn helper_flat_engine() {}\npub fn not_flat() {}\n");
         assert!(check_flat_engine_agreement("f.rs", &private, "").is_empty());
+    }
+
+    const REGISTRY_FIXTURE: &str =
+        "pub const SITES: &[&str] = &[\n    \"wal.append\",\n    \"snapshot.rename\",\n];\n";
+
+    #[test]
+    fn failpoint_sites_are_parsed_from_the_raw_registry() {
+        let sites: Vec<String> = failpoint_sites(REGISTRY_FIXTURE)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(sites, ["wal.append", "snapshot.rename"]);
+        assert!(failpoint_sites("fn no_sites() {}").is_empty());
+    }
+
+    #[test]
+    fn failpoint_coverage_fires_on_an_untested_site() {
+        let suite = "const CRASH_MATRIX: &[&str] = &[\"wal.append\"];\n";
+        let violations = check_failpoint_coverage(REGISTRY_FIXTURE, "", suite);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("snapshot.rename"));
+        assert_eq!(violations[0].line, 3);
+    }
+
+    #[test]
+    fn failpoint_coverage_fires_on_an_unregistered_hit() {
+        let suite = "&[\"wal.append\", \"snapshot.rename\"]";
+        let write_path = "failpoint::hit(\"wal.append\")?;\nfailpoint::hit(\"wal.typo\")?;\n";
+        let violations = check_failpoint_coverage(REGISTRY_FIXTURE, write_path, suite);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("wal.typo"));
+        assert_eq!(violations[0].line, 2);
+    }
+
+    #[test]
+    fn failpoint_coverage_passes_a_consistent_tree_and_flags_a_shapeless_registry() {
+        let suite = "&[\"wal.append\", \"snapshot.rename\"]";
+        let write_path = "failpoint::hit(\"snapshot.rename\")?;\n";
+        assert!(check_failpoint_coverage(REGISTRY_FIXTURE, write_path, suite).is_empty());
+
+        let violations = check_failpoint_coverage("fn no_sites() {}", write_path, suite);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("no `SITES` array"));
     }
 
     #[test]
