@@ -128,6 +128,17 @@ impl QueryAlgorithm {
     }
 }
 
+/// The five exact general-input algorithms (everything but the exponential
+/// ENUM baseline, the ratio-only DUAL, and the Auto selector) — the set the
+/// agreement suites sweep when asserting bitwise equivalence.
+pub const EXACT_ALGORITHMS: [QueryAlgorithm; 5] = [
+    QueryAlgorithm::Loop,
+    QueryAlgorithm::Kdtt,
+    QueryAlgorithm::KdttPlus,
+    QueryAlgorithm::QdttPlus,
+    QueryAlgorithm::BranchAndBound,
+];
+
 impl From<ArspAlgorithm> for QueryAlgorithm {
     fn from(a: ArspAlgorithm) -> Self {
         match a {

@@ -67,6 +67,15 @@ pub enum QueryError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A fail-closed sharded query ([`crate::cluster::ShardedService`])
+    /// found at least one shard quarantined or mid-recovery. Retryable: the
+    /// supervisor restores shards in the background. Callers that prefer an
+    /// answer over completeness opt into `allow_partial(true)` and receive a
+    /// [`crate::cluster::PartialResult`] instead of this error.
+    ShardUnavailable {
+        /// The shards that could not answer, in ascending order.
+        shards_missing: Vec<usize>,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -87,6 +96,9 @@ impl fmt::Display for QueryError {
                 write!(f, "shared cache build did not publish within {waited:?}")
             }
             QueryError::Panicked { message } => write!(f, "query panicked: {message}"),
+            QueryError::ShardUnavailable { shards_missing } => {
+                write!(f, "shards {shards_missing:?} are unavailable")
+            }
         }
     }
 }
@@ -96,12 +108,16 @@ impl Error for QueryError {}
 impl QueryError {
     /// Whether the failure is transient and worth retrying (with backoff).
     ///
-    /// Shed queries and build-wait timeouts are transient; deadline expiry
-    /// and panics are not (an identical retry would hit the same wall).
+    /// Shed queries, build-wait timeouts and unavailable shards are
+    /// transient (the supervisor recovers quarantined shards in the
+    /// background); deadline expiry and panics are not (an identical retry
+    /// would hit the same wall).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            QueryError::Overloaded { .. } | QueryError::BuildTimeout { .. }
+            QueryError::Overloaded { .. }
+                | QueryError::BuildTimeout { .. }
+                | QueryError::ShardUnavailable { .. }
         )
     }
 }

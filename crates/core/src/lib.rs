@@ -54,6 +54,10 @@
 //! * the dynamic-dataset engine ([`dynamic`]) and the concurrent MVCC
 //!   serving layer on top of it ([`service`]): epoch-pinned snapshot
 //!   isolation for any number of reader threads beside one writer,
+//! * the supervised sharded serving layer ([`cluster`]): per-shard fault
+//!   isolation and durability, a quarantine/recovery state machine, an
+//!   exact (bitwise) cross-shard merge and opt-in degraded partial-result
+//!   queries,
 //! * the aggregated rskyline and effectiveness helpers used by the paper's
 //!   §V-B study ([`aggregate`], [`effectiveness`]),
 //! * eclipse queries on certain datasets ([`eclipse`]),
@@ -64,6 +68,7 @@
 pub mod aggregate;
 pub mod algorithms;
 pub mod asp;
+pub mod cluster;
 pub mod coalesce;
 pub mod dynamic;
 pub mod eclipse;
@@ -95,6 +100,10 @@ pub use algorithms::loop_scan::{
 };
 pub use algorithms::ArspAlgorithm;
 pub use asp::skyline_probabilities;
+pub use cluster::{
+    ApplyOutcome, ClusterConfig, ClusterQuery, ClusterStats, PartialResult, ShardHealth,
+    ShardSupervisor, ShardedService, SupervisorCore,
+};
 pub use dynamic::{DynamicArspEngine, DynamicOutcome, DynamicQuery};
 pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
 pub use fault::{QueryBudget, QueryError, RetryPolicy};
@@ -111,6 +120,9 @@ pub mod prelude {
     pub use crate::aggregate::aggregated_rskyline;
     pub use crate::algorithms::ArspAlgorithm;
     pub use crate::asp::skyline_probabilities;
+    pub use crate::cluster::{
+        ClusterConfig, PartialResult, ShardHealth, ShardSupervisor, ShardedService,
+    };
     pub use crate::dynamic::{DynamicArspEngine, DynamicOutcome};
     pub use crate::eclipse::{eclipse_dual_s, eclipse_quad};
     pub use crate::effectiveness::{rskyline_ranking, skyline_ranking};

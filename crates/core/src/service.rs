@@ -169,8 +169,10 @@ impl ServingSnapshot {
 /// Rebuilds the row-oriented dataset from the columnar snapshot. The flat
 /// store is a bit-for-bit copy of the snapshot dataset (canonical order), so
 /// the rebuild round-trips every coordinate and probability exactly — labels
-/// are dropped, which no algorithm reads.
-fn dataset_from_flat(flat: &FlatStore) -> UncertainDataset {
+/// are dropped, which no algorithm reads. (Also the cross-shard merge's
+/// bridge from a stitched union [`FlatStore`] back to a servable dataset —
+/// see [`crate::cluster`].)
+pub(crate) fn dataset_from_flat(flat: &FlatStore) -> UncertainDataset {
     let mut dataset = UncertainDataset::new(flat.dim());
     for object in 0..flat.num_objects() {
         let instances = flat

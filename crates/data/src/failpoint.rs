@@ -35,8 +35,17 @@ pub const SITES: &[&str] = &[
     "snapshot.write",
     "snapshot.sync",
     "snapshot.rename",
+    "snapshot.dirsync",
     "wal.reset",
+    "shard.apply",
+    "shard.publish",
+    "shard.probe",
+    "shard.recover",
 ];
+
+/// Denominator of the [`FailAction::Chance`] probability: a chance action
+/// stores `p` in millionths, keeping the action type `Copy + Eq`.
+pub const CHANCE_DENOMINATOR: u32 = 1_000_000;
 
 /// What an armed fail-point does when hit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +60,20 @@ pub enum FailAction {
     /// Sleep for the given duration, modelling a stall (slow disk, network
     /// file system) for deadline tests.
     Delay(Duration),
+    /// Panic with the given probability (in millionths, see
+    /// [`CHANCE_DENOMINATOR`]) on **every** hit, drawn from the registry's
+    /// seeded RNG — *not* one-shot, so a soak test can randomize crash
+    /// timing while staying deterministic per seed ([`seed_rng`]).
+    Chance(u32),
+}
+
+impl FailAction {
+    /// A [`FailAction::Chance`] firing with probability `p ∈ [0, 1]`
+    /// (rounded to millionths).
+    pub fn chance(p: f64) -> FailAction {
+        let millionths = (p.clamp(0.0, 1.0) * f64::from(CHANCE_DENOMINATOR)).round() as u32;
+        FailAction::Chance(millionths.min(CHANCE_DENOMINATOR))
+    }
 }
 
 #[derive(Default)]
@@ -74,11 +97,56 @@ fn registry() -> &'static Mutex<HashMap<&'static str, SiteState>> {
     })
 }
 
+/// The seed the chance RNG starts from (and returns to on [`reset`]):
+/// `ARSP_FAILPOINT_SEED` when set, a fixed constant otherwise.
+fn initial_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| match std::env::var("ARSP_FAILPOINT_SEED") {
+        Ok(raw) => raw
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("ARSP_FAILPOINT_SEED `{raw}` is not a u64")),
+        Err(_) => 0x9e37_79b9_7f4a_7c15,
+    })
+}
+
+fn rng_state() -> &'static Mutex<u64> {
+    static RNG: OnceLock<Mutex<u64>> = OnceLock::new();
+    RNG.get_or_init(|| Mutex::new(initial_seed()))
+}
+
+/// Re-seeds the probabilistic-trigger RNG: [`FailAction::Chance`] draws
+/// after this call are a pure function of `(seed, hit order)`, so a soak
+/// test that fixes its seed crashes at the same hits on every run.
+pub fn seed_rng(seed: u64) {
+    // xorshift64* needs a non-zero state.
+    *lock_rng() = seed.max(1);
+}
+
+/// One xorshift64* draw mapped onto `[0, CHANCE_DENOMINATOR)`.
+fn draw_millionths() -> u32 {
+    let mut state = lock_rng();
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    ((x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) % u64::from(CHANCE_DENOMINATOR)) as u32
+}
+
+fn lock_rng() -> std::sync::MutexGuard<'static, u64> {
+    rng_state()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Parses an `ARSP_FAILPOINTS` spec: `;`-separated `site=action` pairs,
-/// where `action` is `panic`, `error`, `delay:<ms>`, optionally suffixed
-/// `@<skip>` to let the first `<skip>` hits pass (`wal.append.sync=panic`,
-/// `snapshot.rename=error@2`). Malformed entries panic — a typo silently
-/// injecting nothing would make a crash test vacuous.
+/// where `action` is `panic`, `error`, `delay:<ms>`, or a bare probability
+/// like `0.05` (a [`FailAction::Chance`] firing on each hit with that
+/// probability from the seeded RNG), optionally suffixed `@<skip>` to let
+/// the first `<skip>` hits pass (`wal.append.sync=panic`,
+/// `snapshot.rename=error@2`, `shard.apply=0.05`). Malformed entries
+/// panic — a typo silently injecting nothing would make a crash test
+/// vacuous.
 fn arm_from_spec(map: &mut HashMap<&'static str, SiteState>, spec: &str) {
     for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
         let (site, action) = entry
@@ -95,6 +163,12 @@ fn arm_from_spec(map: &mut HashMap<&'static str, SiteState>, spec: &str) {
         let action = match action.split_once(':') {
             None if action == "panic" => FailAction::Panic,
             None if action == "error" => FailAction::Error,
+            None if action
+                .parse::<f64>()
+                .is_ok_and(|p| (0.0..=1.0).contains(&p)) =>
+            {
+                FailAction::chance(action.parse::<f64>().expect("checked above"))
+            }
             Some(("delay", ms)) => FailAction::Delay(Duration::from_millis(
                 ms.parse::<u64>()
                     .unwrap_or_else(|_| panic!("bad delay in `{entry}`")),
@@ -142,10 +216,12 @@ pub fn disarm(site: &str) {
     }
 }
 
-/// Disarms every site and zeroes every hit counter — test isolation.
-/// Note this also clears arms installed from `ARSP_FAILPOINTS`.
+/// Disarms every site, zeroes every hit counter, and restores the chance
+/// RNG to its initial seed — test isolation. Note this also clears arms
+/// installed from `ARSP_FAILPOINTS`.
 pub fn reset() {
     lock_registry().clear();
+    *lock_rng() = initial_seed().max(1);
 }
 
 /// Total hits `site` has ever received (armed or not) since the last
@@ -159,7 +235,9 @@ pub fn hit_count(site: &str) -> u64 {
 /// site. Unarmed, it counts the hit and returns `Ok(())`. Armed, it fires
 /// the action once: [`FailAction::Panic`] unwinds, [`FailAction::Error`]
 /// returns an `std::io::Error` naming the site, [`FailAction::Delay`]
-/// sleeps then succeeds.
+/// sleeps then succeeds. [`FailAction::Chance`] is the exception to the
+/// one-shot rule: it stays armed and panics on each hit with its
+/// configured probability, drawn from the seeded RNG.
 pub fn hit(site: &str) -> std::io::Result<()> {
     let site = site_name(site);
     let fired = {
@@ -172,6 +250,7 @@ pub fn hit(site: &str) -> std::io::Result<()> {
                 state.skip -= 1;
                 None
             }
+            Some(action @ FailAction::Chance(_)) => Some(action), // stays armed
             Some(action) => {
                 state.action = None; // one-shot
                 Some(action)
@@ -186,6 +265,12 @@ pub fn hit(site: &str) -> std::io::Result<()> {
         ))),
         Some(FailAction::Delay(d)) => {
             std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FailAction::Chance(millionths)) => {
+            if draw_millionths() < millionths {
+                panic!("fail-point `{site}` fired (injected crash, probabilistic)");
+            }
             Ok(())
         }
     }
@@ -280,5 +365,71 @@ mod tests {
             Some(FailAction::Delay(Duration::from_millis(7)))
         );
         assert_eq!(map["snapshot.write"].skip, 2);
+    }
+
+    #[test]
+    fn env_spec_parsing_accepts_probabilities() {
+        let _gate = serial();
+        let mut map = HashMap::new();
+        arm_from_spec(&mut map, "shard.apply=0.25;shard.probe=1.0@3");
+        assert_eq!(map["shard.apply"].action, Some(FailAction::Chance(250_000)));
+        assert_eq!(
+            map["shard.probe"].action,
+            Some(FailAction::Chance(CHANCE_DENOMINATOR))
+        );
+        assert_eq!(map["shard.probe"].skip, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn env_spec_rejects_out_of_range_probabilities() {
+        let mut map = HashMap::new();
+        arm_from_spec(&mut map, "shard.apply=1.5");
+    }
+
+    #[test]
+    fn chance_one_always_fires_and_stays_armed() {
+        let _gate = serial();
+        reset();
+        arm("shard.apply", FailAction::chance(1.0));
+        for _ in 0..3 {
+            let caught = std::panic::catch_unwind(|| hit("shard.apply"));
+            assert!(caught.is_err(), "p=1.0 fires on every hit, never disarms");
+        }
+        reset();
+    }
+
+    #[test]
+    fn chance_zero_never_fires() {
+        let _gate = serial();
+        reset();
+        arm("shard.apply", FailAction::chance(0.0));
+        for _ in 0..64 {
+            hit("shard.apply").expect("p=0.0 never fires");
+        }
+        reset();
+    }
+
+    #[test]
+    fn chance_is_deterministic_per_seed() {
+        let _gate = serial();
+        reset();
+        let pattern = |seed: u64| -> Vec<bool> {
+            seed_rng(seed);
+            arm("shard.publish", FailAction::chance(0.5));
+            let fired = (0..64)
+                .map(|_| std::panic::catch_unwind(|| hit("shard.publish")).is_err())
+                .collect();
+            disarm("shard.publish");
+            fired
+        };
+        let first = pattern(42);
+        let second = pattern(42);
+        let other = pattern(43);
+        assert_eq!(first, second, "same seed, same firing pattern");
+        assert!(first.iter().any(|&f| f), "p=0.5 fires within 64 hits");
+        assert!(!first.iter().all(|&f| f), "p=0.5 passes within 64 hits");
+        assert_ne!(first, other, "different seed, different pattern");
+        reset();
     }
 }

@@ -23,8 +23,9 @@
 //!   a recovery path that truncates torn tails and replays the WAL onto the
 //!   last snapshot ([`DurableStore`]).
 //! * [`failpoint`] — the deterministic fail-point registry the crash and
-//!   fault-injection suites drive: named sites on the persistence write
-//!   path that tests arm to inject panics, I/O errors or delays.
+//!   fault-injection suites drive: named sites on the persistence and
+//!   shard write paths that tests arm to inject panics, I/O errors,
+//!   delays, or seeded probabilistic crashes.
 //! * [`real`] — simulated stand-ins for the IIP, CAR and NBA datasets (see
 //!   DESIGN.md for the substitution rationale).
 //! * [`constraints_gen`] — the WR and IM constraint generators of §V-A and
@@ -51,4 +52,7 @@ pub use flat::FlatStore;
 pub use persist::{DurableStore, MutationOp, RecoveryReport};
 pub use possible_world::{enumerate_possible_worlds, PossibleWorld};
 pub use synthetic::{Distribution, SyntheticConfig};
-pub use versioned::{EpochPinRegistry, InstanceHandle, PinGuard, SnapshotCache, VersionedStore};
+pub use versioned::{
+    partition_dataset, shard_of_object, shard_ranges, EpochPinRegistry, InstanceHandle, PinGuard,
+    SnapshotCache, VersionedStore,
+};

@@ -13,6 +13,7 @@
 //! * **Atomic snapshots** — [`DurableStore::checkpoint`] serialises the
 //!   full store state ([`VersionedStore::encode_state`]) into
 //!   `snapshot.tmp`, syncs, renames over `snapshot.bin` (atomic on POSIX),
+//!   fsyncs the parent directory so the rename itself survives power loss,
 //!   and then truncates the WAL. A crash at any point leaves either the
 //!   old snapshot or the new one — never a torn snapshot.
 //! * **Recovery** — [`DurableStore::open`] loads the last snapshot,
@@ -526,6 +527,10 @@ fn write_snapshot(dir: &Path, store: &VersionedStore) -> io::Result<()> {
     drop(file);
     failpoint::hit("snapshot.rename")?;
     fs::rename(&tmp, DurableStore::snapshot_path(dir))?;
+    failpoint::hit("snapshot.dirsync")?;
+    // The rename only updated the directory entry in memory; fsync the
+    // parent directory so the publish itself survives power loss.
+    File::open(dir)?.sync_all()?;
     Ok(())
 }
 

@@ -1049,6 +1049,69 @@ impl Clone for SnapshotCache {
     }
 }
 
+/// Splits `0..num_objects` into `num_shards` contiguous object-id ranges,
+/// as balanced as possible (the first `num_objects % num_shards` ranges get
+/// one extra object). Ranges tile the id space in order: concatenating the
+/// per-range slices in shard order reproduces the original object order,
+/// which is what makes a sharded engine's union dataset bitwise equal to
+/// the unsharded one. Trailing ranges may be empty when there are fewer
+/// objects than shards.
+///
+/// # Panics
+/// Panics if `num_shards` is zero.
+pub fn shard_ranges(num_objects: usize, num_shards: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(num_shards >= 1, "a cluster needs at least one shard");
+    let base = num_objects / num_shards;
+    let extra = num_objects % num_shards;
+    let mut ranges = Vec::with_capacity(num_shards);
+    let mut start = 0;
+    for shard in 0..num_shards {
+        let len = base + usize::from(shard < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// The shard owning `object` under [`shard_ranges`] partitioning — the
+/// write-routing inverse of the range table.
+///
+/// # Panics
+/// Panics if `object >= num_objects` or `num_shards` is zero.
+pub fn shard_of_object(object: usize, num_objects: usize, num_shards: usize) -> usize {
+    assert!(object < num_objects, "object id out of range");
+    let base = num_objects / num_shards;
+    let extra = num_objects % num_shards;
+    let fat = extra * (base + 1);
+    if object < fat {
+        object / (base + 1)
+    } else {
+        extra + (object - fat) / base.max(1)
+    }
+}
+
+/// Slices `dataset` into per-shard datasets along [`shard_ranges`], labels
+/// preserved. Pushing each slice's objects in range order means shard-order
+/// concatenation of the slices is exactly `dataset` again — the invariant
+/// the cross-shard merge's bitwise-agreement contract rests on.
+pub fn partition_dataset(dataset: &UncertainDataset, num_shards: usize) -> Vec<UncertainDataset> {
+    shard_ranges(dataset.num_objects(), num_shards)
+        .into_iter()
+        .map(|range| {
+            let mut shard = UncertainDataset::new(dataset.dim());
+            for object in range {
+                let meta = dataset.object(object);
+                let instances = dataset
+                    .object_instances(object)
+                    .map(|inst| (inst.coords.clone(), inst.prob))
+                    .collect();
+                shard.push_labeled_object(meta.label.clone(), instances);
+            }
+            shard
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1411,5 +1474,61 @@ mod tests {
         let f5 = cache.flat(&store);
         assert!(!Arc::ptr_eq(&f4, &f5));
         assert_eq!(flat_bits(&f5), flat_bits(&store.snapshot_flat()));
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_id_space_evenly() {
+        for num_objects in 0..40 {
+            for num_shards in 1..9 {
+                let ranges = shard_ranges(num_objects, num_shards);
+                assert_eq!(ranges.len(), num_shards);
+                let mut next = 0;
+                for range in &ranges {
+                    assert_eq!(range.start, next, "ranges must tile contiguously");
+                    next = range.end;
+                }
+                assert_eq!(next, num_objects, "ranges must cover every object");
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().copied(), sizes.iter().max().copied());
+                assert!(
+                    max.unwrap_or(0) - min.unwrap_or(0) <= 1,
+                    "ranges must be balanced within one object"
+                );
+                for range in &ranges {
+                    for object in range.clone() {
+                        let shard = shard_of_object(object, num_objects, num_shards);
+                        assert!(
+                            ranges[shard].contains(&object),
+                            "shard_of_object must invert shard_ranges"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_datasets_concatenate_back_bitwise() {
+        let dataset = paper_running_example();
+        for num_shards in [1, 2, 3, 7, 11] {
+            let parts = partition_dataset(&dataset, num_shards);
+            assert_eq!(parts.len(), num_shards);
+            let mut union = UncertainDataset::new(dataset.dim());
+            for part in &parts {
+                for object in 0..part.num_objects() {
+                    union.push_labeled_object(
+                        part.object(object).label.clone(),
+                        part.object_instances(object)
+                            .map(|inst| (inst.coords.clone(), inst.prob))
+                            .collect(),
+                    );
+                }
+            }
+            assert_eq!(
+                flat_bits(&FlatStore::from_dataset(&union)),
+                flat_bits(&FlatStore::from_dataset(&dataset)),
+                "shard-order concatenation must reproduce the dataset"
+            );
+        }
     }
 }

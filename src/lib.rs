@@ -56,6 +56,8 @@ pub use arsp_index as index;
 /// Commonly used items from all crates.
 pub mod prelude {
     pub use arsp_core::prelude::*;
-    pub use arsp_data::{paper_running_example, Distribution, SyntheticConfig, UncertainDataset};
+    pub use arsp_data::{
+        paper_running_example, Distribution, MutationOp, SyntheticConfig, UncertainDataset,
+    };
     pub use arsp_geometry::constraints::{ConstraintSet, LinearConstraint, WeightRatio};
 }

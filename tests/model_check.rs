@@ -8,7 +8,7 @@
 //! budget where the state space demands it — so the assertions hold over
 //! *all* explored schedules, not the ones the OS happened to produce.
 //!
-//! Three protocols are proven, plus the counter satellites:
+//! Four protocols are proven, plus the counter satellites:
 //!
 //! 1. **pin/publish/retire** — a superseded snapshot is never retired while
 //!    pinned and never leaked once unpinned (2 readers × 1 writer on the
@@ -19,7 +19,12 @@
 //! 3. **publish-vs-pin races** at the registry lock boundary;
 //! 4. **fault-path cleanup** — a query cancelled mid-race with a publish,
 //!    and a reader that panics while holding a pin, both release the pin in
-//!    every interleaving (the superseded snapshot still retires).
+//!    every interleaving (the superseded snapshot still retires);
+//! 5. **shard quarantine/recovery** — the [`SupervisorCore`] state machine
+//!    stays on registered [`TRANSITION_EDGES`] under concurrent reporters,
+//!    a quarantined or recovering shard rejects new pins with the typed
+//!    error in every interleaving, and a restart never retires a snapshot a
+//!    reader still pins (the seeded broken variant is caught).
 //!
 //! Run `cargo xtask model-check` to execute with `--nocapture`: each test
 //! prints the interleaving count it explored (EXPERIMENTS.md records them).
@@ -29,6 +34,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use arsp_core::cluster::{ShardHealth, SupervisorCore, TRANSITION_EDGES};
 use arsp_core::coalesce::{CoalesceCounters, CoalescingCache};
 use arsp_core::fault::{QueryBudget, QueryError};
 use arsp_core::service::{ArspService, ServiceWriter};
@@ -488,6 +494,190 @@ fn pin_guard_releases_on_reader_panic() {
         report.schedules
     );
     assert!(report.schedules >= 50);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol (e): shard quarantine / recovery (arsp_core::cluster)
+// ---------------------------------------------------------------------------
+
+/// The real [`SupervisorCore`] behind a mutex, raced by a failure reporter
+/// (two I/O failures — the threshold) and a success reporter: in every
+/// interleaving the machine only ever takes registered
+/// [`TRANSITION_EDGES`], and once quarantined it is sticky — no late
+/// success report can revive it without going through recovery.
+#[test]
+fn supervisor_core_takes_only_registered_edges_under_races() {
+    let report = Builder::new().preemption_bound(2).check(|| {
+        let core = Arc::new(Mutex::new(SupervisorCore::new(2)));
+        let c1 = Arc::clone(&core);
+        let failures = thread::spawn(move || {
+            let mut edges = Vec::new();
+            for _ in 0..2 {
+                if let Some(edge) = lock(&c1).record_failure() {
+                    edges.push(edge);
+                }
+            }
+            edges
+        });
+        let edge = lock(&core).record_success();
+        let mut edges = failures.join().expect("failure reporter panicked");
+        edges.extend(edge);
+        for edge in &edges {
+            assert!(
+                TRANSITION_EDGES.contains(edge),
+                "unregistered edge `{edge}`"
+            );
+        }
+
+        let mut core = lock(&core);
+        let health = core.health();
+        assert!(
+            matches!(
+                health,
+                ShardHealth::Healthy | ShardHealth::Degraded | ShardHealth::Quarantined
+            ),
+            "impossible health {health:?} from failure/success races"
+        );
+        if health == ShardHealth::Quarantined {
+            // Sticky: only begin_recovery leaves quarantine.
+            assert_eq!(core.record_success(), None);
+            assert_eq!(core.record_failure(), None);
+            assert_eq!(core.health(), ShardHealth::Quarantined);
+        }
+    });
+    println!(
+        "supervisor_core_takes_only_registered_edges_under_races: {} interleavings explored",
+        report.schedules
+    );
+    // Three lock acquisitions across two threads under preemption_bound(2):
+    // a small but complete schedule space.
+    assert!(report.schedules >= 15);
+}
+
+/// The distilled restart-vs-pin protocol — the exact lock discipline of
+/// `cluster.rs` (health gate and snapshot clone under one slot mutex, pins
+/// as `Arc` clones, teardown dropping the slot's reference): a reader
+/// pinning while a crashed shard recovers. Proves, in every interleaving:
+///
+/// * a quarantined or recovering shard rejects the pin with the typed
+///   [`QueryError::ShardUnavailable`] — never a stale snapshot;
+/// * a granted pin keeps its snapshot alive across the whole restart (the
+///   recovery never retires a pinned snapshot);
+/// * after the restart, new pins see the recovered snapshot.
+fn restart_vs_pin_protocol(broken_weak_pin: bool) {
+    struct Slot {
+        core: SupervisorCore,
+        snapshot: Option<Arc<u64>>,
+    }
+    let slot = Arc::new(Mutex::new(Slot {
+        core: SupervisorCore::new(2),
+        snapshot: Some(Arc::new(0)),
+    }));
+
+    let s1 = Arc::clone(&slot);
+    let reader = thread::spawn(move || {
+        // Pin under the slot lock, exactly like `ShardedService::pin_shard`:
+        // gate on supervisor health, then clone the snapshot Arc. The broken
+        // variant downgrades to a Weak — modelling a pin that does not hold
+        // the snapshot — which the checker must catch below.
+        let pinned = {
+            let slot = lock(&s1);
+            if slot.core.health().is_available() {
+                let snapshot = slot.snapshot.as_ref().expect("available implies serving");
+                let strong = if broken_weak_pin {
+                    None
+                } else {
+                    Some(Arc::clone(snapshot))
+                };
+                Ok((Arc::downgrade(snapshot), strong))
+            } else {
+                Err(QueryError::ShardUnavailable {
+                    shards_missing: vec![0],
+                })
+            }
+        };
+        match pinned {
+            Ok((weak, _strong)) => {
+                // Re-locking is a real scheduling point: the whole teardown +
+                // restart can land here. THE invariant: while the pin is
+                // held, its snapshot is alive, whatever the shard does.
+                let slot = lock(&s1);
+                assert!(
+                    weak.upgrade().is_some(),
+                    "a recovering shard retired a pinned snapshot"
+                );
+                drop(slot);
+                true
+            }
+            Err(QueryError::ShardUnavailable { shards_missing }) => {
+                assert_eq!(shards_missing, vec![0]);
+                false
+            }
+            Err(other) => panic!("wrong rejection type: {other:?}"),
+        }
+    });
+
+    // The supervisor (main thread): contain a crash — teardown drops the
+    // slot's snapshot reference, exactly like `ShardSlot::teardown` — then
+    // restart and publish the recovered snapshot.
+    {
+        let mut slot = lock(&slot);
+        slot.core.record_crash();
+        slot.snapshot = None;
+    }
+    {
+        let mut slot = lock(&slot);
+        assert_eq!(slot.core.begin_recovery(), Some("quarantined->recovering"));
+        // While recovering, pins must already be rejected (checked by the
+        // reader whenever it lands in this window).
+        assert!(!slot.core.health().is_available());
+        slot.snapshot = Some(Arc::new(1));
+        assert_eq!(slot.core.recovery_succeeded(), Some("recovering->healthy"));
+    }
+
+    let got_pin = reader.join().expect("reader panicked");
+    let slot = lock(&slot);
+    assert_eq!(slot.core.health(), ShardHealth::Healthy);
+    let current = slot.snapshot.as_ref().expect("recovered");
+    assert_eq!(**current, 1, "recovery did not publish the new snapshot");
+    // Whether the reader pinned (before the crash) or was rejected (after),
+    // nothing leaks: the old snapshot is gone once the pin dropped.
+    drop(slot);
+    let _ = got_pin;
+}
+
+#[test]
+fn quarantined_shards_reject_pins_and_recovery_never_retires_pinned() {
+    let report = Builder::new()
+        .preemption_bound(2)
+        .check(|| restart_vs_pin_protocol(false));
+    println!(
+        "quarantined_shards_reject_pins_and_recovery_never_retires_pinned: \
+         {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 10);
+}
+
+/// Mutation test: a pin that holds only a `Weak` (the slot teardown frees
+/// the snapshot under the reader) MUST be caught as retire-while-pinned —
+/// proves the checker actually guards the cluster's pin lifetime, not just
+/// the happy path.
+#[test]
+fn mutation_shard_pin_that_does_not_hold_the_snapshot_is_caught() {
+    let failure = Builder::new()
+        .preemption_bound(2)
+        .check_result(|| restart_vs_pin_protocol(true))
+        .expect_err("the checker missed a shard retire-while-pinned regression");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("retired a pinned snapshot"),
+        "unexpected failure: {failure}"
+    );
+    println!(
+        "mutation_shard_pin_that_does_not_hold_the_snapshot_is_caught: failing schedule #{}",
+        failure.schedule
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -21,17 +21,23 @@
 //!    `arsp-core` is named in an integration test under `tests/`, keeping
 //!    the bitwise-agreement suites coupled to the public flat API.
 //! 6. **failpoint-coverage** — every fail-point site registered in
-//!    `arsp_data::failpoint::SITES` must appear (as a quoted literal) in
-//!    the crash-recovery kill matrix (`tests/crash_recovery.rs`), and every
-//!    `hit("...")` in the persistence write path must name a registered
-//!    site — so a fail-point added without a kill test, or a typo'd site
-//!    name that would silently never fire, fails the lint.
+//!    `arsp_data::failpoint::SITES` must appear (as a quoted literal) in a
+//!    kill matrix: the persistence sites in `tests/crash_recovery.rs`, the
+//!    shard sites in `tests/shard_agreement.rs`. And every `hit("...")` on
+//!    a write path (persistence or cluster) must name a registered site —
+//!    so a fail-point added without a kill test, or a typo'd site name that
+//!    would silently never fire, fails the lint.
+//! 7. **supervisor-coverage** — every `QueryError` variant and every
+//!    quarantine-machine edge in `cluster::TRANSITION_EDGES` must be named
+//!    in at least one test under `tests/`, so a new typed error or state
+//!    transition cannot land untested (and a vanished enum/array shape is
+//!    reported rather than silently skipped).
 //!
 //! The scanner strips comments and string/char literals first, so banned
 //! tokens in docs or messages never trigger, and the fixture snippets in
-//! this file's unit tests can quote violations safely. Rule 6 is the one
-//! exception: the site names it cross-references *are* string literals, so
-//! it reads the raw sources.
+//! this file's unit tests can quote violations safely. Rules 6–7 partly
+//! except themselves: the site names and edges they cross-reference *are*
+//! string literals, so those parsers read the raw sources.
 
 use std::fmt;
 use std::fs;
@@ -41,6 +47,7 @@ use std::process::ExitCode;
 /// Serving/reclamation modules that must use the sync façades (rules 1–2).
 const SYNC_SCOPE: &[&str] = &[
     "crates/core/src/service.rs",
+    "crates/core/src/cluster.rs",
     "crates/core/src/coalesce.rs",
     "crates/core/src/stats.rs",
     "crates/core/src/scratch.rs",
@@ -91,11 +98,17 @@ const KERNEL_SCOPE: &[(&str, &[&str])] = &[
     ),
 ];
 
-/// Rule 6 inputs: the fail-point registry, the persistence write path that
-/// calls `hit(...)`, and the crash-recovery suite that must kill every site.
+/// Rule 6 inputs: the fail-point registry, the write paths that call
+/// `hit(...)`, and the crash suites whose kill matrices must together
+/// cover every registered site.
 const FAILPOINT_REGISTRY: &str = "crates/data/src/failpoint.rs";
-const FAILPOINT_WRITE_PATH: &str = "crates/data/src/persist.rs";
-const CRASH_SUITE: &str = "tests/crash_recovery.rs";
+const FAILPOINT_WRITE_PATHS: &[&str] =
+    &["crates/data/src/persist.rs", "crates/core/src/cluster.rs"];
+const CRASH_SUITES: &[&str] = &["tests/crash_recovery.rs", "tests/shard_agreement.rs"];
+
+/// Rule 7 inputs: the typed query errors and the quarantine state machine.
+const QUERY_ERROR_FILE: &str = "crates/core/src/fault.rs";
+const CLUSTER_FILE: &str = "crates/core/src/cluster.rs";
 
 /// Source roots scanned for rule 4 (and walked when loading files).
 const SAFETY_ROOTS: &[&str] = &[
@@ -209,15 +222,32 @@ fn lint_tree(root: &Path) -> Result<Vec<Violation>, String> {
         violations.extend(check_flat_engine_agreement(rel, stripped, &tests_text));
     }
 
-    // Rule 6: fail-point registry ↔ crash-recovery kill matrix (raw
+    // Rule 6: fail-point registry ↔ crash-suite kill matrices (raw
     // sources — the cross-referenced site names are string literals).
     let registry = read(root, FAILPOINT_REGISTRY)?;
-    let write_path = read(root, FAILPOINT_WRITE_PATH)?;
-    let crash_suite = read(root, CRASH_SUITE)?;
+    let mut write_paths = Vec::new();
+    for rel in FAILPOINT_WRITE_PATHS {
+        write_paths.push((*rel, read(root, rel)?));
+    }
+    let mut suites_text = String::new();
+    for rel in CRASH_SUITES {
+        suites_text.push_str(&read(root, rel)?);
+        suites_text.push('\n');
+    }
     violations.extend(check_failpoint_coverage(
         &registry,
-        &write_path,
-        &crash_suite,
+        &write_paths,
+        &suites_text,
+    ));
+
+    // Rule 7: typed errors and quarantine edges ↔ the test tree (raw
+    // sources — the edges are string literals).
+    let fault_source = read(root, QUERY_ERROR_FILE)?;
+    let cluster_source = read(root, CLUSTER_FILE)?;
+    violations.extend(check_supervisor_coverage(
+        &fault_source,
+        &cluster_source,
+        &tests_text,
     ));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -592,11 +622,11 @@ fn public_fns(stripped: &str) -> Vec<(usize, String)> {
 
 fn check_failpoint_coverage(
     registry_source: &str,
-    write_path_source: &str,
-    crash_suite: &str,
+    write_paths: &[(&str, String)],
+    suites_text: &str,
 ) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let sites = failpoint_sites(registry_source);
+    let sites = const_str_array(registry_source, "SITES");
     if sites.is_empty() {
         violations.push(Violation {
             file: FAILPOINT_REGISTRY.to_string(),
@@ -609,60 +639,61 @@ fn check_failpoint_coverage(
         return violations;
     }
 
-    // Every registered site must be a quoted literal in the crash suite's
+    // Every registered site must be a quoted literal in some crash suite's
     // kill matrix.
     for (offset, site) in &sites {
-        if !crash_suite.contains(&format!("\"{site}\"")) {
+        if !suites_text.contains(&format!("\"{site}\"")) {
             violations.push(Violation {
                 file: FAILPOINT_REGISTRY.to_string(),
                 line: line_of(registry_source, *offset),
                 rule: "failpoint-coverage",
                 message: format!(
-                    "fail-point site `{site}` has no kill test: add it to \
-                     CRASH_MATRIX in {CRASH_SUITE}"
+                    "fail-point site `{site}` has no kill test: add it to a kill \
+                     matrix in one of {CRASH_SUITES:?}"
                 ),
             });
         }
     }
 
-    // Every `hit("...")` in the write path must name a registered site (a
+    // Every `hit("...")` on a write path must name a registered site (a
     // typo'd name would compile yet never fire).
-    for (offset, site) in hit_literals(write_path_source) {
-        if !sites.iter().any(|(_, s)| *s == site) {
-            violations.push(Violation {
-                file: FAILPOINT_WRITE_PATH.to_string(),
-                line: line_of(write_path_source, offset),
-                rule: "failpoint-coverage",
-                message: format!(
-                    "`hit(\"{site}\")` names an unregistered fail-point site; \
-                     register it in failpoint::SITES (and the crash matrix)"
-                ),
-            });
+    for (rel, source) in write_paths {
+        for (offset, site) in hit_literals(source) {
+            if !sites.iter().any(|(_, s)| *s == site) {
+                violations.push(Violation {
+                    file: (*rel).to_string(),
+                    line: line_of(source, offset),
+                    rule: "failpoint-coverage",
+                    message: format!(
+                        "`hit(\"{site}\")` names an unregistered fail-point site; \
+                         register it in failpoint::SITES (and a kill matrix)"
+                    ),
+                });
+            }
         }
     }
     violations
 }
 
-/// `(offset, name)` of every string literal inside the `SITES` array of the
-/// raw registry source.
-fn failpoint_sites(registry_source: &str) -> Vec<(usize, String)> {
-    let Some(decl) = registry_source.find("SITES") else {
+/// `(offset, contents)` of every string literal inside the bracketed array
+/// initialiser of the named `const` in raw source (shared by the `SITES`
+/// and `TRANSITION_EDGES` parsers).
+fn const_str_array(source: &str, name: &str) -> Vec<(usize, String)> {
+    let Some(decl) = source.find(name) else {
         return Vec::new();
     };
     // Seek past the `=` so the `[` of the `&[&str]` type annotation is not
     // mistaken for the array opener.
-    let Some(eq_rel) = registry_source[decl..].find('=') else {
+    let Some(eq_rel) = source[decl..].find('=') else {
         return Vec::new();
     };
     let assign = decl + eq_rel;
-    let Some(open_rel) = registry_source[assign..].find('[') else {
+    let Some(open_rel) = source[assign..].find('[') else {
         return Vec::new();
     };
     let open = assign + open_rel;
-    let close = registry_source[open..]
-        .find(']')
-        .map_or(registry_source.len(), |p| open + p);
-    string_literals(&registry_source[open..close])
+    let close = source[open..].find(']').map_or(source.len(), |p| open + p);
+    string_literals(&source[open..close])
         .into_iter()
         .map(|(off, name)| (open + off, name))
         .collect()
@@ -684,6 +715,134 @@ fn hit_literals(source: &str) -> Vec<(usize, String)> {
         }
     }
     literals
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: supervisor-coverage
+// ---------------------------------------------------------------------------
+
+fn check_supervisor_coverage(
+    fault_source: &str,
+    cluster_source: &str,
+    tests_text: &str,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Every typed query error must be exercised by name somewhere in the
+    // integration-test tree.
+    let variants = enum_variants(&strip_code(fault_source), "QueryError");
+    if variants.is_empty() {
+        violations.push(Violation {
+            file: QUERY_ERROR_FILE.to_string(),
+            line: 1,
+            rule: "supervisor-coverage",
+            message: "no `enum QueryError` variants found; update the lint's enum \
+                      parser to follow the fault module's shape"
+                .to_string(),
+        });
+    }
+    for (offset, variant) in &variants {
+        if !tests_text.contains(variant.as_str()) {
+            violations.push(Violation {
+                file: QUERY_ERROR_FILE.to_string(),
+                line: line_of(fault_source, *offset),
+                rule: "supervisor-coverage",
+                message: format!(
+                    "`QueryError::{variant}` is not named in any test under tests/; \
+                     a typed error nobody can trigger in a test is either untested \
+                     or dead"
+                ),
+            });
+        }
+    }
+
+    // Every quarantine-machine edge must be pinned by a test naming its
+    // literal (the state-machine walk in tests/shard_agreement.rs).
+    let edges = const_str_array(cluster_source, "TRANSITION_EDGES");
+    if edges.is_empty() {
+        violations.push(Violation {
+            file: CLUSTER_FILE.to_string(),
+            line: 1,
+            rule: "supervisor-coverage",
+            message: "no `TRANSITION_EDGES` array with edge literals found; update \
+                      the lint's parser to follow the cluster module's shape"
+                .to_string(),
+        });
+    }
+    for (offset, edge) in &edges {
+        if !tests_text.contains(&format!("\"{edge}\"")) {
+            violations.push(Violation {
+                file: CLUSTER_FILE.to_string(),
+                line: line_of(cluster_source, *offset),
+                rule: "supervisor-coverage",
+                message: format!(
+                    "quarantine edge `{edge}` is not named in any test under \
+                     tests/; add it to the state-machine walk in \
+                     tests/shard_agreement.rs"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// `(offset, name)` of every variant of `enum <name>` in stripped source.
+/// Variants are identifiers at brace depth 1 (relative to the enum body)
+/// outside parens/brackets, right after the opening brace, a `,`, or a
+/// struct-variant's closing `}` — which skips field names (depth 2),
+/// attribute arguments (bracket depth ≥ 1), and tuple payloads (paren
+/// depth ≥ 1).
+fn enum_variants(stripped: &str, name: &str) -> Vec<(usize, String)> {
+    let needle = format!("enum {name}");
+    let Some(decl) = stripped.find(&needle) else {
+        return Vec::new();
+    };
+    let Some(open_rel) = stripped[decl..].find('{') else {
+        return Vec::new();
+    };
+    let open = decl + open_rel;
+    let bytes = stripped.as_bytes();
+    let mut variants = Vec::new();
+    let (mut brace, mut paren, mut bracket) = (0usize, 0usize, 0usize);
+    let mut expecting = false;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                brace += 1;
+                expecting = brace == 1;
+            }
+            b'}' => {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+                expecting = brace == 1;
+            }
+            b',' if brace == 1 && paren == 0 && bracket == 0 => expecting = true,
+            b'(' => paren += 1,
+            b')' => paren = paren.saturating_sub(1),
+            b'[' => bracket += 1,
+            b']' => bracket = bracket.saturating_sub(1),
+            b if expecting
+                && brace == 1
+                && paren == 0
+                && bracket == 0
+                && b.is_ascii_uppercase() =>
+            {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                variants.push((start, stripped[start..i].to_string()));
+                expecting = false;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
 }
 
 /// `(offset, contents)` of every plain `"..."` literal in `text` (no escape
@@ -835,18 +994,18 @@ mod tests {
 
     #[test]
     fn failpoint_sites_are_parsed_from_the_raw_registry() {
-        let sites: Vec<String> = failpoint_sites(REGISTRY_FIXTURE)
+        let sites: Vec<String> = const_str_array(REGISTRY_FIXTURE, "SITES")
             .into_iter()
             .map(|(_, s)| s)
             .collect();
         assert_eq!(sites, ["wal.append", "snapshot.rename"]);
-        assert!(failpoint_sites("fn no_sites() {}").is_empty());
+        assert!(const_str_array("fn no_sites() {}", "SITES").is_empty());
     }
 
     #[test]
     fn failpoint_coverage_fires_on_an_untested_site() {
-        let suite = "const CRASH_MATRIX: &[&str] = &[\"wal.append\"];\n";
-        let violations = check_failpoint_coverage(REGISTRY_FIXTURE, "", suite);
+        let suites = "const CRASH_MATRIX: &[&str] = &[\"wal.append\"];\n";
+        let violations = check_failpoint_coverage(REGISTRY_FIXTURE, &[], suites);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].message.contains("snapshot.rename"));
         assert_eq!(violations[0].line, 3);
@@ -854,23 +1013,86 @@ mod tests {
 
     #[test]
     fn failpoint_coverage_fires_on_an_unregistered_hit() {
-        let suite = "&[\"wal.append\", \"snapshot.rename\"]";
+        let suites = "&[\"wal.append\", \"snapshot.rename\"]";
         let write_path = "failpoint::hit(\"wal.append\")?;\nfailpoint::hit(\"wal.typo\")?;\n";
-        let violations = check_failpoint_coverage(REGISTRY_FIXTURE, write_path, suite);
+        let violations = check_failpoint_coverage(
+            REGISTRY_FIXTURE,
+            &[("w.rs", write_path.to_string())],
+            suites,
+        );
         assert_eq!(violations.len(), 1);
         assert!(violations[0].message.contains("wal.typo"));
+        assert_eq!(violations[0].file, "w.rs");
         assert_eq!(violations[0].line, 2);
     }
 
     #[test]
     fn failpoint_coverage_passes_a_consistent_tree_and_flags_a_shapeless_registry() {
-        let suite = "&[\"wal.append\", \"snapshot.rename\"]";
-        let write_path = "failpoint::hit(\"snapshot.rename\")?;\n";
-        assert!(check_failpoint_coverage(REGISTRY_FIXTURE, write_path, suite).is_empty());
+        // The two kill matrices together cover the registry; each write
+        // path's hits resolve.
+        let suites = "&[\"wal.append\"]\n&[\"snapshot.rename\"]";
+        let write_paths = [
+            (
+                "a.rs",
+                "failpoint::hit(\"snapshot.rename\")?;\n".to_string(),
+            ),
+            ("b.rs", "failpoint::hit(\"wal.append\")?;\n".to_string()),
+        ];
+        assert!(check_failpoint_coverage(REGISTRY_FIXTURE, &write_paths, suites).is_empty());
 
-        let violations = check_failpoint_coverage("fn no_sites() {}", write_path, suite);
+        let violations = check_failpoint_coverage("fn no_sites() {}", &write_paths, suites);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].message.contains("no `SITES` array"));
+    }
+
+    const FAULT_FIXTURE: &str = "pub enum QueryError {\n\
+         \x20   DeadlineExceeded { elapsed: Duration, budget: Duration },\n\
+         \x20   Panicked(String),\n\
+         \x20   ShardUnavailable { shards_missing: Vec<usize> },\n\
+         }\n";
+
+    const CLUSTER_FIXTURE: &str =
+        "pub const TRANSITION_EDGES: &[&str] = &[\n    \"healthy->degraded\",\n    \
+         \"degraded->healthy\",\n];\n";
+
+    #[test]
+    fn enum_variants_skip_fields_and_payloads() {
+        let variants: Vec<String> = enum_variants(&strip_code(FAULT_FIXTURE), "QueryError")
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(
+            variants,
+            ["DeadlineExceeded", "Panicked", "ShardUnavailable"],
+            "field names, payload types or attribute args leaked in"
+        );
+        assert!(enum_variants("fn not_an_enum() {}", "QueryError").is_empty());
+    }
+
+    #[test]
+    fn supervisor_coverage_fires_on_an_untested_variant_and_edge() {
+        let tests = "fn t() { let _ = QueryError::DeadlineExceeded; \
+                     assert_eq!(e, \"healthy->degraded\"); Panicked; }";
+        let violations = check_supervisor_coverage(FAULT_FIXTURE, CLUSTER_FIXTURE, tests);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].message.contains("ShardUnavailable"));
+        assert!(violations[1].message.contains("degraded->healthy"));
+    }
+
+    #[test]
+    fn supervisor_coverage_passes_full_coverage_and_reports_vanished_shapes() {
+        let tests = "DeadlineExceeded Panicked ShardUnavailable \
+                     \"healthy->degraded\" \"degraded->healthy\"";
+        assert!(check_supervisor_coverage(FAULT_FIXTURE, CLUSTER_FIXTURE, tests).is_empty());
+
+        // A refactor that renames the enum or the edge array must surface
+        // as a parser-shape violation, never as silent non-coverage.
+        let violations = check_supervisor_coverage("enum Renamed {}", CLUSTER_FIXTURE, tests);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("no `enum QueryError`"));
+        let violations = check_supervisor_coverage(FAULT_FIXTURE, "const EDGES: u8 = 0;", tests);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("no `TRANSITION_EDGES`"));
     }
 
     #[test]
