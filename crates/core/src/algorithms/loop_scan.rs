@@ -394,7 +394,10 @@ pub fn arsp_loop_flat_engine(
 
 /// [`instance_probability`] over the flat layout: same scan ranges, same
 /// accumulation order, with the Theorem-2 test evaluated as row dominance.
-fn instance_probability_flat(
+/// `pub(crate)` for the standing-query subsystem (`crate::standing`), whose
+/// dirty-set maintenance recomputes exactly the affected instances through
+/// this kernel so the maintained result stays bitwise equal to a full scan.
+pub(crate) fn instance_probability_flat(
     flat: &FlatStore,
     scores: &ScoreMatrix,
     ord: &InstanceOrder,

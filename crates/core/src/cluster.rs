@@ -63,6 +63,7 @@ use std::time::Duration;
 use crate::engine::{Execution, QueryAlgorithm};
 use crate::fault::QueryError;
 use crate::service::{dataset_from_flat, ArspService, ServiceWriter, SnapshotPin};
+use crate::standing::{ChangeBatch, StandingSpec, SubscriptionGuard};
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{lock, Arc, Mutex};
 use arsp_data::{
@@ -748,6 +749,45 @@ impl ShardedService {
         }
     }
 
+    /// Fans a standing query out to every shard: each shard's serving chain
+    /// gets its own subscription under the same spec, delivered its initial
+    /// full batch immediately. After every
+    /// [`apply_batch`](Self::apply_batch), the shard's publish refreshes its
+    /// subscription, so [`ClusterSubscription::drain`] yields the per-shard
+    /// change-sets in shard-major order — stitched exactly like the
+    /// cross-shard result merge (shard-order concatenation; handles are
+    /// shard-local, so every change is tagged with its shard). Fails closed
+    /// with [`QueryError::ShardUnavailable`] when any shard is down —
+    /// subscribing to a partial population would silently miss its changes.
+    pub fn subscribe(&self, spec: &StandingSpec) -> Result<ClusterSubscription, QueryError> {
+        let mut guards = Vec::with_capacity(self.num_shards());
+        let mut missing = Vec::new();
+        // One pass, one slot lock at a time (like the union stitch). An
+        // unavailable shard fails the whole fan-out; the guards subscribed
+        // so far unsubscribe on drop (RAII).
+        for (shard, slot) in self.shared.shards.iter().enumerate() {
+            let mut slot = lock(slot);
+            let available = slot.supervisor.health().is_available();
+            match slot.serving.as_mut() {
+                Some(serving) if available => {
+                    let guard = serving.service.subscribe(spec.clone());
+                    // Between batches the shard engine sits exactly at its
+                    // published version (apply_to_slot publishes), so the
+                    // initial full batch is delivered right here.
+                    serving.writer.sync_subscriptions();
+                    guards.push(guard);
+                }
+                _ => missing.push(shard),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(QueryError::ShardUnavailable {
+                shards_missing: missing,
+            });
+        }
+        Ok(ClusterSubscription { guards })
+    }
+
     /// The stitched union snapshot over **all** shards — the exact columnar
     /// twin of an unsharded engine's flat store on the union dataset (the
     /// agreement suite asserts this bitwise). Fails closed with
@@ -928,6 +968,69 @@ pub struct ClusterStats {
     pub queries: u64,
     /// Served queries that were partial (some shard missing).
     pub partial_queries: u64,
+}
+
+/// One change batch of one shard's standing subscription (see
+/// [`ClusterSubscription::drain`]). Handles are shard-local, so the shard
+/// index is part of the change's identity — exactly how the cross-shard
+/// merge rebases per-shard ids.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardChange {
+    /// The shard whose subscription produced the batch.
+    pub shard: usize,
+    /// The shard-local change batch.
+    pub batch: ChangeBatch,
+}
+
+/// A standing query fanned out over every shard
+/// ([`ShardedService::subscribe`]): one per-shard [`SubscriptionGuard`]
+/// under a common spec. Dropping it unsubscribes everywhere (RAII, per
+/// shard).
+#[derive(Debug)]
+pub struct ClusterSubscription {
+    guards: Vec<SubscriptionGuard>,
+}
+
+impl ClusterSubscription {
+    /// Number of per-shard subscriptions (= the cluster's shard count).
+    pub fn num_shards(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// One shard's guard — for per-shard polling or result versions.
+    pub fn shard(&self, shard: usize) -> &SubscriptionGuard {
+        &self.guards[shard]
+    }
+
+    /// Drains every shard's undelivered batches, stitched shard-major
+    /// (shard 0's batches oldest-first, then shard 1's, …) — the same
+    /// shard-order concatenation the cross-shard result merge uses.
+    pub fn drain(&self) -> Vec<ShardChange> {
+        let mut changes = Vec::new();
+        for (shard, guard) in self.guards.iter().enumerate() {
+            for batch in guard.drain() {
+                changes.push(ShardChange { shard, batch });
+            }
+        }
+        changes
+    }
+
+    /// The stitched maintained result: `(shard, handle, probability)` in
+    /// shard-major, then ascending-handle order.
+    pub fn maintained(&self) -> Vec<(usize, InstanceHandle, f64)> {
+        let mut rows = Vec::new();
+        for (shard, guard) in self.guards.iter().enumerate() {
+            for (handle, prob) in guard.maintained() {
+                rows.push((shard, handle, prob));
+            }
+        }
+        rows
+    }
+
+    /// Each shard's latest per-subscription result version.
+    pub fn result_versions(&self) -> Vec<u64> {
+        self.guards.iter().map(|g| g.result_version()).collect()
+    }
 }
 
 /// A fluent cluster query. Default is fail-closed: any unavailable shard

@@ -77,6 +77,7 @@ use crate::engine::{
 use crate::result::ArspResult;
 use crate::scorespace::ScoreMatrix;
 use crate::scratch::{QueryScratch, ScratchPool};
+use crate::standing::{StandingQueryRegistry, StandingSpec, SubscriptionGuard};
 use crate::stats::{CounterStats, QueryCounters};
 use arsp_data::{FlatStore, InstanceHandle, UncertainDataset, VersionedStore};
 use arsp_geometry::constraints::{ConstraintSet, WeightRatio};
@@ -284,6 +285,17 @@ pub struct DynamicArspEngine {
     store: VersionedStore,
     policy: DeltaPolicy,
     caches: DynCaches,
+    standing: StandingQueryRegistry,
+}
+
+/// The delta-patched LOOP artifacts at the engine's current version — what
+/// the standing-query maintenance pass runs the per-instance kernel over.
+/// Every artifact is bitwise the cold build at this version.
+pub(crate) struct LoopArtifacts {
+    pub(crate) flat: Arc<FlatStore>,
+    pub(crate) scores: Arc<ScoreMatrix>,
+    pub(crate) order: Arc<InstanceOrder>,
+    pub(crate) fdom: Arc<LinearFDominance>,
 }
 
 impl DynamicArspEngine {
@@ -297,8 +309,12 @@ impl DynamicArspEngine {
         Self::from_store(VersionedStore::from_dataset(dataset))
     }
 
-    /// Wraps an existing versioned store.
+    /// Wraps an existing versioned store. Change tracking is switched on so
+    /// standing-query subscriptions can maintain incrementally (see
+    /// [`crate::standing`]); it costs nothing until rows actually mutate.
     pub fn from_store(store: VersionedStore) -> Self {
+        let mut store = store;
+        store.enable_change_tracking();
         let rowmap = build_rowmap(&store);
         let snap = SnapState {
             version: store.version(),
@@ -328,6 +344,7 @@ impl DynamicArspEngine {
                 delta_scanned: AtomicU64::new(0),
                 merges: AtomicU64::new(0),
             },
+            standing: StandingQueryRegistry::new(),
         }
     }
 
@@ -497,6 +514,63 @@ impl DynamicArspEngine {
         DynamicQuery::new(self, DynConstraints::Ratio(ratio))
     }
 
+    // ---- standing queries -------------------------------------------------
+
+    /// Registers a standing query and refreshes it immediately: the guard's
+    /// first [`crate::standing::ChangeBatch`] is the full result at the
+    /// current version. Later batches arrive per
+    /// [`refresh_standing`](Self::refresh_standing) call (the serving layer
+    /// calls it from [`crate::service::ServiceWriter::publish`]).
+    pub fn subscribe(&self, spec: StandingSpec) -> SubscriptionGuard {
+        let guard = self.standing.subscribe(spec);
+        self.standing.refresh(self);
+        guard
+    }
+
+    /// The engine's standing-query registry (shared with the serving layer
+    /// when the engine backs an [`crate::service::ArspService`]).
+    pub fn standing(&self) -> &StandingQueryRegistry {
+        &self.standing
+    }
+
+    /// Brings every standing subscription to the current version, enqueueing
+    /// one change batch per subscription whose result moved (see
+    /// [`crate::standing`]). A no-op for subscriptions already current.
+    pub fn refresh_standing(&self) {
+        self.standing.refresh(self);
+    }
+
+    /// The delta-patched LOOP artifacts at the current version — the same
+    /// fold [`Self::export_snapshot`] and the LOOP fast path perform, handed
+    /// to the standing maintenance pass.
+    pub(crate) fn standing_loop_artifacts(&self, constraints: &ConstraintSet) -> LoopArtifacts {
+        let fdom = self.fdom_for(constraints);
+        let mut snap = lock(&self.caches.snap);
+        self.advance_snap(&mut snap);
+        let scores = self.ensure_scores(&mut snap, &fdom);
+        let order = self.ensure_order(&mut snap, &fdom, &scores);
+        LoopArtifacts {
+            flat: Arc::clone(&snap.flat),
+            scores,
+            order,
+            fdom,
+        }
+    }
+
+    /// Per snapshot id at the current version: the instance's stable handle
+    /// and owning store object — the re-keying the standing layer needs to
+    /// diff results across versions.
+    pub(crate) fn snapshot_handles(&self) -> (Vec<InstanceHandle>, Vec<u32>) {
+        let rowmap = self.rowmap();
+        let mut handles = Vec::with_capacity(rowmap.row_of_snap.len());
+        let mut objects = Vec::with_capacity(rowmap.row_of_snap.len());
+        for &row in &rowmap.row_of_snap {
+            handles.push(self.store.handle_of_row(row as usize));
+            objects.push(self.store.object_of(row as usize) as u32);
+        }
+        (handles, objects)
+    }
+
     /// The current snapshot id of a live instance (`None` once removed).
     pub fn snapshot_id(&self, handle: InstanceHandle) -> Option<usize> {
         let row = self.store.row_of(handle)?;
@@ -547,6 +621,9 @@ impl DynamicArspEngine {
             coalesced_builds: 0,
             snapshots_retired: 0,
             active_pins: 0,
+            notifications_delivered: self.standing.counters().notifications_delivered(),
+            dirty_instances_scanned: self.standing.counters().dirty_instances_scanned(),
+            standing_full_fallbacks: self.standing.counters().standing_full_fallbacks(),
         }
     }
 

@@ -270,6 +270,17 @@ pub struct CacheStats {
     /// Epoch pins currently outstanding across all snapshot versions.
     /// Always 0 outside the serving layer.
     pub active_pins: u64,
+    /// Standing-query change-set notifications enqueued
+    /// (`crate::standing`). Always 0 for the static [`ArspEngine`], which
+    /// has no subscriptions.
+    pub notifications_delivered: u64,
+    /// Surviving instances the standing dirty-set maintenance pass
+    /// recomputed. Always 0 for the static [`ArspEngine`].
+    pub dirty_instances_scanned: u64,
+    /// Standing subscriptions that fell back to a full re-evaluation (dirty
+    /// set over the cost threshold, or a change-log gap). Always 0 for the
+    /// static [`ArspEngine`].
+    pub standing_full_fallbacks: u64,
 }
 
 /// The shared structures, all built lazily on first use.
@@ -500,6 +511,11 @@ impl ArspEngine {
             coalesced_builds: 0,
             snapshots_retired: 0,
             active_pins: 0,
+            // A frozen engine holds no subscriptions either — the standing
+            // counters belong to `crate::standing`.
+            notifications_delivered: 0,
+            dirty_instances_scanned: 0,
+            standing_full_fallbacks: 0,
         }
     }
 

@@ -81,6 +81,7 @@ pub mod result;
 pub mod scorespace;
 pub mod scratch;
 pub mod service;
+pub mod standing;
 pub mod stats;
 pub mod sync;
 
@@ -101,8 +102,8 @@ pub use algorithms::loop_scan::{
 pub use algorithms::ArspAlgorithm;
 pub use asp::skyline_probabilities;
 pub use cluster::{
-    ApplyOutcome, ClusterConfig, ClusterQuery, ClusterStats, PartialResult, ShardHealth,
-    ShardSupervisor, ShardedService, SupervisorCore,
+    ApplyOutcome, ClusterConfig, ClusterQuery, ClusterStats, ClusterSubscription, PartialResult,
+    ShardChange, ShardHealth, ShardSupervisor, ShardedService, SupervisorCore,
 };
 pub use dynamic::{DynamicArspEngine, DynamicOutcome, DynamicQuery};
 pub use engine::{ArspEngine, ArspOutcome, ArspQuery, Execution, QueryAlgorithm};
@@ -112,6 +113,9 @@ pub use scorespace::{FlatScorePoints, ScoreMatrix};
 pub use scratch::{QueryScratch, ScratchLease, ScratchPool};
 pub use service::{
     ArspService, ServiceOutcome, ServiceQuery, ServiceWriter, ServingStats, SnapshotPin,
+};
+pub use standing::{
+    ChangeBatch, ChangedPair, StandingQueryRegistry, StandingSpec, SubscriptionGuard,
 };
 pub use stats::QueryCounters;
 
@@ -131,6 +135,7 @@ pub mod prelude {
     pub use crate::parallel::{num_threads, set_num_threads};
     pub use crate::result::ArspResult;
     pub use crate::service::{ArspService, ServiceOutcome, ServiceWriter, SnapshotPin};
+    pub use crate::standing::{ChangeBatch, ChangedPair, StandingSpec, SubscriptionGuard};
     pub use crate::stats::QueryCounters;
     pub use crate::{
         arsp_bnb, arsp_bnb_parallel, arsp_dual, arsp_enum, arsp_kdtt, arsp_kdtt_plus,

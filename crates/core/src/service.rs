@@ -107,6 +107,7 @@ use crate::fault::{self, BuildTimeoutUnwind, QueryBudget, QueryError};
 use crate::result::ArspResult;
 use crate::scorespace::ScoreMatrix;
 use crate::scratch::{QueryScratch, ScratchPool};
+use crate::standing::{StandingQueryRegistry, StandingSpec, SubscriptionGuard};
 use crate::stats::{CounterStats, PeakGauge, PeakGaugeGuard, QueryCounters};
 use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{lock, Arc, Mutex};
@@ -234,6 +235,9 @@ struct ServiceShared {
     rendezvous: Arc<AtomicUsize>,
     gauge: PeakGauge,
     counters: ServiceCounters,
+    /// The writer engine's standing-query registry, shared so readers can
+    /// subscribe through the service handle (see [`ArspService::subscribe`]).
+    standing: StandingQueryRegistry,
 }
 
 /// The reader half of the serving layer: cheap to clone (an `Arc` inside),
@@ -283,6 +287,7 @@ impl ArspService {
             rendezvous,
             gauge: PeakGauge::new(),
             counters: ServiceCounters::default(),
+            standing: engine.standing().clone(),
         });
         shared.counters.published.fetch_add(1, Ordering::Relaxed);
         let service = Self {
@@ -312,6 +317,18 @@ impl ArspService {
     /// The currently published version.
     pub fn current_version(&self) -> u64 {
         lock(&self.shared.state).current.version
+    }
+
+    /// Registers a standing query against this service. The subscription is
+    /// *pending* until the writer next refreshes —
+    /// [`ServiceWriter::publish`] after a mutation batch, or
+    /// [`ServiceWriter::sync_subscriptions`] when nothing is pending — at
+    /// which point the guard's first [`crate::standing::ChangeBatch`] is the
+    /// full result at the published version. All later batches arrive in
+    /// publish order with gapless per-subscription result versions; dropping
+    /// the guard unsubscribes (see [`crate::standing`]).
+    pub fn subscribe(&self, spec: StandingSpec) -> SubscriptionGuard {
+        self.shared.standing.subscribe(spec)
     }
 
     /// Pre-builds `readers` reusable per-query scratch arenas (and as many
@@ -365,6 +382,9 @@ impl ArspService {
             snapshots_retired: shared.counters.retired.load(Ordering::Relaxed),
             active_pins: shared.pins.active_pins(),
             pinned_snapshots: shared.pins.pinned_versions().len() as u64,
+            notifications_delivered: shared.standing.counters().notifications_delivered(),
+            dirty_instances_scanned: shared.standing.counters().dirty_instances_scanned(),
+            standing_full_fallbacks: shared.standing.counters().standing_full_fallbacks(),
         }
     }
 
@@ -393,6 +413,9 @@ impl ArspService {
             coalesced_builds: shared.coalesce.coalesced(),
             snapshots_retired: shared.counters.retired.load(Ordering::Relaxed),
             active_pins: shared.pins.active_pins(),
+            notifications_delivered: shared.standing.counters().notifications_delivered(),
+            dirty_instances_scanned: shared.standing.counters().dirty_instances_scanned(),
+            standing_full_fallbacks: shared.standing.counters().standing_full_fallbacks(),
         }
     }
 }
@@ -426,6 +449,15 @@ pub struct ServingStats {
     pub active_pins: u64,
     /// Distinct versions currently pinned.
     pub pinned_snapshots: u64,
+    /// Standing-query change-set notifications enqueued by the writer's
+    /// refreshes (one per subscription per published version change, plus
+    /// each subscription's initial full batch).
+    pub notifications_delivered: u64,
+    /// Surviving instances the standing dirty-set maintenance pass
+    /// recomputed (clean instances carry over without recomputation).
+    pub dirty_instances_scanned: u64,
+    /// Standing refreshes that fell back to a full re-evaluation.
+    pub standing_full_fallbacks: u64,
 }
 
 /// The writer half: owns the dynamic engine. Mutations are invisible to
@@ -447,6 +479,9 @@ impl ServiceWriter {
         {
             let state = lock(&shared.state);
             if state.current.version == self.engine.version() {
+                // Nothing new to publish — but pending subscriptions still
+                // get their initial batch at the already-published version.
+                self.engine.refresh_standing();
                 return state.current.version;
             }
         }
@@ -470,7 +505,27 @@ impl ServiceWriter {
             // pins can no longer land on it — pinning is under this lock.
             shared.counters.retired.fetch_add(1, Ordering::Relaxed);
         }
+        drop(state);
+        // Drain the notification queue on the writer thread, right after the
+        // swap: every subscription moves to exactly this version, so
+        // subscribers observe change-sets in publish order with no missed or
+        // duplicated result versions (the publish-vs-notify protocol the
+        // model checker exercises).
+        self.engine.refresh_standing();
         version
+    }
+
+    /// Delivers initial batches to subscriptions registered since the last
+    /// publish, without publishing anything. A no-op (and the safe choice)
+    /// while unpublished mutations are pending — readers must never learn of
+    /// state that has not been published, so this refreshes only when the
+    /// engine is exactly at the published version; otherwise the next
+    /// [`publish`](Self::publish) delivers.
+    pub fn sync_subscriptions(&mut self) {
+        let published = lock(&self.shared.state).current.version;
+        if published == self.engine.version() {
+            self.engine.refresh_standing();
+        }
     }
 
     /// Adds a new uncertain object; returns its store object id. (Invisible

@@ -1,5 +1,5 @@
 //! The prediction-service scenario from the paper's introduction — as a
-//! **stream**.
+//! **stream of alerts**.
 //!
 //! A stock-prediction service emits, for every stock, a set of predicted
 //! (price, growth-rate) outcomes each with a confidence value — an uncertain
@@ -9,14 +9,21 @@
 //! likely to be attractive under any weighting of price vs growth within a
 //! factor-of-two band: `F = {ω1·P + ω2·GR | 0.5·ω2 ≤ ω1 ≤ 2·ω2}`.
 //!
-//! This example drives the scenario through one [`DynamicArspEngine`]
-//! session: ticks mutate the versioned store in place (stable
-//! [`InstanceHandle`]s track each scenario across revisions and compactions),
-//! queries run between batches on the engine's delta-merged caches, and the
-//! final answer is checked — exactly, bit for bit — against a cold engine
-//! rebuilt from scratch, which is the dynamic subsystem's core guarantee.
+//! Instead of re-running the query after every tick, the analyst registers
+//! two **standing queries** once ([`StandingSpec`] on the
+//! [`DynamicArspEngine`]) and then only consumes change-sets: after each
+//! mutation batch, [`DynamicArspEngine::refresh_standing`] pushes the
+//! `(handle, old_prob, new_prob)` pairs that actually moved — computed by
+//! replaying the delta against the engine's cached accounting, not by
+//! rescanning the bulk — tagged with a gapless `result_version` so a missed
+//! batch is provable. Replaying the feed client-side reconstructs the full
+//! result, and the final answer is checked — exactly, bit for bit — against
+//! a cold engine rebuilt from scratch: the standing subsystem's core
+//! guarantee.
 //!
 //! Run with `cargo run --release --example stock_prediction`.
+
+use std::collections::BTreeMap;
 
 use arsp::core::dynamic::DynamicArspEngine;
 use arsp::prelude::*;
@@ -34,6 +41,37 @@ fn scenario_coords(rng: &mut ChaCha8Rng, quality: f64, volatility: f64) -> Vec<f
     (0..2)
         .map(|_| (1.0 - quality + rng.gen_range(-volatility..volatility)).clamp(0.0, 1.0))
         .collect()
+}
+
+/// Replays a drained change-set into the client's mirror of the maintained
+/// result, checking the feed protocol on the way: gapless `result_version`
+/// and an `old_prob` that matches the mirror bitwise.
+fn replay(
+    mirror: &mut BTreeMap<InstanceHandle, f64>,
+    next_result_version: &mut u64,
+    batches: &[ChangeBatch],
+) -> usize {
+    let mut moved = 0;
+    for batch in batches {
+        assert_eq!(
+            batch.result_version, *next_result_version,
+            "the feed skipped a notification"
+        );
+        *next_result_version += 1;
+        for pair in &batch.changes {
+            let previous = match pair.new_prob {
+                Some(new_prob) => mirror.insert(pair.handle, new_prob),
+                None => mirror.remove(&pair.handle),
+            };
+            assert_eq!(
+                previous.map(f64::to_bits),
+                pair.old_prob.map(f64::to_bits),
+                "old_prob must match the replayed state bitwise"
+            );
+            moved += 1;
+        }
+    }
+    moved
 }
 
 fn main() {
@@ -72,11 +110,43 @@ fn main() {
     let ratio = WeightRatio::uniform(2, 0.5, 2.0);
     let constraints = ratio.to_constraint_set();
 
-    // ---- the streaming loop: mutate a batch, query between batches -------
+    // ---- register the alerts ONCE ----------------------------------------
+    // The band alert watches the factor-of-two preference band (served by
+    // the DUAL forest); the scan alert pins LOOP on the equivalent linear
+    // constraints, the one configuration maintained incrementally through
+    // the dirty-set narrowing pass. In 2-d a wide band means wide dominance
+    // windows, so the alert raises its fallback threshold above the default:
+    // recompute up to half the population before preferring a full re-query.
+    let band_alert = engine.subscribe(StandingSpec::ratio(&ratio));
+    let scan_alert = engine.subscribe(
+        StandingSpec::constraints(&constraints)
+            .algorithm(QueryAlgorithm::Loop)
+            .max_dirty_fraction(0.5),
+    );
+
+    // The establishing batch carries the full initial result (old_prob is
+    // None for every pair: everything is newly live to a fresh subscriber).
+    let mut band_mirror = BTreeMap::new();
+    let mut band_rv = 1;
+    replay(&mut band_mirror, &mut band_rv, &band_alert.drain());
+    let mut scan_mirror = BTreeMap::new();
+    let mut scan_rv = 1;
+    replay(&mut scan_mirror, &mut scan_rv, &scan_alert.drain());
+    println!(
+        "Alerts registered: band alert tracks {} scenarios, scan alert {} (result version 1)",
+        band_mirror.len(),
+        scan_mirror.len()
+    );
+
+    // ---- the streaming loop: mutate a batch, consume the change-sets -----
     let mut next_ticker = stocks.len();
     for batch in 0..6 {
-        // ~5 % of all scenarios get revised confidences / price paths.
-        let revisions = engine.store().num_live_instances() / 20;
+        // A light tick: a couple of scenarios get revised confidences /
+        // price paths — the regime the dirty-set narrowing pass is built
+        // for. Every third batch the universe itself moves (one IPO, one
+        // delisting), which dirties most dominance windows and makes the
+        // cost model fall back to a full re-query for that tick.
+        let revisions = 2;
         for _ in 0..revisions {
             let stock = &stocks[rng.gen_range(0..stocks.len())];
             if stock.scenarios.is_empty() || engine.store().is_retired(stock.object) {
@@ -99,67 +169,74 @@ fn main() {
             engine.update_instance(handle, &coords, prob);
         }
 
-        // One IPO and one delisting per batch keep the universe moving.
-        let quality: f64 = rng.gen_range(0.3..1.0);
-        let instances: Vec<(Vec<f64>, f64)> = (0..3)
-            .map(|_| (scenario_coords(&mut rng, quality, 0.1), 0.25))
-            .collect();
-        let object = engine.insert_object(Some(format!("STK{next_ticker:04}")), instances);
-        let handles = engine
-            .store()
-            .object_rows(object)
-            .iter()
-            .map(|&r| engine.store().handle_of_row(r as usize))
-            .collect();
-        stocks.push(Stock {
-            object,
-            scenarios: handles,
-        });
-        next_ticker += 1;
-        loop {
-            let victim = rng.gen_range(0..stocks.len());
-            if !engine.store().is_retired(stocks[victim].object)
-                && !engine.store().object_rows(stocks[victim].object).is_empty()
-            {
-                engine.retire_object(stocks[victim].object);
-                break;
+        if batch % 3 == 2 {
+            let quality: f64 = rng.gen_range(0.3..1.0);
+            let instances: Vec<(Vec<f64>, f64)> = (0..3)
+                .map(|_| (scenario_coords(&mut rng, quality, 0.1), 0.25))
+                .collect();
+            let object = engine.insert_object(Some(format!("STK{next_ticker:04}")), instances);
+            let handles = engine
+                .store()
+                .object_rows(object)
+                .iter()
+                .map(|&r| engine.store().handle_of_row(r as usize))
+                .collect();
+            stocks.push(Stock {
+                object,
+                scenarios: handles,
+            });
+            next_ticker += 1;
+            loop {
+                let victim = rng.gen_range(0..stocks.len());
+                if !engine.store().is_retired(stocks[victim].object)
+                    && !engine.store().object_rows(stocks[victim].object).is_empty()
+                {
+                    engine.retire_object(stocks[victim].object);
+                    break;
+                }
             }
         }
 
-        // Queries between batches: the ratio query auto-selects DUAL (served
-        // by the incrementally folded per-object forest), the general
-        // constraints run the delta-merge LOOP path / patched kd caches.
-        let delta_before = engine.store().delta_rows();
+        // One refresh maintains every subscription against the pending
+        // delta; the analyst only touches what changed.
         let t = std::time::Instant::now();
-        let dual = engine.ratio_query(&ratio).run();
-        let dual_time = t.elapsed();
-        // LOOP runs first among the general algorithms: it fuses the pending
-        // delta into its scan without materialising the new snapshot …
-        let t = std::time::Instant::now();
-        let scan = engine
-            .query(&constraints)
-            .algorithm(QueryAlgorithm::Loop)
-            .run();
-        let loop_time = t.elapsed();
-        // … while KDTT+ advances the snapshot (patching the cached score
-        // matrix and flat store) and traverses as usual.
-        let t = std::time::Instant::now();
-        let kdtt = engine
-            .query(&constraints)
-            .algorithm(QueryAlgorithm::KdttPlus)
-            .run();
-        let kdtt_time = t.elapsed();
-        // Different algorithms, same answer within float tolerance (bitwise
-        // equality is the dynamic-vs-cold contract *per* algorithm, checked
-        // below — not a cross-algorithm property).
-        assert!(scan.result().approx_eq(kdtt.result(), 1e-9));
-        assert!(dual.result().approx_eq(kdtt.result(), 1e-9));
+        engine.refresh_standing();
+        let refresh_time = t.elapsed();
+        let band_batches = band_alert.drain();
+        let scan_batches = scan_alert.drain();
+
+        // The biggest mover this tick, from the change-set alone.
+        let top_mover = band_batches
+            .iter()
+            .flat_map(|b| &b.changes)
+            .max_by(|a, b| {
+                let swing =
+                    |p: &ChangedPair| (p.new_prob.unwrap_or(0.0) - p.old_prob.unwrap_or(0.0)).abs();
+                swing(a).total_cmp(&swing(b))
+            })
+            .map(|pair| {
+                let swing = pair.new_prob.unwrap_or(0.0) - pair.old_prob.unwrap_or(0.0);
+                let label = engine
+                    .store()
+                    .row_of(pair.handle)
+                    .map(|row| engine.store().object_of(row))
+                    .and_then(|object| engine.store().object_label(object))
+                    .unwrap_or("<delisted>")
+                    .to_string();
+                (label, swing)
+            });
+
+        let band_moved = replay(&mut band_mirror, &mut band_rv, &band_batches);
+        let scan_moved = replay(&mut scan_mirror, &mut scan_rv, &scan_batches);
+        let mover = top_mover
+            .map(|(label, swing)| format!("{label} {swing:+.4}"))
+            .unwrap_or_else(|| "-".to_string());
         println!(
-            "batch {batch}: version {:>4}, delta {:>3} rows  |ARSP| = {:<4} \
-             (DUAL {dual_time:?}, LOOP {loop_time:?}, KDTT+ {kdtt_time:?})",
+            "batch {batch}: version {:>4}  band Δ {:>3} pairs, scan Δ {:>3} pairs \
+             (refresh {refresh_time:?})  top mover {mover}",
             engine.version(),
-            delta_before,
-            dual.result_size(),
+            band_moved,
+            scan_moved,
         );
     }
 
@@ -176,27 +253,54 @@ fn main() {
 
     let stats = engine.cache_stats();
     println!(
-        "\nSession counters: {} hits / {} misses, {} delta rows fused, \
-         {} merges, {} invalidations",
-        stats.hits,
-        stats.misses,
+        "\nSession counters: {} notifications delivered, {} dirty instances \
+         scanned, {} full-requery fallbacks, {} delta rows fused, {} merges",
+        stats.notifications_delivered,
+        stats.dirty_instances_scanned,
+        stats.standing_full_fallbacks,
         stats.delta_rows_scanned,
-        stats.merges_performed,
-        stats.caches_invalidated
+        stats.merges_performed
     );
 
-    // ---- the dynamic subsystem's core guarantee, demonstrated ------------
+    // ---- the standing subsystem's core guarantee, demonstrated -----------
+    // The result reconstructed purely from the change-set feed equals a cold
+    // engine rebuilt from scratch — bit for bit, for both subscriptions.
     let cold = ArspEngine::new(snapshot);
-    let reference = cold.ratio_query(&ratio).run();
-    assert_eq!(
-        reference.result().probs(),
-        outcome.result().probs(),
-        "the incrementally updated engine must equal a cold rebuild bitwise"
-    );
-    for algorithm in [QueryAlgorithm::Loop, QueryAlgorithm::KdttPlus] {
-        let warm = engine.query(&constraints).algorithm(algorithm).run();
-        let fresh = cold.query(&constraints).algorithm(algorithm).run();
-        assert_eq!(warm.result().probs(), fresh.result().probs());
+    for (name, mirror, probs) in [
+        (
+            "band",
+            &band_mirror,
+            cold.ratio_query(&ratio).run().result().probs().to_vec(),
+        ),
+        (
+            "scan",
+            &scan_mirror,
+            cold.query(&constraints)
+                .algorithm(QueryAlgorithm::Loop)
+                .run()
+                .result()
+                .probs()
+                .to_vec(),
+        ),
+    ] {
+        let expected: BTreeMap<InstanceHandle, f64> = engine
+            .store()
+            .canonical_rows()
+            .map(|row| engine.store().handle_of_row(row))
+            .zip(probs)
+            .collect();
+        assert_eq!(
+            mirror.len(),
+            expected.len(),
+            "{name}: replayed feed must cover every live scenario"
+        );
+        for (handle, prob) in mirror {
+            assert_eq!(
+                prob.to_bits(),
+                expected[handle].to_bits(),
+                "{name}: the replayed feed must equal a cold rebuild bitwise"
+            );
+        }
     }
-    println!("\nIncremental engine == cold rebuild, bit for bit. ✔");
+    println!("\nReplayed change-set feed == cold rebuild, bit for bit. ✔");
 }

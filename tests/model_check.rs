@@ -24,7 +24,12 @@
 //!    stays on registered [`TRANSITION_EDGES`] under concurrent reporters,
 //!    a quarantined or recovering shard rejects new pins with the typed
 //!    error in every interleaving, and a restart never retires a snapshot a
-//!    reader still pins (the seeded broken variant is caught).
+//!    reader still pins (the seeded broken variant is caught);
+//! 6. **publish-vs-notify** — a standing-query subscriber draining
+//!    concurrently with the writer's publish+refresh cycles observes every
+//!    published version exactly once, in order, with gapless result
+//!    versions (the seeded split-lock drain that loses a notification is
+//!    caught).
 //!
 //! Run `cargo xtask model-check` to execute with `--nocapture`: each test
 //! prints the interleaving count it explored (EXPERIMENTS.md records them).
@@ -36,8 +41,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use arsp_core::cluster::{ShardHealth, SupervisorCore, TRANSITION_EDGES};
 use arsp_core::coalesce::{CoalesceCounters, CoalescingCache};
+use arsp_core::engine::QueryAlgorithm;
 use arsp_core::fault::{QueryBudget, QueryError};
 use arsp_core::service::{ArspService, ServiceWriter};
+use arsp_core::standing::StandingSpec;
 use arsp_core::stats::PeakGauge;
 use arsp_core::sync::atomic::AtomicUsize;
 use arsp_core::sync::{lock, Arc, Condvar, Mutex};
@@ -676,6 +683,133 @@ fn mutation_shard_pin_that_does_not_hold_the_snapshot_is_caught() {
     );
     println!(
         "mutation_shard_pin_that_does_not_hold_the_snapshot_is_caught: failing schedule #{}",
+        failure.schedule
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol (f): publish-vs-notify (standing queries)
+// ---------------------------------------------------------------------------
+
+/// A subscriber draining its standing-query feed concurrently with the
+/// writer publishing twice, on the real [`ArspService`]: in every
+/// interleaving the reassembled feed is exactly one batch per published
+/// version, in publish order, with gapless result versions — no
+/// notification is lost to the drain/refresh race and none is duplicated.
+#[test]
+fn publish_vs_notify_feeds_every_version_exactly_once() {
+    let dataset = paper_running_example();
+    let report = Builder::new().preemption_bound(2).check(move || {
+        let (service, mut writer) = ArspService::from_dataset(&dataset);
+        let constraints = ConstraintSet::weak_ranking(2, 1);
+        let sub = service
+            .subscribe(StandingSpec::constraints(&constraints).algorithm(QueryAlgorithm::Loop));
+        writer.sync_subscriptions();
+        let subscriber = thread::spawn(move || {
+            // Two mid-stream drains land at arbitrary points of the writer's
+            // two publish+refresh cycles.
+            let mut batches = sub.drain();
+            batches.extend(sub.drain());
+            (sub, batches)
+        });
+        mutate_once(&mut writer, 1.0);
+        writer.publish();
+        mutate_once(&mut writer, 2.0);
+        writer.publish();
+        let (sub, mut batches) = subscriber.join().expect("subscriber panicked");
+        batches.extend(sub.drain());
+
+        let rvs: Vec<u64> = batches.iter().map(|b| b.result_version).collect();
+        assert_eq!(
+            rvs,
+            vec![1, 2, 3],
+            "a result version was lost or duplicated"
+        );
+        let versions: Vec<u64> = batches.iter().map(|b| b.version).collect();
+        assert_eq!(versions, vec![0, 1, 2], "feed out of publish order");
+        assert!(
+            !sub.is_pending() && sub.result_version() == 3,
+            "subscription bookkeeping diverged from the feed"
+        );
+    });
+    println!(
+        "publish_vs_notify_feeds_every_version_exactly_once: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 50);
+}
+
+/// The distilled drain-vs-refresh protocol — the exact lock discipline of
+/// `standing.rs` (enqueue and drain each atomic under the one subscription
+/// mutex). The broken variant splits the drain into a read and a clear
+/// under separate lock acquisitions: a refresh landing in between gets its
+/// batch cleared unseen — the lost-notification regression the checker
+/// must catch.
+fn drain_vs_refresh_protocol(broken_split_drain: bool) {
+    struct Sub {
+        result_version: u64,
+        queue: Vec<u64>,
+    }
+    let sub = Arc::new(Mutex::new(Sub {
+        result_version: 0,
+        queue: Vec::new(),
+    }));
+
+    let s1 = Arc::clone(&sub);
+    let consumer = thread::spawn(move || {
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            if broken_split_drain {
+                let snapshot = lock(&s1).queue.clone();
+                lock(&s1).queue.clear();
+                seen.extend(snapshot);
+            } else {
+                let mut sub = lock(&s1);
+                seen.append(&mut sub.queue);
+            }
+        }
+        seen
+    });
+
+    // The writer (main thread): three publish+notify cycles, each atomic
+    // under the subscription lock.
+    for _ in 0..3 {
+        let mut sub = lock(&sub);
+        sub.result_version += 1;
+        let rv = sub.result_version;
+        sub.queue.push(rv);
+    }
+
+    let mut seen = consumer.join().expect("consumer panicked");
+    seen.append(&mut lock(&sub).queue);
+    assert_eq!(seen, vec![1, 2, 3], "a notification was lost or duplicated");
+}
+
+#[test]
+fn drain_vs_refresh_protocol_holds_in_every_interleaving() {
+    let report = interleave::model(|| drain_vs_refresh_protocol(false));
+    println!(
+        "drain_vs_refresh_protocol_holds_in_every_interleaving: {} interleavings explored",
+        report.schedules
+    );
+    assert!(report.schedules >= 10);
+}
+
+/// Mutation test: the split-lock drain MUST be caught as a lost
+/// notification — proves the checker actually guards the standing feed's
+/// exactly-once delivery, not just the happy path.
+#[test]
+fn mutation_split_lock_drain_loses_a_notification_and_is_caught() {
+    let failure = Builder::new()
+        .check_result(|| drain_vs_refresh_protocol(true))
+        .expect_err("the checker missed a lost standing notification");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("lost or duplicated"),
+        "unexpected failure: {failure}"
+    );
+    println!(
+        "mutation_split_lock_drain_loses_a_notification_and_is_caught: failing schedule #{}",
         failure.schedule
     );
 }

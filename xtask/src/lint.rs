@@ -32,6 +32,11 @@
 //!    in at least one test under `tests/`, so a new typed error or state
 //!    transition cannot land untested (and a vanished enum/array shape is
 //!    reported rather than silently skipped).
+//! 8. **standing-coverage** — every public function of the standing-query
+//!    subsystem (`crates/core/src/standing.rs`) must be *called* (named with
+//!    an opening paren) in a test under `tests/`, keeping the subscription
+//!    protocol suite (`tests/standing_agreement.rs`) coupled to the public
+//!    standing API.
 //!
 //! The scanner strips comments and string/char literals first, so banned
 //! tokens in docs or messages never trigger, and the fixture snippets in
@@ -52,6 +57,7 @@ const SYNC_SCOPE: &[&str] = &[
     "crates/core/src/stats.rs",
     "crates/core/src/scratch.rs",
     "crates/core/src/dynamic.rs",
+    "crates/core/src/standing.rs",
     "crates/data/src/versioned.rs",
 ];
 
@@ -109,6 +115,10 @@ const CRASH_SUITES: &[&str] = &["tests/crash_recovery.rs", "tests/shard_agreemen
 /// Rule 7 inputs: the typed query errors and the quarantine state machine.
 const QUERY_ERROR_FILE: &str = "crates/core/src/fault.rs";
 const CLUSTER_FILE: &str = "crates/core/src/cluster.rs";
+
+/// Rule 8 input: the standing-query subsystem whose public API must be
+/// exercised by the integration tests.
+const STANDING_FILE: &str = "crates/core/src/standing.rs";
 
 /// Source roots scanned for rule 4 (and walked when loading files).
 const SAFETY_ROOTS: &[&str] = &[
@@ -249,6 +259,10 @@ fn lint_tree(root: &Path) -> Result<Vec<Violation>, String> {
         &cluster_source,
         &tests_text,
     ));
+
+    // Rule 8: public standing-query API ↔ integration tests.
+    let standing_stripped = strip_code(&read(root, STANDING_FILE)?);
+    violations.extend(check_standing_coverage(&standing_stripped, &tests_text));
 
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(violations)
@@ -614,6 +628,33 @@ fn public_fns(stripped: &str) -> Vec<(usize, String)> {
         from = name_end;
     }
     fns
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: standing-coverage
+// ---------------------------------------------------------------------------
+
+/// Every `pub fn` of the standing subsystem must appear as a call —
+/// `name(` — somewhere under `tests/`. The paren requirement keeps short
+/// names (`id`, `poll`, `drain`) from being satisfied by prose or unrelated
+/// identifiers that merely contain them.
+fn check_standing_coverage(stripped: &str, tests_text: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (offset, name) in public_fns(stripped) {
+        if !tests_text.contains(&format!("{name}(")) {
+            violations.push(Violation {
+                file: STANDING_FILE.to_string(),
+                line: line_of(stripped, offset),
+                rule: "standing-coverage",
+                message: format!(
+                    "public standing API `{name}` is not called in any integration \
+                     test under tests/; exercise it in the subscription protocol \
+                     suite (tests/standing_agreement.rs)"
+                ),
+            });
+        }
+    }
+    violations
 }
 
 // ---------------------------------------------------------------------------
@@ -987,6 +1028,31 @@ mod tests {
         // Private helpers and non-flat functions are out of scope.
         let private = strip_code("fn helper_flat_engine() {}\npub fn not_flat() {}\n");
         assert!(check_flat_engine_agreement("f.rs", &private, "").is_empty());
+    }
+
+    #[test]
+    fn standing_coverage_requires_a_test_call() {
+        let standing = strip_code(
+            "impl SubscriptionGuard {\n    pub fn poll(&self) -> Option<ChangeBatch> { None }\n}\n",
+        );
+        let violations = check_standing_coverage(&standing, "fn other_test() {}");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "standing-coverage");
+        assert!(violations[0].message.contains("`poll`"));
+
+        // A call — `poll(` — satisfies the rule; a bare mention does not.
+        assert!(check_standing_coverage(&standing, "let b = sub.poll();").is_empty());
+        let violations = check_standing_coverage(&standing, "// we should poll the feed");
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn standing_coverage_skips_private_and_crate_fns() {
+        let standing = strip_code(
+            "fn diff_maintained() {}\npub(crate) fn refresh(&self) {}\npub fn drain(&self) {}\n",
+        );
+        let violations = check_standing_coverage(&standing, "guard.drain();");
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     const REGISTRY_FIXTURE: &str =
